@@ -1,0 +1,31 @@
+// Reproduces paper Figure 2: replication factor for every combination of
+// graph, edge partitioner and number of partitions. Expected shape: HEP100
+// lowest everywhere, Random highest; RF grows with the partition count.
+#include "bench/bench_util.h"
+
+using namespace gnnpart;
+
+int main() {
+  ExperimentContext ctx = bench::DefaultContext();
+  bench::PrintBanner("Replication factor of edge partitioners",
+                     "paper Figure 2", ctx);
+  for (PartitionId k : {4u, 8u, 16u, 32u}) {
+    std::cout << "\n--- " << k << " partitions ---\n";
+    TablePrinter table(
+        {"Graph", "Random", "DBH", "HDRF", "2PS-L", "HEP10", "HEP100"});
+    for (DatasetId id : AllDatasets()) {
+      DatasetBundle bundle = bench::Unwrap(LoadDataset(ctx, id), "dataset");
+      std::vector<std::string> row{DatasetCode(id)};
+      for (EdgePartitionerId pid : AllEdgePartitioners()) {
+        EdgePartitioning parts = bench::Unwrap(
+            RunEdgePartitioner(ctx, id, bundle.graph, pid, k), "partition");
+        row.push_back(bench::F(
+            ComputeEdgePartitionMetrics(bundle.graph, parts)
+                .replication_factor));
+      }
+      table.AddRow(row);
+    }
+    bench::Emit(table, "fig02_replication_1");
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces paper Figure 5: memory-utilization balance across machines on
+// a 4-machine cluster. Expected shape: memory balance tracks the vertex
+// balance of the partitioner (the paper observes a perfect correlation).
+#include "bench/bench_util.h"
+
+using namespace gnnpart;
+
+int main() {
+  ExperimentContext ctx = bench::DefaultContext();
+  bench::PrintBanner("Memory utilization balance (4 machines)",
+                     "paper Figure 5", ctx);
+  const PartitionId k = 4;
+  ClusterSpec cluster = ctx.MakeCluster(k);
+  GnnConfig config;
+  config.num_layers = 3;
+  config.feature_size = 64;
+  config.hidden_dim = 64;
+  config.num_classes = 16;
+
+  TablePrinter table({"Graph", "Partitioner", "vertex balance",
+                      "memory balance"});
+  std::vector<double> vb_all, mb_all;
+  for (DatasetId id : AllDatasets()) {
+    DatasetBundle bundle = bench::Unwrap(LoadDataset(ctx, id), "dataset");
+    for (EdgePartitionerId pid : AllEdgePartitioners()) {
+      EdgePartitioning parts = bench::Unwrap(
+          RunEdgePartitioner(ctx, id, bundle.graph, pid, k), "partition");
+      EdgePartitionMetrics m = ComputeEdgePartitionMetrics(bundle.graph, parts);
+      DistGnnEpochReport r = SimulateDistGnnEpoch(
+          BuildDistGnnWorkload(bundle.graph, parts), config, cluster);
+      vb_all.push_back(m.vertex_balance);
+      mb_all.push_back(r.memory_balance);
+      table.AddRow({DatasetCode(id), MakeEdgePartitioner(pid)->name(),
+                    bench::F(m.vertex_balance), bench::F(r.memory_balance)});
+    }
+  }
+  bench::Emit(table, "fig05_memory_balance_1");
+  std::cout << "Correlation(vertex balance, memory balance) = "
+            << bench::F(PearsonCorrelation(vb_all, mb_all), 4)
+            << " (paper: perfect correlation)\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces paper Figure 12: edge-cut ratio for every combination of
+// graph, vertex partitioner and number of partitions. Expected shape:
+// KaHIP lowest in most cases, Random highest; DI (road network) gets
+// near-zero cuts from the multilevel partitioners; more partitions raise
+// the cut.
+#include "bench/bench_util.h"
+
+using namespace gnnpart;
+
+int main() {
+  ExperimentContext ctx = bench::DefaultContext();
+  bench::PrintBanner("Edge-cut ratio of vertex partitioners",
+                     "paper Figure 12", ctx);
+  for (PartitionId k : {4u, 8u, 16u, 32u}) {
+    std::cout << "\n--- " << k << " partitions ---\n";
+    TablePrinter table(
+        {"Graph", "Random", "LDG", "Spinner", "Metis", "ByteGNN", "KaHIP"});
+    for (DatasetId id : AllDatasets()) {
+      DatasetBundle bundle = bench::Unwrap(LoadDataset(ctx, id), "dataset");
+      std::vector<std::string> row{DatasetCode(id)};
+      for (VertexPartitionerId pid : AllVertexPartitioners()) {
+        VertexPartitioning parts = bench::Unwrap(
+            RunVertexPartitioner(ctx, id, bundle.graph, bundle.split, pid, k),
+            "partition");
+        row.push_back(bench::F(
+            ComputeVertexPartitionMetrics(bundle.graph, parts, bundle.split)
+                .edge_cut_ratio,
+            3));
+      }
+      table.AddRow(row);
+    }
+    bench::Emit(table, "fig12_edgecut_1");
+  }
+  return 0;
+}

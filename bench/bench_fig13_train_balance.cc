@@ -1,0 +1,32 @@
+// Reproduces paper Figure 13: training-vertex balance across 8 partitions.
+// Expected shape: near-1 for most partitioners (training vertices are
+// random, so vertex balance implies training balance); ByteGNN balances
+// them explicitly.
+#include "bench/bench_util.h"
+
+using namespace gnnpart;
+
+int main() {
+  ExperimentContext ctx = bench::DefaultContext();
+  bench::PrintBanner("Training-vertex balance (8 partitions)",
+                     "paper Figure 13", ctx);
+  const PartitionId k = 8;
+  TablePrinter table(
+      {"Graph", "Random", "LDG", "Spinner", "Metis", "ByteGNN", "KaHIP"});
+  for (DatasetId id : AllDatasets()) {
+    DatasetBundle bundle = bench::Unwrap(LoadDataset(ctx, id), "dataset");
+    std::vector<std::string> row{DatasetCode(id)};
+    for (VertexPartitionerId pid : AllVertexPartitioners()) {
+      VertexPartitioning parts = bench::Unwrap(
+          RunVertexPartitioner(ctx, id, bundle.graph, bundle.split, pid, k),
+          "partition");
+      row.push_back(bench::F(
+          ComputeVertexPartitionMetrics(bundle.graph, parts, bundle.split)
+              .train_vertex_balance,
+          3));
+    }
+    table.AddRow(row);
+  }
+  bench::Emit(table, "fig13_train_balance_1");
+  return 0;
+}

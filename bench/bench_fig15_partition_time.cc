@@ -1,0 +1,33 @@
+// Reproduces paper Figure 15: vertex partitioning time (the paper plots it
+// on a log scale). Expected shape: KaHIP costs orders of magnitude more
+// than the streaming partitioners; Metis sits in between; KaHIP's extra
+// cost buys the lowest cut (Fig. 12).
+#include "bench/bench_util.h"
+
+using namespace gnnpart;
+
+int main() {
+  ExperimentContext ctx = bench::DefaultContext();
+  bench::PrintBanner("Vertex partitioning time (seconds)",
+                     "paper Figure 15", ctx);
+  for (PartitionId k : {4u, 32u}) {
+    std::cout << "\n--- " << k << " partitions ---\n";
+    TablePrinter table(
+        {"Graph", "Random", "LDG", "Spinner", "Metis", "ByteGNN", "KaHIP"});
+    for (DatasetId id : AllDatasets()) {
+      DatasetBundle bundle = bench::Unwrap(LoadDataset(ctx, id), "dataset");
+      std::vector<std::string> row{DatasetCode(id)};
+      for (VertexPartitionerId pid : AllVertexPartitioners()) {
+        VertexPartitioning parts = bench::Unwrap(
+            RunVertexPartitioner(ctx, id, bundle.graph, bundle.split, pid, k),
+            "partition");
+        row.push_back(bench::F(parts.partitioning_seconds, 3));
+      }
+      table.AddRow(row);
+    }
+    bench::Emit(table, "fig15_partition_time_1");
+  }
+  std::cout << "\nNote: times come from the partitioning cache when one is "
+               "warm; delete GNNPART_CACHE_DIR to re-measure.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces paper Figure 17: balance of per-worker training time
+// (GraphSage, 3 layers, feature 64, hidden 64). Expected shape: all
+// partitioners show noticeable imbalance — even with balanced training
+// vertices the computation time differs across workers.
+#include "bench/bench_util.h"
+
+using namespace gnnpart;
+
+int main() {
+  ExperimentContext ctx = bench::DefaultContext();
+  bench::PrintBanner("Per-worker training-time balance (GraphSage)",
+                     "paper Figure 17", ctx);
+  GnnConfig config;
+  config.arch = GnnArchitecture::kGraphSage;
+  config.num_layers = 3;
+  config.feature_size = 64;
+  config.hidden_dim = 64;
+  config.num_classes = 16;
+  config.fanouts = GnnConfig::DefaultFanouts(3);
+
+  for (PartitionId k : {8u, 32u}) {
+    std::cout << "\n--- " << k << " workers ---\n";
+    ClusterSpec cluster = ctx.MakeCluster(static_cast<int>(k));
+    TablePrinter table(
+        {"Graph", "Random", "LDG", "Spinner", "Metis", "ByteGNN", "KaHIP"});
+    for (DatasetId id : AllDatasets()) {
+      DatasetBundle bundle = bench::Unwrap(LoadDataset(ctx, id), "dataset");
+      std::vector<std::string> row{DatasetCode(id)};
+      for (VertexPartitionerId pid : AllVertexPartitioners()) {
+        DistDglEpochProfile profile = bench::Unwrap(
+            ProfileWithCache(ctx, id, bundle.graph, bundle.split, pid, k, 3,
+                             ctx.global_batch_size),
+            "profile");
+        DistDglEpochReport r = SimulateDistDglEpoch(profile, config, cluster);
+        row.push_back(bench::F(r.time_balance, 3));
+      }
+      table.AddRow(row);
+    }
+    bench::Emit(table, "fig17_time_balance_1");
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Google-benchmark microbenchmarks of partitioner throughput (edges or
+// vertices per second). These are the raw numbers behind Figures 6 and 15.
+#include <benchmark/benchmark.h>
+
+#include "gen/datasets.h"
+#include "graph/split.h"
+#include "partition/edge/registry.h"
+#include "partition/vertex/registry.h"
+
+namespace gnnpart {
+namespace {
+
+const Graph& BenchGraph() {
+  static Graph graph = [] {
+    double scale = 0.25;
+    if (const char* s = std::getenv("GNNPART_SCALE")) scale = 0.25 * atof(s);
+    Result<Graph> g = MakeDataset(DatasetId::kOrkut, scale, 42);
+    if (!g.ok()) std::abort();
+    return std::move(g).value();
+  }();
+  return graph;
+}
+
+const VertexSplit& BenchSplit() {
+  static VertexSplit split =
+      VertexSplit::MakeRandom(BenchGraph().num_vertices(), 0.1, 0.1, 42);
+  return split;
+}
+
+void BM_EdgePartitioner(benchmark::State& state) {
+  auto id = static_cast<EdgePartitionerId>(state.range(0));
+  PartitionId k = static_cast<PartitionId>(state.range(1));
+  auto partitioner = MakeEdgePartitioner(id);
+  state.SetLabel(partitioner->name() + "/k" + std::to_string(k));
+  for (auto _ : state) {
+    auto parts = partitioner->Partition(BenchGraph(), k, 42);
+    benchmark::DoNotOptimize(parts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(BenchGraph().num_edges()));
+}
+
+void BM_VertexPartitioner(benchmark::State& state) {
+  auto id = static_cast<VertexPartitionerId>(state.range(0));
+  PartitionId k = static_cast<PartitionId>(state.range(1));
+  auto partitioner = MakeVertexPartitioner(id);
+  state.SetLabel(partitioner->name() + "/k" + std::to_string(k));
+  for (auto _ : state) {
+    auto parts = partitioner->Partition(BenchGraph(), BenchSplit(), k, 42);
+    benchmark::DoNotOptimize(parts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(BenchGraph().num_vertices()));
+}
+
+void EdgeArgs(benchmark::internal::Benchmark* b) {
+  for (auto id : AllEdgePartitioners()) {
+    for (int k : {4, 32}) {
+      b->Args({static_cast<int64_t>(id), k});
+    }
+  }
+}
+
+void VertexArgs(benchmark::internal::Benchmark* b) {
+  for (auto id : AllVertexPartitioners()) {
+    for (int k : {4, 32}) {
+      b->Args({static_cast<int64_t>(id), k});
+    }
+  }
+}
+
+BENCHMARK(BM_EdgePartitioner)->Apply(EdgeArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VertexPartitioner)
+    ->Apply(VertexArgs)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gnnpart
+
+BENCHMARK_MAIN();

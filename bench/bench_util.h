@@ -1,0 +1,101 @@
+#ifndef GNNPART_BENCH_BENCH_UTIL_H_
+#define GNNPART_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <iostream>
+#include <string>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace gnnpart {
+namespace bench {
+
+/// Context shared by all bench binaries; honours GNNPART_SCALE,
+/// GNNPART_SEED, GNNPART_CACHE_DIR, GNNPART_GBS.
+inline ExperimentContext DefaultContext() {
+  return ExperimentContext::FromEnv();
+}
+
+inline void PrintBanner(const std::string& title, const std::string& ref,
+                        const ExperimentContext& ctx) {
+  std::cout << "==================================================\n"
+            << title << "\n"
+            << "Reproduces: " << ref << "\n"
+            << "scale=" << ctx.scale << " seed=" << ctx.seed
+            << " gbs=" << ctx.global_batch_size << "\n"
+            << "==================================================\n";
+}
+
+inline std::string F(double v, int prec = 2) {
+  return TablePrinter::Fmt(v, prec);
+}
+
+/// Fails the binary loudly on a non-OK result; bench binaries have no
+/// graceful degradation path.
+template <typename T>
+T Unwrap(Result<T> result, const std::string& what) {
+  if (!result.ok()) {
+    std::cerr << "FATAL: " << what << ": " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Prints the table to stdout and, when GNNPART_CSV_DIR is set, also dumps
+/// it as <dir>/<id>.csv so the reproduced figures can be re-plotted.
+/// Repeated ids (tables emitted in loops, e.g. one per partition count)
+/// get a running suffix instead of overwriting each other.
+inline void Emit(const TablePrinter& table, const std::string& id) {
+  table.Print(std::cout);
+  const char* dir = std::getenv("GNNPART_CSV_DIR");
+  if (!dir) return;
+  static std::map<std::string, int> seen;
+  int n = seen[id]++;
+  std::string path = std::string(dir) + "/" + id +
+                     (n == 0 ? "" : "_" + std::to_string(n)) + ".csv";
+  std::ofstream out(path);
+  if (out) {
+    table.WriteCsv(out);
+    std::cout << "(csv: " << path << ")\n";
+  } else {
+    std::cerr << "warning: cannot write " << path << "\n";
+  }
+}
+
+/// Mean DistDGL speedup vs Random over the grid entries matching `pred`.
+template <typename Pred>
+double MeanSpeedupWhere(const DistDglGridResult& grid,
+                        const std::string& name, Pred pred) {
+  const auto& random = grid.reports.at("Random");
+  const auto& mine = grid.reports.at(name);
+  std::vector<double> values;
+  for (size_t i = 0; i < grid.grid.size(); ++i) {
+    if (!pred(grid.grid[i])) continue;
+    if (mine[i].epoch_seconds > 0) {
+      values.push_back(random[i].epoch_seconds / mine[i].epoch_seconds);
+    }
+  }
+  return Mean(values);
+}
+
+/// Prints the per-phase epoch breakdown row used by the phase-time figures.
+inline std::vector<std::string> PhaseRow(const std::string& label,
+                                         const DistDglEpochReport& r) {
+  return {label,
+          F(r.sampling_seconds * 1e3, 1),
+          F(r.feature_seconds * 1e3, 1),
+          F(r.forward_seconds * 1e3, 1),
+          F(r.backward_seconds * 1e3, 1),
+          F(r.update_seconds * 1e3, 2),
+          F(r.epoch_seconds * 1e3, 1)};
+}
+
+}  // namespace bench
+}  // namespace gnnpart
+
+#endif  // GNNPART_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Quickstart: generate a graph, partition it both ways, inspect quality
+// metrics, and simulate one distributed training epoch.
+//
+//   ./examples/quickstart [dataset-code] [k]
+//
+// This walks the library's core API end to end in ~60 lines of user code.
+#include <iostream>
+
+#include "gen/datasets.h"
+#include "graph/split.h"
+#include "metrics/partition_metrics.h"
+#include "partition/edge/registry.h"
+#include "partition/vertex/registry.h"
+#include "sim/distdgl_sim.h"
+#include "sim/distgnn_sim.h"
+
+using namespace gnnpart;
+
+int main(int argc, char** argv) {
+  // 1. Generate a dataset substitute (see gen/datasets.h for the five
+  //    paper graphs). Everything is deterministic in the seed.
+  std::string code = argc > 1 ? argv[1] : "OR";
+  PartitionId k = argc > 2 ? static_cast<PartitionId>(atoi(argv[2])) : 8;
+  Result<DatasetId> dataset = ParseDatasetCode(code);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  Result<Graph> graph = MakeDataset(*dataset, /*scale=*/0.25, /*seed=*/42);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  std::cout << "Graph " << graph->name() << ": |V|=" << graph->num_vertices()
+            << " |E|=" << graph->num_edges() << "\n";
+  VertexSplit split =
+      VertexSplit::MakeRandom(graph->num_vertices(), 0.1, 0.1, 42);
+
+  // 2. Edge partitioning (vertex-cut), as DistGNN uses.
+  auto hep = MakeEdgePartitioner(EdgePartitionerId::kHep100);
+  Result<EdgePartitioning> edge_parts = hep->Partition(*graph, k, 42);
+  if (!edge_parts.ok()) {
+    std::cerr << edge_parts.status() << "\n";
+    return 1;
+  }
+  std::cout << hep->name() << " (" << hep->category() << "): "
+            << ComputeEdgePartitionMetrics(*graph, *edge_parts).ToString()
+            << "\n";
+
+  // 3. Vertex partitioning (edge-cut), as DistDGL uses.
+  auto metis = MakeVertexPartitioner(VertexPartitionerId::kMetis);
+  Result<VertexPartitioning> vertex_parts =
+      metis->Partition(*graph, split, k, 42);
+  if (!vertex_parts.ok()) {
+    std::cerr << vertex_parts.status() << "\n";
+    return 1;
+  }
+  std::cout << metis->name() << " (" << metis->category() << "): "
+            << ComputeVertexPartitionMetrics(*graph, *vertex_parts, split)
+                   .ToString()
+            << "\n";
+
+  // 4. Simulate one full-batch (DistGNN-style) epoch on a k-machine
+  //    cluster.
+  GnnConfig config;
+  config.num_layers = 3;
+  config.feature_size = 64;
+  config.hidden_dim = 64;
+  config.num_classes = 16;
+  config.fanouts = GnnConfig::DefaultFanouts(3);
+  ClusterSpec cluster;
+  cluster.num_machines = static_cast<int>(k);
+  DistGnnEpochReport full = SimulateDistGnnEpoch(
+      BuildDistGnnWorkload(*graph, *edge_parts), config, cluster);
+  std::cout << "Full-batch epoch: " << full.epoch_seconds * 1e3 << " ms, "
+            << full.total_network_bytes / 1e6 << " MB network, peak "
+            << full.max_memory_bytes / 1e6 << " MB/machine\n";
+
+  // 5. Simulate one mini-batch (DistDGL-style) epoch: the sampler really
+  //    runs against the partitioned graph.
+  Result<DistDglEpochProfile> profile = ProfileDistDglEpoch(
+      *graph, *vertex_parts, split, config.fanouts, /*global_batch=*/256, 42);
+  if (!profile.ok()) {
+    std::cerr << profile.status() << "\n";
+    return 1;
+  }
+  DistDglEpochReport mini = SimulateDistDglEpoch(*profile, config, cluster);
+  std::cout << "Mini-batch epoch: " << mini.epoch_seconds * 1e3
+            << " ms (sampling " << mini.sampling_seconds * 1e3 << ", fetch "
+            << mini.feature_seconds * 1e3 << ", fwd "
+            << mini.forward_seconds * 1e3 << ", bwd "
+            << mini.backward_seconds * 1e3 << "), remote vertices "
+            << mini.remote_input_vertices << "\n";
+  return 0;
+}

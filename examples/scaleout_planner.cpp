@@ -1,0 +1,83 @@
+// "Should I partition before training, and with what?" — the practitioner
+// question the paper answers. For a chosen dataset and model, this example
+// sweeps the cluster size and reports, per partitioner, the simulated epoch
+// time, the memory headroom, and the number of epochs until the
+// partitioning investment pays off.
+//
+//   ./examples/scaleout_planner [dataset-code] [feature-size]
+#include <iostream>
+
+#include "common/table.h"
+#include "common/timer.h"
+#include "gen/datasets.h"
+#include "metrics/partition_metrics.h"
+#include "partition/edge/registry.h"
+#include "sim/distgnn_sim.h"
+
+using namespace gnnpart;
+
+int main(int argc, char** argv) {
+  std::string code = argc > 1 ? argv[1] : "HW";
+  size_t feature = argc > 2 ? static_cast<size_t>(atoi(argv[2])) : 128;
+
+  Result<DatasetId> dataset = ParseDatasetCode(code);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  Result<Graph> graph = MakeDataset(*dataset, 0.5, 42);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  GnnConfig config;
+  config.num_layers = 3;
+  config.feature_size = feature;
+  config.hidden_dim = 64;
+  config.num_classes = 16;
+
+  std::cout << "Scale-out plan for full-batch GraphSage on " << code
+            << " (|V|=" << graph->num_vertices()
+            << ", |E|=" << graph->num_edges() << ", feature " << feature
+            << ")\n";
+  for (int machines : {4, 8, 16, 32}) {
+    std::cout << "\n--- " << machines << " machines ---\n";
+    ClusterSpec cluster;
+    cluster.num_machines = machines;
+    TablePrinter table({"Partitioner", "RF", "epoch ms", "speedup",
+                        "peak mem MB", "fits?", "amortize after"});
+    double random_epoch = 0;
+    for (EdgePartitionerId id : AllEdgePartitioners()) {
+      auto partitioner = MakeEdgePartitioner(id);
+      WallTimer timer;
+      Result<EdgePartitioning> parts = partitioner->Partition(
+          *graph, static_cast<PartitionId>(machines), 42);
+      if (!parts.ok()) {
+        std::cerr << parts.status() << "\n";
+        return 1;
+      }
+      double part_seconds = timer.ElapsedSeconds();
+      DistGnnWorkload workload = BuildDistGnnWorkload(*graph, *parts);
+      DistGnnEpochReport r = SimulateDistGnnEpoch(workload, config, cluster);
+      if (partitioner->name() == "Random") random_epoch = r.epoch_seconds;
+      double saved = random_epoch - r.epoch_seconds;
+      std::string amortize =
+          partitioner->name() == "Random"
+              ? "-"
+              : (saved > 0 ? TablePrinter::Fmt(part_seconds / saved, 1) +
+                                 " epochs"
+                           : "never");
+      table.AddRow({partitioner->name(),
+                    TablePrinter::Fmt(workload.replication_factor),
+                    TablePrinter::Fmt(r.epoch_seconds * 1e3, 1),
+                    TablePrinter::Fmt(random_epoch / r.epoch_seconds),
+                    TablePrinter::Fmt(r.max_memory_bytes / 1e6, 1),
+                    r.out_of_memory ? "OOM" : "yes", amortize});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\n(The 'fits?' column uses the simulated per-machine memory "
+               "budget of "
+            << ClusterSpec{}.memory_budget_bytes / 1e6 << " MB.)\n";
+  return 0;
+}

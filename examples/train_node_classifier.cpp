@@ -1,0 +1,76 @@
+// Trains the reference GNN implementation (real forward/backward math, not
+// the cost model) on a synthetic node-classification task — the "does the
+// GNN substrate actually learn" demo behind the simulators.
+//
+//   ./examples/train_node_classifier [arch: sage|gcn|gat] [epochs]
+#include <iostream>
+#include <string>
+
+#include "gen/generators.h"
+#include "gnn/reference_net.h"
+
+using namespace gnnpart;
+
+int main(int argc, char** argv) {
+  std::string arch_name = argc > 1 ? argv[1] : "sage";
+  int epochs = argc > 2 ? atoi(argv[2]) : 30;
+
+  GnnConfig config;
+  if (arch_name == "gcn") {
+    config.arch = GnnArchitecture::kGcn;
+  } else if (arch_name == "gat") {
+    config.arch = GnnArchitecture::kGat;
+  } else if (arch_name == "sage") {
+    config.arch = GnnArchitecture::kGraphSage;
+  } else {
+    std::cerr << "unknown architecture '" << arch_name
+              << "' (expected sage|gcn|gat)\n";
+    return 1;
+  }
+  config.num_layers = 2;
+  config.feature_size = 32;
+  config.hidden_dim = 32;
+  config.num_classes = 6;
+
+  // A small community-structured graph: message passing genuinely helps on
+  // it, so accuracy well above chance demonstrates the layers are correct.
+  PowerLawCommunityParams params;
+  params.num_vertices = 1200;
+  params.num_edges = 9000;
+  params.num_communities = 12;
+  params.mixing = 0.85;
+  Result<Graph> graph = GeneratePowerLawCommunity(params, 7);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  VertexSplit split =
+      VertexSplit::MakeRandom(graph->num_vertices(), 0.3, 0.1, 7);
+  NodeClassificationTask task =
+      MakeSyntheticTask(*graph, config.feature_size, config.num_classes, 7);
+
+  ReferenceNet net(config, 13);
+  std::cout << "Training " << ArchitectureName(config.arch) << " ("
+            << net.ParameterCount() << " parameters) on |V|="
+            << graph->num_vertices() << " |E|=" << graph->num_edges()
+            << ", " << config.num_classes << " classes\n";
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    Result<double> loss =
+        net.TrainStep(*graph, task.features, task.labels, split, 0.05f);
+    if (!loss.ok()) {
+      std::cerr << loss.status() << "\n";
+      return 1;
+    }
+    if (epoch == 1 || epoch % 5 == 0) {
+      double val_acc = net.Evaluate(*graph, task.features, task.labels,
+                                    split.validation_vertices());
+      std::cout << "epoch " << epoch << ": train loss = " << *loss
+                << ", val accuracy = " << val_acc << "\n";
+    }
+  }
+  double test_acc =
+      net.Evaluate(*graph, task.features, task.labels, split.test_vertices());
+  std::cout << "final test accuracy: " << test_acc << " (chance = "
+            << 1.0 / static_cast<double>(config.num_classes) << ")\n";
+  return test_acc > 1.5 / static_cast<double>(config.num_classes) ? 0 : 1;
+}

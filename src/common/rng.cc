@@ -1,0 +1,17 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace gnnpart {
+
+double Rng::NextGaussian() {
+  // Box-Muller. Discards the second value for simplicity; generators are
+  // not on any hot path that would justify caching it.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  // Avoid log(0).
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,103 @@
+#ifndef GNNPART_COMMON_RNG_H_
+#define GNNPART_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gnnpart {
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer. Used both as a
+/// stateless hash (partitioners hash vertex/edge ids with it) and as the
+/// state-advance function of Rng.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless hash of two 64-bit values; deterministic across platforms.
+inline uint64_t HashCombine64(uint64_t a, uint64_t b) {
+  return SplitMix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2) +
+                         SplitMix64(b)));
+}
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). All randomness in the library flows through explicit Rng
+/// instances so every partitioner/generator/simulator run is reproducible
+/// from a single 64-bit seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t s = seed;
+    for (auto& word : state_) {
+      s = SplitMix64(s);
+      word = s;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for bound << 2^64 and determinism is what matters here.
+    return Next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple, adequate).
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = NextBounded(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Forks an independent child generator; deterministic in (this state,
+  /// stream id). Used to give each worker/partition its own stream.
+  Rng Fork(uint64_t stream) {
+    return Rng(HashCombine64(state_[0] ^ state_[3], stream));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_COMMON_RNG_H_

@@ -1,0 +1,107 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace gnnpart {
+namespace {
+
+// Linear-interpolated quantile of a sorted sample, q in [0, 1].
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+std::string DistributionSummary::ToString() const {
+  std::ostringstream os;
+  os << "min=" << min << " q1=" << q1 << " med=" << median << " q3=" << q3
+     << " max=" << max << " mean=" << mean << " n=" << count;
+  return os.str();
+}
+
+DistributionSummary Summarize(std::vector<double> values) {
+  DistributionSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = SortedQuantile(values, 0.25);
+  s.median = SortedQuantile(values, 0.5);
+  s.q3 = SortedQuantile(values, 0.75);
+  s.mean = Mean(values);
+  return s;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0;
+  double mean = Mean(values);
+  double acc = 0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0;
+  double mx = Mean(x);
+  double my = Mean(y);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double RSquaredLinear(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  double r = PearsonCorrelation(x, y);
+  return r * r;
+}
+
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  LinearFit fit;
+  if (x.size() != y.size() || x.size() < 2) return fit;
+  double mx = Mean(x);
+  double my = Mean(y);
+  double sxy = 0, sxx = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  if (sxx <= 0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = RSquaredLinear(x, y);
+  return fit;
+}
+
+double MaxOverMean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double mean = Mean(values);
+  if (mean == 0) return 0;
+  return *std::max_element(values.begin(), values.end()) / mean;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,58 @@
+#ifndef GNNPART_COMMON_STATS_H_
+#define GNNPART_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gnnpart {
+
+/// Five-number-plus-mean summary of a sample, as used by the paper's
+/// distribution figures (speedup/memory distributions).
+struct DistributionSummary {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+  size_t count = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes a DistributionSummary. Empty input yields an all-zero summary.
+DistributionSummary Summarize(std::vector<double> values);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& values);
+
+/// Pearson correlation coefficient between two equal-length samples.
+/// Returns 0 if either sample has zero variance or sizes mismatch.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Coefficient of determination of the least-squares line y ~ a + b*x.
+/// This is the R^2 the paper reports for replication-factor correlations.
+double RSquaredLinear(const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+/// Least-squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;
+};
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y);
+
+/// max(values) / mean(values): the paper's balance metric (1.0 = perfect).
+/// Returns 0 for empty input or zero mean.
+double MaxOverMean(const std::vector<double>& values);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_COMMON_STATS_H_

@@ -1,0 +1,30 @@
+#ifndef GNNPART_COMMON_TIMER_H_
+#define GNNPART_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gnnpart {
+
+/// Wall-clock stopwatch used to measure real partitioning times (the only
+/// quantity in the study that is measured, not simulated).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_COMMON_TIMER_H_

@@ -1,0 +1,44 @@
+#ifndef GNNPART_GEN_DATASETS_H_
+#define GNNPART_GEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gnnpart {
+
+/// Synthetic stand-ins for the study's five graphs (paper Table 1). Each
+/// preserves the category-defining structure, scaled to workstation size:
+///   HW  Hollywood-2011   collaboration, undirected, dense power law
+///   DI  Dimacs9-USA      road, directed, mean degree ~2.4, no skew
+///   EN  Enwiki-2021      wiki, directed power law
+///   EU  Eu-2015-tpd      web, directed, extreme skew
+///   OR  Orkut            social, undirected, dense power law
+enum class DatasetId { kHollywood, kDimacsUsa, kEnwiki, kEu, kOrkut };
+
+/// All five datasets in the paper's presentation order.
+std::vector<DatasetId> AllDatasets();
+
+/// Short code used in the paper's figures: HW, DI, EN, EU, OR.
+std::string DatasetCode(DatasetId id);
+
+/// Category string (Colla./Road/Wiki/Web/Social).
+std::string DatasetCategory(DatasetId id);
+
+/// True if the paper's original graph is directed.
+bool DatasetDirected(DatasetId id);
+
+/// Parses a dataset code (case-insensitive).
+Result<DatasetId> ParseDatasetCode(const std::string& code);
+
+/// Generates the synthetic substitute at the given scale. scale = 1.0 yields
+/// roughly 0.2–0.5M edges per graph (about 1/500 of the originals) with the
+/// original mean degree preserved. Deterministic in (id, scale, seed).
+Result<Graph> MakeDataset(DatasetId id, double scale, uint64_t seed);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_GEN_DATASETS_H_

@@ -1,0 +1,85 @@
+#ifndef GNNPART_GEN_GENERATORS_H_
+#define GNNPART_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gnnpart {
+
+/// Parameters of the recursive-matrix (R-MAT) generator [Chakrabarti et al.].
+/// a + b + c + d must sum to 1; a >> d produces heavy-tailed power-law
+/// graphs like the study's web/social/wiki datasets.
+struct RmatParams {
+  size_t num_vertices = 0;   // rounded up to a power of two internally
+  size_t num_edges = 0;      // edges *attempted*; dedup may remove a few
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;           // d = 1 - a - b - c
+  bool directed = false;
+  /// Randomly permute vertex ids so that id order carries no locality.
+  bool scramble_ids = true;
+  /// Attach every isolated vertex to one random edge endpoint, so the
+  /// generated datasets (like the study's real graphs) have no featureless,
+  /// unsampleable vertices.
+  bool connect_isolated = true;
+};
+
+/// Generates an R-MAT graph. Deterministic in `seed`.
+Result<Graph> GenerateRmat(const RmatParams& params, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches
+/// `edges_per_vertex` edges to existing vertices proportionally to degree.
+/// Produces power-law degree distributions with exponent ~3.
+Result<Graph> GenerateBarabasiAlbert(size_t num_vertices,
+                                     size_t edges_per_vertex, uint64_t seed);
+
+/// Erdős–Rényi G(n, m): m uniform random edges. Near-regular degrees.
+Result<Graph> GenerateErdosRenyi(size_t num_vertices, size_t num_edges,
+                                 bool directed, uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k neighbours per side,
+/// each edge rewired with probability beta.
+Result<Graph> GenerateWattsStrogatz(size_t num_vertices, size_t k,
+                                    double beta, uint64_t seed);
+
+/// Degree-corrected stochastic block model: power-law degree weights plus
+/// planted communities. Real social/web/wiki graphs combine both properties
+/// — R-MAT alone produces the skew but not the community structure that
+/// gives good partitioners their edge, so the dataset substitutes use this
+/// generator.
+struct PowerLawCommunityParams {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  /// Zipf exponent of the degree-weight distribution (higher = more skew;
+  /// web graphs ~0.8-0.9, social ~0.6-0.7).
+  double skew = 0.7;
+  /// Number of planted communities (should exceed the largest partition
+  /// count studied, so partitioning can group whole communities).
+  size_t num_communities = 64;
+  /// Probability that an edge stays inside its source's community.
+  double mixing = 0.8;
+  bool directed = false;
+};
+Result<Graph> GeneratePowerLawCommunity(const PowerLawCommunityParams& params,
+                                        uint64_t seed);
+
+/// Road-network substitute: a width x height 2-D lattice with
+/// `diagonal_prob` chance of a diagonal shortcut per cell and
+/// `deletion_prob` chance of dropping a lattice edge (dead ends). Low mean
+/// degree, tiny skew, huge diameter — the properties that make the paper's
+/// DI graph behave differently from the power-law graphs.
+struct RoadParams {
+  size_t width = 0;
+  size_t height = 0;
+  double diagonal_prob = 0.05;
+  double deletion_prob = 0.02;
+  bool directed = true;
+};
+Result<Graph> GenerateRoadNetwork(const RoadParams& params, uint64_t seed);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_GEN_GENERATORS_H_

@@ -1,0 +1,78 @@
+#include "gnn/costs.h"
+
+namespace gnnpart {
+
+LayerCost ComputeLayerCost(const GnnConfig& config, int l, double num_vertices,
+                           double num_edges) {
+  LayerCost cost;
+  const double din = static_cast<double>(config.LayerInputDim(l));
+  const double dout = static_cast<double>(config.LayerOutputDim(l));
+
+  // Mean/sum aggregation: one multiply-add per edge per input dimension.
+  cost.aggregation_flops = 2.0 * num_edges * din;
+
+  switch (config.arch) {
+    case GnnArchitecture::kGraphSage:
+      // Two dense transforms (self + neighbour): 2 * n * din * dout MACs.
+      cost.dense_flops = 2.0 * 2.0 * num_vertices * din * dout;
+      break;
+    case GnnArchitecture::kGcn:
+      // Single dense transform.
+      cost.dense_flops = 2.0 * num_vertices * din * dout;
+      break;
+    case GnnArchitecture::kGat:
+      // Dense transform + per-edge attention scores (two dot products of
+      // size dout, LeakyReLU, softmax normalization ~ 4*dout + 8 flops).
+      cost.dense_flops = 2.0 * num_vertices * din * dout;
+      cost.aggregation_flops =
+          2.0 * num_edges * dout + num_edges * (4.0 * dout + 8.0);
+      break;
+  }
+  cost.activation_bytes = num_vertices * dout * sizeof(float);
+  return cost;
+}
+
+double ForwardFlops(const GnnConfig& config, double num_vertices,
+                    double num_edges) {
+  double total = 0;
+  for (int l = 0; l < config.num_layers; ++l) {
+    total += ComputeLayerCost(config, l, num_vertices, num_edges).total_flops();
+  }
+  return total;
+}
+
+double TrainingFlops(const GnnConfig& config, double num_vertices,
+                     double num_edges) {
+  return 3.0 * ForwardFlops(config, num_vertices, num_edges);
+}
+
+double ActivationMemoryBytes(const GnnConfig& config, double num_vertices) {
+  double bytes = num_vertices * static_cast<double>(config.feature_size) *
+                 sizeof(float);
+  for (int l = 0; l < config.num_layers; ++l) {
+    bytes += ComputeLayerCost(config, l, num_vertices, 0).activation_bytes;
+  }
+  return bytes;
+}
+
+double ModelParameterBytes(const GnnConfig& config) {
+  double params = 0;
+  for (int l = 0; l < config.num_layers; ++l) {
+    double din = static_cast<double>(config.LayerInputDim(l));
+    double dout = static_cast<double>(config.LayerOutputDim(l));
+    switch (config.arch) {
+      case GnnArchitecture::kGraphSage:
+        params += 2.0 * din * dout + dout;
+        break;
+      case GnnArchitecture::kGcn:
+        params += din * dout + dout;
+        break;
+      case GnnArchitecture::kGat:
+        params += din * dout + 2.0 * dout;
+        break;
+    }
+  }
+  return params * sizeof(float);
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,50 @@
+#ifndef GNNPART_GNN_COSTS_H_
+#define GNNPART_GNN_COSTS_H_
+
+#include <cstddef>
+
+#include "gnn/model_config.h"
+
+namespace gnnpart {
+
+/// Analytical work/memory model of one GNN layer applied to a (sub)graph
+/// with `num_vertices` participating vertices and `num_edges` aggregation
+/// edges. The simulators translate these into seconds via ClusterSpec.
+///
+/// The formulas are validated against the reference implementation's actual
+/// operation counts in tests (gnn_costs_test).
+struct LayerCost {
+  /// Neighbour aggregation: one multiply-add per edge per input dimension
+  /// (plus attention-score work for GAT).
+  double aggregation_flops = 0;
+  /// Dense transforms: matmuls per vertex.
+  double dense_flops = 0;
+  /// Bytes of activations produced by this layer (stored until backward).
+  double activation_bytes = 0;
+
+  double total_flops() const { return aggregation_flops + dense_flops; }
+};
+
+/// Cost of layer `l` of `config` over a workload of the given size.
+LayerCost ComputeLayerCost(const GnnConfig& config, int l, double num_vertices,
+                           double num_edges);
+
+/// Forward-pass FLOPs of the full model over the workload.
+double ForwardFlops(const GnnConfig& config, double num_vertices,
+                    double num_edges);
+
+/// Training step FLOPs: forward + backward (~2x forward, the standard
+/// approximation for dense layers).
+double TrainingFlops(const GnnConfig& config, double num_vertices,
+                     double num_edges);
+
+/// Bytes of activations stored across all layers for the backward pass,
+/// including the input features of the participating vertices.
+double ActivationMemoryBytes(const GnnConfig& config, double num_vertices);
+
+/// Bytes of model parameters (replicated on every worker).
+double ModelParameterBytes(const GnnConfig& config);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_GNN_COSTS_H_

@@ -1,0 +1,373 @@
+#include "gnn/layers.h"
+
+#include <cmath>
+
+namespace gnnpart {
+
+Matrix MeanAggregate(const Graph& graph, const Matrix& in) {
+  Matrix out(in.rows(), in.cols());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto nbrs = graph.Neighbors(v);
+    if (nbrs.empty()) continue;
+    float* orow = out.Row(v);
+    for (VertexId u : nbrs) {
+      const float* irow = in.Row(u);
+      for (size_t c = 0; c < in.cols(); ++c) orow[c] += irow[c];
+    }
+    float inv = 1.0f / static_cast<float>(nbrs.size());
+    for (size_t c = 0; c < in.cols(); ++c) orow[c] *= inv;
+  }
+  return out;
+}
+
+Matrix MeanAggregateTranspose(const Graph& graph, const Matrix& in) {
+  Matrix out(in.rows(), in.cols());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto nbrs = graph.Neighbors(v);
+    if (nbrs.empty()) continue;
+    float inv = 1.0f / static_cast<float>(nbrs.size());
+    const float* irow = in.Row(v);
+    for (VertexId u : nbrs) {
+      float* orow = out.Row(u);
+      for (size_t c = 0; c < in.cols(); ++c) orow[c] += irow[c] * inv;
+    }
+  }
+  return out;
+}
+
+Matrix GcnAggregate(const Graph& graph, const Matrix& in) {
+  Matrix out(in.rows(), in.cols());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    float dv = std::sqrt(static_cast<float>(graph.Degree(v)) + 1.0f);
+    float* orow = out.Row(v);
+    // Self-loop contribution.
+    const float* self = in.Row(v);
+    float self_norm = 1.0f / (dv * dv);
+    for (size_t c = 0; c < in.cols(); ++c) orow[c] += self[c] * self_norm;
+    for (VertexId u : graph.Neighbors(v)) {
+      float du = std::sqrt(static_cast<float>(graph.Degree(u)) + 1.0f);
+      float norm = 1.0f / (dv * du);
+      const float* irow = in.Row(u);
+      for (size_t c = 0; c < in.cols(); ++c) orow[c] += irow[c] * norm;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- SageLayer
+
+SageLayer::SageLayer(size_t in_dim, size_t out_dim, Rng* rng)
+    : w_self_(Matrix::Xavier(in_dim, out_dim, rng)),
+      w_neigh_(Matrix::Xavier(in_dim, out_dim, rng)),
+      bias_(1, out_dim),
+      gw_self_(in_dim, out_dim),
+      gw_neigh_(in_dim, out_dim),
+      gbias_(1, out_dim) {}
+
+Matrix SageLayer::Forward(const Graph& graph, const Matrix& input,
+                          bool apply_relu) {
+  input_ = input;
+  aggregated_ = MeanAggregate(graph, input);
+  Matrix z = MatMul(input, w_self_);
+  Matrix zn = MatMul(aggregated_, w_neigh_);
+  z.Add(zn);
+  for (size_t r = 0; r < z.rows(); ++r) {
+    float* row = z.Row(r);
+    for (size_t c = 0; c < z.cols(); ++c) row[c] += bias_.At(0, c);
+  }
+  relu_applied_ = apply_relu;
+  if (apply_relu) {
+    relu_mask_ = ReluInPlace(&z);
+  }
+  return z;
+}
+
+Matrix SageLayer::Backward(const Graph& graph, const Matrix& grad_out) {
+  Matrix dz = grad_out;
+  if (relu_applied_) ApplyMask(relu_mask_, &dz);
+  gw_self_.Add(MatMulTransA(input_, dz));
+  gw_neigh_.Add(MatMulTransA(aggregated_, dz));
+  for (size_t r = 0; r < dz.rows(); ++r) {
+    const float* row = dz.Row(r);
+    for (size_t c = 0; c < dz.cols(); ++c) gbias_.At(0, c) += row[c];
+  }
+  Matrix dinput = MatMulTransB(dz, w_self_);
+  Matrix dagg = MatMulTransB(dz, w_neigh_);
+  dinput.Add(MeanAggregateTranspose(graph, dagg));
+  return dinput;
+}
+
+std::vector<std::pair<Matrix*, Matrix*>> SageLayer::ParamsAndGrads() {
+  return {{&w_self_, &gw_self_}, {&w_neigh_, &gw_neigh_}, {&bias_, &gbias_}};
+}
+
+// ----------------------------------------------------------------- GcnLayer
+
+GcnLayer::GcnLayer(size_t in_dim, size_t out_dim, Rng* rng)
+    : w_(Matrix::Xavier(in_dim, out_dim, rng)),
+      bias_(1, out_dim),
+      gw_(in_dim, out_dim),
+      gbias_(1, out_dim) {}
+
+Matrix GcnLayer::Forward(const Graph& graph, const Matrix& input,
+                         bool apply_relu) {
+  aggregated_ = GcnAggregate(graph, input);
+  Matrix z = MatMul(aggregated_, w_);
+  for (size_t r = 0; r < z.rows(); ++r) {
+    float* row = z.Row(r);
+    for (size_t c = 0; c < z.cols(); ++c) row[c] += bias_.At(0, c);
+  }
+  relu_applied_ = apply_relu;
+  if (apply_relu) relu_mask_ = ReluInPlace(&z);
+  return z;
+}
+
+Matrix GcnLayer::Backward(const Graph& graph, const Matrix& grad_out) {
+  Matrix dz = grad_out;
+  if (relu_applied_) ApplyMask(relu_mask_, &dz);
+  gw_.Add(MatMulTransA(aggregated_, dz));
+  for (size_t r = 0; r < dz.rows(); ++r) {
+    const float* row = dz.Row(r);
+    for (size_t c = 0; c < dz.cols(); ++c) gbias_.At(0, c) += row[c];
+  }
+  Matrix dagg = MatMulTransB(dz, w_);
+  // GcnAggregate is self-adjoint (symmetric normalization).
+  return GcnAggregate(graph, dagg);
+}
+
+std::vector<std::pair<Matrix*, Matrix*>> GcnLayer::ParamsAndGrads() {
+  return {{&w_, &gw_}, {&bias_, &gbias_}};
+}
+
+// ----------------------------------------------------------------- GatLayer
+
+GatLayer::GatLayer(size_t in_dim, size_t out_dim, Rng* rng)
+    : w_(Matrix::Xavier(in_dim, out_dim, rng)),
+      a_src_(Matrix::Xavier(1, out_dim, rng)),
+      a_dst_(Matrix::Xavier(1, out_dim, rng)),
+      gw_(in_dim, out_dim),
+      ga_src_(1, out_dim),
+      ga_dst_(1, out_dim) {}
+
+Matrix GatLayer::Forward(const Graph& graph, const Matrix& input,
+                         bool apply_relu) {
+  const size_t n = input.rows();
+  const size_t d = w_.cols();
+  input_ = input;
+  wh_ = MatMul(input, w_);
+
+  // Attention logits: s_src[v] + s_dst[u] for edge v <- u (incl. self loop).
+  std::vector<float> s_src(n, 0), s_dst(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    const float* row = wh_.Row(v);
+    float acc_s = 0, acc_d = 0;
+    for (size_t c = 0; c < d; ++c) {
+      acc_s += row[c] * a_src_.At(0, c);
+      acc_d += row[c] * a_dst_.At(0, c);
+    }
+    s_src[v] = acc_s;
+    s_dst[v] = acc_d;
+  }
+
+  alpha_.assign(n, {});
+  Matrix z(n, d);
+  for (VertexId v = 0; v < n; ++v) {
+    auto nbrs = graph.Neighbors(v);
+    // Attention over N(v) + self (self last).
+    std::vector<float>& alpha = alpha_[v];
+    alpha.resize(nbrs.size() + 1);
+    float max_e = -1e30f;
+    auto leaky = [](float x) { return x > 0 ? x : kLeakySlope * x; };
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      alpha[i] = leaky(s_src[v] + s_dst[nbrs[i]]);
+      max_e = std::max(max_e, alpha[i]);
+    }
+    alpha[nbrs.size()] = leaky(s_src[v] + s_dst[v]);
+    max_e = std::max(max_e, alpha[nbrs.size()]);
+    float sum = 0;
+    for (float& a : alpha) {
+      a = std::exp(a - max_e);
+      sum += a;
+    }
+    for (float& a : alpha) a /= sum;
+
+    float* zrow = z.Row(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const float* urow = wh_.Row(nbrs[i]);
+      for (size_t c = 0; c < d; ++c) zrow[c] += alpha[i] * urow[c];
+    }
+    const float* srow = wh_.Row(v);
+    for (size_t c = 0; c < d; ++c) zrow[c] += alpha[nbrs.size()] * srow[c];
+  }
+  relu_applied_ = apply_relu;
+  if (apply_relu) relu_mask_ = ReluInPlace(&z);
+  return z;
+}
+
+Matrix GatLayer::Backward(const Graph& graph, const Matrix& grad_out) {
+  const size_t n = input_.rows();
+  const size_t d = w_.cols();
+  Matrix dz = grad_out;
+  if (relu_applied_) ApplyMask(relu_mask_, &dz);
+
+  // Recompute the attention logits' pre-activation signs.
+  std::vector<float> s_src(n, 0), s_dst(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    const float* row = wh_.Row(v);
+    float acc_s = 0, acc_d = 0;
+    for (size_t c = 0; c < d; ++c) {
+      acc_s += row[c] * a_src_.At(0, c);
+      acc_d += row[c] * a_dst_.At(0, c);
+    }
+    s_src[v] = acc_s;
+    s_dst[v] = acc_d;
+  }
+
+  Matrix dwh(n, d);
+  std::vector<float> ds_src(n, 0), ds_dst(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    auto nbrs = graph.Neighbors(v);
+    const std::vector<float>& alpha = alpha_[v];
+    const float* dzrow = dz.Row(v);
+
+    // dalpha_i = dz_v . wh_u ; also accumulate alpha-weighted dwh.
+    std::vector<float> dalpha(alpha.size());
+    double weighted_sum = 0;  // sum_w alpha_w * dalpha_w (softmax backward)
+    for (size_t i = 0; i <= nbrs.size(); ++i) {
+      VertexId u = i < nbrs.size() ? nbrs[i] : v;
+      const float* urow = wh_.Row(u);
+      float acc = 0;
+      for (size_t c = 0; c < d; ++c) acc += dzrow[c] * urow[c];
+      dalpha[i] = acc;
+      weighted_sum += static_cast<double>(alpha[i]) * acc;
+      float* durow = dwh.Row(u);
+      for (size_t c = 0; c < d; ++c) durow[c] += alpha[i] * dzrow[c];
+    }
+    for (size_t i = 0; i <= nbrs.size(); ++i) {
+      VertexId u = i < nbrs.size() ? nbrs[i] : v;
+      float de = alpha[i] * (dalpha[i] - static_cast<float>(weighted_sum));
+      float pre = s_src[v] + s_dst[u];
+      float dpre = de * (pre > 0 ? 1.0f : kLeakySlope);
+      ds_src[v] += dpre;
+      ds_dst[u] += dpre;
+    }
+  }
+
+  // Gradients through s_src/s_dst into wh, a_src, a_dst.
+  for (size_t v = 0; v < n; ++v) {
+    const float* whrow = wh_.Row(v);
+    float* dwhrow = dwh.Row(v);
+    for (size_t c = 0; c < d; ++c) {
+      dwhrow[c] += ds_src[v] * a_src_.At(0, c) + ds_dst[v] * a_dst_.At(0, c);
+      ga_src_.At(0, c) += ds_src[v] * whrow[c];
+      ga_dst_.At(0, c) += ds_dst[v] * whrow[c];
+    }
+  }
+
+  gw_.Add(MatMulTransA(input_, dwh));
+  return MatMulTransB(dwh, w_);
+}
+
+std::vector<std::pair<Matrix*, Matrix*>> GatLayer::ParamsAndGrads() {
+  return {{&w_, &gw_}, {&a_src_, &ga_src_}, {&a_dst_, &ga_dst_}};
+}
+
+void GnnLayer::ApplyGradients(float lr) {
+  for (auto [param, grad] : ParamsAndGrads()) {
+    grad->Scale(-lr);
+    param->Add(*grad);
+    grad->Zero();
+  }
+}
+
+size_t GnnLayer::ParameterCount() {
+  size_t total = 0;
+  for (auto [param, grad] : ParamsAndGrads()) {
+    (void)grad;
+    total += param->rows() * param->cols();
+  }
+  return total;
+}
+
+// ------------------------------------------------------- MultiHeadGatLayer
+
+MultiHeadGatLayer::MultiHeadGatLayer(size_t in_dim, size_t out_dim,
+                                     size_t heads, Rng* rng)
+    : head_dim_(out_dim / std::max<size_t>(1, heads)) {
+  if (heads == 0 || out_dim % heads != 0) {
+    heads = 1;
+    head_dim_ = out_dim;
+  }
+  for (size_t h = 0; h < heads; ++h) {
+    heads_.push_back(std::make_unique<GatLayer>(in_dim, head_dim_, rng));
+  }
+}
+
+Matrix MultiHeadGatLayer::Forward(const Graph& graph, const Matrix& input,
+                                  bool apply_relu) {
+  Matrix out(input.rows(), head_dim_ * heads_.size());
+  for (size_t h = 0; h < heads_.size(); ++h) {
+    Matrix head_out = heads_[h]->Forward(graph, input, apply_relu);
+    for (size_t r = 0; r < out.rows(); ++r) {
+      const float* src = head_out.Row(r);
+      float* dst = out.Row(r) + h * head_dim_;
+      std::copy(src, src + head_dim_, dst);
+    }
+  }
+  return out;
+}
+
+Matrix MultiHeadGatLayer::Backward(const Graph& graph,
+                                   const Matrix& grad_out) {
+  Matrix dinput;
+  for (size_t h = 0; h < heads_.size(); ++h) {
+    Matrix head_grad(grad_out.rows(), head_dim_);
+    for (size_t r = 0; r < grad_out.rows(); ++r) {
+      const float* src = grad_out.Row(r) + h * head_dim_;
+      std::copy(src, src + head_dim_, head_grad.Row(r));
+    }
+    Matrix head_dinput = heads_[h]->Backward(graph, head_grad);
+    if (h == 0) {
+      dinput = std::move(head_dinput);
+    } else {
+      dinput.Add(head_dinput);
+    }
+  }
+  return dinput;
+}
+
+std::vector<std::pair<Matrix*, Matrix*>> MultiHeadGatLayer::ParamsAndGrads() {
+  std::vector<std::pair<Matrix*, Matrix*>> all;
+  for (auto& head : heads_) {
+    for (auto pair : head->ParamsAndGrads()) all.push_back(pair);
+  }
+  return all;
+}
+
+std::vector<std::unique_ptr<GnnLayer>> BuildLayers(const GnnConfig& config,
+                                                   Rng* rng) {
+  std::vector<std::unique_ptr<GnnLayer>> layers;
+  for (int l = 0; l < config.num_layers; ++l) {
+    size_t din = config.LayerInputDim(l);
+    size_t dout = config.LayerOutputDim(l);
+    switch (config.arch) {
+      case GnnArchitecture::kGraphSage:
+        layers.push_back(std::make_unique<SageLayer>(din, dout, rng));
+        break;
+      case GnnArchitecture::kGcn:
+        layers.push_back(std::make_unique<GcnLayer>(din, dout, rng));
+        break;
+      case GnnArchitecture::kGat:
+        if (config.gat_heads > 1 && dout % config.gat_heads == 0) {
+          layers.push_back(std::make_unique<MultiHeadGatLayer>(
+              din, dout, config.gat_heads, rng));
+        } else {
+          layers.push_back(std::make_unique<GatLayer>(din, dout, rng));
+        }
+        break;
+    }
+  }
+  return layers;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,130 @@
+#ifndef GNNPART_GNN_LAYERS_H_
+#define GNNPART_GNN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "gnn/model_config.h"
+#include "gnn/tensor.h"
+#include "graph/graph.h"
+
+namespace gnnpart {
+
+/// Mean aggregation over the symmetrized adjacency:
+/// out_v = (1/|N(v)|) * sum_{u in N(v)} in_u. Isolated vertices get zeros.
+Matrix MeanAggregate(const Graph& graph, const Matrix& in);
+
+/// Adjoint of MeanAggregate (the backward pass of mean aggregation):
+/// out_u = sum_{v in N(u)} in_v / |N(v)|.
+Matrix MeanAggregateTranspose(const Graph& graph, const Matrix& in);
+
+/// Symmetric-normalized aggregation with self-loops (the GCN propagation):
+/// out_v = sum_{u in N(v) + v} in_u / sqrt((d_v+1)(d_u+1)). Self-adjoint.
+Matrix GcnAggregate(const Graph& graph, const Matrix& in);
+
+/// One trainable GNN layer with real forward and backward passes. The
+/// reference implementation exists to (1) demonstrate the GNN substrate
+/// end-to-end and (2) pin down the FLOP/memory formulas the distributed
+/// simulators use.
+class GnnLayer {
+ public:
+  virtual ~GnnLayer() = default;
+
+  /// Computes the layer output; `training` stores what backward needs.
+  virtual Matrix Forward(const Graph& graph, const Matrix& input,
+                         bool apply_relu) = 0;
+  /// Given d(loss)/d(output), accumulates parameter gradients and returns
+  /// d(loss)/d(input). Must be preceded by Forward with apply_relu status
+  /// matching the forward call. Gradients accumulate across calls until an
+  /// optimizer step clears them — which is exactly data-parallel gradient
+  /// aggregation when several workers' batches are backpropagated in turn.
+  virtual Matrix Backward(const Graph& graph, const Matrix& grad_out) = 0;
+  /// (parameter, gradient) pairs for the optimizer.
+  virtual std::vector<std::pair<Matrix*, Matrix*>> ParamsAndGrads() = 0;
+
+  /// Plain SGD step: p -= lr * dp for every parameter; clears gradients.
+  void ApplyGradients(float lr);
+
+  /// Flattened parameter count (for tests and the cost model cross-check).
+  size_t ParameterCount();
+};
+
+/// GraphSAGE-mean layer: z = relu(x W_self + mean_agg(x) W_neigh + b).
+class SageLayer : public GnnLayer {
+ public:
+  SageLayer(size_t in_dim, size_t out_dim, Rng* rng);
+  Matrix Forward(const Graph& graph, const Matrix& input,
+                 bool apply_relu) override;
+  Matrix Backward(const Graph& graph, const Matrix& grad_out) override;
+  std::vector<std::pair<Matrix*, Matrix*>> ParamsAndGrads() override;
+
+ private:
+  Matrix w_self_, w_neigh_, bias_;
+  Matrix gw_self_, gw_neigh_, gbias_;
+  // Saved forward state.
+  Matrix input_, aggregated_, relu_mask_;
+  bool relu_applied_ = false;
+};
+
+/// GCN layer: z = relu(gcn_agg(x) W + b).
+class GcnLayer : public GnnLayer {
+ public:
+  GcnLayer(size_t in_dim, size_t out_dim, Rng* rng);
+  Matrix Forward(const Graph& graph, const Matrix& input,
+                 bool apply_relu) override;
+  Matrix Backward(const Graph& graph, const Matrix& grad_out) override;
+  std::vector<std::pair<Matrix*, Matrix*>> ParamsAndGrads() override;
+
+ private:
+  Matrix w_, bias_;
+  Matrix gw_, gbias_;
+  Matrix aggregated_, relu_mask_;
+  bool relu_applied_ = false;
+};
+
+/// Single-head GAT layer: attention-weighted aggregation over N(v) + v with
+/// LeakyReLU(0.2) scores, then relu.
+class GatLayer : public GnnLayer {
+ public:
+  GatLayer(size_t in_dim, size_t out_dim, Rng* rng);
+  Matrix Forward(const Graph& graph, const Matrix& input,
+                 bool apply_relu) override;
+  Matrix Backward(const Graph& graph, const Matrix& grad_out) override;
+  std::vector<std::pair<Matrix*, Matrix*>> ParamsAndGrads() override;
+
+ private:
+  static constexpr float kLeakySlope = 0.2f;
+  Matrix w_;            // in_dim x out_dim
+  Matrix a_src_, a_dst_;  // 1 x out_dim attention vectors
+  Matrix gw_, ga_src_, ga_dst_;
+  // Saved forward state.
+  Matrix input_, wh_, relu_mask_;
+  std::vector<std::vector<float>> alpha_;  // per-vertex attention weights
+  bool relu_applied_ = false;
+};
+
+/// Multi-head GAT: `heads` independent attention heads of out_dim/heads
+/// channels each, concatenated (the standard GAT formulation). Requires
+/// out_dim % heads == 0. Composed from single-head GatLayers, so the
+/// gradient-checked single-head math is reused verbatim.
+class MultiHeadGatLayer : public GnnLayer {
+ public:
+  MultiHeadGatLayer(size_t in_dim, size_t out_dim, size_t heads, Rng* rng);
+  Matrix Forward(const Graph& graph, const Matrix& input,
+                 bool apply_relu) override;
+  Matrix Backward(const Graph& graph, const Matrix& grad_out) override;
+  std::vector<std::pair<Matrix*, Matrix*>> ParamsAndGrads() override;
+
+ private:
+  size_t head_dim_;
+  std::vector<std::unique_ptr<GatLayer>> heads_;
+};
+
+/// Builds the layer stack for a GnnConfig.
+std::vector<std::unique_ptr<GnnLayer>> BuildLayers(const GnnConfig& config,
+                                                   Rng* rng);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_GNN_LAYERS_H_

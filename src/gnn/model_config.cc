@@ -1,0 +1,49 @@
+#include "gnn/model_config.h"
+
+#include <sstream>
+
+namespace gnnpart {
+
+std::string ArchitectureName(GnnArchitecture arch) {
+  switch (arch) {
+    case GnnArchitecture::kGraphSage:
+      return "GraphSage";
+    case GnnArchitecture::kGcn:
+      return "GCN";
+    case GnnArchitecture::kGat:
+      return "GAT";
+  }
+  return "?";
+}
+
+std::vector<size_t> GnnConfig::DefaultFanouts(int num_layers) {
+  switch (num_layers) {
+    case 2:
+      return {25, 20};
+    case 3:
+      return {15, 10, 5};
+    case 4:
+      return {10, 10, 5, 5};
+    default:
+      // Out-of-study layer counts get a decaying schedule.
+      {
+        std::vector<size_t> f;
+        size_t fan = 15;
+        for (int l = 0; l < num_layers; ++l) {
+          f.push_back(fan);
+          if (fan > 5) fan -= 5;
+        }
+        return f;
+      }
+  }
+}
+
+std::string GnnConfig::ToString() const {
+  std::ostringstream os;
+  os << ArchitectureName(arch) << " L=" << num_layers
+     << " feat=" << feature_size << " hidden=" << hidden_dim
+     << " classes=" << num_classes;
+  return os.str();
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,64 @@
+#ifndef GNNPART_GNN_MODEL_CONFIG_H_
+#define GNNPART_GNN_MODEL_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gnnpart {
+
+/// The three architectures evaluated in the study (GraphSage for both
+/// systems; GAT and GCN additionally for DistDGL).
+enum class GnnArchitecture { kGraphSage, kGcn, kGat };
+
+std::string ArchitectureName(GnnArchitecture arch);
+
+/// Hyper-parameters of a GNN workload; ranges follow paper Table 3.
+struct GnnConfig {
+  GnnArchitecture arch = GnnArchitecture::kGraphSage;
+  int num_layers = 3;
+  size_t feature_size = 64;
+  size_t hidden_dim = 64;
+  size_t num_classes = 16;
+  /// Per-layer neighbourhood-sampling fan-outs (mini-batch training only).
+  /// fanouts[0] applies to the layer nearest the input features.
+  std::vector<size_t> fanouts;
+  /// Global mini-batch size, split evenly across workers (paper: 1024).
+  size_t global_batch_size = 1024;
+  /// GAT attention heads (must divide the layer output dimension; 1 =
+  /// single-head, the study's baseline configuration).
+  size_t gat_heads = 1;
+
+  /// The study's fan-out schedule: 25/20 (2 layers), 15/10/5 (3 layers),
+  /// 10/10/5/5 (4 layers).
+  static std::vector<size_t> DefaultFanouts(int num_layers);
+
+  /// Input dimension of layer `l` in [0, num_layers): feature_size for the
+  /// first layer, hidden_dim after.
+  size_t LayerInputDim(int l) const {
+    return l == 0 ? feature_size : hidden_dim;
+  }
+  /// Output dimension of layer `l`: num_classes for the last layer,
+  /// hidden_dim before.
+  size_t LayerOutputDim(int l) const {
+    return l == num_layers - 1 ? num_classes : hidden_dim;
+  }
+
+  /// Bytes of state a replicated vertex must hold/synchronize in full-batch
+  /// training: its feature vector plus one intermediate representation per
+  /// layer (needed by the backward pass). This quantity drives the paper's
+  /// RF <-> memory and RF <-> network correlations.
+  double VertexStateBytes() const {
+    double dims = static_cast<double>(feature_size);
+    for (int l = 0; l < num_layers; ++l) {
+      dims += static_cast<double>(LayerOutputDim(l));
+    }
+    return dims * sizeof(float);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_GNN_MODEL_CONFIG_H_

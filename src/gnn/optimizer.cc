@@ -1,0 +1,46 @@
+#include "gnn/optimizer.h"
+
+#include <cmath>
+
+namespace gnnpart {
+
+void SgdOptimizer::Step(
+    const std::vector<std::pair<Matrix*, Matrix*>>& params) {
+  for (auto [param, grad] : params) {
+    auto& p = param->data();
+    auto& g = grad->data();
+    for (size_t i = 0; i < p.size(); ++i) p[i] -= lr_ * g[i];
+    grad->Zero();
+  }
+}
+
+void AdamOptimizer::Step(
+    const std::vector<std::pair<Matrix*, Matrix*>>& params) {
+  if (m_.empty()) {
+    for (auto [param, grad] : params) {
+      (void)grad;
+      m_.emplace_back(param->rows(), param->cols());
+      v_.emplace_back(param->rows(), param->cols());
+    }
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t idx = 0; idx < params.size(); ++idx) {
+    auto [param, grad] = params[idx];
+    auto& p = param->data();
+    auto& g = grad->data();
+    auto& m = m_[idx].data();
+    auto& v = v_[idx].data();
+    for (size_t i = 0; i < p.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      float mhat = m[i] / bc1;
+      float vhat = v[i] / bc2;
+      p[i] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+    grad->Zero();
+  }
+}
+
+}  // namespace gnnpart

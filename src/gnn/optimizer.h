@@ -1,0 +1,48 @@
+#ifndef GNNPART_GNN_OPTIMIZER_H_
+#define GNNPART_GNN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "gnn/tensor.h"
+
+namespace gnnpart {
+
+/// Applies accumulated gradients to parameters and clears them. One
+/// optimizer instance owns the state for one model (Adam moments are keyed
+/// by parameter position, so the (param, grad) list must be stable across
+/// Step calls).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void Step(const std::vector<std::pair<Matrix*, Matrix*>>& params) = 0;
+};
+
+/// Plain SGD: p -= lr * g.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(float lr) : lr_(lr) {}
+  void Step(const std::vector<std::pair<Matrix*, Matrix*>>& params) override;
+
+ private:
+  float lr_;
+};
+
+/// Adam [Kingma & Ba, 2015] with bias correction.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                         float epsilon = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+  void Step(const std::vector<std::pair<Matrix*, Matrix*>>& params) override;
+
+ private:
+  float lr_, beta1_, beta2_, epsilon_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;  // first moments, one per parameter
+  std::vector<Matrix> v_;  // second moments
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_GNN_OPTIMIZER_H_

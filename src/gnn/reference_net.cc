@@ -1,0 +1,148 @@
+#include "gnn/reference_net.h"
+
+#include <algorithm>
+
+namespace gnnpart {
+
+ReferenceNet::ReferenceNet(const GnnConfig& config, uint64_t seed)
+    : config_(config) {
+  Rng rng(seed);
+  layers_ = BuildLayers(config, &rng);
+}
+
+Matrix ReferenceNet::Forward(const Graph& graph, const Matrix& features) {
+  Matrix h = features;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    bool relu = l + 1 < config_.num_layers;
+    h = layers_[static_cast<size_t>(l)]->Forward(graph, h, relu);
+  }
+  return h;
+}
+
+Result<double> ReferenceNet::TrainStep(const Graph& graph,
+                                       const Matrix& features,
+                                       const std::vector<int32_t>& labels,
+                                       const VertexSplit& split, float lr) {
+  Result<double> loss =
+      AccumulateStep(graph, features, labels, split.train_vertices());
+  if (!loss.ok()) return loss;
+  ApplyGradients(lr);
+  return loss;
+}
+
+Result<double> ReferenceNet::AccumulateStep(
+    const Graph& graph, const Matrix& features,
+    const std::vector<int32_t>& labels,
+    const std::vector<uint32_t>& loss_rows) {
+  if (features.rows() != graph.num_vertices()) {
+    return Status::InvalidArgument("feature matrix does not match |V|");
+  }
+  if (labels.size() != graph.num_vertices()) {
+    return Status::InvalidArgument("label vector does not match |V|");
+  }
+  for (uint32_t row : loss_rows) {
+    if (row >= graph.num_vertices()) {
+      return Status::OutOfRange("loss row beyond |V|");
+    }
+  }
+  Matrix logits = Forward(graph, features);
+  SoftmaxRows(&logits);
+  Matrix grad;
+  double loss = CrossEntropyLoss(logits, labels, loss_rows, &grad);
+  for (int l = config_.num_layers; l-- > 0;) {
+    grad = layers_[static_cast<size_t>(l)]->Backward(graph, grad);
+  }
+  return loss;
+}
+
+std::vector<std::pair<Matrix*, Matrix*>> ReferenceNet::ParamsAndGrads() {
+  std::vector<std::pair<Matrix*, Matrix*>> all;
+  for (auto& layer : layers_) {
+    for (auto pair : layer->ParamsAndGrads()) all.push_back(pair);
+  }
+  return all;
+}
+
+void ReferenceNet::ApplyGradients(float lr) {
+  for (auto& layer : layers_) layer->ApplyGradients(lr);
+}
+
+double ReferenceNet::Evaluate(const Graph& graph, const Matrix& features,
+                              const std::vector<int32_t>& labels,
+                              const std::vector<VertexId>& subset) {
+  if (subset.empty()) return 0;
+  Matrix logits = Forward(graph, features);
+  size_t correct = 0;
+  for (VertexId v : subset) {
+    const float* row = logits.Row(v);
+    size_t best = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    if (static_cast<int32_t>(best) == labels[v]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(subset.size());
+}
+
+size_t ReferenceNet::ParameterCount() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer->ParameterCount();
+  return total;
+}
+
+NodeClassificationTask MakeSyntheticTask(const Graph& graph,
+                                         size_t feature_size,
+                                         size_t num_classes, uint64_t seed) {
+  NodeClassificationTask task;
+  Rng rng(seed);
+  const size_t n = graph.num_vertices();
+  task.labels.resize(n);
+
+  // Labels: seed `num_classes` random centers, assign every vertex to the
+  // nearest center by BFS waves (structural communities), so neighbours
+  // tend to share labels and message passing helps.
+  std::vector<int32_t> label(n, -1);
+  std::vector<VertexId> frontier;
+  for (size_t c = 0; c < num_classes; ++c) {
+    VertexId center = static_cast<VertexId>(rng.NextBounded(n));
+    if (label[center] == -1) {
+      label[center] = static_cast<int32_t>(c);
+      frontier.push_back(center);
+    }
+  }
+  size_t head = 0;
+  while (head < frontier.size()) {
+    VertexId v = frontier[head++];
+    for (VertexId u : graph.Neighbors(v)) {
+      if (label[u] == -1) {
+        label[u] = label[v];
+        frontier.push_back(u);
+      }
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (label[v] == -1) {
+      label[v] = static_cast<int32_t>(rng.NextBounded(num_classes));
+    }
+  }
+  task.labels.assign(label.begin(), label.end());
+
+  // Features: class prototype + Gaussian noise.
+  Matrix prototypes(num_classes, feature_size);
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (size_t f = 0; f < feature_size; ++f) {
+      prototypes.At(c, f) = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  task.features = Matrix(n, feature_size);
+  for (size_t v = 0; v < n; ++v) {
+    const float* proto = prototypes.Row(static_cast<size_t>(task.labels[v]));
+    float* row = task.features.Row(v);
+    for (size_t f = 0; f < feature_size; ++f) {
+      row[f] = proto[f] + 0.5f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return task;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,132 @@
+#include "gnn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnnpart {
+
+Matrix Matrix::Xavier(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (float& x : m.data_) {
+    x = static_cast<float>((rng->NextDouble() * 2.0 - 1.0) * limit);
+  }
+  return m;
+}
+
+void Matrix::Add(const Matrix& other) {
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (float& x : data_) x *= s;
+}
+
+void Matrix::Zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+double Matrix::SquaredNorm() const {
+  double acc = 0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return acc;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (size_t kk = 0; kk < a.cols(); ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(kk);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols());
+  for (size_t kk = 0; kk < a.rows(); ++kk) {
+    const float* arow = a.Row(kk);
+    const float* brow = b.Row(kk);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0;
+      for (size_t kk = 0; kk < a.cols(); ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix ReluInPlace(Matrix* m) {
+  Matrix mask(m->rows(), m->cols());
+  auto& data = m->data();
+  auto& mdata = mask.data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i] > 0) {
+      mdata[i] = 1.0f;
+    } else {
+      data[i] = 0.0f;
+    }
+  }
+  return mask;
+}
+
+void ApplyMask(const Matrix& mask, Matrix* grad) {
+  auto& g = grad->data();
+  const auto& m = mask.data();
+  for (size_t i = 0; i < g.size(); ++i) g[i] *= m[i];
+}
+
+void SoftmaxRows(Matrix* m) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* row = m->Row(r);
+    float max = row[0];
+    for (size_t c = 1; c < m->cols(); ++c) max = std::max(max, row[c]);
+    float sum = 0;
+    for (size_t c = 0; c < m->cols(); ++c) {
+      row[c] = std::exp(row[c] - max);
+      sum += row[c];
+    }
+    for (size_t c = 0; c < m->cols(); ++c) row[c] /= sum;
+  }
+}
+
+double CrossEntropyLoss(const Matrix& probs,
+                        const std::vector<int32_t>& labels,
+                        const std::vector<uint32_t>& rows, Matrix* grad) {
+  *grad = Matrix(probs.rows(), probs.cols());
+  if (rows.empty()) return 0;
+  double loss = 0;
+  const float inv = 1.0f / static_cast<float>(rows.size());
+  for (uint32_t r : rows) {
+    const float* prow = probs.Row(r);
+    float* grow = grad->Row(r);
+    int32_t label = labels[r];
+    double p = std::max(1e-12, static_cast<double>(prow[static_cast<size_t>(label)]));
+    loss -= std::log(p);
+    for (size_t c = 0; c < probs.cols(); ++c) {
+      grow[c] = (prow[c] - (static_cast<int32_t>(c) == label ? 1.0f : 0.0f)) * inv;
+    }
+  }
+  return loss / static_cast<double>(rows.size());
+}
+
+}  // namespace gnnpart

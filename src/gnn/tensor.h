@@ -1,0 +1,82 @@
+#ifndef GNNPART_GNN_TENSOR_H_
+#define GNNPART_GNN_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+/// Dense row-major float matrix: the only tensor type the reference GNN
+/// implementation needs. Sized for correctness work (small graphs in tests
+/// and examples), not for throughput — distributed timing comes from the
+/// analytical cost model, not from these kernels.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* Row(size_t r) { return &data_[r * cols_]; }
+  const float* Row(size_t r) const { return &data_[r * cols_]; }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// Xavier/Glorot uniform initialization, deterministic in rng state.
+  static Matrix Xavier(size_t rows, size_t cols, Rng* rng);
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+  /// this *= s.
+  void Scale(float s);
+  /// Sets every entry to 0.
+  void Zero();
+
+  /// Frobenius-norm squared; handy for gradient checks.
+  double SquaredNorm() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes: (n x k) * (k x m) -> (n x m).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// out = a^T * b. Shapes: (k x n)^T * (k x m) -> (n x m).
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// out = a * b^T. Shapes: (n x k) * (m x k)^T -> (n x m).
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// In-place ReLU; returns a 0/1 mask usable for the backward pass.
+Matrix ReluInPlace(Matrix* m);
+/// grad *= mask (elementwise), the ReLU backward.
+void ApplyMask(const Matrix& mask, Matrix* grad);
+
+/// Row-wise softmax (in place).
+void SoftmaxRows(Matrix* m);
+
+/// Mean cross-entropy of softmaxed `probs` rows against integer labels over
+/// the given row subset; also emits d(loss)/d(logits) into *grad (full
+/// shape, zero rows outside the subset).
+double CrossEntropyLoss(const Matrix& probs,
+                        const std::vector<int32_t>& labels,
+                        const std::vector<uint32_t>& rows, Matrix* grad);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_GNN_TENSOR_H_

@@ -1,0 +1,78 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace gnnpart {
+
+ComponentInfo ConnectedComponents(const Graph& graph) {
+  ComponentInfo info;
+  const size_t n = graph.num_vertices();
+  info.component.assign(n, UINT32_MAX);
+  std::vector<size_t> sizes;
+  std::deque<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (info.component[start] != UINT32_MAX) continue;
+    uint32_t label = static_cast<uint32_t>(sizes.size());
+    sizes.push_back(0);
+    info.component[start] = label;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      ++sizes[label];
+      for (VertexId u : graph.Neighbors(v)) {
+        if (info.component[u] == UINT32_MAX) {
+          info.component[u] = label;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  info.num_components = sizes.size();
+  info.largest_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return info;
+}
+
+std::vector<uint32_t> BfsDistances(const Graph& graph, VertexId source) {
+  std::vector<uint32_t> dist(graph.num_vertices(), UINT32_MAX);
+  if (source >= graph.num_vertices()) return dist;
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : graph.Neighbors(v)) {
+      if (dist[u] == UINT32_MAX) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+size_t EstimateDiameter(const Graph& graph, VertexId seed) {
+  if (graph.num_vertices() == 0) return 0;
+  if (seed >= graph.num_vertices()) seed = 0;
+  auto far_from = [&](VertexId v) {
+    std::vector<uint32_t> dist = BfsDistances(graph, v);
+    VertexId best = v;
+    uint32_t best_d = 0;
+    for (VertexId u = 0; u < dist.size(); ++u) {
+      if (dist[u] != UINT32_MAX && dist[u] > best_d) {
+        best_d = dist[u];
+        best = u;
+      }
+    }
+    return std::make_pair(best, best_d);
+  };
+  auto [far1, d1] = far_from(seed);
+  auto [far2, d2] = far_from(far1);
+  (void)far2;
+  return std::max<size_t>(d1, d2);
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,59 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gnnpart {
+
+std::string DegreeStats::ToString() const {
+  std::ostringstream os;
+  os << "|V|=" << num_vertices << " |E|=" << num_edges
+     << " mean_deg=" << mean_degree << " max_deg=" << max_degree
+     << " skew=" << skew << " top1%share=" << top1pct_degree_share;
+  return os.str();
+}
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  std::vector<size_t> degrees(s.num_vertices);
+  double sum = 0;
+  for (VertexId v = 0; v < s.num_vertices; ++v) {
+    degrees[v] = graph.Degree(v);
+    sum += static_cast<double>(degrees[v]);
+    s.max_degree = std::max(s.max_degree, degrees[v]);
+  }
+  s.mean_degree = sum / static_cast<double>(s.num_vertices);
+  double var = 0;
+  for (size_t d : degrees) {
+    double diff = static_cast<double>(d) - s.mean_degree;
+    var += diff * diff;
+  }
+  s.degree_stddev = std::sqrt(var / static_cast<double>(s.num_vertices));
+  s.skew = s.mean_degree > 0 ? s.degree_stddev / s.mean_degree : 0;
+
+  std::sort(degrees.begin(), degrees.end(), std::greater<size_t>());
+  size_t top = std::max<size_t>(1, s.num_vertices / 100);
+  double top_sum = 0;
+  for (size_t i = 0; i < top; ++i) top_sum += static_cast<double>(degrees[i]);
+  s.top1pct_degree_share = sum > 0 ? top_sum / sum : 0;
+  return s;
+}
+
+std::vector<size_t> LogDegreeHistogram(const Graph& graph) {
+  std::vector<size_t> hist;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    size_t d = graph.Degree(v);
+    size_t bucket = 0;
+    while ((1ULL << (bucket + 1)) <= d) ++bucket;
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,39 @@
+#ifndef GNNPART_GRAPH_DEGREE_STATS_H_
+#define GNNPART_GRAPH_DEGREE_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gnnpart {
+
+/// Structural summary of a graph's degree distribution. The study's core
+/// explanatory variable for partitioner behaviour is degree skew (power-law
+/// graphs vs the near-regular road network).
+struct DegreeStats {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  double mean_degree = 0;
+  size_t max_degree = 0;
+  double degree_stddev = 0;
+  /// Coefficient of variation (stddev / mean); ~0 for regular graphs,
+  /// large for power-law graphs.
+  double skew = 0;
+  /// Fraction of adjacency entries incident to the top 1% highest-degree
+  /// vertices — a robust heavy-tail indicator.
+  double top1pct_degree_share = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes DegreeStats for a graph.
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+/// Degree histogram with logarithmic buckets [2^i, 2^{i+1}).
+std::vector<size_t> LogDegreeHistogram(const Graph& graph);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_GRAPH_DEGREE_STATS_H_

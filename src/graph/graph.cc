@@ -1,0 +1,93 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gnnpart {
+
+size_t Graph::MaxDegree() const {
+  size_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, Degree(v));
+  }
+  return best;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+GraphBuilder::GraphBuilder(size_t num_vertices, bool directed)
+    : num_vertices_(num_vertices), directed_(directed) {}
+
+Result<Graph> GraphBuilder::Build(std::string name) {
+  for (const Edge& e : raw_edges_) {
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) {
+      return Status::InvalidArgument(
+          "edge endpoint out of range: (" + std::to_string(e.src) + ", " +
+          std::to_string(e.dst) + ") with |V|=" + std::to_string(num_vertices_));
+    }
+  }
+
+  // Canonicalize: drop self-loops; for undirected graphs order endpoints.
+  std::vector<Edge> edges;
+  edges.reserve(raw_edges_.size());
+  for (const Edge& e : raw_edges_) {
+    if (e.src == e.dst) continue;
+    if (!directed_ && e.src > e.dst) {
+      edges.push_back({e.dst, e.src});
+    } else {
+      edges.push_back(e);
+    }
+  }
+  raw_edges_.clear();
+  raw_edges_.shrink_to_fit();
+
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  // For directed graphs, (u,v) and (v,u) may both exist as distinct arcs;
+  // the symmetrized adjacency must still list v in N(u) only once.
+  Graph g;
+  g.name_ = std::move(name);
+  g.directed_ = directed_;
+  g.edges_ = std::move(edges);
+
+  std::vector<uint64_t> degree(num_vertices_ + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  g.offsets_.assign(num_vertices_ + 1, 0);
+  for (size_t v = 0; v < num_vertices_; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  }
+  g.neighbors_.resize(g.offsets_[num_vertices_]);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : g.edges_) {
+    g.neighbors_[cursor[e.src]++] = e.dst;
+    g.neighbors_[cursor[e.dst]++] = e.src;
+  }
+  // Sort + dedup each neighbourhood (dedup handles directed reciprocal arcs).
+  uint64_t write = 0;
+  std::vector<uint64_t> new_offsets(num_vertices_ + 1, 0);
+  for (size_t v = 0; v < num_vertices_; ++v) {
+    auto begin = g.neighbors_.begin() + static_cast<int64_t>(g.offsets_[v]);
+    auto end = g.neighbors_.begin() + static_cast<int64_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+    auto last = std::unique(begin, end);
+    new_offsets[v] = write;
+    for (auto it = begin; it != last; ++it) {
+      g.neighbors_[write++] = *it;
+    }
+  }
+  new_offsets[num_vertices_] = write;
+  g.neighbors_.resize(write);
+  g.neighbors_.shrink_to_fit();
+  g.offsets_ = std::move(new_offsets);
+  return g;
+}
+
+}  // namespace gnnpart

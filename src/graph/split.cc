@@ -1,0 +1,31 @@
+#include "graph/split.h"
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+VertexSplit VertexSplit::MakeRandom(size_t num_vertices, double train_fraction,
+                                    double validation_fraction,
+                                    uint64_t seed) {
+  VertexSplit split;
+  split.roles_.resize(num_vertices);
+  Rng rng(seed);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    double u = rng.NextDouble();
+    VertexRole role;
+    if (u < train_fraction) {
+      role = VertexRole::kTrain;
+      split.train_.push_back(v);
+    } else if (u < train_fraction + validation_fraction) {
+      role = VertexRole::kValidation;
+      split.valid_.push_back(v);
+    } else {
+      role = VertexRole::kTest;
+      split.test_.push_back(v);
+    }
+    split.roles_[v] = role;
+  }
+  return split;
+}
+
+}  // namespace gnnpart

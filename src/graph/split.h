@@ -1,0 +1,42 @@
+#ifndef GNNPART_GRAPH_SPLIT_H_
+#define GNNPART_GRAPH_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gnnpart {
+
+/// Role of a vertex in the learning task.
+enum class VertexRole : uint8_t { kTrain = 0, kValidation = 1, kTest = 2 };
+
+/// Random train/validation/test assignment over the vertex set. The study
+/// uses 10% / 10% / 80%.
+class VertexSplit {
+ public:
+  VertexSplit() = default;
+
+  /// Assigns roles uniformly at random with the given fractions
+  /// (test gets the remainder). Deterministic in `seed`.
+  static VertexSplit MakeRandom(size_t num_vertices, double train_fraction,
+                                double validation_fraction, uint64_t seed);
+
+  VertexRole RoleOf(VertexId v) const { return roles_[v]; }
+  bool IsTrain(VertexId v) const { return roles_[v] == VertexRole::kTrain; }
+
+  const std::vector<VertexId>& train_vertices() const { return train_; }
+  const std::vector<VertexId>& validation_vertices() const { return valid_; }
+  const std::vector<VertexId>& test_vertices() const { return test_; }
+  size_t num_vertices() const { return roles_.size(); }
+
+ private:
+  std::vector<VertexRole> roles_;
+  std::vector<VertexId> train_;
+  std::vector<VertexId> valid_;
+  std::vector<VertexId> test_;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_GRAPH_SPLIT_H_

@@ -1,0 +1,46 @@
+#ifndef GNNPART_GRAPH_TYPES_H_
+#define GNNPART_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace gnnpart {
+
+/// Vertex identifier. 32 bits covers the scales this library targets
+/// (the paper's largest graph has 24M vertices; our synthetic substitutes
+/// are smaller still).
+using VertexId = uint32_t;
+
+/// Edge index into a graph's canonical edge list.
+using EdgeId = uint64_t;
+
+/// Partition identifier. The study uses k in {4, 8, 16, 32}.
+using PartitionId = uint32_t;
+
+constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+constexpr PartitionId kInvalidPartition = static_cast<PartitionId>(-1);
+
+/// A (source, destination) pair. For undirected graphs the canonical form
+/// has src <= dst.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  bool operator==(const Edge& other) const {
+    return src == other.src && dst == other.dst;
+  }
+  bool operator<(const Edge& other) const {
+    return src != other.src ? src < other.src : dst < other.dst;
+  }
+};
+
+}  // namespace gnnpart
+
+template <>
+struct std::hash<gnnpart::Edge> {
+  size_t operator()(const gnnpart::Edge& e) const {
+    return (static_cast<size_t>(e.src) << 32) ^ e.dst;
+  }
+};
+
+#endif  // GNNPART_GRAPH_TYPES_H_

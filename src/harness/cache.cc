@@ -1,0 +1,100 @@
+#include "harness/cache.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+namespace gnnpart {
+namespace {
+constexpr uint64_t kCacheMagic = 0x474e4e5043414348ULL;  // "GNNPCACH"
+constexpr uint64_t kBlobMagic = 0x474e4e50424c4f42ULL;   // "GNNPBLOB"
+}  // namespace
+
+std::string PartitionCache::PathFor(const std::string& key) const {
+  std::string safe;
+  for (char c : key) {
+    safe += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+             c == '.' || c == '_')
+                ? c
+                : '_';
+  }
+  return dir_ + "/" + safe + ".part";
+}
+
+Result<std::vector<PartitionId>> PartitionCache::Load(const std::string& key,
+                                                      PartitionId k,
+                                                      double* seconds) const {
+  if (!enabled()) return Status::NotFound("cache disabled");
+  std::ifstream in(PathFor(key), std::ios::binary);
+  if (!in) return Status::NotFound("cache miss for '" + key + "'");
+  uint64_t magic = 0, stored_k = 0, n = 0;
+  double secs = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&stored_k), sizeof(stored_k));
+  in.read(reinterpret_cast<char*>(&secs), sizeof(secs));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || magic != kCacheMagic || stored_k != k) {
+    return Status::NotFound("stale cache entry for '" + key + "'");
+  }
+  std::vector<PartitionId> assignment(n);
+  in.read(reinterpret_cast<char*>(assignment.data()),
+          static_cast<std::streamsize>(n * sizeof(PartitionId)));
+  if (!in) return Status::NotFound("truncated cache entry for '" + key + "'");
+  if (seconds) *seconds = secs;
+  return assignment;
+}
+
+Status PartitionCache::Store(const std::string& key, PartitionId k,
+                             const std::vector<PartitionId>& assignment,
+                             double seconds) const {
+  if (!enabled()) return Status::Ok();
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  std::ofstream out(PathFor(key), std::ios::binary);
+  if (!out) return Status::IoError("cannot write cache entry '" + key + "'");
+  uint64_t magic = kCacheMagic, stored_k = k, n = assignment.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&stored_k), sizeof(stored_k));
+  out.write(reinterpret_cast<const char*>(&seconds), sizeof(seconds));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(assignment.data()),
+            static_cast<std::streamsize>(n * sizeof(PartitionId)));
+  if (!out) return Status::IoError("write failed for cache entry '" + key + "'");
+  return Status::Ok();
+}
+
+Result<std::vector<uint64_t>> PartitionCache::LoadBlob(
+    const std::string& key) const {
+  if (!enabled()) return Status::NotFound("cache disabled");
+  std::ifstream in(PathFor(key), std::ios::binary);
+  if (!in) return Status::NotFound("cache miss for '" + key + "'");
+  uint64_t magic = 0, n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || magic != kBlobMagic) {
+    return Status::NotFound("stale blob entry for '" + key + "'");
+  }
+  std::vector<uint64_t> blob(n);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(n * sizeof(uint64_t)));
+  if (!in) return Status::NotFound("truncated blob entry for '" + key + "'");
+  return blob;
+}
+
+Status PartitionCache::StoreBlob(const std::string& key,
+                                 const std::vector<uint64_t>& blob) const {
+  if (!enabled()) return Status::Ok();
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  std::ofstream out(PathFor(key), std::ios::binary);
+  if (!out) return Status::IoError("cannot write blob entry '" + key + "'");
+  uint64_t magic = kBlobMagic, n = blob.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(n * sizeof(uint64_t)));
+  if (!out) return Status::IoError("write failed for blob '" + key + "'");
+  return Status::Ok();
+}
+
+}  // namespace gnnpart

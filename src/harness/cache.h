@@ -1,0 +1,45 @@
+#ifndef GNNPART_HARNESS_CACHE_H_
+#define GNNPART_HARNESS_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace gnnpart {
+
+/// Disk cache for partition assignments. Partitioners are deterministic in
+/// (dataset, scale, seed, partitioner, k), so the bench suite computes each
+/// partitioning once and shares it across binaries.
+///
+/// File format (little-endian): magic, k, partitioning_seconds, n,
+/// assignment[n].
+class PartitionCache {
+ public:
+  /// `dir` = "" disables the cache (Load misses, Store is a no-op).
+  explicit PartitionCache(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Returns NotFound on a miss (or when disabled).
+  Result<std::vector<PartitionId>> Load(const std::string& key, PartitionId k,
+                                        double* seconds) const;
+
+  Status Store(const std::string& key, PartitionId k,
+               const std::vector<PartitionId>& assignment,
+               double seconds) const;
+
+  /// Generic blob entries (used for epoch sampling profiles).
+  Result<std::vector<uint64_t>> LoadBlob(const std::string& key) const;
+  Status StoreBlob(const std::string& key,
+                   const std::vector<uint64_t>& blob) const;
+
+  bool enabled() const { return !dir_.empty(); }
+
+ private:
+  std::string PathFor(const std::string& key) const;
+  std::string dir_;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_HARNESS_CACHE_H_

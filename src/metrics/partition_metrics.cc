@@ -1,0 +1,85 @@
+#include "metrics/partition_metrics.h"
+
+#include <bit>
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace gnnpart {
+namespace {
+
+std::vector<double> ToDoubles(const std::vector<uint64_t>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+}  // namespace
+
+std::string EdgePartitionMetrics::ToString() const {
+  std::ostringstream os;
+  os << "RF=" << replication_factor << " EB=" << edge_balance
+     << " VB=" << vertex_balance;
+  return os.str();
+}
+
+std::string VertexPartitionMetrics::ToString() const {
+  std::ostringstream os;
+  os << "lambda=" << edge_cut_ratio << " VB=" << vertex_balance
+     << " TVB=" << train_vertex_balance;
+  return os.str();
+}
+
+EdgePartitionMetrics ComputeEdgePartitionMetrics(
+    const Graph& graph, const EdgePartitioning& parts) {
+  EdgePartitionMetrics m;
+  m.edges_per_partition = parts.EdgeCounts();
+  m.vertices_per_partition.assign(parts.k, 0);
+
+  std::vector<uint64_t> masks = ComputeReplicaMasks(graph, parts);
+  uint64_t covered_total = 0;
+  uint64_t vertices_with_edges = 0;
+  for (uint64_t mask : masks) {
+    int replicas = std::popcount(mask);
+    covered_total += static_cast<uint64_t>(replicas);
+    if (replicas > 0) {
+      ++vertices_with_edges;
+      m.total_replicas += static_cast<uint64_t>(replicas - 1);
+    }
+    while (mask) {
+      int p = std::countr_zero(mask);
+      ++m.vertices_per_partition[static_cast<size_t>(p)];
+      mask &= mask - 1;
+    }
+  }
+  // The paper normalizes by |V|; isolated vertices (none at our scales
+  // after dedup) would dilute RF identically for every partitioner.
+  double denom = static_cast<double>(graph.num_vertices());
+  m.replication_factor = denom > 0 ? static_cast<double>(covered_total) / denom : 0;
+  m.edge_balance = MaxOverMean(ToDoubles(m.edges_per_partition));
+  m.vertex_balance = MaxOverMean(ToDoubles(m.vertices_per_partition));
+  return m;
+}
+
+VertexPartitionMetrics ComputeVertexPartitionMetrics(
+    const Graph& graph, const VertexPartitioning& parts,
+    const VertexSplit& split) {
+  VertexPartitionMetrics m;
+  m.vertices_per_partition = parts.VertexCounts();
+  m.train_vertices_per_partition.assign(parts.k, 0);
+  for (VertexId v : split.train_vertices()) {
+    ++m.train_vertices_per_partition[parts.assignment[v]];
+  }
+  for (const Edge& e : graph.edges()) {
+    if (parts.assignment[e.src] != parts.assignment[e.dst]) ++m.cut_edges;
+  }
+  m.edge_cut_ratio =
+      graph.num_edges() > 0
+          ? static_cast<double>(m.cut_edges) /
+                static_cast<double>(graph.num_edges())
+          : 0;
+  m.vertex_balance = MaxOverMean(ToDoubles(m.vertices_per_partition));
+  m.train_vertex_balance =
+      MaxOverMean(ToDoubles(m.train_vertices_per_partition));
+  return m;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,29 @@
+#include "partition/edge/dbh.h"
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+Result<EdgePartitioning> DbhPartitioner::Partition(const Graph& graph,
+                                                   PartitionId k,
+                                                   uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, k));
+  EdgePartitioning result;
+  result.k = k;
+  result.assignment.resize(graph.num_edges());
+  const auto& edges = graph.edges();
+  for (EdgeId e = 0; e < edges.size(); ++e) {
+    VertexId u = edges[e].src;
+    VertexId v = edges[e].dst;
+    // Hash the lower-degree endpoint; ties broken by vertex id so the
+    // result is independent of edge orientation.
+    size_t du = graph.Degree(u);
+    size_t dv = graph.Degree(v);
+    VertexId key = (du < dv || (du == dv && u < v)) ? u : v;
+    result.assignment[e] =
+        static_cast<PartitionId>(HashCombine64(seed, key) % k);
+  }
+  return result;
+}
+
+}  // namespace gnnpart

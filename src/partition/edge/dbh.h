@@ -1,0 +1,23 @@
+#ifndef GNNPART_PARTITION_EDGE_DBH_H_
+#define GNNPART_PARTITION_EDGE_DBH_H_
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// Degree-Based Hashing [Xie et al., NIPS'14]: a stateless streaming
+/// vertex-cut partitioner. Each edge is assigned by hashing its
+/// lower-degree endpoint, so hubs (high-degree vertices) are the ones that
+/// get replicated — cheap and markedly better than Random on power-law
+/// graphs.
+class DbhPartitioner : public EdgePartitioner {
+ public:
+  std::string name() const override { return "DBH"; }
+  std::string category() const override { return "stateless streaming"; }
+  Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
+                                     uint64_t seed) const override;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_EDGE_DBH_H_

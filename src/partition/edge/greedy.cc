@@ -1,0 +1,71 @@
+#include "partition/edge/greedy.h"
+
+#include <bit>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+Result<EdgePartitioning> GreedyEdgePartitioner::Partition(const Graph& graph,
+                                                          PartitionId k,
+                                                          uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, k));
+  const size_t n = graph.num_vertices();
+  const size_t m = graph.num_edges();
+  EdgePartitioning result;
+  result.k = k;
+  result.assignment.assign(m, kInvalidPartition);
+
+  std::vector<uint64_t> replicas(n, 0);
+  std::vector<uint64_t> load(k, 0);
+
+  std::vector<EdgeId> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  auto least_loaded_in = [&](uint64_t mask) {
+    PartitionId best = kInvalidPartition;
+    while (mask) {
+      PartitionId p = static_cast<PartitionId>(std::countr_zero(mask));
+      if (best == kInvalidPartition || load[p] < load[best]) best = p;
+      mask &= mask - 1;
+    }
+    return best;
+  };
+  const uint64_t all_mask = (k == 64) ? ~0ULL : ((1ULL << k) - 1);
+
+  const auto& edges = graph.edges();
+  for (EdgeId e : order) {
+    VertexId u = edges[e].src;
+    VertexId v = edges[e].dst;
+    uint64_t au = replicas[u];
+    uint64_t av = replicas[v];
+    PartitionId target;
+    if (au & av) {
+      // Case 1: both endpoints share partitions.
+      target = least_loaded_in(au & av);
+    } else if (au && av) {
+      // Case 2: disjoint replica sets — place with the endpoint that has
+      // more remaining degree (its future edges benefit most), breaking
+      // toward the lighter machine.
+      uint64_t mask = graph.Degree(u) >= graph.Degree(v) ? au : av;
+      target = least_loaded_in(mask);
+    } else if (au | av) {
+      // Case 3: exactly one endpoint placed.
+      target = least_loaded_in(au | av);
+    } else {
+      // Case 4: fresh edge — least-loaded machine.
+      target = least_loaded_in(all_mask);
+    }
+    result.assignment[e] = target;
+    replicas[u] |= 1ULL << target;
+    replicas[v] |= 1ULL << target;
+    ++load[target];
+  }
+  return result;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,23 @@
+#ifndef GNNPART_PARTITION_EDGE_GREEDY_H_
+#define GNNPART_PARTITION_EDGE_GREEDY_H_
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// PowerGraph's "Oblivious Greedy" vertex-cut [Gonzalez et al., OSDI'12]:
+/// stateful streaming assignment by the classic case rules over the
+/// endpoints' replica sets. Not part of the paper's Table 2 line-up; the
+/// study's related work builds on it, and it slots between DBH and HDRF in
+/// quality — included as an extension partitioner.
+class GreedyEdgePartitioner : public EdgePartitioner {
+ public:
+  std::string name() const override { return "Greedy"; }
+  std::string category() const override { return "stateful streaming"; }
+  Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
+                                     uint64_t seed) const override;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_EDGE_GREEDY_H_

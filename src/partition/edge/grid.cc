@@ -1,0 +1,36 @@
+#include "partition/edge/grid.h"
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+std::pair<PartitionId, PartitionId> GridPartitioner::GridShape(PartitionId k) {
+  PartitionId best = 1;
+  for (PartitionId r = 1; r * r <= k; ++r) {
+    if (k % r == 0) best = r;
+  }
+  return {best, k / best};
+}
+
+Result<EdgePartitioning> GridPartitioner::Partition(const Graph& graph,
+                                                    PartitionId k,
+                                                    uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, k));
+  auto [rows, cols] = GridShape(k);
+  EdgePartitioning result;
+  result.k = k;
+  result.assignment.resize(graph.num_edges());
+  const auto& edges = graph.edges();
+  for (EdgeId e = 0; e < edges.size(); ++e) {
+    // For undirected graphs the canonical orientation (src <= dst) already
+    // makes the cell choice orientation-independent.
+    PartitionId row = static_cast<PartitionId>(
+        HashCombine64(seed, edges[e].src) % rows);
+    PartitionId col = static_cast<PartitionId>(
+        HashCombine64(seed ^ 0x9e3779b97f4a7c15ULL, edges[e].dst) % cols);
+    result.assignment[e] = row * cols + col;
+  }
+  return result;
+}
+
+}  // namespace gnnpart

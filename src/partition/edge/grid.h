@@ -1,0 +1,29 @@
+#ifndef GNNPART_PARTITION_EDGE_GRID_H_
+#define GNNPART_PARTITION_EDGE_GRID_H_
+
+#include <utility>
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// 2-D grid (constrained) vertex-cut, as used by GraphX/GraphBuilder-style
+/// systems: partitions form an r x c grid, an edge (u, v) goes to cell
+/// (row(u), col(v)). Every vertex is confined to one row plus one column,
+/// giving the provable replication bound RF(v) <= r + c - 1 ~ 2*sqrt(k)
+/// with zero state — between Random and the greedy streaming partitioners.
+/// Extension beyond the paper's Table 2 line-up.
+class GridPartitioner : public EdgePartitioner {
+ public:
+  std::string name() const override { return "Grid"; }
+  std::string category() const override { return "stateless streaming"; }
+  Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
+                                     uint64_t seed) const override;
+
+  /// Largest r <= sqrt(k) dividing k, paired with k/r. (1, k) for primes.
+  static std::pair<PartitionId, PartitionId> GridShape(PartitionId k);
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_EDGE_GRID_H_

@@ -1,0 +1,75 @@
+#include "partition/edge/hdrf.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+Result<EdgePartitioning> HdrfPartitioner::Partition(const Graph& graph,
+                                                    PartitionId k,
+                                                    uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, k));
+  const size_t n = graph.num_vertices();
+  const size_t m = graph.num_edges();
+
+  EdgePartitioning result;
+  result.k = k;
+  result.assignment.assign(m, kInvalidPartition);
+
+  // Streaming state.
+  std::vector<uint64_t> replicas(n, 0);        // partition bitmask per vertex
+  std::vector<uint32_t> partial_degree(n, 0);  // degree seen so far
+  std::vector<uint64_t> load(k, 0);            // edges per partition
+  uint64_t max_load = 0;
+  uint64_t min_load = 0;
+
+  // Stream edges in a seed-dependent shuffled order, as a streaming
+  // partitioner would receive them from an arbitrary on-disk order.
+  std::vector<EdgeId> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  const auto& edges = graph.edges();
+  for (EdgeId e : order) {
+    VertexId u = edges[e].src;
+    VertexId v = edges[e].dst;
+    ++partial_degree[u];
+    ++partial_degree[v];
+    double du = partial_degree[u];
+    double dv = partial_degree[v];
+    double theta_u = du / (du + dv);
+    double theta_v = 1.0 - theta_u;
+
+    PartitionId best = 0;
+    double best_score = -1.0;
+    uint64_t best_load = ~0ULL;
+    double denom = epsilon_ + static_cast<double>(max_load - min_load);
+    for (PartitionId p = 0; p < k; ++p) {
+      double g = 0;
+      if (replicas[u] & (1ULL << p)) g += 1.0 + (1.0 - theta_u);
+      if (replicas[v] & (1ULL << p)) g += 1.0 + (1.0 - theta_v);
+      double bal =
+          lambda_ * static_cast<double>(max_load - load[p]) / denom;
+      double score = g + bal;
+      if (score > best_score ||
+          (score == best_score && load[p] < best_load)) {
+        best_score = score;
+        best = p;
+        best_load = load[p];
+      }
+    }
+    result.assignment[e] = best;
+    replicas[u] |= 1ULL << best;
+    replicas[v] |= 1ULL << best;
+    ++load[best];
+    max_load = std::max(max_load, load[best]);
+    min_load = *std::min_element(load.begin(), load.end());
+  }
+  return result;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,21 @@
+#include "partition/edge/random_edge.h"
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+Result<EdgePartitioning> RandomEdgePartitioner::Partition(const Graph& graph,
+                                                          PartitionId k,
+                                                          uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, k));
+  EdgePartitioning result;
+  result.k = k;
+  result.assignment.resize(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    result.assignment[e] =
+        static_cast<PartitionId>(HashCombine64(seed, e) % k);
+  }
+  return result;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,21 @@
+#ifndef GNNPART_PARTITION_EDGE_RANDOM_EDGE_H_
+#define GNNPART_PARTITION_EDGE_RANDOM_EDGE_H_
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// Stateless streaming vertex-cut baseline: every edge is hashed to a
+/// partition. Highest replication factor, perfect edge balance in
+/// expectation; the study's "Random" edge partitioner.
+class RandomEdgePartitioner : public EdgePartitioner {
+ public:
+  std::string name() const override { return "Random"; }
+  std::string category() const override { return "stateless streaming"; }
+  Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
+                                     uint64_t seed) const override;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_EDGE_RANDOM_EDGE_H_

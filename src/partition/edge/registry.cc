@@ -1,0 +1,55 @@
+#include "partition/edge/registry.h"
+
+#include "partition/edge/dbh.h"
+#include "partition/edge/greedy.h"
+#include "partition/edge/grid.h"
+#include "partition/edge/hdrf.h"
+#include "partition/edge/hep.h"
+#include "partition/edge/random_edge.h"
+#include "partition/edge/two_ps_l.h"
+
+namespace gnnpart {
+
+std::vector<EdgePartitionerId> AllEdgePartitioners() {
+  return {EdgePartitionerId::kRandom, EdgePartitionerId::kDbh,
+          EdgePartitionerId::kHdrf,   EdgePartitionerId::kTwoPsL,
+          EdgePartitionerId::kHep10,  EdgePartitionerId::kHep100};
+}
+
+std::vector<EdgePartitionerId> AllEdgePartitionersExtended() {
+  std::vector<EdgePartitionerId> all = AllEdgePartitioners();
+  all.push_back(EdgePartitionerId::kGreedy);
+  all.push_back(EdgePartitionerId::kGrid);
+  return all;
+}
+
+std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id) {
+  switch (id) {
+    case EdgePartitionerId::kRandom:
+      return std::make_unique<RandomEdgePartitioner>();
+    case EdgePartitionerId::kDbh:
+      return std::make_unique<DbhPartitioner>();
+    case EdgePartitionerId::kHdrf:
+      return std::make_unique<HdrfPartitioner>();
+    case EdgePartitionerId::kTwoPsL:
+      return std::make_unique<TwoPsLPartitioner>();
+    case EdgePartitionerId::kHep10:
+      return std::make_unique<HepPartitioner>(10.0);
+    case EdgePartitionerId::kHep100:
+      return std::make_unique<HepPartitioner>(100.0);
+    case EdgePartitionerId::kGreedy:
+      return std::make_unique<GreedyEdgePartitioner>();
+    case EdgePartitionerId::kGrid:
+      return std::make_unique<GridPartitioner>();
+  }
+  return nullptr;
+}
+
+Result<EdgePartitionerId> ParseEdgePartitionerName(const std::string& name) {
+  for (EdgePartitionerId id : AllEdgePartitionersExtended()) {
+    if (MakeEdgePartitioner(id)->name() == name) return id;
+  }
+  return Status::NotFound("unknown edge partitioner '" + name + "'");
+}
+
+}  // namespace gnnpart

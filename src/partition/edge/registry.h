@@ -1,0 +1,40 @@
+#ifndef GNNPART_PARTITION_EDGE_REGISTRY_H_
+#define GNNPART_PARTITION_EDGE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// The six edge partitioners evaluated against DistGNN (paper Table 2).
+enum class EdgePartitionerId {
+  kRandom,
+  kDbh,
+  kHdrf,
+  kTwoPsL,
+  kHep10,
+  kHep100,
+  // Extension partitioners beyond the paper's Table 2 line-up.
+  kGreedy,
+  kGrid,
+};
+
+/// The paper's six partitioners in presentation order.
+std::vector<EdgePartitionerId> AllEdgePartitioners();
+
+/// Paper partitioners plus the extensions (Greedy/PowerGraph, Grid).
+std::vector<EdgePartitionerId> AllEdgePartitionersExtended();
+
+/// Instantiates a partitioner with its paper-default parameters.
+std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id);
+
+/// Looks a partitioner up by its display name ("HDRF", "HEP100", ...).
+Result<EdgePartitionerId> ParseEdgePartitionerName(const std::string& name);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_EDGE_REGISTRY_H_

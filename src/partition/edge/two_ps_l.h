@@ -1,0 +1,36 @@
+#ifndef GNNPART_PARTITION_EDGE_TWO_PS_L_H_
+#define GNNPART_PARTITION_EDGE_TWO_PS_L_H_
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// 2PS-L [Mayer et al., ICDE'22]: two-phase streaming vertex-cut
+/// partitioning at linear run-time.
+///
+/// Phase 1 streams the edges once and builds volume-bounded clusters
+/// (streaming clustering a la Hollocou): endpoints of an edge migrate to the
+/// larger cluster while a per-cluster volume cap holds.
+/// Phase 2 packs clusters onto partitions by volume and streams the edges a
+/// second time, placing each edge on the partition of one of its endpoint
+/// clusters (the lesser-loaded one), with an edge-balance cap.
+///
+/// The algorithm only balances *edges*; the vertex imbalance the paper
+/// reports for 2PS-L (Figs. 4 and 8) emerges from the cluster packing.
+class TwoPsLPartitioner : public EdgePartitioner {
+ public:
+  /// alpha bounds the per-partition edge count at alpha * |E| / k.
+  explicit TwoPsLPartitioner(double alpha = 1.05) : alpha_(alpha) {}
+
+  std::string name() const override { return "2PS-L"; }
+  std::string category() const override { return "stateful streaming"; }
+  Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
+                                     uint64_t seed) const override;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_EDGE_TWO_PS_L_H_

@@ -1,0 +1,23 @@
+#include "partition/incidence.h"
+
+namespace gnnpart {
+
+IncidenceList::IncidenceList(const Graph& graph) {
+  const size_t n = graph.num_vertices();
+  std::vector<uint64_t> degree(n + 1, 0);
+  for (const Edge& e : graph.edges()) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + degree[v];
+  entries_.resize(offsets_[n]);
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  const auto& edges = graph.edges();
+  for (EdgeId e = 0; e < edges.size(); ++e) {
+    entries_[cursor[edges[e].src]++] = {edges[e].dst, e};
+    entries_[cursor[edges[e].dst]++] = {edges[e].src, e};
+  }
+}
+
+}  // namespace gnnpart

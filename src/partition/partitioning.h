@@ -1,0 +1,87 @@
+#ifndef GNNPART_PARTITION_PARTITIONING_H_
+#define GNNPART_PARTITION_PARTITIONING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/split.h"
+#include "graph/types.h"
+
+namespace gnnpart {
+
+/// Maximum number of partitions supported. Replica sets are stored as 64-bit
+/// masks, which comfortably covers the study's k in {4, 8, 16, 32}.
+constexpr PartitionId kMaxPartitions = 64;
+
+/// Result of edge partitioning (vertex-cut): every canonical edge of the
+/// graph is assigned to exactly one partition.
+struct EdgePartitioning {
+  PartitionId k = 0;
+  /// assignment[e] in [0, k) for every edge id e.
+  std::vector<PartitionId> assignment;
+  /// Wall-clock partitioning time (seconds), as measured by the runner.
+  double partitioning_seconds = 0;
+
+  /// Number of edges per partition.
+  std::vector<uint64_t> EdgeCounts() const;
+};
+
+/// Result of vertex partitioning (edge-cut): every vertex is assigned to
+/// exactly one partition.
+struct VertexPartitioning {
+  PartitionId k = 0;
+  /// assignment[v] in [0, k) for every vertex v.
+  std::vector<PartitionId> assignment;
+  double partitioning_seconds = 0;
+
+  /// Number of vertices per partition.
+  std::vector<uint64_t> VertexCounts() const;
+};
+
+/// For each vertex, the bitmask of partitions containing at least one of its
+/// incident edges (the replica set of edge partitioning).
+std::vector<uint64_t> ComputeReplicaMasks(const Graph& graph,
+                                          const EdgePartitioning& parts);
+
+/// Interface implemented by all six vertex-cut (edge) partitioners.
+class EdgePartitioner {
+ public:
+  virtual ~EdgePartitioner() = default;
+  /// Name as used in the paper's figures (e.g. "HDRF", "HEP100").
+  virtual std::string name() const = 0;
+  /// Partitioner category (paper Table 2), e.g. "stateful streaming".
+  virtual std::string category() const = 0;
+  /// Partitions the graph's canonical edge list into k parts.
+  /// Deterministic in (graph, k, seed).
+  virtual Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
+                                             uint64_t seed) const = 0;
+
+ protected:
+  /// Validates common preconditions; call first in implementations.
+  static Status CheckArgs(const Graph& graph, PartitionId k);
+};
+
+/// Interface implemented by all six edge-cut (vertex) partitioners. The
+/// train/val/test split is provided because ByteGNN-style partitioning
+/// explicitly balances training vertices; other partitioners ignore it.
+class VertexPartitioner {
+ public:
+  virtual ~VertexPartitioner() = default;
+  virtual std::string name() const = 0;
+  virtual std::string category() const = 0;
+  virtual Result<VertexPartitioning> Partition(const Graph& graph,
+                                               const VertexSplit& split,
+                                               PartitionId k,
+                                               uint64_t seed) const = 0;
+
+ protected:
+  static Status CheckArgs(const Graph& graph, const VertexSplit& split,
+                          PartitionId k);
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_PARTITIONING_H_

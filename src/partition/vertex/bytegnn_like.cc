@@ -1,0 +1,146 @@
+#include "partition/vertex/bytegnn_like.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+Result<VertexPartitioning> ByteGnnLikePartitioner::Partition(
+    const Graph& graph, const VertexSplit& split, PartitionId k,
+    uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, split, k));
+  const size_t n = graph.num_vertices();
+  Rng rng(seed);
+
+  VertexPartitioning result;
+  result.k = k;
+  result.assignment.assign(n, kInvalidPartition);
+  std::vector<uint64_t> load(k, 0);
+  std::vector<uint64_t> train_load(k, 0);
+  const uint64_t capacity = static_cast<uint64_t>(
+      1.05 * static_cast<double>(n) / static_cast<double>(k)) + 1;
+
+  // Distribute training vertices (the sampling roots) round-robin so every
+  // partition gets an equal share, then grow a bounded-depth BFS block
+  // around each root on its partition.
+  std::vector<VertexId> roots = split.train_vertices();
+  rng.Shuffle(&roots);
+
+  // Bound each root's BFS block so the blocks tile the graph instead of the
+  // first k roots swallowing whole partitions; training-vertex balance is
+  // ByteGNN's primary objective.
+  const size_t root_budget = std::max<size_t>(
+      4, 2 * n / std::max<size_t>(1, roots.size()));
+
+  struct QueueEntry {
+    VertexId vertex;
+    int depth;
+  };
+  std::vector<std::deque<QueueEntry>> frontiers(k);
+  PartitionId next_part = 0;
+  std::vector<uint32_t> root_conn(k, 0);
+  for (VertexId root : roots) {
+    if (result.assignment[root] != kInvalidPartition) continue;
+    // Primary objective: balance training vertices. Among the partitions
+    // tied at the minimum training load, prefer the one already holding
+    // most of the root's neighbourhood — that keeps adjacent blocks
+    // together, which is what makes the sampled k-hop context local.
+    uint64_t min_train = train_load[0];
+    for (PartitionId q = 1; q < k; ++q) {
+      min_train = std::min(min_train, train_load[q]);
+    }
+    std::fill(root_conn.begin(), root_conn.end(), 0);
+    for (VertexId u : graph.Neighbors(root)) {
+      PartitionId pu = result.assignment[u];
+      if (pu != kInvalidPartition) ++root_conn[pu];
+    }
+    PartitionId p = next_part;
+    bool found = false;
+    for (PartitionId q = 0; q < k; ++q) {
+      if (train_load[q] != min_train) continue;
+      if (!found || root_conn[q] > root_conn[p] ||
+          (root_conn[q] == root_conn[p] && load[q] < load[p])) {
+        p = q;
+        found = true;
+      }
+    }
+    next_part = (next_part + 1) % k;
+    if (load[p] >= capacity) {
+      // Fall back to least-loaded if the training-balanced choice is full.
+      p = static_cast<PartitionId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    result.assignment[root] = p;
+    ++load[p];
+    ++train_load[p];
+    frontiers[p].push_back({root, 0});
+
+    // Interleave block growth: expand this root's neighbourhood now so the
+    // k-hop context lands on the same partition, up to the per-root budget.
+    size_t block_size = 1;
+    while (!frontiers[p].empty()) {
+      QueueEntry entry = frontiers[p].front();
+      frontiers[p].pop_front();
+      if (entry.depth >= bfs_depth_) continue;
+      for (VertexId u : graph.Neighbors(entry.vertex)) {
+        if (result.assignment[u] != kInvalidPartition) continue;
+        if (load[p] >= capacity || block_size >= root_budget) break;
+        // Do not swallow other partitions' future roots greedily: training
+        // vertices are only claimed as roots, never as block members.
+        if (split.IsTrain(u)) continue;
+        result.assignment[u] = p;
+        ++load[p];
+        ++block_size;
+        frontiers[p].push_back({u, entry.depth + 1});
+      }
+      if (load[p] >= capacity || block_size >= root_budget) break;
+    }
+    frontiers[p].clear();
+  }
+
+  // Assign whatever is left (unreached vertices, leftover training
+  // vertices in full partitions) to the least-loaded partition, preferring
+  // a partition where the vertex has neighbours.
+  std::vector<uint32_t> counts(k, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (result.assignment[v] != kInvalidPartition) continue;
+    PartitionId best = kInvalidPartition;
+    if (split.IsTrain(v)) {
+      // Leftover training vertices go where training load is lowest —
+      // training balance beats locality for ByteGNN.
+      for (PartitionId p = 0; p < k; ++p) {
+        if (load[p] >= capacity) continue;
+        if (best == kInvalidPartition || train_load[p] < train_load[best]) {
+          best = p;
+        }
+      }
+    } else {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (VertexId u : graph.Neighbors(v)) {
+        PartitionId pu = result.assignment[u];
+        if (pu != kInvalidPartition) ++counts[pu];
+      }
+      for (PartitionId p = 0; p < k; ++p) {
+        if (load[p] >= capacity) continue;
+        if (best == kInvalidPartition || counts[p] > counts[best] ||
+            (counts[p] == counts[best] && load[p] < load[best])) {
+          best = p;
+        }
+      }
+    }
+    if (best == kInvalidPartition) {
+      best = static_cast<PartitionId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    result.assignment[v] = best;
+    ++load[best];
+    if (split.IsTrain(v)) ++train_load[best];
+  }
+  return result;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,31 @@
+#ifndef GNNPART_PARTITION_VERTEX_BYTEGNN_LIKE_H_
+#define GNNPART_PARTITION_VERTEX_BYTEGNN_LIKE_H_
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// ByteGNN-style GNN-aware partitioning [Zheng et al., VLDB'22]: the only
+/// partitioner in the study designed for mini-batch GNN training. Blocks
+/// are grown by bounded-depth BFS *from the training vertices* (the roots
+/// of mini-batch sampling) and packed onto partitions so that the number of
+/// training vertices per partition is balanced and each training vertex's
+/// sampling neighbourhood tends to stay local.
+class ByteGnnLikePartitioner : public VertexPartitioner {
+ public:
+  /// bfs_depth bounds block growth (the study samples 2-4 hops).
+  explicit ByteGnnLikePartitioner(int bfs_depth = 2) : bfs_depth_(bfs_depth) {}
+
+  std::string name() const override { return "ByteGNN"; }
+  std::string category() const override { return "in-memory"; }
+  Result<VertexPartitioning> Partition(const Graph& graph,
+                                       const VertexSplit& split, PartitionId k,
+                                       uint64_t seed) const override;
+
+ private:
+  int bfs_depth_;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_VERTEX_BYTEGNN_LIKE_H_

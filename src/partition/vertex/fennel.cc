@@ -1,0 +1,60 @@
+#include "partition/vertex/fennel.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+Result<VertexPartitioning> FennelPartitioner::Partition(
+    const Graph& graph, const VertexSplit& split, PartitionId k,
+    uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, split, k));
+  const size_t n = graph.num_vertices();
+  const double m = static_cast<double>(graph.num_edges());
+  VertexPartitioning result;
+  result.k = k;
+  result.assignment.assign(n, kInvalidPartition);
+
+  // Fennel's alpha: m * k^(gamma-1) / n^gamma.
+  const double alpha = m * std::pow(static_cast<double>(k), gamma_ - 1.0) /
+                       std::pow(static_cast<double>(n), gamma_);
+  const double capacity =
+      load_slack_ * static_cast<double>(n) / static_cast<double>(k);
+
+  std::vector<uint64_t> load(k, 0);
+  std::vector<uint32_t> neighbor_count(k, 0);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  for (VertexId v : order) {
+    std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
+    for (VertexId u : graph.Neighbors(v)) {
+      PartitionId pu = result.assignment[u];
+      if (pu != kInvalidPartition) ++neighbor_count[pu];
+    }
+    PartitionId best = 0;
+    double best_score = -1e300;
+    for (PartitionId p = 0; p < k; ++p) {
+      if (static_cast<double>(load[p]) >= capacity) continue;
+      double penalty =
+          alpha * gamma_ *
+          std::pow(static_cast<double>(load[p]), gamma_ - 1.0);
+      double score = static_cast<double>(neighbor_count[p]) - penalty;
+      if (score > best_score ||
+          (score == best_score && load[p] < load[best])) {
+        best_score = score;
+        best = p;
+      }
+    }
+    result.assignment[v] = best;
+    ++load[best];
+  }
+  return result;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,30 @@
+#ifndef GNNPART_PARTITION_VERTEX_LDG_H_
+#define GNNPART_PARTITION_VERTEX_LDG_H_
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// Linear Deterministic Greedy [Stanton & Kliot, KDD'12]: stateful
+/// streaming edge-cut partitioning. Vertices arrive one at a time (with
+/// their adjacency); each is placed on the partition holding most of its
+/// already-placed neighbours, damped by a multiplicative penalty
+/// (1 - |P|/C) so partitions fill evenly.
+class LdgPartitioner : public VertexPartitioner {
+ public:
+  /// slack inflates the per-partition capacity C = slack * n / k.
+  explicit LdgPartitioner(double slack = 1.05) : slack_(slack) {}
+
+  std::string name() const override { return "LDG"; }
+  std::string category() const override { return "stateful streaming"; }
+  Result<VertexPartitioning> Partition(const Graph& graph,
+                                       const VertexSplit& split, PartitionId k,
+                                       uint64_t seed) const override;
+
+ private:
+  double slack_;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_VERTEX_LDG_H_

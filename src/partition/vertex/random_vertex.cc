@@ -1,0 +1,21 @@
+#include "partition/vertex/random_vertex.h"
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+Result<VertexPartitioning> RandomVertexPartitioner::Partition(
+    const Graph& graph, const VertexSplit& split, PartitionId k,
+    uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, split, k));
+  VertexPartitioning result;
+  result.k = k;
+  result.assignment.resize(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    result.assignment[v] =
+        static_cast<PartitionId>(HashCombine64(seed, v) % k);
+  }
+  return result;
+}
+
+}  // namespace gnnpart

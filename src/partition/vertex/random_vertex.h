@@ -1,0 +1,22 @@
+#ifndef GNNPART_PARTITION_VERTEX_RANDOM_VERTEX_H_
+#define GNNPART_PARTITION_VERTEX_RANDOM_VERTEX_H_
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// Stateless streaming edge-cut baseline: every vertex is hashed to a
+/// partition. Worst edge-cut, near-perfect vertex balance; the study's
+/// "Random" vertex partitioner and the denominator of every speedup.
+class RandomVertexPartitioner : public VertexPartitioner {
+ public:
+  std::string name() const override { return "Random"; }
+  std::string category() const override { return "stateless streaming"; }
+  Result<VertexPartitioning> Partition(const Graph& graph,
+                                       const VertexSplit& split, PartitionId k,
+                                       uint64_t seed) const override;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_VERTEX_RANDOM_VERTEX_H_

@@ -1,0 +1,57 @@
+#include "partition/vertex/registry.h"
+
+#include "partition/vertex/bytegnn_like.h"
+#include "partition/vertex/fennel.h"
+#include "partition/vertex/reldg.h"
+#include "partition/vertex/ldg.h"
+#include "partition/vertex/metis_like.h"
+#include "partition/vertex/random_vertex.h"
+#include "partition/vertex/spinner.h"
+
+namespace gnnpart {
+
+std::vector<VertexPartitionerId> AllVertexPartitioners() {
+  return {VertexPartitionerId::kRandom,  VertexPartitionerId::kLdg,
+          VertexPartitionerId::kSpinner, VertexPartitionerId::kMetis,
+          VertexPartitionerId::kByteGnn, VertexPartitionerId::kKahip};
+}
+
+std::vector<VertexPartitionerId> AllVertexPartitionersExtended() {
+  std::vector<VertexPartitionerId> all = AllVertexPartitioners();
+  all.push_back(VertexPartitionerId::kFennel);
+  all.push_back(VertexPartitionerId::kReldg);
+  return all;
+}
+
+std::unique_ptr<VertexPartitioner> MakeVertexPartitioner(
+    VertexPartitionerId id) {
+  switch (id) {
+    case VertexPartitionerId::kRandom:
+      return std::make_unique<RandomVertexPartitioner>();
+    case VertexPartitionerId::kLdg:
+      return std::make_unique<LdgPartitioner>();
+    case VertexPartitionerId::kSpinner:
+      return std::make_unique<SpinnerPartitioner>();
+    case VertexPartitionerId::kMetis:
+      return std::make_unique<MetisLikePartitioner>();
+    case VertexPartitionerId::kByteGnn:
+      return std::make_unique<ByteGnnLikePartitioner>();
+    case VertexPartitionerId::kKahip:
+      return std::make_unique<KahipLikePartitioner>();
+    case VertexPartitionerId::kFennel:
+      return std::make_unique<FennelPartitioner>();
+    case VertexPartitionerId::kReldg:
+      return std::make_unique<ReldgPartitioner>();
+  }
+  return nullptr;
+}
+
+Result<VertexPartitionerId> ParseVertexPartitionerName(
+    const std::string& name) {
+  for (VertexPartitionerId id : AllVertexPartitionersExtended()) {
+    if (MakeVertexPartitioner(id)->name() == name) return id;
+  }
+  return Status::NotFound("unknown vertex partitioner '" + name + "'");
+}
+
+}  // namespace gnnpart

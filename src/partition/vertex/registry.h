@@ -1,0 +1,42 @@
+#ifndef GNNPART_PARTITION_VERTEX_REGISTRY_H_
+#define GNNPART_PARTITION_VERTEX_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// The six vertex partitioners evaluated against DistDGL (paper Table 2).
+enum class VertexPartitionerId {
+  kRandom,
+  kLdg,
+  kSpinner,
+  kMetis,
+  kByteGnn,
+  kKahip,
+  // Extension partitioners beyond the paper's Table 2 line-up.
+  kFennel,
+  kReldg,
+};
+
+/// The paper's six partitioners in presentation order.
+std::vector<VertexPartitionerId> AllVertexPartitioners();
+
+/// Paper partitioners plus the extensions (Fennel, ReLDG).
+std::vector<VertexPartitionerId> AllVertexPartitionersExtended();
+
+/// Instantiates a partitioner with its paper-default parameters.
+std::unique_ptr<VertexPartitioner> MakeVertexPartitioner(
+    VertexPartitionerId id);
+
+/// Looks a partitioner up by its display name ("Metis", "KaHIP", ...).
+Result<VertexPartitionerId> ParseVertexPartitionerName(
+    const std::string& name);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_VERTEX_REGISTRY_H_

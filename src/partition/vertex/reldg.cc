@@ -1,0 +1,59 @@
+#include "partition/vertex/reldg.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+Result<VertexPartitioning> ReldgPartitioner::Partition(
+    const Graph& graph, const VertexSplit& split, PartitionId k,
+    uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, split, k));
+  const size_t n = graph.num_vertices();
+  VertexPartitioning result;
+  result.k = k;
+  result.assignment.assign(n, kInvalidPartition);
+
+  const double capacity =
+      slack_ * static_cast<double>(n) / static_cast<double>(k);
+  std::vector<uint64_t> load(k, 0);
+  std::vector<uint32_t> neighbor_count(k, 0);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+
+  for (int pass = 0; pass < passes_; ++pass) {
+    rng.Shuffle(&order);
+    for (VertexId v : order) {
+      PartitionId old = result.assignment[v];
+      if (old != kInvalidPartition) --load[old];  // re-place this vertex
+      std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
+      for (VertexId u : graph.Neighbors(v)) {
+        PartitionId pu = result.assignment[u];
+        if (pu != kInvalidPartition) ++neighbor_count[pu];
+      }
+      PartitionId best = 0;
+      double best_score = -1.0;
+      uint64_t best_load = ~0ULL;
+      for (PartitionId p = 0; p < k; ++p) {
+        double penalty = 1.0 - static_cast<double>(load[p]) / capacity;
+        if (penalty < 0) penalty = 0;
+        double score =
+            (1.0 + static_cast<double>(neighbor_count[p])) * penalty;
+        if (score > best_score ||
+            (score == best_score && load[p] < best_load)) {
+          best_score = score;
+          best = p;
+          best_load = load[p];
+        }
+      }
+      result.assignment[v] = best;
+      ++load[best];
+    }
+  }
+  return result;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,32 @@
+#ifndef GNNPART_PARTITION_VERTEX_RELDG_H_
+#define GNNPART_PARTITION_VERTEX_RELDG_H_
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// Restreaming LDG [Nishimura & Ugander, KDD'13 — reference 33 of the
+/// paper]: runs the LDG objective over several passes of the vertex
+/// stream; from the second pass on every vertex sees the *complete*
+/// previous assignment, so the partitioning converges like constrained
+/// label propagation while keeping LDG's strict streaming structure.
+/// Extension beyond the paper's Table 2 line-up.
+class ReldgPartitioner : public VertexPartitioner {
+ public:
+  explicit ReldgPartitioner(int passes = 3, double slack = 1.05)
+      : passes_(passes), slack_(slack) {}
+
+  std::string name() const override { return "ReLDG"; }
+  std::string category() const override { return "restreaming"; }
+  Result<VertexPartitioning> Partition(const Graph& graph,
+                                       const VertexSplit& split, PartitionId k,
+                                       uint64_t seed) const override;
+
+ private:
+  int passes_;
+  double slack_;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_VERTEX_RELDG_H_

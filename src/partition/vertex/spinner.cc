@@ -1,0 +1,72 @@
+#include "partition/vertex/spinner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+Result<VertexPartitioning> SpinnerPartitioner::Partition(
+    const Graph& graph, const VertexSplit& split, PartitionId k,
+    uint64_t seed) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, split, k));
+  const size_t n = graph.num_vertices();
+  Rng rng(seed);
+
+  VertexPartitioning result;
+  result.k = k;
+  result.assignment.resize(n);
+  std::vector<uint64_t> load(k, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    PartitionId p = static_cast<PartitionId>(HashCombine64(seed, v) % k);
+    result.assignment[v] = p;
+    ++load[p];
+  }
+
+  const double capacity =
+      capacity_slack_ * static_cast<double>(n) / static_cast<double>(k);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<uint32_t> label_count(k, 0);
+
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    rng.Shuffle(&order);
+    size_t migrations = 0;
+    for (VertexId v : order) {
+      auto nbrs = graph.Neighbors(v);
+      if (nbrs.empty()) continue;
+      std::fill(label_count.begin(), label_count.end(), 0);
+      for (VertexId u : nbrs) ++label_count[result.assignment[u]];
+      PartitionId own = result.assignment[v];
+      double deg = static_cast<double>(nbrs.size());
+      PartitionId best = own;
+      double best_score = -1.0;
+      for (PartitionId p = 0; p < k; ++p) {
+        if (label_count[p] == 0 && p != own) continue;
+        double locality = static_cast<double>(label_count[p]) / deg;
+        double penalty = 1.0 - static_cast<double>(load[p]) / capacity;
+        if (penalty < 0) penalty = 0;
+        double score = locality + penalty;
+        if (score > best_score) {
+          best_score = score;
+          best = p;
+        }
+      }
+      if (best != own && load[best] < capacity) {
+        result.assignment[v] = best;
+        --load[own];
+        ++load[best];
+        ++migrations;
+      }
+    }
+    if (static_cast<double>(migrations) <
+        convergence_threshold_ * static_cast<double>(n)) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,36 @@
+#ifndef GNNPART_PARTITION_VERTEX_SPINNER_H_
+#define GNNPART_PARTITION_VERTEX_SPINNER_H_
+
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// Spinner [Martella et al., ICDE'17]: in-memory edge-cut partitioning by
+/// label propagation. Starting from a random assignment, vertices
+/// iteratively adopt the label most frequent among their neighbours,
+/// combined with a load penalty that discourages moving into nearly-full
+/// partitions. Converges to locally-coherent, balanced partitions; cut
+/// quality sits between streaming partitioners and multilevel ones.
+class SpinnerPartitioner : public VertexPartitioner {
+ public:
+  SpinnerPartitioner(int max_iterations = 40, double capacity_slack = 1.05,
+                     double convergence_threshold = 0.001)
+      : max_iterations_(max_iterations),
+        capacity_slack_(capacity_slack),
+        convergence_threshold_(convergence_threshold) {}
+
+  std::string name() const override { return "Spinner"; }
+  std::string category() const override { return "in-memory"; }
+  Result<VertexPartitioning> Partition(const Graph& graph,
+                                       const VertexSplit& split, PartitionId k,
+                                       uint64_t seed) const override;
+
+ private:
+  int max_iterations_;
+  double capacity_slack_;
+  double convergence_threshold_;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_VERTEX_SPINNER_H_

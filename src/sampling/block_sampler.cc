@@ -1,0 +1,76 @@
+#include "sampling/block_sampler.h"
+
+#include <algorithm>
+
+namespace gnnpart {
+
+Result<Graph> SampledBlock::BuildLocalGraph() const {
+  GraphBuilder builder(vertices.size(), /*directed=*/false);
+  builder.Reserve(local_edges.size());
+  for (const Edge& e : local_edges) builder.AddEdge(e.src, e.dst);
+  return builder.Build("block");
+}
+
+BlockSampler::BlockSampler(const Graph& graph)
+    : graph_(graph),
+      local_index_(graph.num_vertices(), 0),
+      visit_stamp_(graph.num_vertices(), 0) {}
+
+SampledBlock BlockSampler::SampleBlock(std::span<const VertexId> seeds,
+                                       const std::vector<size_t>& fanouts,
+                                       Rng* rng) const {
+  SampledBlock block;
+  ++stamp_;
+  if (stamp_ == 0) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    stamp_ = 1;
+  }
+  const uint32_t now = stamp_;
+  auto local_of = [&](VertexId v) -> uint32_t {
+    if (visit_stamp_[v] != now) {
+      visit_stamp_[v] = now;
+      local_index_[v] = static_cast<uint32_t>(block.vertices.size());
+      block.vertices.push_back(v);
+    }
+    return local_index_[v];
+  };
+
+  std::vector<VertexId> frontier;
+  for (VertexId s : seeds) {
+    size_t before = block.vertices.size();
+    local_of(s);
+    if (block.vertices.size() > before) frontier.push_back(s);
+  }
+  block.num_seeds = block.vertices.size();
+
+  std::vector<VertexId> next;
+  std::vector<VertexId> reservoir;
+  for (size_t fanout : fanouts) {
+    next.clear();
+    for (VertexId v : frontier) {
+      auto nbrs = graph_.Neighbors(v);
+      if (nbrs.empty()) continue;
+      size_t take = std::min(fanout, nbrs.size());
+      reservoir.assign(nbrs.begin(), nbrs.end());
+      if (take < reservoir.size()) {
+        for (size_t i = 0; i < take; ++i) {
+          size_t j = i + rng->NextBounded(reservoir.size() - i);
+          std::swap(reservoir[i], reservoir[j]);
+        }
+        reservoir.resize(take);
+      }
+      uint32_t lv = local_index_[v];
+      for (VertexId u : reservoir) {
+        size_t before = block.vertices.size();
+        uint32_t lu = local_of(u);
+        block.local_edges.push_back(
+            {static_cast<VertexId>(lv), static_cast<VertexId>(lu)});
+        if (block.vertices.size() > before) next.push_back(u);
+      }
+    }
+    frontier.swap(next);
+  }
+  return block;
+}
+
+}  // namespace gnnpart

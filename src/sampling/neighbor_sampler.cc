@@ -1,0 +1,85 @@
+#include "sampling/neighbor_sampler.h"
+
+#include <algorithm>
+
+namespace gnnpart {
+
+NeighborSampler::NeighborSampler(const Graph& graph)
+    : graph_(graph), visit_stamp_(graph.num_vertices(), 0) {}
+
+MiniBatchProfile NeighborSampler::SampleBatch(
+    std::span<const VertexId> seeds, const std::vector<size_t>& fanouts,
+    const VertexPartitioning* parts, PartitionId owner, Rng* rng) const {
+  MiniBatchProfile profile;
+  profile.seeds = seeds.size();
+
+  ++stamp_;
+  if (stamp_ == 0) {  // wrapped: reset the scratch array
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    stamp_ = 1;
+  }
+  const uint32_t now = stamp_;
+
+  std::vector<VertexId> frontier(seeds.begin(), seeds.end());
+  std::vector<VertexId> input;
+  for (VertexId v : frontier) {
+    if (visit_stamp_[v] != now) {
+      visit_stamp_[v] = now;
+      input.push_back(v);
+    }
+  }
+  profile.frontier_sizes.push_back(frontier.size());
+
+  std::vector<VertexId> next;
+  std::vector<VertexId> reservoir;
+  for (size_t fanout : fanouts) {
+    next.clear();
+    size_t hop_edge_count = 0;
+    for (VertexId v : frontier) {
+      if (parts && parts->assignment[v] != owner) {
+        ++profile.remote_sampling_requests;
+      }
+      auto nbrs = graph_.Neighbors(v);
+      if (nbrs.empty()) continue;
+      size_t take = std::min(fanout, nbrs.size());
+      profile.computation_edges += take;
+      hop_edge_count += take;
+      if (take == nbrs.size()) {
+        reservoir.assign(nbrs.begin(), nbrs.end());
+      } else {
+        // Uniform sample without replacement (partial Fisher-Yates over a
+        // copy; neighbourhoods at these fanouts are small).
+        reservoir.assign(nbrs.begin(), nbrs.end());
+        for (size_t i = 0; i < take; ++i) {
+          size_t j = i + rng->NextBounded(reservoir.size() - i);
+          std::swap(reservoir[i], reservoir[j]);
+        }
+        reservoir.resize(take);
+      }
+      for (VertexId u : reservoir) {
+        if (visit_stamp_[u] != now) {
+          visit_stamp_[u] = now;
+          input.push_back(u);
+          next.push_back(u);
+        }
+      }
+    }
+    profile.frontier_sizes.push_back(next.size());
+    profile.hop_edges.push_back(hop_edge_count);
+    frontier.swap(next);
+  }
+
+  profile.input_vertices = input.size();
+  if (parts) {
+    for (VertexId v : input) {
+      if (parts->assignment[v] == owner) {
+        ++profile.local_input_vertices;
+      } else {
+        ++profile.remote_input_vertices;
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace gnnpart

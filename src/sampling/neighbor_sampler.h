@@ -1,0 +1,71 @@
+#ifndef GNNPART_SAMPLING_NEIGHBOR_SAMPLER_H_
+#define GNNPART_SAMPLING_NEIGHBOR_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// Size and locality profile of one sampled mini-batch computation graph.
+/// These are the quantities DistDGL's data-loading phase is made of, and the
+/// paper's Figures 14, 24b and 26c report them directly.
+struct MiniBatchProfile {
+  /// Seed (training) vertices of the batch.
+  size_t seeds = 0;
+  /// Distinct vertices required to compute the batch (all hops + seeds) —
+  /// the paper's "input vertices".
+  size_t input_vertices = 0;
+  /// Input vertices whose features live on the sampling worker's partition.
+  size_t local_input_vertices = 0;
+  /// Input vertices fetched from other workers — the paper's
+  /// "remote vertices"; drives the feature-loading phase.
+  size_t remote_input_vertices = 0;
+  /// Edges of the sampled computation graph, summed over layers; drives the
+  /// forward/backward compute cost.
+  size_t computation_edges = 0;
+  /// Frontier vertices whose adjacency lists live on a remote partition —
+  /// each needs a sampling RPC; drives the sampling phase's network share.
+  size_t remote_sampling_requests = 0;
+  /// Distinct vertices per hop, seeds first.
+  std::vector<size_t> frontier_sizes;
+  /// Sampled edges per hop (hop_edges[i] = edges drawn when expanding from
+  /// hop i's frontier); per-layer compute costs are derived from these.
+  std::vector<size_t> hop_edges;
+};
+
+/// DGL-style layered neighbourhood sampler. For each training step a worker
+/// samples, layer by layer, up to fanout[l] neighbours of every frontier
+/// vertex; the union of all visited vertices forms the batch's input set.
+///
+/// The sampler runs against the *real* graph and a vertex partitioning, so
+/// locality quantities (remote vertices, remote sampling requests) are
+/// measured, not modeled.
+class NeighborSampler {
+ public:
+  explicit NeighborSampler(const Graph& graph);
+
+  /// Samples one mini-batch for a worker owning partition `owner`.
+  /// `fanouts` is indexed from the seed side (fanouts[0] = first expansion).
+  /// Pass parts = nullptr to profile a non-partitioned (single-machine)
+  /// batch; locality fields are then zero.
+  MiniBatchProfile SampleBatch(std::span<const VertexId> seeds,
+                               const std::vector<size_t>& fanouts,
+                               const VertexPartitioning* parts,
+                               PartitionId owner, Rng* rng) const;
+
+ private:
+  const Graph& graph_;
+  // Scratch visited stamps (mutable so SampleBatch stays const; a sampler
+  // is not thread-safe, matching single-threaded simulator use).
+  mutable std::vector<uint32_t> visit_stamp_;
+  mutable uint32_t stamp_ = 0;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_SAMPLING_NEIGHBOR_SAMPLER_H_

@@ -1,0 +1,205 @@
+#include "sim/distdgl_sim.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "gnn/costs.h"
+
+namespace gnnpart {
+
+uint64_t DistDglEpochProfile::TotalRemoteInputVertices() const {
+  uint64_t total = 0;
+  for (const auto& step : profiles) {
+    for (const auto& p : step) total += p.remote_input_vertices;
+  }
+  return total;
+}
+
+uint64_t DistDglEpochProfile::TotalInputVertices() const {
+  uint64_t total = 0;
+  for (const auto& step : profiles) {
+    for (const auto& p : step) total += p.input_vertices;
+  }
+  return total;
+}
+
+uint64_t DistDglEpochProfile::TotalComputationEdges() const {
+  uint64_t total = 0;
+  for (const auto& step : profiles) {
+    for (const auto& p : step) total += p.computation_edges;
+  }
+  return total;
+}
+
+double DistDglEpochProfile::InputVertexBalance() const {
+  if (profiles.empty()) return 0;
+  double acc = 0;
+  for (const auto& step : profiles) {
+    std::vector<double> sizes;
+    sizes.reserve(step.size());
+    for (const auto& p : step) {
+      sizes.push_back(static_cast<double>(p.input_vertices));
+    }
+    acc += MaxOverMean(sizes);
+  }
+  return acc / static_cast<double>(profiles.size());
+}
+
+Result<DistDglEpochProfile> ProfileDistDglEpoch(
+    const Graph& graph, const VertexPartitioning& parts,
+    const VertexSplit& split, const std::vector<size_t>& fanouts,
+    size_t global_batch_size, uint64_t seed) {
+  if (parts.assignment.size() != graph.num_vertices()) {
+    return Status::InvalidArgument("partitioning does not match the graph");
+  }
+  if (global_batch_size == 0) {
+    return Status::InvalidArgument("global batch size must be > 0");
+  }
+  if (split.train_vertices().empty()) {
+    return Status::FailedPrecondition("no training vertices in the split");
+  }
+  const PartitionId k = parts.k;
+  const size_t local_batch = std::max<size_t>(1, global_batch_size / k);
+
+  // Shard training vertices by owning partition (DistDGL locality).
+  std::vector<std::vector<VertexId>> shards(k);
+  for (VertexId v : split.train_vertices()) {
+    shards[parts.assignment[v]].push_back(v);
+  }
+  Rng rng(seed);
+  for (auto& shard : shards) rng.Shuffle(&shard);
+
+  DistDglEpochProfile epoch;
+  epoch.workers = k;
+  epoch.steps = (split.train_vertices().size() + global_batch_size - 1) /
+                global_batch_size;
+  epoch.profiles.resize(epoch.steps);
+
+  NeighborSampler sampler(graph);
+  std::vector<size_t> cursor(k, 0);
+  std::vector<VertexId> seeds;
+  for (size_t step = 0; step < epoch.steps; ++step) {
+    epoch.profiles[step].reserve(k);
+    for (PartitionId w = 0; w < k; ++w) {
+      seeds.clear();
+      const auto& shard = shards[w].empty()
+                              ? split.train_vertices()  // empty shard: global
+                              : shards[w];
+      for (size_t i = 0; i < local_batch; ++i) {
+        seeds.push_back(shard[cursor[w] % shard.size()]);
+        ++cursor[w];
+      }
+      Rng worker_rng = rng.Fork((step << 8) ^ w);
+      epoch.profiles[step].push_back(
+          sampler.SampleBatch(seeds, fanouts, &parts, w, &worker_rng));
+    }
+  }
+  return epoch;
+}
+
+DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
+                                        const GnnConfig& config,
+                                        const ClusterSpec& cluster) {
+  DistDglEpochReport report;
+  const PartitionId k = profile.workers;
+  report.workers.resize(k);
+  const double feat_bytes = static_cast<double>(config.feature_size) *
+                            sizeof(float);
+  const double params = ModelParameterBytes(config);
+  const int layers = config.num_layers;
+
+  for (size_t step = 0; step < profile.steps; ++step) {
+    double max_sampling = 0, max_feature = 0, max_forward = 0,
+           max_backward = 0, max_update = 0;
+    for (PartitionId w = 0; w < k; ++w) {
+      const MiniBatchProfile& mb = profile.profiles[step][w];
+      DistDglWorkerStats& ws = report.workers[w];
+
+      // --- Mini-batch sampling: local traversal + remote sampling RPCs.
+      // DistDGL batches RPCs per (layer, remote machine), so the latency
+      // charge is one round trip per remote machine actually contacted —
+      // at most layers * (k-1), but zero when the partitioning keeps the
+      // expansion local (the regime that makes DI scale so well).
+      double rpc_bytes = static_cast<double>(mb.remote_sampling_requests) *
+                         cluster.rpc_bytes_per_remote_vertex;
+      double rpc_rounds =
+          std::min(static_cast<double>(layers) * (k - 1),
+                   static_cast<double>(mb.remote_sampling_requests));
+      double sampling = static_cast<double>(mb.computation_edges) /
+                            cluster.sampling_edges_per_second +
+                        rpc_bytes / cluster.network_bandwidth +
+                        rpc_rounds * cluster.network_latency;
+
+      // --- Feature loading: remote fetch over the network, local gather
+      // from memory. Latency again per remote machine actually holding
+      // needed features.
+      double fetch_bytes =
+          static_cast<double>(mb.remote_input_vertices) * feat_bytes;
+      double fetch_rounds =
+          std::min(static_cast<double>(k - 1),
+                   static_cast<double>(mb.remote_input_vertices));
+      double feature = fetch_bytes / cluster.network_bandwidth +
+                       static_cast<double>(mb.local_input_vertices) *
+                           feat_bytes / cluster.memory_bandwidth +
+                       fetch_rounds * cluster.network_latency;
+
+      // --- Forward: per-layer cost on the shrinking computation graph.
+      // Layer l aggregates over the edges sampled at hop (layers-1-l) and
+      // transforms the vertices within (layers-1-l) hops of the seeds.
+      double forward = 0;
+      for (int l = 0; l < layers; ++l) {
+        size_t hop = static_cast<size_t>(layers - 1 - l);
+        double edges = hop < mb.hop_edges.size()
+                           ? static_cast<double>(mb.hop_edges[hop])
+                           : 0;
+        double vertices = 0;
+        for (size_t j = 0; j <= hop && j < mb.frontier_sizes.size(); ++j) {
+          vertices += static_cast<double>(mb.frontier_sizes[j]);
+        }
+        LayerCost cost = ComputeLayerCost(config, l, vertices, edges);
+        forward +=
+            cost.aggregation_flops / cluster.aggregation_flops_per_second +
+            cost.dense_flops / cluster.flops_per_second;
+      }
+
+      // --- Backward: ~2x forward compute + gradient all-reduce.
+      double backward = 2.0 * forward +
+                        2.0 * params / cluster.network_bandwidth +
+                        2.0 * cluster.network_latency;
+      // --- Model update.
+      double update = params / sizeof(float) / cluster.flops_per_second;
+
+      ws.sampling_seconds += sampling;
+      ws.feature_seconds += feature;
+      ws.forward_seconds += forward;
+      ws.backward_seconds += backward;
+      ws.update_seconds += update;
+      ws.network_bytes += rpc_bytes + fetch_bytes + 2.0 * params;
+
+      max_sampling = std::max(max_sampling, sampling);
+      max_feature = std::max(max_feature, feature);
+      max_forward = std::max(max_forward, forward);
+      max_backward = std::max(max_backward, backward);
+      max_update = std::max(max_update, update);
+      report.remote_input_vertices += mb.remote_input_vertices;
+    }
+    report.sampling_seconds += max_sampling;
+    report.feature_seconds += max_feature;
+    report.forward_seconds += max_forward;
+    report.backward_seconds += max_backward;
+    report.update_seconds += max_update;
+  }
+  report.epoch_seconds = report.sampling_seconds + report.feature_seconds +
+                         report.forward_seconds + report.backward_seconds +
+                         report.update_seconds;
+  std::vector<double> totals;
+  totals.reserve(k);
+  for (const DistDglWorkerStats& ws : report.workers) {
+    report.total_network_bytes += ws.network_bytes;
+    totals.push_back(ws.total_seconds());
+  }
+  report.time_balance = MaxOverMean(totals);
+  return report;
+}
+
+}  // namespace gnnpart

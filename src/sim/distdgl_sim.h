@@ -1,0 +1,84 @@
+#ifndef GNNPART_SIM_DISTDGL_SIM_H_
+#define GNNPART_SIM_DISTDGL_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "gnn/model_config.h"
+#include "graph/graph.h"
+#include "graph/split.h"
+#include "partition/partitioning.h"
+#include "sampling/neighbor_sampler.h"
+#include "sim/cluster.h"
+
+namespace gnnpart {
+
+/// The sampled mini-batches of one epoch: profiles[step][worker]. Sampling
+/// depends only on (graph, partitioning, fan-outs, batch size, seed) — not
+/// on feature/hidden sizes — so one profile is reused across the paper's
+/// 3x3 hyper-parameter grid.
+struct DistDglEpochProfile {
+  size_t steps = 0;
+  PartitionId workers = 0;
+  std::vector<std::vector<MiniBatchProfile>> profiles;
+
+  /// Totals over the epoch (all workers).
+  uint64_t TotalRemoteInputVertices() const;
+  uint64_t TotalInputVertices() const;
+  uint64_t TotalComputationEdges() const;
+  /// Paper Fig. 14: mean over steps of max/mean input vertices per worker.
+  double InputVertexBalance() const;
+};
+
+/// Runs the real layered neighbourhood sampler for every worker and step of
+/// one epoch. Each worker draws its seeds from the training vertices local
+/// to its partition (DistDGL's locality-aware data loading); workers with
+/// fewer local training vertices recycle their shard so that every worker
+/// runs every step, as in DistDGL.
+Result<DistDglEpochProfile> ProfileDistDglEpoch(
+    const Graph& graph, const VertexPartitioning& parts,
+    const VertexSplit& split, const std::vector<size_t>& fanouts,
+    size_t global_batch_size, uint64_t seed);
+
+/// Per-worker phase seconds over one epoch.
+struct DistDglWorkerStats {
+  double sampling_seconds = 0;
+  double feature_seconds = 0;
+  double forward_seconds = 0;
+  double backward_seconds = 0;
+  double update_seconds = 0;
+  double network_bytes = 0;
+
+  double total_seconds() const {
+    return sampling_seconds + feature_seconds + forward_seconds +
+           backward_seconds + update_seconds;
+  }
+};
+
+/// Result of simulating one mini-batch training epoch with straggler
+/// semantics: per step, each phase costs the maximum over workers (the
+/// paper's methodology for phase analysis).
+struct DistDglEpochReport {
+  double epoch_seconds = 0;
+  // Straggler-summed phase times (paper Figs. 19, 21, 22, 25).
+  double sampling_seconds = 0;
+  double feature_seconds = 0;
+  double forward_seconds = 0;
+  double backward_seconds = 0;
+  double update_seconds = 0;
+  double total_network_bytes = 0;
+  uint64_t remote_input_vertices = 0;
+  /// max/mean of per-worker total seconds (paper Fig. 17).
+  double time_balance = 0;
+  std::vector<DistDglWorkerStats> workers;
+};
+
+/// Translates an epoch profile into time/traffic under the cost model.
+DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
+                                        const GnnConfig& config,
+                                        const ClusterSpec& cluster);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_SIM_DISTDGL_SIM_H_

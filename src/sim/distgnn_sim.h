@@ -1,0 +1,72 @@
+#ifndef GNNPART_SIM_DISTGNN_SIM_H_
+#define GNNPART_SIM_DISTGNN_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gnn/model_config.h"
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+#include "sim/cluster.h"
+
+namespace gnnpart {
+
+/// Partition-derived quantities that determine full-batch training cost.
+/// Computed once per (graph, partitioning); every hyper-parameter
+/// configuration is then simulated in closed form.
+struct DistGnnWorkload {
+  PartitionId k = 0;
+  size_t graph_vertices = 0;
+  size_t graph_edges = 0;
+  /// Edges per partition (aggregation work).
+  std::vector<uint64_t> edges;
+  /// Covered vertices |V(p)| per partition (dense work + activation memory).
+  std::vector<uint64_t> vertices;
+  /// Per partition: number of covered vertices that are replicated
+  /// somewhere (replica set size > 1); each must synchronize its state.
+  std::vector<uint64_t> synced_vertices;
+  /// Mean replication factor (for reporting).
+  double replication_factor = 0;
+};
+
+/// Builds the workload profile from a real edge partitioning.
+DistGnnWorkload BuildDistGnnWorkload(const Graph& graph,
+                                     const EdgePartitioning& parts);
+
+/// Per-machine accounting of one simulated epoch.
+struct DistGnnMachineStats {
+  double compute_seconds = 0;
+  double network_seconds = 0;
+  double network_bytes = 0;
+  double memory_bytes = 0;
+};
+
+/// Result of simulating one full-batch training epoch (DistGNN-style BSP
+/// execution: per-layer compute followed by replica synchronization, with
+/// barrier/straggler semantics, forward and backward).
+struct DistGnnEpochReport {
+  double epoch_seconds = 0;
+  double forward_seconds = 0;
+  double backward_seconds = 0;
+  double sync_seconds = 0;      // replica synchronization (network)
+  double optimizer_seconds = 0; // model all-reduce + step
+  double total_network_bytes = 0;
+  double max_memory_bytes = 0;   // peak over machines (drives OOM)
+  double mean_memory_bytes = 0;  // mean over machines (footprint figures)
+  /// max/mean of per-machine memory (paper Fig. 5).
+  double memory_balance = 0;
+  bool out_of_memory = false;
+  std::vector<DistGnnMachineStats> machines;
+};
+
+/// Simulates one epoch of full-batch training. Deterministic; pure
+/// arithmetic over the workload profile.
+DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
+                                        const GnnConfig& config,
+                                        const ClusterSpec& cluster);
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_SIM_DISTGNN_SIM_H_

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/components.h"
+
+namespace gnnpart {
+namespace {
+
+Graph MustBuild(GraphBuilder* b) {
+  Result<Graph> g = b->Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  GraphBuilder b(4, false);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  Graph g = MustBuild(&b);
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 1u);
+  EXPECT_EQ(info.largest_size, 4u);
+  EXPECT_EQ(info.component[0], info.component[3]);
+}
+
+TEST(ComponentsTest, TwoComponentsPlusIsolated) {
+  GraphBuilder b(5, false);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  Graph g = MustBuild(&b);
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 3u);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(info.largest_size, 2u);
+  EXPECT_NE(info.component[0], info.component[2]);
+  EXPECT_NE(info.component[0], info.component[4]);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  GraphBuilder b(0, false);
+  Graph g = MustBuild(&b);
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 0u);
+  EXPECT_EQ(info.largest_size, 0u);
+}
+
+TEST(BfsTest, PathDistances) {
+  GraphBuilder b(5, false);
+  for (VertexId v = 0; v + 1 < 5; ++v) b.AddEdge(v, v + 1);
+  Graph g = MustBuild(&b);
+  auto dist = BfsDistances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsTest, UnreachableIsMax) {
+  GraphBuilder b(3, false);
+  b.AddEdge(0, 1);
+  Graph g = MustBuild(&b);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[2], UINT32_MAX);
+}
+
+TEST(BfsTest, OutOfRangeSource) {
+  GraphBuilder b(2, false);
+  b.AddEdge(0, 1);
+  Graph g = MustBuild(&b);
+  auto dist = BfsDistances(g, 99);
+  EXPECT_EQ(dist[0], UINT32_MAX);
+  EXPECT_EQ(dist[1], UINT32_MAX);
+}
+
+TEST(DiameterTest, PathDiameterExact) {
+  GraphBuilder b(10, false);
+  for (VertexId v = 0; v + 1 < 10; ++v) b.AddEdge(v, v + 1);
+  Graph g = MustBuild(&b);
+  // Double sweep is exact on trees.
+  EXPECT_EQ(EstimateDiameter(g, 4), 9u);
+}
+
+TEST(DiameterTest, RoadBeatsSocialByOrders) {
+  RoadParams rp;
+  rp.width = 40;
+  rp.height = 40;
+  rp.directed = false;
+  rp.deletion_prob = 0;
+  Result<Graph> road = GenerateRoadNetwork(rp, 3);
+  ASSERT_TRUE(road.ok());
+  PowerLawCommunityParams sp;
+  sp.num_vertices = 1600;
+  sp.num_edges = 16000;
+  Result<Graph> social = GeneratePowerLawCommunity(sp, 3);
+  ASSERT_TRUE(social.ok());
+  EXPECT_GT(EstimateDiameter(*road), 8 * EstimateDiameter(*social));
+}
+
+}  // namespace
+}  // namespace gnnpart

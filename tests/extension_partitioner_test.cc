@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "metrics/partition_metrics.h"
+#include <bit>
+
+#include "partition/edge/grid.h"
+#include "partition/edge/registry.h"
+#include "partition/vertex/registry.h"
+
+namespace gnnpart {
+namespace {
+
+Graph TestGraph() {
+  PowerLawCommunityParams p;
+  p.num_vertices = 2000;
+  p.num_edges = 16000;
+  Result<Graph> g = GeneratePowerLawCommunity(p, 31);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(ExtendedRegistryTest, ExtendedListsSupersetPaperLists) {
+  EXPECT_EQ(AllEdgePartitionersExtended().size(),
+            AllEdgePartitioners().size() + 2);
+  EXPECT_EQ(AllVertexPartitionersExtended().size(),
+            AllVertexPartitioners().size() + 2);
+  EXPECT_TRUE(ParseEdgePartitionerName("Greedy").ok());
+  EXPECT_TRUE(ParseEdgePartitionerName("Grid").ok());
+  EXPECT_TRUE(ParseVertexPartitionerName("Fennel").ok());
+  EXPECT_TRUE(ParseVertexPartitionerName("ReLDG").ok());
+}
+
+TEST(GreedyTest, CompleteAndInRange) {
+  Graph g = TestGraph();
+  auto greedy = MakeEdgePartitioner(EdgePartitionerId::kGreedy);
+  EXPECT_EQ(greedy->name(), "Greedy");
+  for (PartitionId k : {1u, 8u, 64u}) {
+    Result<EdgePartitioning> parts = greedy->Partition(g, k, 42);
+    ASSERT_TRUE(parts.ok()) << parts.status();
+    uint64_t total = 0;
+    for (uint64_t c : parts->EdgeCounts()) total += c;
+    EXPECT_EQ(total, g.num_edges());
+  }
+}
+
+TEST(GreedyTest, BeatsRandomLosesToHdrf) {
+  // Greedy's expected slot in the quality ladder.
+  Graph g = TestGraph();
+  auto rf = [&](EdgePartitionerId id) {
+    auto parts = MakeEdgePartitioner(id)->Partition(g, 16, 42);
+    EXPECT_TRUE(parts.ok());
+    return ComputeEdgePartitionMetrics(g, *parts).replication_factor;
+  };
+  double greedy = rf(EdgePartitionerId::kGreedy);
+  EXPECT_LT(greedy, rf(EdgePartitionerId::kRandom));
+  EXPECT_GT(greedy, 0.8 * rf(EdgePartitionerId::kHdrf));
+}
+
+TEST(GreedyTest, Deterministic) {
+  Graph g = TestGraph();
+  auto greedy = MakeEdgePartitioner(EdgePartitionerId::kGreedy);
+  auto a = greedy->Partition(g, 8, 7);
+  auto b = greedy->Partition(g, 8, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(FennelTest, CompleteBalancedAndBeatsRandom) {
+  Graph g = TestGraph();
+  VertexSplit split = VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 3);
+  auto fennel = MakeVertexPartitioner(VertexPartitionerId::kFennel);
+  EXPECT_EQ(fennel->name(), "Fennel");
+  Result<VertexPartitioning> parts = fennel->Partition(g, split, 8, 42);
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  VertexPartitionMetrics m = ComputeVertexPartitionMetrics(g, *parts, split);
+  EXPECT_LE(m.vertex_balance, 1.15);
+  auto random = MakeVertexPartitioner(VertexPartitionerId::kRandom)
+                    ->Partition(g, split, 8, 42);
+  ASSERT_TRUE(random.ok());
+  EXPECT_LT(m.edge_cut_ratio,
+            ComputeVertexPartitionMetrics(g, *random, split).edge_cut_ratio);
+}
+
+TEST(FennelTest, ComparableToLdg) {
+  // Fennel and LDG are the two classic streaming vertex partitioners; on
+  // community graphs they land in the same quality band.
+  Graph g = TestGraph();
+  VertexSplit split = VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 3);
+  auto cut = [&](VertexPartitionerId id) {
+    auto parts = MakeVertexPartitioner(id)->Partition(g, split, 8, 42);
+    EXPECT_TRUE(parts.ok());
+    return ComputeVertexPartitionMetrics(g, *parts, split).edge_cut_ratio;
+  };
+  double fennel = cut(VertexPartitionerId::kFennel);
+  double ldg = cut(VertexPartitionerId::kLdg);
+  EXPECT_LT(fennel, ldg * 1.3);
+  EXPECT_GT(fennel, ldg * 0.5);
+}
+
+TEST(FennelTest, KEqualsOne) {
+  Graph g = TestGraph();
+  VertexSplit split = VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 3);
+  auto parts = MakeVertexPartitioner(VertexPartitionerId::kFennel)
+                   ->Partition(g, split, 1, 42);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(
+      ComputeVertexPartitionMetrics(g, *parts, split).edge_cut_ratio, 0.0);
+}
+
+TEST(GridTest, ShapeFactorsK) {
+  EXPECT_EQ(GridPartitioner::GridShape(4), (std::pair<PartitionId, PartitionId>{2, 2}));
+  EXPECT_EQ(GridPartitioner::GridShape(8), (std::pair<PartitionId, PartitionId>{2, 4}));
+  EXPECT_EQ(GridPartitioner::GridShape(16), (std::pair<PartitionId, PartitionId>{4, 4}));
+  EXPECT_EQ(GridPartitioner::GridShape(32), (std::pair<PartitionId, PartitionId>{4, 8}));
+  EXPECT_EQ(GridPartitioner::GridShape(7), (std::pair<PartitionId, PartitionId>{1, 7}));
+}
+
+TEST(GridTest, ReplicationBoundHolds) {
+  // The grid partitioner's defining property: every vertex is replicated to
+  // at most row + column = r + c - 1 cells.
+  Graph g = TestGraph();
+  for (PartitionId k : {4u, 16u, 32u}) {
+    auto [r, c] = GridPartitioner::GridShape(k);
+    auto parts = MakeEdgePartitioner(EdgePartitionerId::kGrid)
+                     ->Partition(g, k, 42);
+    ASSERT_TRUE(parts.ok());
+    auto masks = ComputeReplicaMasks(g, *parts);
+    for (uint64_t mask : masks) {
+      EXPECT_LE(static_cast<PartitionId>(std::popcount(mask)), r + c - 1);
+    }
+  }
+}
+
+TEST(GridTest, BetweenRandomAndHdrf) {
+  Graph g = TestGraph();
+  auto rf = [&](EdgePartitionerId id) {
+    auto parts = MakeEdgePartitioner(id)->Partition(g, 16, 42);
+    EXPECT_TRUE(parts.ok());
+    return ComputeEdgePartitionMetrics(g, *parts).replication_factor;
+  };
+  double grid = rf(EdgePartitionerId::kGrid);
+  EXPECT_LT(grid, rf(EdgePartitionerId::kRandom));
+  EXPECT_GT(grid, rf(EdgePartitionerId::kHdrf));
+}
+
+TEST(ReldgTest, ImprovesOnSinglePassLdg) {
+  // Restreaming must not be worse than one LDG pass; on community graphs
+  // it is clearly better.
+  Graph g = TestGraph();
+  VertexSplit split = VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 3);
+  auto cut = [&](VertexPartitionerId id) {
+    auto parts = MakeVertexPartitioner(id)->Partition(g, split, 8, 42);
+    EXPECT_TRUE(parts.ok());
+    return ComputeVertexPartitionMetrics(g, *parts, split).edge_cut_ratio;
+  };
+  EXPECT_LT(cut(VertexPartitionerId::kReldg),
+            cut(VertexPartitionerId::kLdg));
+}
+
+TEST(ReldgTest, BalancedAndComplete) {
+  Graph g = TestGraph();
+  VertexSplit split = VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 3);
+  auto parts = MakeVertexPartitioner(VertexPartitionerId::kReldg)
+                   ->Partition(g, split, 8, 42);
+  ASSERT_TRUE(parts.ok());
+  VertexPartitionMetrics m = ComputeVertexPartitionMetrics(g, *parts, split);
+  EXPECT_LE(m.vertex_balance, 1.15);
+  uint64_t total = 0;
+  for (uint64_t n : parts->VertexCounts()) total += n;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+}  // namespace
+}  // namespace gnnpart

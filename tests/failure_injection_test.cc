@@ -1,0 +1,142 @@
+// Failure injection: corrupted cache entries, truncated files, hostile
+// inputs. The harness must degrade to recomputation, never to wrong
+// results.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/io.h"
+#include "harness/cache.h"
+#include "harness/experiment.h"
+
+namespace gnnpart {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("gnnpart_fail_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(FailureInjectionTest, GarbageCacheFileIsAMiss) {
+  PartitionCache cache(dir_);
+  ASSERT_TRUE(cache.Store("key", 4, {0, 1, 2, 3}, 1.0).ok());
+  // Overwrite with garbage.
+  {
+    std::ofstream f(dir_ + "/key.part", std::ios::binary | std::ios::trunc);
+    f << "not a cache entry";
+  }
+  double seconds = 0;
+  EXPECT_FALSE(cache.Load("key", 4, &seconds).ok());
+}
+
+TEST_F(FailureInjectionTest, TruncatedCacheFileIsAMiss) {
+  PartitionCache cache(dir_);
+  std::vector<PartitionId> assignment(1000, 2);
+  ASSERT_TRUE(cache.Store("key", 4, assignment, 1.0).ok());
+  auto path = dir_ + "/key.part";
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  EXPECT_FALSE(cache.Load("key", 4, nullptr).ok());
+}
+
+TEST_F(FailureInjectionTest, GarbageBlobIsAMiss) {
+  PartitionCache cache(dir_);
+  ASSERT_TRUE(cache.StoreBlob("blob", {1, 2, 3}).ok());
+  {
+    std::ofstream f(dir_ + "/blob.part", std::ios::binary | std::ios::trunc);
+    f << "xx";
+  }
+  EXPECT_FALSE(cache.LoadBlob("blob").ok());
+}
+
+TEST_F(FailureInjectionTest, CorruptProfileBlobRecomputes) {
+  // A cache entry with the right magic but nonsense payload must not crash
+  // ProfileWithCache; it recomputes and succeeds.
+  ExperimentContext ctx;
+  ctx.scale = 0.02;
+  ctx.seed = 42;
+  ctx.cache_dir = dir_;
+  ctx.global_batch_size = 32;
+  Result<DatasetBundle> bundle = LoadDataset(ctx, DatasetId::kOrkut);
+  ASSERT_TRUE(bundle.ok());
+  // Poison every plausible profile key by planting an absurd blob under a
+  // wildcard name won't work (keys are exact); instead store a valid-magic
+  // blob with garbage content under the real key by running once, then
+  // corrupting the stored file in place.
+  Result<DistDglEpochProfile> first =
+      ProfileWithCache(ctx, DatasetId::kOrkut, bundle->graph, bundle->split,
+                       VertexPartitionerId::kRandom, 4, 2, 32);
+  ASSERT_TRUE(first.ok()) << first.status();
+  bool corrupted = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().filename().string().rfind("profile-", 0) == 0) {
+      std::ofstream f(entry.path(), std::ios::binary | std::ios::trunc);
+      // Valid blob container with nonsense payload: magic + n=2 + junk.
+      uint64_t magic = 0x474e4e50424c4f42ULL, n = 2, junk = ~0ULL;
+      f.write(reinterpret_cast<char*>(&magic), 8);
+      f.write(reinterpret_cast<char*>(&n), 8);
+      f.write(reinterpret_cast<char*>(&junk), 8);
+      f.write(reinterpret_cast<char*>(&junk), 8);
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  Result<DistDglEpochProfile> second =
+      ProfileWithCache(ctx, DatasetId::kOrkut, bundle->graph, bundle->split,
+                       VertexPartitionerId::kRandom, 4, 2, 32);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->steps, second->steps);
+  EXPECT_EQ(first->TotalInputVertices(), second->TotalInputVertices());
+}
+
+TEST_F(FailureInjectionTest, StaleCacheWithWrongSizeRecomputes) {
+  // A cache entry whose assignment length does not match the graph (e.g.
+  // the scale changed without changing the key) must be ignored.
+  ExperimentContext ctx;
+  ctx.scale = 0.02;
+  ctx.seed = 42;
+  ctx.cache_dir = dir_;
+  Result<DatasetBundle> bundle = LoadDataset(ctx, DatasetId::kEnwiki);
+  ASSERT_TRUE(bundle.ok());
+  Result<EdgePartitioning> first = RunEdgePartitioner(
+      ctx, DatasetId::kEnwiki, bundle->graph, EdgePartitionerId::kDbh, 4);
+  ASSERT_TRUE(first.ok());
+  // Rewrite the cached assignment with a short vector under the same key.
+  PartitionCache cache(dir_);
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::string name = entry.path().filename().string();
+    if (name.find("DBH") != std::string::npos) {
+      std::string key = name.substr(0, name.size() - 5);  // strip .part
+      ASSERT_TRUE(cache.Store(key, 4, {0, 1, 2}, 9.9).ok());
+    }
+  }
+  Result<EdgePartitioning> second = RunEdgePartitioner(
+      ctx, DatasetId::kEnwiki, bundle->graph, EdgePartitionerId::kDbh, 4);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->assignment.size(), bundle->graph.num_edges());
+  EXPECT_EQ(first->assignment, second->assignment);
+}
+
+TEST_F(FailureInjectionTest, UnwritableCacheDirStillComputes) {
+  ExperimentContext ctx;
+  ctx.scale = 0.02;
+  ctx.seed = 42;
+  ctx.cache_dir = "/proc/definitely/not/writable";
+  Result<DatasetBundle> bundle = LoadDataset(ctx, DatasetId::kOrkut);
+  ASSERT_TRUE(bundle.ok());
+  Result<EdgePartitioning> parts = RunEdgePartitioner(
+      ctx, DatasetId::kOrkut, bundle->graph, EdgePartitionerId::kRandom, 4);
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  EXPECT_EQ(parts->assignment.size(), bundle->graph.num_edges());
+}
+
+}  // namespace
+}  // namespace gnnpart

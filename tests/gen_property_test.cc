@@ -1,0 +1,144 @@
+// Parameterized property sweeps over the generators: invariants that every
+// generated graph must satisfy at every scale and seed.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gen/datasets.h"
+#include "gen/generators.h"
+#include "graph/components.h"
+#include "graph/degree_stats.h"
+
+namespace gnnpart {
+namespace {
+
+using DatasetCase = std::tuple<DatasetId, double /*scale*/, uint64_t /*seed*/>;
+
+class DatasetProperties : public ::testing::TestWithParam<DatasetCase> {};
+
+TEST_P(DatasetProperties, StructuralInvariants) {
+  auto [id, scale, seed] = GetParam();
+  Result<Graph> g = MakeDataset(id, scale, seed);
+  ASSERT_TRUE(g.ok()) << g.status();
+
+  // No self-loops, no duplicate canonical edges, endpoints in range.
+  for (const Edge& e : g->edges()) {
+    ASSERT_NE(e.src, e.dst);
+    ASSERT_LT(e.src, g->num_vertices());
+    ASSERT_LT(e.dst, g->num_vertices());
+  }
+  // Neighbourhoods sorted and unique.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    auto nbrs = g->Neighbors(v);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      ASSERT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+  // Directedness matches the registry.
+  EXPECT_EQ(g->directed(), DatasetDirected(id));
+  // Every vertex can participate in training: no isolated vertices.
+  size_t isolated = 0;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    if (g->Degree(v) == 0) ++isolated;
+  }
+  EXPECT_EQ(isolated, 0u) << DatasetCode(id);
+}
+
+TEST_P(DatasetProperties, DeterministicInSeed) {
+  auto [id, scale, seed] = GetParam();
+  Result<Graph> a = MakeDataset(id, scale, seed);
+  Result<Graph> b = MakeDataset(id, scale, seed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->edges(), b->edges());
+}
+
+TEST_P(DatasetProperties, MostlyConnected) {
+  auto [id, scale, seed] = GetParam();
+  Result<Graph> g = MakeDataset(id, scale, seed);
+  ASSERT_TRUE(g.ok());
+  ComponentInfo info = ConnectedComponents(*g);
+  // The giant component must dominate, or sampling/partitioning behaviour
+  // would be an artifact of fragmentation.
+  EXPECT_GT(info.largest_size, g->num_vertices() * 9 / 10) << DatasetCode(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DatasetProperties,
+    ::testing::Combine(::testing::ValuesIn(AllDatasets()),
+                       ::testing::Values(0.05, 0.2),
+                       ::testing::Values(1ULL, 42ULL)),
+    [](const ::testing::TestParamInfo<DatasetCase>& info) {
+      return DatasetCode(std::get<0>(info.param)) + "_s" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_r" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(CommunityGeneratorTest, MixingControlsModularity) {
+  // Higher mixing => fewer cross-community edges (measured against the
+  // generator's own planted assignment via a proxy: a Metis-style cut).
+  auto cross_edges = [](double mixing) {
+    PowerLawCommunityParams p;
+    p.num_vertices = 2000;
+    p.num_edges = 16000;
+    p.num_communities = 16;
+    p.mixing = mixing;
+    Result<Graph> g = GeneratePowerLawCommunity(p, 9);
+    EXPECT_TRUE(g.ok());
+    // Proxy: degree-weighted assortativity via a fixed hash partition
+    // would be noisy; instead compare edge counts inside distance-limited
+    // neighbourhoods: use average clustering of sampled wedges. Simplest
+    // robust proxy: size of the 2-core... keep it direct: count edges
+    // whose endpoints share at least one common neighbour.
+    size_t triangles = 0;
+    size_t checked = 0;
+    for (EdgeId e = 0; e < g->num_edges() && checked < 4000; ++e) {
+      const Edge& edge = g->edge(e);
+      auto a = g->Neighbors(edge.src);
+      auto b = g->Neighbors(edge.dst);
+      size_t i = 0, j = 0;
+      bool common = false;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) {
+          common = true;
+          break;
+        }
+        if (a[i] < b[j]) ++i;
+        else ++j;
+      }
+      triangles += common ? 1 : 0;
+      ++checked;
+    }
+    return static_cast<double>(triangles) / static_cast<double>(checked);
+  };
+  // Stronger communities produce more closed wedges.
+  EXPECT_GT(cross_edges(0.9), cross_edges(0.3));
+}
+
+TEST(CommunityGeneratorTest, RejectsBadParams) {
+  PowerLawCommunityParams p;
+  p.num_vertices = 0;
+  EXPECT_FALSE(GeneratePowerLawCommunity(p, 1).ok());
+  p.num_vertices = 100;
+  p.num_edges = 500;
+  p.mixing = 1.5;
+  EXPECT_FALSE(GeneratePowerLawCommunity(p, 1).ok());
+  p.mixing = 0.5;
+  p.num_communities = 0;
+  EXPECT_FALSE(GeneratePowerLawCommunity(p, 1).ok());
+}
+
+TEST(CommunityGeneratorTest, SkewControlsDegreeTail) {
+  auto max_degree = [](double skew) {
+    PowerLawCommunityParams p;
+    p.num_vertices = 3000;
+    p.num_edges = 24000;
+    p.skew = skew;
+    Result<Graph> g = GeneratePowerLawCommunity(p, 9);
+    EXPECT_TRUE(g.ok());
+    return ComputeDegreeStats(*g).max_degree;
+  };
+  EXPECT_GT(max_degree(0.95), 2 * max_degree(0.3));
+}
+
+}  // namespace
+}  // namespace gnnpart

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/degree_stats.h"
+
+namespace gnnpart {
+namespace {
+
+TEST(RmatTest, ProducesRequestedSize) {
+  RmatParams p;
+  p.num_vertices = 1000;
+  p.num_edges = 8000;
+  Result<Graph> g = GenerateRmat(p, 1);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_vertices(), 1000u);
+  // Dedup removes duplicates (frequent at this density); the bulk remains.
+  EXPECT_GT(g->num_edges(), 5000u);
+  EXPECT_LE(g->num_edges(), 8000u);
+}
+
+TEST(RmatTest, DeterministicInSeed) {
+  RmatParams p;
+  p.num_vertices = 500;
+  p.num_edges = 2000;
+  Result<Graph> a = GenerateRmat(p, 7);
+  Result<Graph> b = GenerateRmat(p, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->edges(), b->edges());
+  Result<Graph> c = GenerateRmat(p, 8);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->edges(), c->edges());
+}
+
+TEST(RmatTest, SkewedParamsGiveSkewedDegrees) {
+  RmatParams skewed;
+  skewed.num_vertices = 4000;
+  skewed.num_edges = 40000;
+  skewed.a = 0.62;
+  skewed.b = 0.17;
+  skewed.c = 0.17;
+  RmatParams flat;
+  flat.num_vertices = 4000;
+  flat.num_edges = 40000;
+  flat.a = 0.25;
+  flat.b = 0.25;
+  flat.c = 0.25;
+  Result<Graph> gs = GenerateRmat(skewed, 3);
+  Result<Graph> gf = GenerateRmat(flat, 3);
+  ASSERT_TRUE(gs.ok() && gf.ok());
+  DegreeStats ss = ComputeDegreeStats(*gs);
+  DegreeStats sf = ComputeDegreeStats(*gf);
+  EXPECT_GT(ss.skew, 2.0 * sf.skew);
+  EXPECT_GT(ss.max_degree, 3 * sf.max_degree);
+}
+
+TEST(RmatTest, RejectsBadParams) {
+  RmatParams p;
+  p.num_vertices = 0;
+  EXPECT_FALSE(GenerateRmat(p, 1).ok());
+  p.num_vertices = 10;
+  p.num_edges = 10;
+  p.a = -0.1;
+  EXPECT_FALSE(GenerateRmat(p, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, PowerLawTail) {
+  Result<Graph> g = GenerateBarabasiAlbert(3000, 4, 11);
+  ASSERT_TRUE(g.ok()) << g.status();
+  DegreeStats s = ComputeDegreeStats(*g);
+  EXPECT_GT(s.max_degree, 50u);  // hubs exist
+  EXPECT_NEAR(s.mean_degree, 8.0, 1.5);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParams) {
+  EXPECT_FALSE(GenerateBarabasiAlbert(3, 5, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(100, 0, 1).ok());
+}
+
+TEST(ErdosRenyiTest, NearRegularDegrees) {
+  Result<Graph> g = GenerateErdosRenyi(2000, 20000, false, 5);
+  ASSERT_TRUE(g.ok()) << g.status();
+  DegreeStats s = ComputeDegreeStats(*g);
+  EXPECT_LT(s.skew, 0.4);
+}
+
+TEST(ErdosRenyiTest, DirectedKeepsMoreArcs) {
+  Result<Graph> und = GenerateErdosRenyi(500, 5000, false, 9);
+  Result<Graph> dir = GenerateErdosRenyi(500, 5000, true, 9);
+  ASSERT_TRUE(und.ok() && dir.ok());
+  EXPECT_GE(dir->num_edges(), und->num_edges());
+}
+
+TEST(WattsStrogatzTest, RingWithoutRewiring) {
+  Result<Graph> g = GenerateWattsStrogatz(100, 2, 0.0, 1);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_edges(), 200u);
+  DegreeStats s = ComputeDegreeStats(*g);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 4.0);
+  EXPECT_NEAR(s.skew, 0.0, 1e-9);
+}
+
+TEST(WattsStrogatzTest, RejectsBadParams) {
+  EXPECT_FALSE(GenerateWattsStrogatz(4, 2, 0.1, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(100, 0, 0.1, 1).ok());
+}
+
+TEST(RoadNetworkTest, LowDegreeNoSkew) {
+  RoadParams p;
+  p.width = 60;
+  p.height = 60;
+  Result<Graph> g = GenerateRoadNetwork(p, 13);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_vertices(), 3600u);
+  DegreeStats s = ComputeDegreeStats(*g);
+  EXPECT_LT(s.mean_degree, 5.0);
+  EXPECT_LE(s.max_degree, 8u);
+  EXPECT_LT(s.skew, 0.5);
+}
+
+TEST(RoadNetworkTest, DirectedProducesReciprocalArcs) {
+  RoadParams p;
+  p.width = 10;
+  p.height = 10;
+  p.deletion_prob = 0;
+  p.diagonal_prob = 0;
+  p.directed = true;
+  Result<Graph> g = GenerateRoadNetwork(p, 1);
+  ASSERT_TRUE(g.ok()) << g.status();
+  // Full lattice: 2 * (9*10 + 10*9) directed arcs.
+  EXPECT_EQ(g->num_edges(), 360u);
+}
+
+TEST(RoadNetworkTest, RejectsDegenerate) {
+  RoadParams p;
+  p.width = 1;
+  p.height = 5;
+  EXPECT_FALSE(GenerateRoadNetwork(p, 1).ok());
+}
+
+}  // namespace
+}  // namespace gnnpart

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gnn/layers.h"
+#include "gnn/reference_net.h"
+
+namespace gnnpart {
+namespace {
+
+Graph SmallGraph() {
+  // 5 vertices: a path plus a chord; vertex 4 isolated.
+  GraphBuilder b(5, false);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(0, 2);
+  Result<Graph> g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(AggregateTest, MeanAggregateAveragesNeighbors) {
+  Graph g = SmallGraph();
+  Matrix h(5, 1);
+  h.data() = {1, 2, 3, 4, 5};
+  Matrix out = MeanAggregate(g, h);
+  // N(0) = {1, 2} -> (2+3)/2 = 2.5
+  EXPECT_FLOAT_EQ(out.At(0, 0), 2.5f);
+  // N(3) = {2} -> 3
+  EXPECT_FLOAT_EQ(out.At(3, 0), 3.0f);
+  // Isolated vertex 4 -> 0
+  EXPECT_FLOAT_EQ(out.At(4, 0), 0.0f);
+}
+
+TEST(AggregateTest, TransposeIsAdjoint) {
+  // <A x, y> == <x, A^T y> for random x, y: the defining adjoint property
+  // the backward pass relies on.
+  Graph g = SmallGraph();
+  Rng rng(3);
+  Matrix x = Matrix::Xavier(5, 3, &rng);
+  Matrix y = Matrix::Xavier(5, 3, &rng);
+  Matrix ax = MeanAggregate(g, x);
+  Matrix aty = MeanAggregateTranspose(g, y);
+  double lhs = 0, rhs = 0;
+  for (size_t i = 0; i < ax.data().size(); ++i) {
+    lhs += static_cast<double>(ax.data()[i]) * y.data()[i];
+    rhs += static_cast<double>(x.data()[i]) * aty.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-5);
+}
+
+TEST(AggregateTest, GcnAggregateSelfAdjoint) {
+  Graph g = SmallGraph();
+  Rng rng(4);
+  Matrix x = Matrix::Xavier(5, 2, &rng);
+  Matrix y = Matrix::Xavier(5, 2, &rng);
+  Matrix ax = GcnAggregate(g, x);
+  Matrix ay = GcnAggregate(g, y);
+  double lhs = 0, rhs = 0;
+  for (size_t i = 0; i < ax.data().size(); ++i) {
+    lhs += static_cast<double>(ax.data()[i]) * y.data()[i];
+    rhs += static_cast<double>(x.data()[i]) * ay.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-5);
+}
+
+TEST(AggregateTest, GcnIncludesSelfLoop) {
+  Graph g = SmallGraph();
+  Matrix h(5, 1);
+  h.data() = {0, 0, 0, 0, 7};
+  Matrix out = GcnAggregate(g, h);
+  // Isolated vertex keeps a normalized copy of itself: 7 / (0+1) = 7.
+  EXPECT_FLOAT_EQ(out.At(4, 0), 7.0f);
+}
+
+// Numerical gradient check of d(loss)/d(input) for each layer type, with
+// loss = sum(R .* Forward(input)) for a fixed random R (so dLoss/dOut = R).
+void CheckInputGradient(GnnLayer* layer, const Graph& g, size_t in_dim) {
+  Rng rng(77);
+  Matrix input = Matrix::Xavier(g.num_vertices(), in_dim, &rng);
+  Matrix out = layer->Forward(g, input, /*apply_relu=*/false);
+  Matrix r = Matrix::Xavier(out.rows(), out.cols(), &rng);
+  Matrix dinput = layer->Backward(g, r);
+
+  auto loss = [&](const Matrix& x) {
+    Matrix o = layer->Forward(g, x, false);
+    double acc = 0;
+    for (size_t i = 0; i < o.data().size(); ++i) {
+      acc += static_cast<double>(o.data()[i]) * r.data()[i];
+    }
+    return acc;
+  };
+
+  const float eps = 1e-2f;
+  // Spot-check a handful of entries (full check would be slow and float
+  // noise accumulates).
+  for (size_t idx : {0UL, 3UL, 7UL, input.data().size() - 1}) {
+    Matrix xp = input, xm = input;
+    xp.data()[idx] += eps;
+    xm.data()[idx] -= eps;
+    double numeric = (loss(xp) - loss(xm)) / (2.0 * eps);
+    double analytic = dinput.data()[idx];
+    EXPECT_NEAR(numeric, analytic, 2e-2 + 0.05 * std::abs(analytic))
+        << "entry " << idx;
+  }
+}
+
+TEST(GradientCheckTest, SageLayerInputGradient) {
+  Graph g = SmallGraph();
+  Rng rng(1);
+  SageLayer layer(3, 2, &rng);
+  CheckInputGradient(&layer, g, 3);
+}
+
+TEST(GradientCheckTest, GcnLayerInputGradient) {
+  Graph g = SmallGraph();
+  Rng rng(2);
+  GcnLayer layer(3, 2, &rng);
+  CheckInputGradient(&layer, g, 3);
+}
+
+TEST(GradientCheckTest, GatLayerInputGradient) {
+  Graph g = SmallGraph();
+  Rng rng(3);
+  GatLayer layer(3, 2, &rng);
+  CheckInputGradient(&layer, g, 3);
+}
+
+TEST(LayerTest, ParameterCounts) {
+  Rng rng(5);
+  SageLayer sage(10, 4, &rng);
+  EXPECT_EQ(sage.ParameterCount(), 10u * 4 * 2 + 4);
+  GcnLayer gcn(10, 4, &rng);
+  EXPECT_EQ(gcn.ParameterCount(), 10u * 4 + 4);
+  GatLayer gat(10, 4, &rng);
+  EXPECT_EQ(gat.ParameterCount(), 10u * 4 + 8);
+}
+
+TEST(LayerTest, BuildLayersMatchesConfig) {
+  GnnConfig config;
+  config.arch = GnnArchitecture::kGat;
+  config.num_layers = 3;
+  config.feature_size = 8;
+  config.hidden_dim = 6;
+  config.num_classes = 4;
+  Rng rng(6);
+  auto layers = BuildLayers(config, &rng);
+  ASSERT_EQ(layers.size(), 3u);
+  // First layer: 8 -> 6; middle: 6 -> 6; last: 6 -> 4.
+  EXPECT_EQ(layers[0]->ParameterCount(), 8u * 6 + 12);
+  EXPECT_EQ(layers[1]->ParameterCount(), 6u * 6 + 12);
+  EXPECT_EQ(layers[2]->ParameterCount(), 6u * 4 + 8);
+}
+
+TEST(LayerTest, ReluForwardClampsAndBackwardMasks) {
+  Graph g = SmallGraph();
+  Rng rng(8);
+  SageLayer layer(2, 2, &rng);
+  Matrix input = Matrix::Xavier(5, 2, &rng);
+  Matrix out = layer.Forward(g, input, /*apply_relu=*/true);
+  for (float x : out.data()) EXPECT_GE(x, 0.0f);
+  // Backward through zeroed activations contributes nothing.
+  Matrix ones(5, 2, 1.0f);
+  Matrix dinput = layer.Backward(g, ones);
+  EXPECT_EQ(dinput.rows(), 5u);
+  EXPECT_EQ(dinput.cols(), 2u);
+}
+
+}  // namespace
+}  // namespace gnnpart

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/tensor.h"
+
+namespace gnnpart {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 1.5f);
+  m.At(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(m.At(1, 2), 7.0f);
+  EXPECT_FLOAT_EQ(m.Row(1)[2], 7.0f);
+}
+
+TEST(MatrixTest, AddScaleZero) {
+  Matrix a(2, 2, 1.0f);
+  Matrix b(2, 2, 2.0f);
+  a.Add(b);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 3.0f);
+  a.Scale(2.0f);
+  EXPECT_FLOAT_EQ(a.At(1, 1), 6.0f);
+  a.Zero();
+  EXPECT_FLOAT_EQ(a.At(0, 1), 0.0f);
+}
+
+TEST(MatrixTest, XavierDeterministicAndBounded) {
+  Rng r1(5), r2(5);
+  Matrix a = Matrix::Xavier(4, 6, &r1);
+  Matrix b = Matrix::Xavier(4, 6, &r2);
+  EXPECT_EQ(a.data(), b.data());
+  double limit = std::sqrt(6.0 / 10.0);
+  for (float x : a.data()) {
+    EXPECT_LE(std::abs(x), limit + 1e-6);
+  }
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data().begin());
+  std::copy(bv, bv + 6, b.data().begin());
+  Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154);
+}
+
+TEST(MatMulTest, TransposedVariantsAgree) {
+  Rng rng(9);
+  Matrix a = Matrix::Xavier(4, 3, &rng);
+  Matrix b = Matrix::Xavier(4, 5, &rng);
+  // a^T * b via MatMulTransA must equal transposing manually.
+  Matrix at(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) at.At(j, i) = a.At(i, j);
+  }
+  Matrix expect = MatMul(at, b);
+  Matrix got = MatMulTransA(a, b);
+  ASSERT_TRUE(expect.SameShape(got));
+  for (size_t i = 0; i < expect.data().size(); ++i) {
+    EXPECT_NEAR(expect.data()[i], got.data()[i], 1e-5);
+  }
+
+  Matrix c = Matrix::Xavier(5, 3, &rng);
+  Matrix ct(3, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 3; ++j) ct.At(j, i) = c.At(i, j);
+  }
+  Matrix expect2 = MatMul(at /*3x4... mismatch*/, b);
+  (void)expect2;
+  Matrix d = Matrix::Xavier(2, 3, &rng);
+  Matrix e = Matrix::Xavier(4, 3, &rng);
+  Matrix got2 = MatMulTransB(d, e);  // (2x3)*(4x3)^T = 2x4
+  Matrix et(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) et.At(j, i) = e.At(i, j);
+  }
+  Matrix expect3 = MatMul(d, et);
+  for (size_t i = 0; i < expect3.data().size(); ++i) {
+    EXPECT_NEAR(expect3.data()[i], got2.data()[i], 1e-5);
+  }
+}
+
+TEST(ReluTest, MaskAndClamp) {
+  Matrix m(1, 4);
+  m.data() = {-1.0f, 0.0f, 2.0f, -3.0f};
+  Matrix mask = ReluInPlace(&m);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(mask.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(mask.At(0, 0), 0.0f);
+
+  Matrix grad(1, 4, 1.0f);
+  ApplyMask(mask, &grad);
+  EXPECT_FLOAT_EQ(grad.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grad.At(0, 2), 1.0f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Matrix m(2, 3);
+  m.data() = {1, 2, 3, 1000, 1000, 1000};  // second row tests stability
+  SoftmaxRows(&m);
+  for (size_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (size_t c = 0; c < 3; ++c) sum += m.At(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  EXPECT_NEAR(m.At(1, 0), 1.0f / 3, 1e-5);
+  EXPECT_GT(m.At(0, 2), m.At(0, 0));
+}
+
+TEST(CrossEntropyTest, PerfectPredictionLowLoss) {
+  Matrix probs(2, 2);
+  probs.data() = {0.999f, 0.001f, 0.001f, 0.999f};
+  std::vector<int32_t> labels{0, 1};
+  Matrix grad;
+  double loss = CrossEntropyLoss(probs, labels, {0, 1}, &grad);
+  EXPECT_LT(loss, 0.01);
+  // Gradient points from predicted toward target.
+  EXPECT_LT(grad.At(0, 0), 0.0f);
+  EXPECT_GT(grad.At(0, 1), 0.0f);
+}
+
+TEST(CrossEntropyTest, UniformPredictionLogK) {
+  Matrix probs(1, 4, 0.25f);
+  std::vector<int32_t> labels{2};
+  Matrix grad;
+  double loss = CrossEntropyLoss(probs, labels, {0}, &grad);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropyTest, SubsetOnly) {
+  Matrix probs(3, 2, 0.5f);
+  std::vector<int32_t> labels{0, 1, 0};
+  Matrix grad;
+  CrossEntropyLoss(probs, labels, {1}, &grad);
+  // Rows outside the subset get zero gradient.
+  EXPECT_FLOAT_EQ(grad.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grad.At(2, 1), 0.0f);
+  EXPECT_NE(grad.At(1, 0), 0.0f);
+}
+
+TEST(CrossEntropyTest, EmptySubset) {
+  Matrix probs(2, 2, 0.5f);
+  std::vector<int32_t> labels{0, 1};
+  Matrix grad;
+  EXPECT_EQ(CrossEntropyLoss(probs, labels, {}, &grad), 0.0);
+}
+
+}  // namespace
+}  // namespace gnnpart

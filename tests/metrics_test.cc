@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "metrics/partition_metrics.h"
+
+namespace gnnpart {
+namespace {
+
+// A 4-vertex path 0-1-2-3 with known hand-computable metrics.
+Graph PathGraph() {
+  GraphBuilder b(4, false);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  Result<Graph> g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(EdgeMetricsTest, HandComputedReplicationFactor) {
+  Graph g = PathGraph();
+  // Edges sorted: (0,1), (1,2), (2,3). Assign: p0, p1, p0.
+  EdgePartitioning parts;
+  parts.k = 2;
+  parts.assignment = {0, 1, 0};
+  EdgePartitionMetrics m = ComputeEdgePartitionMetrics(g, parts);
+  // Replica sets: v0 {p0}, v1 {p0,p1}, v2 {p0,p1}, v3 {p0}.
+  // RF = (1 + 2 + 2 + 1) / 4 = 1.5.
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.5);
+  EXPECT_EQ(m.total_replicas, 2u);
+  // Edge counts: p0 = 2, p1 = 1 -> balance = 2 / 1.5.
+  EXPECT_DOUBLE_EQ(m.edge_balance, 2.0 / 1.5);
+  // Covered vertices: p0 = 4, p1 = 2 -> balance = 4 / 3.
+  EXPECT_DOUBLE_EQ(m.vertex_balance, 4.0 / 3.0);
+}
+
+TEST(EdgeMetricsTest, SinglePartitionIsIdentity) {
+  Graph g = PathGraph();
+  EdgePartitioning parts;
+  parts.k = 1;
+  parts.assignment = {0, 0, 0};
+  EdgePartitionMetrics m = ComputeEdgePartitionMetrics(g, parts);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+  EXPECT_DOUBLE_EQ(m.edge_balance, 1.0);
+  EXPECT_DOUBLE_EQ(m.vertex_balance, 1.0);
+  EXPECT_EQ(m.total_replicas, 0u);
+}
+
+TEST(EdgeMetricsTest, WorstCaseReplication) {
+  // Star with 3 leaves, each edge on its own partition: hub replicated 3x.
+  GraphBuilder b(4, false);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  Result<Graph> g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EdgePartitioning parts;
+  parts.k = 3;
+  parts.assignment = {0, 1, 2};
+  EdgePartitionMetrics m = ComputeEdgePartitionMetrics(*g, parts);
+  // RF = (3 + 1 + 1 + 1) / 4 = 1.5; hub contributes 2 extra replicas.
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.5);
+  EXPECT_EQ(m.total_replicas, 2u);
+}
+
+TEST(VertexMetricsTest, HandComputedEdgeCut) {
+  Graph g = PathGraph();
+  VertexSplit split = VertexSplit::MakeRandom(4, 0.5, 0.25, 3);
+  VertexPartitioning parts;
+  parts.k = 2;
+  parts.assignment = {0, 0, 1, 1};  // cut edge: (1,2)
+  VertexPartitionMetrics m = ComputeVertexPartitionMetrics(g, parts, split);
+  EXPECT_EQ(m.cut_edges, 1u);
+  EXPECT_DOUBLE_EQ(m.edge_cut_ratio, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.vertex_balance, 1.0);
+}
+
+TEST(VertexMetricsTest, AllCut) {
+  Graph g = PathGraph();
+  VertexSplit split = VertexSplit::MakeRandom(4, 0.25, 0.25, 3);
+  VertexPartitioning parts;
+  parts.k = 2;
+  parts.assignment = {0, 1, 0, 1};
+  VertexPartitionMetrics m = ComputeVertexPartitionMetrics(g, parts, split);
+  EXPECT_DOUBLE_EQ(m.edge_cut_ratio, 1.0);
+}
+
+TEST(VertexMetricsTest, TrainVertexBalanceTracksSplit) {
+  Graph g = PathGraph();
+  // Hand-roll a split where vertices 0 and 1 are training vertices.
+  VertexSplit split = VertexSplit::MakeRandom(4, 0.999, 0.0005, 3);
+  ASSERT_EQ(split.train_vertices().size(), 4u);  // all train w.h.p.
+  VertexPartitioning parts;
+  parts.k = 2;
+  parts.assignment = {0, 0, 0, 1};
+  VertexPartitionMetrics m = ComputeVertexPartitionMetrics(g, parts, split);
+  // Train counts: 3 vs 1 -> balance 3/2.
+  EXPECT_DOUBLE_EQ(m.train_vertex_balance, 1.5);
+}
+
+TEST(ReplicaMaskTest, MasksMatchAssignments) {
+  Graph g = PathGraph();
+  EdgePartitioning parts;
+  parts.k = 3;
+  parts.assignment = {2, 0, 1};
+  auto masks = ComputeReplicaMasks(g, parts);
+  EXPECT_EQ(masks[0], 0b100u);
+  EXPECT_EQ(masks[1], 0b101u);
+  EXPECT_EQ(masks[2], 0b011u);
+  EXPECT_EQ(masks[3], 0b010u);
+}
+
+TEST(MetricsToStringTest, ContainsKeyFields) {
+  Graph g = PathGraph();
+  EdgePartitioning ep;
+  ep.k = 1;
+  ep.assignment = {0, 0, 0};
+  EXPECT_NE(ComputeEdgePartitionMetrics(g, ep).ToString().find("RF="),
+            std::string::npos);
+  VertexPartitioning vp;
+  vp.k = 1;
+  vp.assignment = {0, 0, 0, 0};
+  VertexSplit split = VertexSplit::MakeRandom(4, 0.1, 0.1, 1);
+  EXPECT_NE(
+      ComputeVertexPartitionMetrics(g, vp, split).ToString().find("lambda="),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnnpart

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/optimizer.h"
+
+namespace gnnpart {
+namespace {
+
+TEST(SgdTest, BasicStepAndGradClear) {
+  Matrix p(1, 2);
+  p.data() = {1.0f, 2.0f};
+  Matrix g(1, 2);
+  g.data() = {0.5f, -1.0f};
+  SgdOptimizer sgd(0.1f);
+  sgd.Step({{&p, &g}});
+  EXPECT_FLOAT_EQ(p.At(0, 0), 0.95f);
+  EXPECT_FLOAT_EQ(p.At(0, 1), 2.1f);
+  EXPECT_FLOAT_EQ(g.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.At(0, 1), 0.0f);
+}
+
+TEST(AdamTest, FirstStepIsSignedLearningRate) {
+  // With bias correction, Adam's first update is ~lr * sign(g).
+  Matrix p(1, 2);
+  p.data() = {0.0f, 0.0f};
+  Matrix g(1, 2);
+  g.data() = {3.0f, -0.2f};
+  AdamOptimizer adam(0.01f);
+  adam.Step({{&p, &g}});
+  EXPECT_NEAR(p.At(0, 0), -0.01f, 1e-4);
+  EXPECT_NEAR(p.At(0, 1), 0.01f, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2 elementwise; gradient = 2(x-3).
+  Matrix x(1, 1);
+  x.data() = {0.0f};
+  Matrix g(1, 1);
+  AdamOptimizer adam(0.1f);
+  for (int i = 0; i < 300; ++i) {
+    g.data()[0] = 2.0f * (x.data()[0] - 3.0f);
+    adam.Step({{&x, &g}});
+  }
+  EXPECT_NEAR(x.data()[0], 3.0f, 0.05f);
+}
+
+TEST(AdamTest, SgdSlowerThanAdamOnIllConditioned) {
+  // Two dimensions with 100x different curvature: Adam's per-coordinate
+  // scaling handles it, plain SGD at the same stable lr crawls.
+  auto run = [](Optimizer* opt) {
+    Matrix x(1, 2);
+    x.data() = {10.0f, 10.0f};
+    Matrix g(1, 2);
+    for (int i = 0; i < 200; ++i) {
+      g.data()[0] = 2.0f * x.data()[0];          // curvature 2
+      g.data()[1] = 0.02f * x.data()[1];         // curvature 0.02
+      opt->Step({{&x, &g}});
+    }
+    return std::abs(x.data()[0]) + std::abs(x.data()[1]);
+  };
+  SgdOptimizer sgd(0.5f);  // stable for the steep direction
+  AdamOptimizer adam(0.5f);
+  EXPECT_LT(run(&adam), run(&sgd));
+}
+
+TEST(AdamTest, StateKeyedByPosition) {
+  Matrix p1(1, 1), g1(1, 1), p2(2, 2), g2(2, 2);
+  g1.data() = {1.0f};
+  AdamOptimizer adam(0.1f);
+  adam.Step({{&p1, &g1}, {&p2, &g2}});
+  g1.data() = {1.0f};
+  adam.Step({{&p1, &g1}, {&p2, &g2}});  // must not crash / mix shapes
+  EXPECT_LT(p1.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(p2.data()[0], 0.0f);  // zero grads: stays put
+}
+
+}  // namespace
+}  // namespace gnnpart

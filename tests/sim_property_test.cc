@@ -1,0 +1,159 @@
+// Parameterized property sweeps over the simulators: monotonicity and
+// consistency relations that must hold for every architecture and
+// hyper-parameter, independent of the cost-model constants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gen/generators.h"
+#include "partition/edge/registry.h"
+#include "partition/vertex/registry.h"
+#include "sim/distdgl_sim.h"
+#include "sim/distgnn_sim.h"
+
+namespace gnnpart {
+namespace {
+
+const Graph& PropertyGraph() {
+  static Graph graph = [] {
+    PowerLawCommunityParams p;
+    p.num_vertices = 2500;
+    p.num_edges = 20000;
+    Result<Graph> g = GeneratePowerLawCommunity(p, 61);
+    if (!g.ok()) std::abort();
+    return std::move(g).value();
+  }();
+  return graph;
+}
+
+const DistGnnWorkload& PropertyWorkload() {
+  static DistGnnWorkload workload = [] {
+    auto parts = MakeEdgePartitioner(EdgePartitionerId::kHdrf)
+                     ->Partition(PropertyGraph(), 8, 3);
+    if (!parts.ok()) std::abort();
+    return BuildDistGnnWorkload(PropertyGraph(), *parts);
+  }();
+  return workload;
+}
+
+const DistDglEpochProfile& PropertyProfile() {
+  static DistDglEpochProfile profile = [] {
+    VertexSplit split =
+        VertexSplit::MakeRandom(PropertyGraph().num_vertices(), 0.1, 0.1, 3);
+    auto parts = MakeVertexPartitioner(VertexPartitionerId::kLdg)
+                     ->Partition(PropertyGraph(), split, 8, 3);
+    if (!parts.ok()) std::abort();
+    auto prof = ProfileDistDglEpoch(PropertyGraph(), *parts, split,
+                                    {15, 10, 5}, 128, 3);
+    if (!prof.ok()) std::abort();
+    return std::move(prof).value();
+  }();
+  return profile;
+}
+
+using SimCase = std::tuple<GnnArchitecture, int /*layers*/, size_t /*dim*/>;
+
+class SimulatorProperties : public ::testing::TestWithParam<SimCase> {
+ protected:
+  GnnConfig Config(size_t feature, size_t hidden) {
+    GnnConfig c;
+    c.arch = std::get<0>(GetParam());
+    c.num_layers = std::get<1>(GetParam());
+    c.feature_size = feature;
+    c.hidden_dim = hidden;
+    c.num_classes = 16;
+    c.fanouts = GnnConfig::DefaultFanouts(c.num_layers);
+    return c;
+  }
+};
+
+TEST_P(SimulatorProperties, DistGnnEpochTimeMonotoneInDims) {
+  size_t dim = std::get<2>(GetParam());
+  ClusterSpec cluster;
+  double base = SimulateDistGnnEpoch(PropertyWorkload(), Config(dim, dim),
+                                     cluster)
+                    .epoch_seconds;
+  double more_feat =
+      SimulateDistGnnEpoch(PropertyWorkload(), Config(dim * 4, dim), cluster)
+          .epoch_seconds;
+  double more_hidden =
+      SimulateDistGnnEpoch(PropertyWorkload(), Config(dim, dim * 4), cluster)
+          .epoch_seconds;
+  EXPECT_GT(more_feat, base);
+  EXPECT_GT(more_hidden, base);
+}
+
+TEST_P(SimulatorProperties, DistGnnMemoryMonotoneInDims) {
+  size_t dim = std::get<2>(GetParam());
+  ClusterSpec cluster;
+  double base = SimulateDistGnnEpoch(PropertyWorkload(), Config(dim, dim),
+                                     cluster)
+                    .max_memory_bytes;
+  double more = SimulateDistGnnEpoch(PropertyWorkload(),
+                                     Config(dim * 4, dim * 4), cluster)
+                    .max_memory_bytes;
+  EXPECT_GT(more, base);
+}
+
+TEST_P(SimulatorProperties, DistGnnFasterNetworkNeverSlower) {
+  size_t dim = std::get<2>(GetParam());
+  ClusterSpec slow, fast;
+  fast.network_bandwidth = slow.network_bandwidth * 10;
+  GnnConfig config = Config(dim, dim);
+  EXPECT_LE(
+      SimulateDistGnnEpoch(PropertyWorkload(), config, fast).epoch_seconds,
+      SimulateDistGnnEpoch(PropertyWorkload(), config, slow).epoch_seconds);
+}
+
+TEST_P(SimulatorProperties, DistDglPhaseDecompositionExact) {
+  size_t dim = std::get<2>(GetParam());
+  ClusterSpec cluster;
+  DistDglEpochReport r =
+      SimulateDistDglEpoch(PropertyProfile(), Config(dim, dim), cluster);
+  EXPECT_NEAR(r.epoch_seconds,
+              r.sampling_seconds + r.feature_seconds + r.forward_seconds +
+                  r.backward_seconds + r.update_seconds,
+              1e-12);
+  EXPECT_GT(r.epoch_seconds, 0);
+}
+
+TEST_P(SimulatorProperties, DistDglFeatureSizeOnlyMovesFetchAndCompute) {
+  size_t dim = std::get<2>(GetParam());
+  ClusterSpec cluster;
+  DistDglEpochReport small =
+      SimulateDistDglEpoch(PropertyProfile(), Config(dim, dim), cluster);
+  DistDglEpochReport large =
+      SimulateDistDglEpoch(PropertyProfile(), Config(dim * 4, dim), cluster);
+  EXPECT_NEAR(small.sampling_seconds, large.sampling_seconds, 1e-12);
+  EXPECT_GT(large.feature_seconds, small.feature_seconds);
+  EXPECT_GE(large.forward_seconds, small.forward_seconds);
+}
+
+TEST_P(SimulatorProperties, DistDglStragglerAtLeastMeanWorker) {
+  size_t dim = std::get<2>(GetParam());
+  ClusterSpec cluster;
+  DistDglEpochReport r =
+      SimulateDistDglEpoch(PropertyProfile(), Config(dim, dim), cluster);
+  double mean_worker = 0;
+  for (const auto& w : r.workers) mean_worker += w.total_seconds();
+  mean_worker /= static_cast<double>(r.workers.size());
+  // The straggler-summed epoch can never be faster than the mean worker.
+  EXPECT_GE(r.epoch_seconds + 1e-12, mean_worker);
+  EXPECT_GE(r.time_balance, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimulatorProperties,
+    ::testing::Combine(::testing::Values(GnnArchitecture::kGraphSage,
+                                         GnnArchitecture::kGcn,
+                                         GnnArchitecture::kGat),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(16u, 64u)),
+    [](const ::testing::TestParamInfo<SimCase>& info) {
+      return ArchitectureName(std::get<0>(info.param)) + "_L" +
+             std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace gnnpart

@@ -1,0 +1,228 @@
+// gnnpart command-line tool: generate datasets, inspect graphs, partition
+// edge-list files with any of the study's algorithms, and simulate
+// distributed training epochs — the library's functionality for users who
+// bring their own graphs.
+//
+//   gnnpart_cli generate <HW|DI|EN|EU|OR> <scale> <out-file> [seed]
+//   gnnpart_cli info <graph-file> [--directed]
+//   gnnpart_cli partition <graph-file> <partitioner> <k> [out-file]
+//       [--directed] [--seed N]
+//   gnnpart_cli simulate <graph-file> <partitioner> <k>
+//       [--feature N] [--hidden N] [--layers N] [--gbs N] [--directed]
+//
+// Graph files are whitespace edge lists ("u v" per line, '#' comments) or
+// the library's .bin snapshots (by extension).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/timer.h"
+#include "gen/datasets.h"
+#include "graph/components.h"
+#include "graph/degree_stats.h"
+#include "graph/io.h"
+#include "metrics/partition_metrics.h"
+#include "partition/edge/registry.h"
+#include "partition/vertex/registry.h"
+#include "sim/distdgl_sim.h"
+#include "sim/distgnn_sim.h"
+
+using namespace gnnpart;
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  gnnpart_cli generate <HW|DI|EN|EU|OR> <scale> <out> [seed]\n"
+         "  gnnpart_cli info <graph> [--directed]\n"
+         "  gnnpart_cli partition <graph> <partitioner> <k> [out]\n"
+         "      [--directed] [--seed N]\n"
+         "  gnnpart_cli simulate <graph> <partitioner> <k> [--feature N]\n"
+         "      [--hidden N] [--layers N] [--gbs N] [--directed] [--seed N]\n"
+         "partitioners: Random DBH HDRF 2PS-L HEP10 HEP100 Greedy (edge)\n"
+         "              Random LDG Spinner Metis ByteGNN KaHIP Fennel"
+         " (vertex; prefix with 'v' for Random, e.g. vRandom)\n";
+  return 2;
+}
+
+bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const auto& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+long FlagValue(const std::vector<std::string>& args, const std::string& flag,
+               long fallback) {
+  for (size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return atol(args[i + 1].c_str());
+  }
+  return fallback;
+}
+
+Result<Graph> LoadGraph(const std::string& path, bool directed) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    return ReadBinaryGraph(path);
+  }
+  return ReadEdgeListFile(path, directed);
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  Result<DatasetId> id = ParseDatasetCode(args[0]);
+  if (!id.ok()) return Fail(id.status());
+  double scale = atof(args[1].c_str());
+  uint64_t seed = args.size() > 3 ? strtoull(args[3].c_str(), nullptr, 10) : 42;
+  Result<Graph> graph = MakeDataset(*id, scale, seed);
+  if (!graph.ok()) return Fail(graph.status());
+  const std::string& out = args[2];
+  Status st = (out.size() > 4 && out.substr(out.size() - 4) == ".bin")
+                  ? WriteBinaryGraph(*graph, out)
+                  : WriteEdgeListFile(*graph, out);
+  if (!st.ok()) return Fail(st);
+  std::cout << "wrote " << graph->name() << " |V|=" << graph->num_vertices()
+            << " |E|=" << graph->num_edges() << " to " << out << "\n";
+  return 0;
+}
+
+int CmdInfo(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Result<Graph> graph = LoadGraph(args[0], HasFlag(args, "--directed"));
+  if (!graph.ok()) return Fail(graph.status());
+  DegreeStats stats = ComputeDegreeStats(*graph);
+  ComponentInfo comps = ConnectedComponents(*graph);
+  std::cout << stats.ToString() << "\n"
+            << "components=" << comps.num_components
+            << " largest=" << comps.largest_size
+            << " pseudo-diameter=" << EstimateDiameter(*graph) << "\n";
+  return 0;
+}
+
+int CmdPartition(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  Result<Graph> graph = LoadGraph(args[0], HasFlag(args, "--directed"));
+  if (!graph.ok()) return Fail(graph.status());
+  PartitionId k = static_cast<PartitionId>(atoi(args[2].c_str()));
+  uint64_t seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
+  std::string out = args.size() > 3 && args[3][0] != '-' ? args[3] : "";
+  std::string name = args[1];
+
+  VertexSplit split =
+      VertexSplit::MakeRandom(graph->num_vertices(), 0.1, 0.1, seed);
+  bool vertex_mode = !name.empty() && name[0] == 'v';
+  std::string lookup = vertex_mode ? name.substr(1) : name;
+
+  WallTimer timer;
+  std::vector<PartitionId> assignment;
+  if (!vertex_mode) {
+    if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(lookup);
+        id.ok()) {
+      Result<EdgePartitioning> parts =
+          MakeEdgePartitioner(*id)->Partition(*graph, k, seed);
+      if (!parts.ok()) return Fail(parts.status());
+      std::cout << lookup << " k=" << k << " took "
+                << timer.ElapsedSeconds() << " s: "
+                << ComputeEdgePartitionMetrics(*graph, *parts).ToString()
+                << "\n";
+      assignment = parts->assignment;
+    } else {
+      vertex_mode = true;  // fall through to vertex lookup
+    }
+  }
+  if (vertex_mode) {
+    Result<VertexPartitionerId> id = ParseVertexPartitionerName(lookup);
+    if (!id.ok()) return Fail(id.status());
+    Result<VertexPartitioning> parts =
+        MakeVertexPartitioner(*id)->Partition(*graph, split, k, seed);
+    if (!parts.ok()) return Fail(parts.status());
+    std::cout << lookup << " k=" << k << " took " << timer.ElapsedSeconds()
+              << " s: "
+              << ComputeVertexPartitionMetrics(*graph, *parts, split)
+                     .ToString()
+              << "\n";
+    assignment = parts->assignment;
+  }
+  if (!out.empty()) {
+    std::ofstream f(out);
+    if (!f) return Fail(Status::IoError("cannot open '" + out + "'"));
+    for (size_t i = 0; i < assignment.size(); ++i) {
+      f << i << " " << assignment[i] << "\n";
+    }
+    std::cout << "wrote assignment to " << out << "\n";
+  }
+  return 0;
+}
+
+int CmdSimulate(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  Result<Graph> graph = LoadGraph(args[0], HasFlag(args, "--directed"));
+  if (!graph.ok()) return Fail(graph.status());
+  PartitionId k = static_cast<PartitionId>(atoi(args[2].c_str()));
+  uint64_t seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
+  GnnConfig config;
+  config.feature_size = static_cast<size_t>(FlagValue(args, "--feature", 64));
+  config.hidden_dim = static_cast<size_t>(FlagValue(args, "--hidden", 64));
+  config.num_layers = static_cast<int>(FlagValue(args, "--layers", 3));
+  config.num_classes = 16;
+  config.fanouts = GnnConfig::DefaultFanouts(config.num_layers);
+  size_t gbs = static_cast<size_t>(FlagValue(args, "--gbs", 256));
+  ClusterSpec cluster;
+  cluster.num_machines = static_cast<int>(k);
+  std::string name = args[1];
+
+  if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(name); id.ok()) {
+    Result<EdgePartitioning> parts =
+        MakeEdgePartitioner(*id)->Partition(*graph, k, seed);
+    if (!parts.ok()) return Fail(parts.status());
+    DistGnnEpochReport r = SimulateDistGnnEpoch(
+        BuildDistGnnWorkload(*graph, *parts), config, cluster);
+    std::cout << "full-batch epoch " << r.epoch_seconds * 1e3 << " ms"
+              << " (fwd " << r.forward_seconds * 1e3 << ", bwd "
+              << r.backward_seconds * 1e3 << "), network "
+              << r.total_network_bytes / 1e6 << " MB, peak memory "
+              << r.max_memory_bytes / 1e6 << " MB"
+              << (r.out_of_memory ? " (OOM!)" : "") << "\n";
+    return 0;
+  }
+  std::string lookup = !name.empty() && name[0] == 'v' ? name.substr(1) : name;
+  Result<VertexPartitionerId> id = ParseVertexPartitionerName(lookup);
+  if (!id.ok()) return Fail(id.status());
+  VertexSplit split =
+      VertexSplit::MakeRandom(graph->num_vertices(), 0.1, 0.1, seed);
+  Result<VertexPartitioning> parts =
+      MakeVertexPartitioner(*id)->Partition(*graph, split, k, seed);
+  if (!parts.ok()) return Fail(parts.status());
+  Result<DistDglEpochProfile> profile =
+      ProfileDistDglEpoch(*graph, *parts, split, config.fanouts, gbs, seed);
+  if (!profile.ok()) return Fail(profile.status());
+  DistDglEpochReport r = SimulateDistDglEpoch(*profile, config, cluster);
+  std::cout << "mini-batch epoch " << r.epoch_seconds * 1e3
+            << " ms (sampling " << r.sampling_seconds * 1e3 << ", fetch "
+            << r.feature_seconds * 1e3 << ", fwd " << r.forward_seconds * 1e3
+            << ", bwd " << r.backward_seconds * 1e3 << "), remote vertices "
+            << r.remote_input_vertices << ", network "
+            << r.total_network_bytes / 1e6 << " MB\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "partition") return CmdPartition(args);
+  if (cmd == "simulate") return CmdSimulate(args);
+  return Usage();
+}
