@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_communities.dir/bench_ablation_communities.cc.o"
+  "CMakeFiles/bench_ablation_communities.dir/bench_ablation_communities.cc.o.d"
+  "bench_ablation_communities"
+  "bench_ablation_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

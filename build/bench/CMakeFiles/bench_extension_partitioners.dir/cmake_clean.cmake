@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_partitioners.dir/bench_extension_partitioners.cc.o"
+  "CMakeFiles/bench_extension_partitioners.dir/bench_extension_partitioners.cc.o.d"
+  "bench_extension_partitioners"
+  "bench_extension_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_scaleout.dir/bench_fig11_scaleout.cc.o"
+  "CMakeFiles/bench_fig11_scaleout.dir/bench_fig11_scaleout.cc.o.d"
+  "bench_fig11_scaleout"
+  "bench_fig11_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

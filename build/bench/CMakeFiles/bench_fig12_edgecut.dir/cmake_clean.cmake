@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_edgecut.dir/bench_fig12_edgecut.cc.o"
+  "CMakeFiles/bench_fig12_edgecut.dir/bench_fig12_edgecut.cc.o.d"
+  "bench_fig12_edgecut"
+  "bench_fig12_edgecut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_edgecut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

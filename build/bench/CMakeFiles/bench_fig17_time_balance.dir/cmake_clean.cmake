@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_time_balance.dir/bench_fig17_time_balance.cc.o"
+  "CMakeFiles/bench_fig17_time_balance.dir/bench_fig17_time_balance.cc.o.d"
+  "bench_fig17_time_balance"
+  "bench_fig17_time_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_time_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

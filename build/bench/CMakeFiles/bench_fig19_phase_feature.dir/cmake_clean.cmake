@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_phase_feature.dir/bench_fig19_phase_feature.cc.o"
+  "CMakeFiles/bench_fig19_phase_feature.dir/bench_fig19_phase_feature.cc.o.d"
+  "bench_fig19_phase_feature"
+  "bench_fig19_phase_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_phase_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_hidden_dim.dir/bench_fig20_hidden_dim.cc.o"
+  "CMakeFiles/bench_fig20_hidden_dim.dir/bench_fig20_hidden_dim.cc.o.d"
+  "bench_fig20_hidden_dim"
+  "bench_fig20_hidden_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_hidden_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_phase_hidden.dir/bench_fig22_phase_hidden.cc.o"
+  "CMakeFiles/bench_fig22_phase_hidden.dir/bench_fig22_phase_hidden.cc.o.d"
+  "bench_fig22_phase_hidden"
+  "bench_fig22_phase_hidden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_phase_hidden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

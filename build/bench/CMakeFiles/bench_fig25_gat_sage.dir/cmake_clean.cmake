@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_gat_sage.dir/bench_fig25_gat_sage.cc.o"
+  "CMakeFiles/bench_fig25_gat_sage.dir/bench_fig25_gat_sage.cc.o.d"
+  "bench_fig25_gat_sage"
+  "bench_fig25_gat_sage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_gat_sage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

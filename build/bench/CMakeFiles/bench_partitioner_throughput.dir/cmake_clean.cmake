@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioner_throughput.dir/bench_partitioner_throughput.cc.o"
+  "CMakeFiles/bench_partitioner_throughput.dir/bench_partitioner_throughput.cc.o.d"
+  "bench_partitioner_throughput"
+  "bench_partitioner_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioner_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

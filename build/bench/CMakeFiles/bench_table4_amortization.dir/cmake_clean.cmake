@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_amortization.dir/bench_table4_amortization.cc.o"
+  "CMakeFiles/bench_table4_amortization.dir/bench_table4_amortization.cc.o.d"
+  "bench_table4_amortization"
+  "bench_table4_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

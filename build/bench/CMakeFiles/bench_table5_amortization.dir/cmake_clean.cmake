@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_amortization.dir/bench_table5_amortization.cc.o"
+  "CMakeFiles/bench_table5_amortization.dir/bench_table5_amortization.cc.o.d"
+  "bench_table5_amortization"
+  "bench_table5_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

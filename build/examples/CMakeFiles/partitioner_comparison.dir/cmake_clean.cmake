@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioner_comparison.dir/partitioner_comparison.cpp.o"
+  "CMakeFiles/partitioner_comparison.dir/partitioner_comparison.cpp.o.d"
+  "partitioner_comparison"
+  "partitioner_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioner_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_planner.dir/scaleout_planner.cpp.o"
+  "CMakeFiles/scaleout_planner.dir/scaleout_planner.cpp.o.d"
+  "scaleout_planner"
+  "scaleout_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnpart_common.dir/rng.cc.o"
+  "CMakeFiles/gnnpart_common.dir/rng.cc.o.d"
+  "CMakeFiles/gnnpart_common.dir/stats.cc.o"
+  "CMakeFiles/gnnpart_common.dir/stats.cc.o.d"
+  "CMakeFiles/gnnpart_common.dir/status.cc.o"
+  "CMakeFiles/gnnpart_common.dir/status.cc.o.d"
+  "CMakeFiles/gnnpart_common.dir/table.cc.o"
+  "CMakeFiles/gnnpart_common.dir/table.cc.o.d"
+  "libgnnpart_common.a"
+  "libgnnpart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnpart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

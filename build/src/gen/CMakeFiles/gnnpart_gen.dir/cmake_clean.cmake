@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnpart_gen.dir/datasets.cc.o"
+  "CMakeFiles/gnnpart_gen.dir/datasets.cc.o.d"
+  "CMakeFiles/gnnpart_gen.dir/generators.cc.o"
+  "CMakeFiles/gnnpart_gen.dir/generators.cc.o.d"
+  "libgnnpart_gen.a"
+  "libgnnpart_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnpart_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gnnpart_gen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/costs.cc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/costs.cc.o" "gcc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/costs.cc.o.d"
+  "/root/repo/src/gnn/layers.cc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/layers.cc.o" "gcc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/layers.cc.o.d"
+  "/root/repo/src/gnn/model_config.cc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/model_config.cc.o" "gcc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/model_config.cc.o.d"
+  "/root/repo/src/gnn/optimizer.cc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/optimizer.cc.o" "gcc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/optimizer.cc.o.d"
+  "/root/repo/src/gnn/reference_net.cc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/reference_net.cc.o" "gcc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/reference_net.cc.o.d"
+  "/root/repo/src/gnn/tensor.cc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/tensor.cc.o" "gcc" "src/gnn/CMakeFiles/gnnpart_gnn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gnnpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnnpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnpart_gnn.dir/costs.cc.o"
+  "CMakeFiles/gnnpart_gnn.dir/costs.cc.o.d"
+  "CMakeFiles/gnnpart_gnn.dir/layers.cc.o"
+  "CMakeFiles/gnnpart_gnn.dir/layers.cc.o.d"
+  "CMakeFiles/gnnpart_gnn.dir/model_config.cc.o"
+  "CMakeFiles/gnnpart_gnn.dir/model_config.cc.o.d"
+  "CMakeFiles/gnnpart_gnn.dir/optimizer.cc.o"
+  "CMakeFiles/gnnpart_gnn.dir/optimizer.cc.o.d"
+  "CMakeFiles/gnnpart_gnn.dir/reference_net.cc.o"
+  "CMakeFiles/gnnpart_gnn.dir/reference_net.cc.o.d"
+  "CMakeFiles/gnnpart_gnn.dir/tensor.cc.o"
+  "CMakeFiles/gnnpart_gnn.dir/tensor.cc.o.d"
+  "libgnnpart_gnn.a"
+  "libgnnpart_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnpart_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cc" "src/graph/CMakeFiles/gnnpart_graph.dir/components.cc.o" "gcc" "src/graph/CMakeFiles/gnnpart_graph.dir/components.cc.o.d"
+  "/root/repo/src/graph/degree_stats.cc" "src/graph/CMakeFiles/gnnpart_graph.dir/degree_stats.cc.o" "gcc" "src/graph/CMakeFiles/gnnpart_graph.dir/degree_stats.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/gnnpart_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/gnnpart_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/gnnpart_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/gnnpart_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/split.cc" "src/graph/CMakeFiles/gnnpart_graph.dir/split.cc.o" "gcc" "src/graph/CMakeFiles/gnnpart_graph.dir/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gnnpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

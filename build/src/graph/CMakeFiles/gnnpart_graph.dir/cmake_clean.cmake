@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnpart_graph.dir/components.cc.o"
+  "CMakeFiles/gnnpart_graph.dir/components.cc.o.d"
+  "CMakeFiles/gnnpart_graph.dir/degree_stats.cc.o"
+  "CMakeFiles/gnnpart_graph.dir/degree_stats.cc.o.d"
+  "CMakeFiles/gnnpart_graph.dir/graph.cc.o"
+  "CMakeFiles/gnnpart_graph.dir/graph.cc.o.d"
+  "CMakeFiles/gnnpart_graph.dir/io.cc.o"
+  "CMakeFiles/gnnpart_graph.dir/io.cc.o.d"
+  "CMakeFiles/gnnpart_graph.dir/split.cc.o"
+  "CMakeFiles/gnnpart_graph.dir/split.cc.o.d"
+  "libgnnpart_graph.a"
+  "libgnnpart_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnpart_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

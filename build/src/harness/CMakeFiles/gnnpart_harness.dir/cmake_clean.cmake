@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnpart_harness.dir/cache.cc.o"
+  "CMakeFiles/gnnpart_harness.dir/cache.cc.o.d"
+  "CMakeFiles/gnnpart_harness.dir/experiment.cc.o"
+  "CMakeFiles/gnnpart_harness.dir/experiment.cc.o.d"
+  "libgnnpart_harness.a"
+  "libgnnpart_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnpart_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

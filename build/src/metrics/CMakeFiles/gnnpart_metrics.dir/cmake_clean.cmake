@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnpart_metrics.dir/partition_metrics.cc.o"
+  "CMakeFiles/gnnpart_metrics.dir/partition_metrics.cc.o.d"
+  "libgnnpart_metrics.a"
+  "libgnnpart_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnpart_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

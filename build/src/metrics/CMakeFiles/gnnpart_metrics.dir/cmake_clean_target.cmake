@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnnpart_metrics.a"
+)

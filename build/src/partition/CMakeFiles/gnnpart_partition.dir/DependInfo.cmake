@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/edge/dbh.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/dbh.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/dbh.cc.o.d"
+  "/root/repo/src/partition/edge/greedy.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/greedy.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/greedy.cc.o.d"
+  "/root/repo/src/partition/edge/grid.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/grid.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/grid.cc.o.d"
+  "/root/repo/src/partition/edge/hdrf.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/hdrf.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/hdrf.cc.o.d"
+  "/root/repo/src/partition/edge/hep.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/hep.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/hep.cc.o.d"
+  "/root/repo/src/partition/edge/random_edge.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/random_edge.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/random_edge.cc.o.d"
+  "/root/repo/src/partition/edge/registry.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/registry.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/registry.cc.o.d"
+  "/root/repo/src/partition/edge/two_ps_l.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/two_ps_l.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/edge/two_ps_l.cc.o.d"
+  "/root/repo/src/partition/incidence.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/incidence.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/incidence.cc.o.d"
+  "/root/repo/src/partition/partitioning.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/partitioning.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/partitioning.cc.o.d"
+  "/root/repo/src/partition/vertex/bytegnn_like.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/bytegnn_like.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/bytegnn_like.cc.o.d"
+  "/root/repo/src/partition/vertex/fennel.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/fennel.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/fennel.cc.o.d"
+  "/root/repo/src/partition/vertex/ldg.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/ldg.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/ldg.cc.o.d"
+  "/root/repo/src/partition/vertex/multilevel.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/multilevel.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/multilevel.cc.o.d"
+  "/root/repo/src/partition/vertex/random_vertex.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/random_vertex.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/random_vertex.cc.o.d"
+  "/root/repo/src/partition/vertex/registry.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/registry.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/registry.cc.o.d"
+  "/root/repo/src/partition/vertex/reldg.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/reldg.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/reldg.cc.o.d"
+  "/root/repo/src/partition/vertex/spinner.cc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/spinner.cc.o" "gcc" "src/partition/CMakeFiles/gnnpart_partition.dir/vertex/spinner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gnnpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnnpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnpart_sampling.dir/block_sampler.cc.o"
+  "CMakeFiles/gnnpart_sampling.dir/block_sampler.cc.o.d"
+  "CMakeFiles/gnnpart_sampling.dir/neighbor_sampler.cc.o"
+  "CMakeFiles/gnnpart_sampling.dir/neighbor_sampler.cc.o.d"
+  "libgnnpart_sampling.a"
+  "libgnnpart_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnpart_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/distdgl_sim.cc" "src/sim/CMakeFiles/gnnpart_sim.dir/distdgl_sim.cc.o" "gcc" "src/sim/CMakeFiles/gnnpart_sim.dir/distdgl_sim.cc.o.d"
+  "/root/repo/src/sim/distgnn_sim.cc" "src/sim/CMakeFiles/gnnpart_sim.dir/distgnn_sim.cc.o" "gcc" "src/sim/CMakeFiles/gnnpart_sim.dir/distgnn_sim.cc.o.d"
+  "/root/repo/src/sim/distributed_trainer.cc" "src/sim/CMakeFiles/gnnpart_sim.dir/distributed_trainer.cc.o" "gcc" "src/sim/CMakeFiles/gnnpart_sim.dir/distributed_trainer.cc.o.d"
+  "/root/repo/src/sim/partitioned_aggregate.cc" "src/sim/CMakeFiles/gnnpart_sim.dir/partitioned_aggregate.cc.o" "gcc" "src/sim/CMakeFiles/gnnpart_sim.dir/partitioned_aggregate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/gnnpart_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gnnpart_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gnnpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnnpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

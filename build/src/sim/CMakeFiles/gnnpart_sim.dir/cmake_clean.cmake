@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnpart_sim.dir/distdgl_sim.cc.o"
+  "CMakeFiles/gnnpart_sim.dir/distdgl_sim.cc.o.d"
+  "CMakeFiles/gnnpart_sim.dir/distgnn_sim.cc.o"
+  "CMakeFiles/gnnpart_sim.dir/distgnn_sim.cc.o.d"
+  "CMakeFiles/gnnpart_sim.dir/distributed_trainer.cc.o"
+  "CMakeFiles/gnnpart_sim.dir/distributed_trainer.cc.o.d"
+  "CMakeFiles/gnnpart_sim.dir/partitioned_aggregate.cc.o"
+  "CMakeFiles/gnnpart_sim.dir/partitioned_aggregate.cc.o.d"
+  "libgnnpart_sim.a"
+  "libgnnpart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnpart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_sampler_test.dir/block_sampler_test.cc.o"
+  "CMakeFiles/block_sampler_test.dir/block_sampler_test.cc.o.d"
+  "block_sampler_test"
+  "block_sampler_test.pdb"
+  "block_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distdgl_sim_test.dir/distdgl_sim_test.cc.o"
+  "CMakeFiles/distdgl_sim_test.dir/distdgl_sim_test.cc.o.d"
+  "distdgl_sim_test"
+  "distdgl_sim_test.pdb"
+  "distdgl_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distdgl_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

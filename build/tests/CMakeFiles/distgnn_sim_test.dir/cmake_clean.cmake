@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distgnn_sim_test.dir/distgnn_sim_test.cc.o"
+  "CMakeFiles/distgnn_sim_test.dir/distgnn_sim_test.cc.o.d"
+  "distgnn_sim_test"
+  "distgnn_sim_test.pdb"
+  "distgnn_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distgnn_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_trainer_test.dir/distributed_trainer_test.cc.o"
+  "CMakeFiles/distributed_trainer_test.dir/distributed_trainer_test.cc.o.d"
+  "distributed_trainer_test"
+  "distributed_trainer_test.pdb"
+  "distributed_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_partitioner_test.dir/extension_partitioner_test.cc.o"
+  "CMakeFiles/extension_partitioner_test.dir/extension_partitioner_test.cc.o.d"
+  "extension_partitioner_test"
+  "extension_partitioner_test.pdb"
+  "extension_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

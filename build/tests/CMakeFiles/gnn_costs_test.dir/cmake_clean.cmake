@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_costs_test.dir/gnn_costs_test.cc.o"
+  "CMakeFiles/gnn_costs_test.dir/gnn_costs_test.cc.o.d"
+  "gnn_costs_test"
+  "gnn_costs_test.pdb"
+  "gnn_costs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_costs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

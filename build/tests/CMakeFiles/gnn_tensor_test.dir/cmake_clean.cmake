@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_tensor_test.dir/gnn_tensor_test.cc.o"
+  "CMakeFiles/gnn_tensor_test.dir/gnn_tensor_test.cc.o.d"
+  "gnn_tensor_test"
+  "gnn_tensor_test.pdb"
+  "gnn_tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

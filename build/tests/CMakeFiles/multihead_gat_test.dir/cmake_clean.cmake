@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihead_gat_test.dir/multihead_gat_test.cc.o"
+  "CMakeFiles/multihead_gat_test.dir/multihead_gat_test.cc.o.d"
+  "multihead_gat_test"
+  "multihead_gat_test.pdb"
+  "multihead_gat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihead_gat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

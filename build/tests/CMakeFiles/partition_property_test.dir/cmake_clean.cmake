@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_property_test.dir/partition_property_test.cc.o"
+  "CMakeFiles/partition_property_test.dir/partition_property_test.cc.o.d"
+  "partition_property_test"
+  "partition_property_test.pdb"
+  "partition_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_aggregate_test.dir/partitioned_aggregate_test.cc.o"
+  "CMakeFiles/partitioned_aggregate_test.dir/partitioned_aggregate_test.cc.o.d"
+  "partitioned_aggregate_test"
+  "partitioned_aggregate_test.pdb"
+  "partitioned_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

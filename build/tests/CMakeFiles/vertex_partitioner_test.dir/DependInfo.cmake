@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vertex_partitioner_test.cc" "tests/CMakeFiles/vertex_partitioner_test.dir/vertex_partitioner_test.cc.o" "gcc" "tests/CMakeFiles/vertex_partitioner_test.dir/vertex_partitioner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gnnpart_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnpart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gnnpart_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gnnpart_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gnnpart_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gnnpart_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gnnpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gnnpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_partitioner_test.dir/vertex_partitioner_test.cc.o"
+  "CMakeFiles/vertex_partitioner_test.dir/vertex_partitioner_test.cc.o.d"
+  "vertex_partitioner_test"
+  "vertex_partitioner_test.pdb"
+  "vertex_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/vertex_partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_property_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn_tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn_costs_test[1]_include.cmake")
+include("/root/repo/build/tests/sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/distgnn_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/distdgl_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/components_test[1]_include.cmake")
+include("/root/repo/build/tests/block_sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_property_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_property_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioned_aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/multihead_gat_test[1]_include.cmake")

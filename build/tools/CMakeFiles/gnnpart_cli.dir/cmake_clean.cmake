@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnpart_cli.dir/gnnpart_cli.cc.o"
+  "CMakeFiles/gnnpart_cli.dir/gnnpart_cli.cc.o.d"
+  "gnnpart_cli"
+  "gnnpart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
