@@ -9,8 +9,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Ablation: network bandwidth vs partitioner payoff "
                      "(HW, 16 machines, feat=hidden=64, 3 layers)",
                      "DESIGN.md cluster-regime decision", ctx);

@@ -9,8 +9,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Ablation: community mixing vs partitioner payoff "
                      "(DC-SBM, 8 partitions)",
                      "DESIGN.md community-structure decision", ctx);

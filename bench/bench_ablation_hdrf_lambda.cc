@@ -7,8 +7,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Ablation: HDRF lambda sweep (OR, 16 partitions)",
                      "DESIGN.md ablation; supports paper Sec. 4.1", ctx);
   DatasetBundle bundle =

@@ -7,8 +7,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Ablation: multilevel knobs (OR, 8 partitions)",
                      "DESIGN.md ablation; Metis-like vs KaHIP-like configs",
                      ctx);

@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Dataset inventory (synthetic substitutes)",
                      "paper Table 1", ctx);
   TablePrinter table({"Graph", "Type", "Dir.", "|E|", "|V|", "mean deg",

@@ -9,8 +9,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Extension partitioners vs the paper line-up",
                      "extension of paper Table 2 / Figs. 2 and 12", ctx);
   const PartitionId k = 16;

@@ -5,8 +5,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Replication factor of edge partitioners",
                      "paper Figure 2", ctx);
   for (PartitionId k : {4u, 8u, 16u, 32u}) {

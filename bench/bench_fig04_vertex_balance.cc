@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Vertex balance of edge partitioners",
                      "paper Figure 4", ctx);
   for (PartitionId k : {4u, 32u}) {

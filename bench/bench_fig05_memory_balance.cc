@@ -5,8 +5,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Memory utilization balance (4 machines)",
                      "paper Figure 5", ctx);
   const PartitionId k = 4;

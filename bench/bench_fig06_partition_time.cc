@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Edge partitioning time (seconds)", "paper Figure 6",
                      ctx);
   for (PartitionId k : {4u, 32u}) {

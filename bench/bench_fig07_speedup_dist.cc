@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("DistGNN speedup distribution vs Random",
                      "paper Figure 7", ctx);
   for (int machines : StudyMachineCounts()) {

@@ -5,8 +5,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Replication factor vs speedup on EN (vertex balance "
                      "in brackets)",
                      "paper Figure 8", ctx);

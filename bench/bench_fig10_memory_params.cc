@@ -25,8 +25,8 @@ double MeanPercent(const DistGnnGridResult& grid, const std::string& name,
 
 }  // namespace
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Memory in % of Random by hyper-parameter (OR, 8 "
                      "machines)",
                      "paper Figure 10", ctx);

@@ -7,8 +7,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Edge-cut ratio of vertex partitioners",
                      "paper Figure 12", ctx);
   for (PartitionId k : {4u, 8u, 16u, 32u}) {

@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Training-vertex balance (8 partitions)",
                      "paper Figure 13", ctx);
   const PartitionId k = 8;

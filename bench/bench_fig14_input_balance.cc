@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Input-vertex balance of mini-batches (GraphSage, 3 "
                      "layers)",
                      "paper Figure 14", ctx);

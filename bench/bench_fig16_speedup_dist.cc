@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("DistDGL GraphSage speedup distribution vs Random",
                      "paper Figure 16", ctx);
   for (int machines : StudyMachineCounts()) {

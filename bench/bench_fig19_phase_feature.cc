@@ -7,8 +7,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Phase times by feature size (3-layer GraphSage, "
                      "hidden 64, 4 machines)",
                      "paper Figure 19", ctx);

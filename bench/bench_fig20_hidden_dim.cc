@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("DistDGL speedup by hidden dimension (GraphSage, mean "
                      "over graphs and remaining grid)",
                      "paper Figure 20", ctx);

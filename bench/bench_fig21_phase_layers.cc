@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Phase times by layer count (GraphSage, feat=hidden=64, "
                      "4 machines, OR)",
                      "paper Figure 21", ctx);

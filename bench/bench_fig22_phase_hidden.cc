@@ -6,8 +6,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Phase times by hidden dimension (3-layer GraphSage, "
                      "feat 64, 4 machines, OR)",
                      "paper Figure 22", ctx);

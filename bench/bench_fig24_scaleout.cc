@@ -7,8 +7,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("DistDGL scale-out effectiveness (GraphSage)",
                      "paper Figure 24", ctx);
 

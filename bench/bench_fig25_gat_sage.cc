@@ -7,8 +7,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Phase times GAT vs GraphSage (feat 512, hidden 64, "
                      "OR, Metis)",
                      "paper Figure 25", ctx);

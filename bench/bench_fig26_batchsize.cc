@@ -11,8 +11,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("Batch-size sweep (3 layers, hidden 64, feat 512, OR, "
                      "16 workers)",
                      "paper Figure 26", ctx);

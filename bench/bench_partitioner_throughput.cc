@@ -2,6 +2,9 @@
 // vertices per second). These are the raw numbers behind Figures 6 and 15.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "common/parallel.h"
 #include "gen/datasets.h"
 #include "graph/split.h"
 #include "partition/edge/registry.h"
@@ -77,4 +80,22 @@ BENCHMARK(BM_VertexPartitioner)
 }  // namespace
 }  // namespace gnnpart
 
-BENCHMARK_MAIN();
+// Custom main: strip our --threads flag before google-benchmark parses the
+// rest (it rejects unknown flags).
+int main(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      gnnpart::SetDefaultThreads(atoi(argv[i + 1]));
+      ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,8 +8,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("DistGNN partitioning-time amortization (epochs)",
                      "paper Table 4", ctx);
   TablePrinter table({"Graph", "DBH", "2PS-L", "HDRF", "HEP10", "HEP100"});

@@ -8,8 +8,8 @@
 
 using namespace gnnpart;
 
-int main() {
-  ExperimentContext ctx = bench::DefaultContext();
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
   bench::PrintBanner("DistDGL partitioning-time amortization (epochs)",
                      "paper Table 5", ctx);
   TablePrinter table({"Graph", "ByteGNN", "KaHIP", "LDG", "Spinner",

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness/experiment.h"
@@ -16,8 +17,16 @@ namespace gnnpart {
 namespace bench {
 
 /// Context shared by all bench binaries; honours GNNPART_SCALE,
-/// GNNPART_SEED, GNNPART_CACHE_DIR, GNNPART_GBS.
-inline ExperimentContext DefaultContext() {
+/// GNNPART_SEED, GNNPART_CACHE_DIR, GNNPART_GBS, GNNPART_THREADS.
+/// Pass (argc, argv) through to also accept a `--threads N` flag
+/// (which overrides the environment; results are identical for every N).
+inline ExperimentContext DefaultContext(int argc = 0,
+                                        char** argv = nullptr) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      SetDefaultThreads(atoi(argv[i + 1]));
+    }
+  }
   return ExperimentContext::FromEnv();
 }
 
@@ -27,7 +36,8 @@ inline void PrintBanner(const std::string& title, const std::string& ref,
             << title << "\n"
             << "Reproduces: " << ref << "\n"
             << "scale=" << ctx.scale << " seed=" << ctx.seed
-            << " gbs=" << ctx.global_batch_size << "\n"
+            << " gbs=" << ctx.global_batch_size
+            << " threads=" << DefaultThreads() << "\n"
             << "==================================================\n";
 }
 

@@ -1,0 +1,153 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace gnnpart {
+namespace {
+
+thread_local bool tl_in_parallel = false;
+
+// RAII guard marking the current thread as inside a parallel chunk.
+struct RegionGuard {
+  bool saved;
+  RegionGuard() : saved(tl_in_parallel) { tl_in_parallel = true; }
+  ~RegionGuard() { tl_in_parallel = saved; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::InParallelRegion() { return tl_in_parallel; }
+
+void ThreadPool::RunChunksSerial(size_t n, size_t grain, const ChunkFn& fn) {
+  const size_t chunks = NumChunks(n, grain);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * grain;
+    const size_t end = std::min(n, begin + grain);
+    RegionGuard guard;
+    fn(begin, end, c);
+  }
+}
+
+void ThreadPool::For(size_t n, size_t grain, const ChunkFn& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t chunks = NumChunks(n, grain);
+  // Serial paths run the *same* chunks in order, so results cannot depend
+  // on which path was taken.
+  if (workers_.empty() || chunks == 1 || tl_in_parallel) {
+    RunChunksSerial(n, grain, fn);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    n_ = n;
+    grain_ = grain;
+    chunks_ = chunks;
+    pending_.store(chunks, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+    // Release store last: a worker that claims a chunk via an acquire RMW on
+    // next_chunk_ observes every field above.
+    next_chunk_.store(0, std::memory_order_release);
+  }
+  cv_work_.notify_all();
+  ClaimAndRun();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::ClaimAndRun() {
+  for (;;) {
+    const size_t c = next_chunk_.fetch_add(1, std::memory_order_acq_rel);
+    if (c >= chunks_) return;
+    if (!failed_.load(std::memory_order_acquire)) {
+      const size_t begin = c * grain_;
+      const size_t end = std::min(n_, begin + grain_);
+      RegionGuard guard;
+      try {
+        (*fn_)(begin, end, c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+        failed_.store(true, std::memory_order_release);
+      }
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    ClaimAndRun();
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+int StartupThreads() {
+  if (const char* s = std::getenv("GNNPART_THREADS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace
+
+ThreadPool& DefaultPool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(StartupThreads());
+  return *g_pool;
+}
+
+void SetDefaultThreads(int num_threads) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool = std::make_unique<ThreadPool>(std::max(1, num_threads));
+}
+
+int DefaultThreads() { return DefaultPool().num_threads(); }
+
+}  // namespace gnnpart

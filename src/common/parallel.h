@@ -1,0 +1,142 @@
+#ifndef GNNPART_COMMON_PARALLEL_H_
+#define GNNPART_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnnpart {
+
+/// Deterministic shared-memory parallel layer.
+///
+/// Every loop is split into fixed-size chunks whose boundaries depend only
+/// on (range length, grain) — never on the thread count or on scheduling —
+/// and anything order-sensitive (floating-point reduction, RNG draws,
+/// first-visit deduplication) is either done per chunk and combined in
+/// chunk order, or derived from a per-chunk RNG stream. Consequence: a run
+/// with N threads is bit-identical to a run with 1 thread, which is what
+/// makes the reproduction's fixed-seed results stable across machines.
+/// See DESIGN.md "Threading model & determinism".
+
+/// Number of chunks a range of length `n` is split into at grain `grain`.
+/// Depends only on (n, grain) — the anchor of the determinism guarantee.
+inline size_t NumChunks(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+/// Deterministic RNG stream for chunk `chunk_id` of a parallel region with
+/// base seed `base_seed` (seed = base_seed ^ chunk_id; the Rng constructor
+/// chains the seed through SplitMix64, so adjacent chunk ids still yield
+/// decorrelated streams). Callers obtain `base_seed` from one draw of their
+/// sequential RNG so successive parallel regions get fresh streams.
+inline Rng ChunkRng(uint64_t base_seed, uint64_t chunk_id) {
+  return Rng(base_seed ^ chunk_id);
+}
+
+/// Fixed-size thread pool running chunked loops. The calling thread always
+/// participates, so a pool of `num_threads` uses `num_threads - 1` workers.
+/// Chunks are claimed dynamically (work stealing via an atomic cursor), but
+/// since chunk *content* is scheduling-independent, results are not.
+///
+/// Nested use: a For() issued from inside a chunk runs serially inline on
+/// the calling thread (same chunking, same order), so library code may use
+/// the pool freely without deadlocking when a caller is already parallel.
+class ThreadPool {
+ public:
+  using ChunkFn = std::function<void(size_t begin, size_t end, size_t chunk)>;
+
+  /// Spawns `num_threads - 1` workers; values < 1 are clamped to 1 (a pool
+  /// with no workers runs every loop serially on the caller).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(chunk_begin, chunk_end, chunk_index) over [0, n) in chunks of
+  /// `grain`. Blocks until every chunk finished. If any chunk throws, the
+  /// first exception (in claim order) is rethrown on the calling thread
+  /// after remaining chunks are cancelled.
+  void For(size_t n, size_t grain, const ChunkFn& fn);
+
+  /// True while the current thread is executing inside a chunk of any pool;
+  /// nested For() calls detect this and run serially inline.
+  static bool InParallelRegion();
+
+ private:
+  void WorkerLoop();
+  void RunChunksSerial(size_t n, size_t grain, const ChunkFn& fn);
+  void ClaimAndRun();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  // Current job; published under mu_, fields read by workers after they
+  // synchronize through next_chunk_ (release store / acquire RMW).
+  const ChunkFn* fn_ = nullptr;
+  size_t n_ = 0;
+  size_t grain_ = 1;
+  size_t chunks_ = 0;
+  std::atomic<size_t> next_chunk_{0};
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool. Sized from (in priority order) the last
+/// SetDefaultThreads() call, the GNNPART_THREADS environment variable, or
+/// std::thread::hardware_concurrency(). Created lazily on first use.
+ThreadPool& DefaultPool();
+
+/// Replaces the default pool with one of `num_threads` threads (clamped to
+/// >= 1). Not safe to call while parallel work is in flight — intended for
+/// process startup (--threads flags) and tests.
+void SetDefaultThreads(int num_threads);
+
+/// Thread count of the default pool (creates it if needed).
+int DefaultThreads();
+
+/// Chunked loop on the default pool; see ThreadPool::For.
+inline void ParallelFor(size_t n, size_t grain, const ThreadPool::ChunkFn& fn) {
+  DefaultPool().For(n, grain, fn);
+}
+
+/// Chunked map-reduce on the default pool. `map(begin, end, chunk)` produces
+/// one partial per chunk; partials are folded with `combine(acc, partial)`
+/// strictly in chunk order on the calling thread, so floating-point results
+/// are identical for every thread count (though they may differ from a
+/// single unchunked accumulation).
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t n, size_t grain, T init, const MapFn& map,
+                 const CombineFn& combine) {
+  const size_t chunks = NumChunks(n, grain);
+  if (chunks == 0) return init;
+  std::vector<T> partial(chunks);
+  ParallelFor(n, grain, [&](size_t begin, size_t end, size_t chunk) {
+    partial[chunk] = map(begin, end, chunk);
+  });
+  T acc = std::move(init);
+  for (size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partial[c]));
+  }
+  return acc;
+}
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_COMMON_PARALLEL_H_

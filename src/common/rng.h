@@ -86,8 +86,10 @@ class Rng {
   }
 
   /// Forks an independent child generator; deterministic in (this state,
-  /// stream id). Used to give each worker/partition its own stream.
-  Rng Fork(uint64_t stream) {
+  /// stream id) and does not advance this generator, so concurrent Fork()
+  /// calls from parallel workers are safe. Used to give each
+  /// worker/partition/chunk its own stream.
+  Rng Fork(uint64_t stream) const {
     return Rng(HashCombine64(state_[0] ^ state_[3], stream));
   }
 

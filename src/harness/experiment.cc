@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "harness/cache.h"
 
@@ -10,8 +11,9 @@ namespace gnnpart {
 namespace {
 
 // Bump when partitioner or generator algorithms change, so stale cache
-// entries from older binaries cannot leak into results.
-constexpr int kCacheVersion = 3;
+// entries from older binaries cannot leak into results. v4: the sampler's
+// per-chunk RNG streams changed the sampled-profile blobs.
+constexpr int kCacheVersion = 4;
 
 std::string CacheKey(const ExperimentContext& ctx, DatasetId dataset,
                      const std::string& partitioner, PartitionId k) {
@@ -190,12 +192,16 @@ Result<DistGnnGridResult> RunDistGnnGrid(const ExperimentContext& ctx,
     result.partition_seconds[name] = parts->partitioning_seconds;
     result.metrics[name] = ComputeEdgePartitionMetrics(graph, *parts);
     result.workloads[name] = BuildDistGnnWorkload(graph, *parts);
+    // Grid cells are independent pure functions of (workload, config);
+    // evaluate them concurrently straight into their slots.
+    const DistGnnWorkload& workload = result.workloads[name];
     auto& reports = result.reports[name];
-    reports.reserve(result.grid.size());
-    for (const GnnConfig& config : result.grid) {
-      reports.push_back(
-          SimulateDistGnnEpoch(result.workloads[name], config, cluster));
-    }
+    reports.resize(result.grid.size());
+    ParallelFor(result.grid.size(), 1, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) {
+        reports[i] = SimulateDistGnnEpoch(workload, result.grid[i], cluster);
+      }
+    });
   }
   return result;
 }
@@ -335,12 +341,15 @@ Result<DistDglGridResult> RunDistDglGrid(const ExperimentContext& ctx,
       profiles.push_back(std::move(profile).value());
     }
     auto& reports = result.reports[name];
-    reports.reserve(result.grid.size());
-    for (const GnnConfig& config : result.grid) {
-      const DistDglEpochProfile& profile =
-          profiles[static_cast<size_t>(config.num_layers - 2)];
-      reports.push_back(SimulateDistDglEpoch(profile, config, cluster));
-    }
+    reports.resize(result.grid.size());
+    ParallelFor(result.grid.size(), 1, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) {
+        const GnnConfig& config = result.grid[i];
+        const DistDglEpochProfile& profile =
+            profiles[static_cast<size_t>(config.num_layers - 2)];
+        reports[i] = SimulateDistDglEpoch(profile, config, cluster);
+      }
+    });
   }
   return result;
 }

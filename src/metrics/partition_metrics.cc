@@ -3,6 +3,7 @@
 #include <bit>
 #include <sstream>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace gnnpart {
@@ -32,28 +33,52 @@ EdgePartitionMetrics ComputeEdgePartitionMetrics(
     const Graph& graph, const EdgePartitioning& parts) {
   EdgePartitionMetrics m;
   m.edges_per_partition = parts.EdgeCounts();
-  m.vertices_per_partition.assign(parts.k, 0);
 
   std::vector<uint64_t> masks = ComputeReplicaMasks(graph, parts);
-  uint64_t covered_total = 0;
-  uint64_t vertices_with_edges = 0;
-  for (uint64_t mask : masks) {
-    int replicas = std::popcount(mask);
-    covered_total += static_cast<uint64_t>(replicas);
-    if (replicas > 0) {
-      ++vertices_with_edges;
-      m.total_replicas += static_cast<uint64_t>(replicas - 1);
-    }
-    while (mask) {
-      int p = std::countr_zero(mask);
-      ++m.vertices_per_partition[static_cast<size_t>(p)];
-      mask &= mask - 1;
-    }
-  }
+  // Per-chunk integer accumulators over vertex chunks, combined in chunk
+  // order; integer sums commute, so any thread count gives the same result.
+  struct MaskAcc {
+    uint64_t covered = 0;
+    uint64_t extra_replicas = 0;
+    std::vector<uint64_t> per_partition;
+  };
+  MaskAcc init;
+  init.per_partition.assign(parts.k, 0);
+  MaskAcc total = ParallelReduce<MaskAcc>(
+      masks.size(), 8192, std::move(init),
+      [&](size_t begin, size_t end, size_t) {
+        MaskAcc acc;
+        acc.per_partition.assign(parts.k, 0);
+        for (size_t v = begin; v < end; ++v) {
+          uint64_t mask = masks[v];
+          int replicas = std::popcount(mask);
+          acc.covered += static_cast<uint64_t>(replicas);
+          if (replicas > 0) {
+            acc.extra_replicas += static_cast<uint64_t>(replicas - 1);
+          }
+          while (mask) {
+            int p = std::countr_zero(mask);
+            ++acc.per_partition[static_cast<size_t>(p)];
+            mask &= mask - 1;
+          }
+        }
+        return acc;
+      },
+      [](MaskAcc acc, MaskAcc part) {
+        acc.covered += part.covered;
+        acc.extra_replicas += part.extra_replicas;
+        for (size_t p = 0; p < acc.per_partition.size(); ++p) {
+          acc.per_partition[p] += part.per_partition[p];
+        }
+        return acc;
+      });
+  m.total_replicas = total.extra_replicas;
+  m.vertices_per_partition = std::move(total.per_partition);
   // The paper normalizes by |V|; isolated vertices (none at our scales
   // after dedup) would dilute RF identically for every partitioner.
   double denom = static_cast<double>(graph.num_vertices());
-  m.replication_factor = denom > 0 ? static_cast<double>(covered_total) / denom : 0;
+  m.replication_factor =
+      denom > 0 ? static_cast<double>(total.covered) / denom : 0;
   m.edge_balance = MaxOverMean(ToDoubles(m.edges_per_partition));
   m.vertex_balance = MaxOverMean(ToDoubles(m.vertices_per_partition));
   return m;
@@ -68,9 +93,20 @@ VertexPartitionMetrics ComputeVertexPartitionMetrics(
   for (VertexId v : split.train_vertices()) {
     ++m.train_vertices_per_partition[parts.assignment[v]];
   }
-  for (const Edge& e : graph.edges()) {
-    if (parts.assignment[e.src] != parts.assignment[e.dst]) ++m.cut_edges;
-  }
+  const auto& edges = graph.edges();
+  m.cut_edges = ParallelReduce<uint64_t>(
+      edges.size(), 16384, 0,
+      [&](size_t begin, size_t end, size_t) {
+        uint64_t cut = 0;
+        for (size_t e = begin; e < end; ++e) {
+          if (parts.assignment[edges[e].src] !=
+              parts.assignment[edges[e].dst]) {
+            ++cut;
+          }
+        }
+        return cut;
+      },
+      [](uint64_t acc, uint64_t part) { return acc + part; });
   m.edge_cut_ratio =
       graph.num_edges() > 0
           ? static_cast<double>(m.cut_edges) /

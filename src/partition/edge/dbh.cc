@@ -1,5 +1,6 @@
 #include "partition/edge/dbh.h"
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace gnnpart {
@@ -12,17 +13,21 @@ Result<EdgePartitioning> DbhPartitioner::Partition(const Graph& graph,
   result.k = k;
   result.assignment.resize(graph.num_edges());
   const auto& edges = graph.edges();
-  for (EdgeId e = 0; e < edges.size(); ++e) {
-    VertexId u = edges[e].src;
-    VertexId v = edges[e].dst;
-    // Hash the lower-degree endpoint; ties broken by vertex id so the
-    // result is independent of edge orientation.
-    size_t du = graph.Degree(u);
-    size_t dv = graph.Degree(v);
-    VertexId key = (du < dv || (du == dv && u < v)) ? u : v;
-    result.assignment[e] =
-        static_cast<PartitionId>(HashCombine64(seed, key) % k);
-  }
+  // Per-edge hash of the lower-degree endpoint; degrees are read-only, so
+  // chunks run concurrently with bit-identical output.
+  ParallelFor(edges.size(), 16384, [&](size_t begin, size_t end, size_t) {
+    for (EdgeId e = begin; e < end; ++e) {
+      VertexId u = edges[e].src;
+      VertexId v = edges[e].dst;
+      // Hash the lower-degree endpoint; ties broken by vertex id so the
+      // result is independent of edge orientation.
+      size_t du = graph.Degree(u);
+      size_t dv = graph.Degree(v);
+      VertexId key = (du < dv || (du == dv && u < v)) ? u : v;
+      result.assignment[e] =
+          static_cast<PartitionId>(HashCombine64(seed, key) % k);
+    }
+  });
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "partition/edge/grid.h"
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace gnnpart {
@@ -21,15 +22,17 @@ Result<EdgePartitioning> GridPartitioner::Partition(const Graph& graph,
   result.k = k;
   result.assignment.resize(graph.num_edges());
   const auto& edges = graph.edges();
-  for (EdgeId e = 0; e < edges.size(); ++e) {
-    // For undirected graphs the canonical orientation (src <= dst) already
-    // makes the cell choice orientation-independent.
-    PartitionId row = static_cast<PartitionId>(
-        HashCombine64(seed, edges[e].src) % rows);
-    PartitionId col = static_cast<PartitionId>(
-        HashCombine64(seed ^ 0x9e3779b97f4a7c15ULL, edges[e].dst) % cols);
-    result.assignment[e] = row * cols + col;
-  }
+  ParallelFor(edges.size(), 16384, [&](size_t begin, size_t end, size_t) {
+    for (EdgeId e = begin; e < end; ++e) {
+      // For undirected graphs the canonical orientation (src <= dst) already
+      // makes the cell choice orientation-independent.
+      PartitionId row = static_cast<PartitionId>(
+          HashCombine64(seed, edges[e].src) % rows);
+      PartitionId col = static_cast<PartitionId>(
+          HashCombine64(seed ^ 0x9e3779b97f4a7c15ULL, edges[e].dst) % cols);
+      result.assignment[e] = row * cols + col;
+    }
+  });
   return result;
 }
 

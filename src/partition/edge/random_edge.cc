@@ -1,5 +1,6 @@
 #include "partition/edge/random_edge.h"
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace gnnpart {
@@ -11,10 +12,14 @@ Result<EdgePartitioning> RandomEdgePartitioner::Partition(const Graph& graph,
   EdgePartitioning result;
   result.k = k;
   result.assignment.resize(graph.num_edges());
-  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-    result.assignment[e] =
-        static_cast<PartitionId>(HashCombine64(seed, e) % k);
-  }
+  // Pure per-edge hash: parallel chunks write disjoint slots and the value
+  // depends only on (seed, e), so any thread count is bit-identical.
+  ParallelFor(graph.num_edges(), 16384, [&](size_t begin, size_t end, size_t) {
+    for (EdgeId e = begin; e < end; ++e) {
+      result.assignment[e] =
+          static_cast<PartitionId>(HashCombine64(seed, e) % k);
+    }
+  });
   return result;
 }
 

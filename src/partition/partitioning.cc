@@ -1,5 +1,9 @@
 #include "partition/partitioning.h"
 
+#include <atomic>
+
+#include "common/parallel.h"
+
 namespace gnnpart {
 
 std::vector<uint64_t> EdgePartitioning::EdgeCounts() const {
@@ -18,11 +22,26 @@ std::vector<uint64_t> ComputeReplicaMasks(const Graph& graph,
                                           const EdgePartitioning& parts) {
   std::vector<uint64_t> masks(graph.num_vertices(), 0);
   const auto& edges = graph.edges();
-  for (EdgeId e = 0; e < edges.size(); ++e) {
-    uint64_t bit = 1ULL << parts.assignment[e];
-    masks[edges[e].src] |= bit;
-    masks[edges[e].dst] |= bit;
+  if (DefaultThreads() == 1) {
+    for (EdgeId e = 0; e < edges.size(); ++e) {
+      uint64_t bit = 1ULL << parts.assignment[e];
+      masks[edges[e].src] |= bit;
+      masks[edges[e].dst] |= bit;
+    }
+    return masks;
   }
+  // OR is commutative and associative, so concurrent relaxed fetch_or over
+  // edge chunks is bit-identical to the serial loop above for any thread
+  // count and any scheduling.
+  ParallelFor(edges.size(), 16384, [&](size_t begin, size_t end, size_t) {
+    for (size_t e = begin; e < end; ++e) {
+      uint64_t bit = 1ULL << parts.assignment[e];
+      std::atomic_ref<uint64_t>(masks[edges[e].src])
+          .fetch_or(bit, std::memory_order_relaxed);
+      std::atomic_ref<uint64_t>(masks[edges[e].dst])
+          .fetch_or(bit, std::memory_order_relaxed);
+    }
+  });
   return masks;
 }
 

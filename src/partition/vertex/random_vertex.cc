@@ -1,5 +1,6 @@
 #include "partition/vertex/random_vertex.h"
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace gnnpart {
@@ -11,10 +12,14 @@ Result<VertexPartitioning> RandomVertexPartitioner::Partition(
   VertexPartitioning result;
   result.k = k;
   result.assignment.resize(graph.num_vertices());
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    result.assignment[v] =
-        static_cast<PartitionId>(HashCombine64(seed, v) % k);
-  }
+  // Pure per-vertex hash; see random_edge.cc for the determinism argument.
+  ParallelFor(graph.num_vertices(), 16384,
+              [&](size_t begin, size_t end, size_t) {
+                for (VertexId v = begin; v < end; ++v) {
+                  result.assignment[v] =
+                      static_cast<PartitionId>(HashCombine64(seed, v) % k);
+                }
+              });
   return result;
 }
 

@@ -1,8 +1,17 @@
 #include "sampling/block_sampler.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace gnnpart {
+namespace {
+
+// Matches NeighborSampler's fan-out grain (see neighbor_sampler.cc).
+constexpr size_t kFrontierGrain = 256;
+
+}  // namespace
 
 Result<Graph> SampledBlock::BuildLocalGraph() const {
   GraphBuilder builder(vertices.size(), /*directed=*/false);
@@ -43,24 +52,41 @@ SampledBlock BlockSampler::SampleBlock(std::span<const VertexId> seeds,
   }
   block.num_seeds = block.vertices.size();
 
+  // Mirrors NeighborSampler: frontier chunks sample concurrently (per-chunk
+  // RNG streams, global-id edge pairs); the serial chunk-order merge maps to
+  // local indices and dedups via visit stamps, so block contents are
+  // bit-identical for every thread count.
   std::vector<VertexId> next;
-  std::vector<VertexId> reservoir;
   for (size_t fanout : fanouts) {
+    const size_t chunks = NumChunks(frontier.size(), kFrontierGrain);
+    const uint64_t layer_base = rng->Next();
+    std::vector<std::vector<std::pair<VertexId, VertexId>>> out(chunks);
+    ParallelFor(
+        frontier.size(), kFrontierGrain,
+        [&](size_t begin, size_t end, size_t chunk) {
+          Rng chunk_rng = ChunkRng(layer_base, chunk);
+          auto& o = out[chunk];
+          std::vector<VertexId> reservoir;
+          for (size_t i = begin; i < end; ++i) {
+            VertexId v = frontier[i];
+            auto nbrs = graph_.Neighbors(v);
+            if (nbrs.empty()) continue;
+            size_t take = std::min(fanout, nbrs.size());
+            reservoir.assign(nbrs.begin(), nbrs.end());
+            if (take < reservoir.size()) {
+              for (size_t j = 0; j < take; ++j) {
+                size_t s = j + chunk_rng.NextBounded(reservoir.size() - j);
+                std::swap(reservoir[j], reservoir[s]);
+              }
+              reservoir.resize(take);
+            }
+            for (VertexId u : reservoir) o.emplace_back(v, u);
+          }
+        });
     next.clear();
-    for (VertexId v : frontier) {
-      auto nbrs = graph_.Neighbors(v);
-      if (nbrs.empty()) continue;
-      size_t take = std::min(fanout, nbrs.size());
-      reservoir.assign(nbrs.begin(), nbrs.end());
-      if (take < reservoir.size()) {
-        for (size_t i = 0; i < take; ++i) {
-          size_t j = i + rng->NextBounded(reservoir.size() - i);
-          std::swap(reservoir[i], reservoir[j]);
-        }
-        reservoir.resize(take);
-      }
-      uint32_t lv = local_index_[v];
-      for (VertexId u : reservoir) {
+    for (const auto& o : out) {
+      for (const auto& [v, u] : o) {
+        uint32_t lv = local_index_[v];  // v was indexed as a frontier vertex
         size_t before = block.vertices.size();
         uint32_t lu = local_of(u);
         block.local_edges.push_back(

@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace gnnpart {
+namespace {
+
+// Frontier vertices per parallel chunk. Coarse enough that the per-chunk
+// sampling cost (fanout RNG draws + neighbour reads per vertex) dwarfs the
+// dispatch overhead, fine enough that typical batch frontiers (hundreds to
+// tens of thousands of vertices) split across a pool.
+constexpr size_t kFrontierGrain = 256;
+
+// Input-vertex locality counting grain.
+constexpr size_t kInputGrain = 8192;
+
+}  // namespace
 
 NeighborSampler::NeighborSampler(const Graph& graph)
     : graph_(graph), visit_stamp_(graph.num_vertices(), 0) {}
@@ -30,33 +44,57 @@ MiniBatchProfile NeighborSampler::SampleBatch(
   }
   profile.frontier_sizes.push_back(frontier.size());
 
+  // Per layer: fan out over frontier chunks in parallel (each chunk samples
+  // with its own deterministic RNG stream), then merge the per-chunk sample
+  // lists serially in chunk order. Only the merge touches the visit stamps,
+  // so first-visit order — and with it the whole batch — is identical for
+  // every thread count.
+  struct ChunkOut {
+    std::vector<VertexId> sampled;
+    size_t edges = 0;
+    size_t remote_requests = 0;
+  };
   std::vector<VertexId> next;
-  std::vector<VertexId> reservoir;
   for (size_t fanout : fanouts) {
+    const size_t chunks = NumChunks(frontier.size(), kFrontierGrain);
+    const uint64_t layer_base = rng->Next();
+    std::vector<ChunkOut> out(chunks);
+    ParallelFor(
+        frontier.size(), kFrontierGrain,
+        [&](size_t begin, size_t end, size_t chunk) {
+          Rng chunk_rng = ChunkRng(layer_base, chunk);
+          ChunkOut& o = out[chunk];
+          std::vector<VertexId> reservoir;
+          for (size_t i = begin; i < end; ++i) {
+            VertexId v = frontier[i];
+            if (parts && parts->assignment[v] != owner) {
+              ++o.remote_requests;
+            }
+            auto nbrs = graph_.Neighbors(v);
+            if (nbrs.empty()) continue;
+            size_t take = std::min(fanout, nbrs.size());
+            o.edges += take;
+            if (take == nbrs.size()) {
+              o.sampled.insert(o.sampled.end(), nbrs.begin(), nbrs.end());
+            } else {
+              // Uniform sample without replacement (partial Fisher-Yates
+              // over a copy; neighbourhoods at these fanouts are small).
+              reservoir.assign(nbrs.begin(), nbrs.end());
+              for (size_t j = 0; j < take; ++j) {
+                size_t s = j + chunk_rng.NextBounded(reservoir.size() - j);
+                std::swap(reservoir[j], reservoir[s]);
+              }
+              o.sampled.insert(o.sampled.end(), reservoir.begin(),
+                               reservoir.begin() + static_cast<int64_t>(take));
+            }
+          }
+        });
     next.clear();
     size_t hop_edge_count = 0;
-    for (VertexId v : frontier) {
-      if (parts && parts->assignment[v] != owner) {
-        ++profile.remote_sampling_requests;
-      }
-      auto nbrs = graph_.Neighbors(v);
-      if (nbrs.empty()) continue;
-      size_t take = std::min(fanout, nbrs.size());
-      profile.computation_edges += take;
-      hop_edge_count += take;
-      if (take == nbrs.size()) {
-        reservoir.assign(nbrs.begin(), nbrs.end());
-      } else {
-        // Uniform sample without replacement (partial Fisher-Yates over a
-        // copy; neighbourhoods at these fanouts are small).
-        reservoir.assign(nbrs.begin(), nbrs.end());
-        for (size_t i = 0; i < take; ++i) {
-          size_t j = i + rng->NextBounded(reservoir.size() - i);
-          std::swap(reservoir[i], reservoir[j]);
-        }
-        reservoir.resize(take);
-      }
-      for (VertexId u : reservoir) {
+    for (const ChunkOut& o : out) {
+      hop_edge_count += o.edges;
+      profile.remote_sampling_requests += o.remote_requests;
+      for (VertexId u : o.sampled) {
         if (visit_stamp_[u] != now) {
           visit_stamp_[u] = now;
           input.push_back(u);
@@ -64,6 +102,7 @@ MiniBatchProfile NeighborSampler::SampleBatch(
         }
       }
     }
+    profile.computation_edges += hop_edge_count;
     profile.frontier_sizes.push_back(next.size());
     profile.hop_edges.push_back(hop_edge_count);
     frontier.swap(next);
@@ -71,13 +110,18 @@ MiniBatchProfile NeighborSampler::SampleBatch(
 
   profile.input_vertices = input.size();
   if (parts) {
-    for (VertexId v : input) {
-      if (parts->assignment[v] == owner) {
-        ++profile.local_input_vertices;
-      } else {
-        ++profile.remote_input_vertices;
-      }
-    }
+    profile.local_input_vertices = ParallelReduce<size_t>(
+        input.size(), kInputGrain, 0,
+        [&](size_t begin, size_t end, size_t) {
+          size_t local = 0;
+          for (size_t i = begin; i < end; ++i) {
+            if (parts->assignment[input[i]] == owner) ++local;
+          }
+          return local;
+        },
+        [](size_t acc, size_t part) { return acc + part; });
+    profile.remote_input_vertices =
+        input.size() - profile.local_input_vertices;
   }
   return profile;
 }

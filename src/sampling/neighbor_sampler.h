@@ -45,6 +45,12 @@ struct MiniBatchProfile {
 /// The sampler runs against the *real* graph and a vertex partitioning, so
 /// locality quantities (remote vertices, remote sampling requests) are
 /// measured, not modeled.
+///
+/// Each layer's fan-out runs on the default thread pool (frontier chunks
+/// sample concurrently with per-chunk RNG streams; see common/parallel.h),
+/// and the result is bit-identical for every thread count. Concurrent
+/// SampleBatch calls on the *same* sampler remain unsupported (shared
+/// visit-stamp scratch) — use one sampler per worker.
 class NeighborSampler {
  public:
   explicit NeighborSampler(const Graph& graph);
@@ -60,8 +66,8 @@ class NeighborSampler {
 
  private:
   const Graph& graph_;
-  // Scratch visited stamps (mutable so SampleBatch stays const; a sampler
-  // is not thread-safe, matching single-threaded simulator use).
+  // Scratch visited stamps (mutable so SampleBatch stays const; only the
+  // serial merge phase touches them, never the parallel chunk workers).
   mutable std::vector<uint32_t> visit_stamp_;
   mutable uint32_t stamp_ = 0;
 };

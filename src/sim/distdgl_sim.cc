@@ -1,7 +1,9 @@
 #include "sim/distdgl_sim.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "gnn/costs.h"
 
@@ -75,25 +77,32 @@ Result<DistDglEpochProfile> ProfileDistDglEpoch(
                 global_batch_size;
   epoch.profiles.resize(epoch.steps);
 
-  NeighborSampler sampler(graph);
-  std::vector<size_t> cursor(k, 0);
-  std::vector<VertexId> seeds;
-  for (size_t step = 0; step < epoch.steps; ++step) {
-    epoch.profiles[step].reserve(k);
-    for (PartitionId w = 0; w < k; ++w) {
-      seeds.clear();
-      const auto& shard = shards[w].empty()
-                              ? split.train_vertices()  // empty shard: global
-                              : shards[w];
-      for (size_t i = 0; i < local_batch; ++i) {
-        seeds.push_back(shard[cursor[w] % shard.size()]);
-        ++cursor[w];
+  // Each (step, worker) cell is independent: seeds follow from the step
+  // index in closed form (the serial cursor advanced by local_batch per
+  // step) and every cell forks its own RNG stream off the post-shuffle
+  // state. Steps are therefore simulated concurrently — the per-machine
+  // sampler loop inside each step runs serially per chunk with a
+  // chunk-local sampler, and SampleBatch's own fan-out parallelism kicks in
+  // when this outer loop doesn't saturate the pool.
+  ParallelFor(epoch.steps, 1, [&](size_t begin, size_t end, size_t) {
+    NeighborSampler sampler(graph);
+    std::vector<VertexId> seeds;
+    for (size_t step = begin; step < end; ++step) {
+      epoch.profiles[step].reserve(k);
+      for (PartitionId w = 0; w < k; ++w) {
+        seeds.clear();
+        const auto& shard = shards[w].empty()
+                                ? split.train_vertices()  // empty: global
+                                : shards[w];
+        for (size_t i = 0; i < local_batch; ++i) {
+          seeds.push_back(shard[(step * local_batch + i) % shard.size()]);
+        }
+        Rng worker_rng = rng.Fork((step << 8) ^ w);
+        epoch.profiles[step].push_back(
+            sampler.SampleBatch(seeds, fanouts, &parts, w, &worker_rng));
       }
-      Rng worker_rng = rng.Fork((step << 8) ^ w);
-      epoch.profiles[step].push_back(
-          sampler.SampleBatch(seeds, fanouts, &parts, w, &worker_rng));
     }
-  }
+  });
   return epoch;
 }
 
@@ -102,93 +111,136 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                                         const ClusterSpec& cluster) {
   DistDglEpochReport report;
   const PartitionId k = profile.workers;
-  report.workers.resize(k);
   const double feat_bytes = static_cast<double>(config.feature_size) *
                             sizeof(float);
   const double params = ModelParameterBytes(config);
   const int layers = config.num_layers;
 
-  for (size_t step = 0; step < profile.steps; ++step) {
-    double max_sampling = 0, max_feature = 0, max_forward = 0,
-           max_backward = 0, max_update = 0;
-    for (PartitionId w = 0; w < k; ++w) {
-      const MiniBatchProfile& mb = profile.profiles[step][w];
-      DistDglWorkerStats& ws = report.workers[w];
+  // The per-machine cost loop is independent across steps; step chunks are
+  // evaluated concurrently into partial accumulators that are combined in
+  // chunk order, so the floating-point sums are identical for every thread
+  // count.
+  struct StepAcc {
+    std::vector<DistDglWorkerStats> workers;
+    double sampling = 0, feature = 0, forward = 0, backward = 0, update = 0;
+    uint64_t remote_input_vertices = 0;
+  };
+  StepAcc init;
+  init.workers.resize(k);
+  StepAcc total = ParallelReduce<StepAcc>(
+      profile.steps, 8, std::move(init),
+      [&](size_t chunk_begin, size_t chunk_end, size_t) {
+        StepAcc acc;
+        acc.workers.resize(k);
+        for (size_t step = chunk_begin; step < chunk_end; ++step) {
+          double max_sampling = 0, max_feature = 0, max_forward = 0,
+                 max_backward = 0, max_update = 0;
+          for (PartitionId w = 0; w < k; ++w) {
+            const MiniBatchProfile& mb = profile.profiles[step][w];
+            DistDglWorkerStats& ws = acc.workers[w];
 
-      // --- Mini-batch sampling: local traversal + remote sampling RPCs.
-      // DistDGL batches RPCs per (layer, remote machine), so the latency
-      // charge is one round trip per remote machine actually contacted —
-      // at most layers * (k-1), but zero when the partitioning keeps the
-      // expansion local (the regime that makes DI scale so well).
-      double rpc_bytes = static_cast<double>(mb.remote_sampling_requests) *
-                         cluster.rpc_bytes_per_remote_vertex;
-      double rpc_rounds =
-          std::min(static_cast<double>(layers) * (k - 1),
-                   static_cast<double>(mb.remote_sampling_requests));
-      double sampling = static_cast<double>(mb.computation_edges) /
-                            cluster.sampling_edges_per_second +
-                        rpc_bytes / cluster.network_bandwidth +
-                        rpc_rounds * cluster.network_latency;
+            // --- Mini-batch sampling: local traversal + remote sampling RPCs.
+            // DistDGL batches RPCs per (layer, remote machine), so the latency
+            // charge is one round trip per remote machine actually contacted —
+            // at most layers * (k-1), but zero when the partitioning keeps the
+            // expansion local (the regime that makes DI scale so well).
+            double rpc_bytes = static_cast<double>(mb.remote_sampling_requests) *
+                               cluster.rpc_bytes_per_remote_vertex;
+            double rpc_rounds =
+                std::min(static_cast<double>(layers) * (k - 1),
+                         static_cast<double>(mb.remote_sampling_requests));
+            double sampling = static_cast<double>(mb.computation_edges) /
+                                  cluster.sampling_edges_per_second +
+                              rpc_bytes / cluster.network_bandwidth +
+                              rpc_rounds * cluster.network_latency;
 
-      // --- Feature loading: remote fetch over the network, local gather
-      // from memory. Latency again per remote machine actually holding
-      // needed features.
-      double fetch_bytes =
-          static_cast<double>(mb.remote_input_vertices) * feat_bytes;
-      double fetch_rounds =
-          std::min(static_cast<double>(k - 1),
-                   static_cast<double>(mb.remote_input_vertices));
-      double feature = fetch_bytes / cluster.network_bandwidth +
-                       static_cast<double>(mb.local_input_vertices) *
-                           feat_bytes / cluster.memory_bandwidth +
-                       fetch_rounds * cluster.network_latency;
+            // --- Feature loading: remote fetch over the network, local gather
+            // from memory. Latency again per remote machine actually holding
+            // needed features.
+            double fetch_bytes =
+                static_cast<double>(mb.remote_input_vertices) * feat_bytes;
+            double fetch_rounds =
+                std::min(static_cast<double>(k - 1),
+                         static_cast<double>(mb.remote_input_vertices));
+            double feature = fetch_bytes / cluster.network_bandwidth +
+                             static_cast<double>(mb.local_input_vertices) *
+                                 feat_bytes / cluster.memory_bandwidth +
+                             fetch_rounds * cluster.network_latency;
 
-      // --- Forward: per-layer cost on the shrinking computation graph.
-      // Layer l aggregates over the edges sampled at hop (layers-1-l) and
-      // transforms the vertices within (layers-1-l) hops of the seeds.
-      double forward = 0;
-      for (int l = 0; l < layers; ++l) {
-        size_t hop = static_cast<size_t>(layers - 1 - l);
-        double edges = hop < mb.hop_edges.size()
-                           ? static_cast<double>(mb.hop_edges[hop])
-                           : 0;
-        double vertices = 0;
-        for (size_t j = 0; j <= hop && j < mb.frontier_sizes.size(); ++j) {
-          vertices += static_cast<double>(mb.frontier_sizes[j]);
+            // --- Forward: per-layer cost on the shrinking computation graph.
+            // Layer l aggregates over the edges sampled at hop (layers-1-l) and
+            // transforms the vertices within (layers-1-l) hops of the seeds.
+            double forward = 0;
+            for (int l = 0; l < layers; ++l) {
+              size_t hop = static_cast<size_t>(layers - 1 - l);
+              double edges = hop < mb.hop_edges.size()
+                                 ? static_cast<double>(mb.hop_edges[hop])
+                                 : 0;
+              double vertices = 0;
+              for (size_t j = 0; j <= hop && j < mb.frontier_sizes.size(); ++j) {
+                vertices += static_cast<double>(mb.frontier_sizes[j]);
+              }
+              LayerCost cost = ComputeLayerCost(config, l, vertices, edges);
+              forward +=
+                  cost.aggregation_flops / cluster.aggregation_flops_per_second +
+                  cost.dense_flops / cluster.flops_per_second;
+            }
+
+            // --- Backward: ~2x forward compute + gradient all-reduce.
+            double backward = 2.0 * forward +
+                              2.0 * params / cluster.network_bandwidth +
+                              2.0 * cluster.network_latency;
+            // --- Model update.
+            double update = params / sizeof(float) / cluster.flops_per_second;
+
+            ws.sampling_seconds += sampling;
+            ws.feature_seconds += feature;
+            ws.forward_seconds += forward;
+            ws.backward_seconds += backward;
+            ws.update_seconds += update;
+            ws.network_bytes += rpc_bytes + fetch_bytes + 2.0 * params;
+
+            max_sampling = std::max(max_sampling, sampling);
+            max_feature = std::max(max_feature, feature);
+            max_forward = std::max(max_forward, forward);
+            max_backward = std::max(max_backward, backward);
+            max_update = std::max(max_update, update);
+            acc.remote_input_vertices += mb.remote_input_vertices;
+          }
+          acc.sampling += max_sampling;
+          acc.feature += max_feature;
+          acc.forward += max_forward;
+          acc.backward += max_backward;
+          acc.update += max_update;
         }
-        LayerCost cost = ComputeLayerCost(config, l, vertices, edges);
-        forward +=
-            cost.aggregation_flops / cluster.aggregation_flops_per_second +
-            cost.dense_flops / cluster.flops_per_second;
-      }
-
-      // --- Backward: ~2x forward compute + gradient all-reduce.
-      double backward = 2.0 * forward +
-                        2.0 * params / cluster.network_bandwidth +
-                        2.0 * cluster.network_latency;
-      // --- Model update.
-      double update = params / sizeof(float) / cluster.flops_per_second;
-
-      ws.sampling_seconds += sampling;
-      ws.feature_seconds += feature;
-      ws.forward_seconds += forward;
-      ws.backward_seconds += backward;
-      ws.update_seconds += update;
-      ws.network_bytes += rpc_bytes + fetch_bytes + 2.0 * params;
-
-      max_sampling = std::max(max_sampling, sampling);
-      max_feature = std::max(max_feature, feature);
-      max_forward = std::max(max_forward, forward);
-      max_backward = std::max(max_backward, backward);
-      max_update = std::max(max_update, update);
-      report.remote_input_vertices += mb.remote_input_vertices;
-    }
-    report.sampling_seconds += max_sampling;
-    report.feature_seconds += max_feature;
-    report.forward_seconds += max_forward;
-    report.backward_seconds += max_backward;
-    report.update_seconds += max_update;
-  }
+        return acc;
+      },
+      [k](StepAcc acc, StepAcc part) {
+        for (PartitionId w = 0; w < k; ++w) {
+          DistDglWorkerStats& a = acc.workers[w];
+          const DistDglWorkerStats& b = part.workers[w];
+          a.sampling_seconds += b.sampling_seconds;
+          a.feature_seconds += b.feature_seconds;
+          a.forward_seconds += b.forward_seconds;
+          a.backward_seconds += b.backward_seconds;
+          a.update_seconds += b.update_seconds;
+          a.network_bytes += b.network_bytes;
+        }
+        acc.sampling += part.sampling;
+        acc.feature += part.feature;
+        acc.forward += part.forward;
+        acc.backward += part.backward;
+        acc.update += part.update;
+        acc.remote_input_vertices += part.remote_input_vertices;
+        return acc;
+      });
+  report.workers = std::move(total.workers);
+  report.sampling_seconds = total.sampling;
+  report.feature_seconds = total.feature;
+  report.forward_seconds = total.forward;
+  report.backward_seconds = total.backward;
+  report.update_seconds = total.update;
+  report.remote_input_vertices = total.remote_input_vertices;
   report.epoch_seconds = report.sampling_seconds + report.feature_seconds +
                          report.forward_seconds + report.backward_seconds +
                          report.update_seconds;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
+#include "common/parallel.h"
 #include "gnn/costs.h"
 
 namespace gnnpart {
@@ -14,22 +16,48 @@ DistGnnWorkload BuildDistGnnWorkload(const Graph& graph,
   w.graph_vertices = graph.num_vertices();
   w.graph_edges = graph.num_edges();
   w.edges = parts.EdgeCounts();
-  w.vertices.assign(parts.k, 0);
-  w.synced_vertices.assign(parts.k, 0);
 
   std::vector<uint64_t> masks = ComputeReplicaMasks(graph, parts);
-  uint64_t covered = 0;
-  for (uint64_t mask : masks) {
-    int replicas = std::popcount(mask);
-    covered += static_cast<uint64_t>(replicas);
-    uint64_t bits = mask;
-    while (bits) {
-      int p = std::countr_zero(bits);
-      ++w.vertices[static_cast<size_t>(p)];
-      if (replicas > 1) ++w.synced_vertices[static_cast<size_t>(p)];
-      bits &= bits - 1;
-    }
-  }
+  // Scan vertex chunks concurrently into integer partials; combining in
+  // chunk order keeps the counts identical for every thread count.
+  struct MaskAcc {
+    uint64_t covered = 0;
+    std::vector<uint64_t> vertices;
+    std::vector<uint64_t> synced;
+  };
+  MaskAcc init;
+  init.vertices.assign(parts.k, 0);
+  init.synced.assign(parts.k, 0);
+  MaskAcc total = ParallelReduce<MaskAcc>(
+      masks.size(), 8192, std::move(init),
+      [&](size_t begin, size_t end, size_t) {
+        MaskAcc acc;
+        acc.vertices.assign(parts.k, 0);
+        acc.synced.assign(parts.k, 0);
+        for (size_t v = begin; v < end; ++v) {
+          int replicas = std::popcount(masks[v]);
+          acc.covered += static_cast<uint64_t>(replicas);
+          uint64_t bits = masks[v];
+          while (bits) {
+            int p = std::countr_zero(bits);
+            ++acc.vertices[static_cast<size_t>(p)];
+            if (replicas > 1) ++acc.synced[static_cast<size_t>(p)];
+            bits &= bits - 1;
+          }
+        }
+        return acc;
+      },
+      [](MaskAcc acc, MaskAcc part) {
+        acc.covered += part.covered;
+        for (size_t p = 0; p < acc.vertices.size(); ++p) {
+          acc.vertices[p] += part.vertices[p];
+          acc.synced[p] += part.synced[p];
+        }
+        return acc;
+      });
+  const uint64_t covered = total.covered;
+  w.vertices = std::move(total.vertices);
+  w.synced_vertices = std::move(total.synced);
   w.replication_factor =
       w.graph_vertices > 0
           ? static_cast<double>(covered) / static_cast<double>(w.graph_vertices)

@@ -1,0 +1,184 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gnnpart {
+namespace {
+
+TEST(NumChunksTest, Basics) {
+  EXPECT_EQ(NumChunks(0, 16), 0u);
+  EXPECT_EQ(NumChunks(1, 16), 1u);
+  EXPECT_EQ(NumChunks(16, 16), 1u);
+  EXPECT_EQ(NumChunks(17, 16), 2u);
+  EXPECT_EQ(NumChunks(32, 16), 2u);
+  EXPECT_EQ(NumChunks(100, 1), 100u);
+}
+
+TEST(NumChunksTest, ZeroGrainTreatedAsOne) {
+  EXPECT_EQ(NumChunks(5, 0), 5u);
+}
+
+TEST(ChunkRngTest, StreamsAreDeterministicAndDistinct) {
+  Rng a = ChunkRng(42, 0);
+  Rng a2 = ChunkRng(42, 0);
+  Rng b = ChunkRng(42, 1);
+  uint64_t va = a.Next();
+  EXPECT_EQ(va, a2.Next());
+  EXPECT_NE(va, b.Next());
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool pool2(-3);
+  EXPECT_EQ(pool2.num_threads(), 1);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, ForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10001;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.For(n, 64, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunkIndicesMatchBoundaries) {
+  ThreadPool pool(3);
+  const size_t n = 1000, grain = 64;
+  std::vector<std::pair<size_t, size_t>> bounds(NumChunks(n, grain));
+  pool.For(n, grain, [&](size_t begin, size_t end, size_t chunk) {
+    bounds[chunk] = {begin, end};
+  });
+  for (size_t c = 0; c < bounds.size(); ++c) {
+    EXPECT_EQ(bounds[c].first, c * grain);
+    EXPECT_EQ(bounds[c].second, std::min(n, (c + 1) * grain));
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.For(0, 16, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int job = 0; job < 100; ++job) {
+    pool.For(257, 16, [&](size_t begin, size_t end, size_t) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 100u * 257u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.For(1000, 8,
+               [&](size_t begin, size_t, size_t) {
+                 if (begin >= 496) throw std::runtime_error("chunk failed");
+               }),
+      std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<size_t> covered{0};
+  pool.For(100, 8, [&](size_t begin, size_t end, size_t) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPoolTest, NestedForRunsSerialInline) {
+  ThreadPool pool(4);
+  std::atomic<bool> saw_region{false};
+  std::atomic<size_t> inner_total{0};
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  pool.For(8, 1, [&](size_t, size_t, size_t) {
+    if (ThreadPool::InParallelRegion()) saw_region.store(true);
+    // Nested use must not deadlock; it runs serially on this thread.
+    pool.For(10, 4, [&](size_t begin, size_t end, size_t) {
+      inner_total.fetch_add(end - begin);
+    });
+  });
+  EXPECT_TRUE(saw_region.load());
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  EXPECT_EQ(inner_total.load(), 8u * 10u);
+}
+
+TEST(DefaultPoolTest, SetDefaultThreadsResizes) {
+  SetDefaultThreads(3);
+  EXPECT_EQ(DefaultThreads(), 3);
+  SetDefaultThreads(1);
+  EXPECT_EQ(DefaultThreads(), 1);
+}
+
+// Floating-point reduction must be bit-identical for every pool size: the
+// chunking depends only on (n, grain) and partials are combined in chunk
+// order on the caller.
+TEST(ParallelReduceTest, FloatSumBitIdenticalAcrossPoolSizes) {
+  const size_t n = 100000;
+  std::vector<double> values(n);
+  Rng rng(7);
+  for (auto& v : values) {
+    v = static_cast<double>(rng.Next() % 1000003) * 1e-7;
+  }
+  auto sum_with = [&](int threads) {
+    SetDefaultThreads(threads);
+    return ParallelReduce<double>(
+        n, 1024, 0.0,
+        [&](size_t begin, size_t end, size_t) {
+          double s = 0;
+          for (size_t i = begin; i < end; ++i) s += values[i];
+          return s;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+  double s1 = sum_with(1);
+  double s2 = sum_with(2);
+  double s8 = sum_with(8);
+  // Bitwise equality, not EXPECT_NEAR: that is the layer's contract.
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s8);
+  SetDefaultThreads(1);
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsInit) {
+  SetDefaultThreads(4);
+  double r = ParallelReduce<double>(
+      0, 16, 3.5, [](size_t, size_t, size_t) { return 0.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(r, 3.5);
+  SetDefaultThreads(1);
+}
+
+TEST(ParallelReduceTest, RngStreamsIdenticalAcrossPoolSizes) {
+  auto draw_with = [&](int threads) {
+    SetDefaultThreads(threads);
+    return ParallelReduce<uint64_t>(
+        4096, 64, 0,
+        [&](size_t, size_t, size_t chunk) {
+          Rng rng = ChunkRng(99, chunk);
+          return rng.Next();
+        },
+        [](uint64_t acc, uint64_t part) { return acc ^ (part * 31); });
+  };
+  EXPECT_EQ(draw_with(1), draw_with(8));
+  SetDefaultThreads(1);
+}
+
+}  // namespace
+}  // namespace gnnpart

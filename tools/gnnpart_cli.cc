@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "common/timer.h"
 #include "gen/datasets.h"
@@ -45,7 +46,9 @@ int Usage() {
          "      [--hidden N] [--layers N] [--gbs N] [--directed] [--seed N]\n"
          "partitioners: Random DBH HDRF 2PS-L HEP10 HEP100 Greedy (edge)\n"
          "              Random LDG Spinner Metis ByteGNN KaHIP Fennel"
-         " (vertex; prefix with 'v' for Random, e.g. vRandom)\n";
+         " (vertex; prefix with 'v' for Random, e.g. vRandom)\n"
+         "global flags: --threads N  worker threads (default: all cores;\n"
+         "              results are identical for every N)\n";
   return 2;
 }
 
@@ -220,6 +223,17 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
+  // Strip the global --threads flag before dispatching; every subcommand
+  // then runs its parallel loops on a pool of that size (results do not
+  // depend on the thread count).
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      SetDefaultThreads(atoi(args[i + 1].c_str()));
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      break;
+    }
+  }
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "info") return CmdInfo(args);
   if (cmd == "partition") return CmdPartition(args);
