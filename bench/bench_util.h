@@ -22,9 +22,20 @@ namespace bench {
 /// (which overrides the environment; results are identical for every N).
 inline ExperimentContext DefaultContext(int argc = 0,
                                         char** argv = nullptr) {
-  for (int i = 1; i + 1 < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--threads") {
-      SetDefaultThreads(atoi(argv[i + 1]));
+      if (i + 1 >= argc) {
+        std::cerr << "FATAL: --threads requires a value\n";
+        std::exit(2);
+      }
+      const int v = ParseThreadCount(argv[i + 1]);
+      if (v < 1) {
+        std::cerr << "FATAL: invalid --threads value '" << argv[i + 1]
+                  << "' (expected a positive integer)\n";
+        std::exit(2);
+      }
+      SetDefaultThreads(v);
+      ++i;
     }
   }
   return ExperimentContext::FromEnv();

@@ -1,7 +1,9 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 
 namespace gnnpart {
@@ -58,7 +60,15 @@ void ThreadPool::For(size_t n, size_t grain, const ChunkFn& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
+    // A worker from the previous job can linger inside ClaimAndRun after
+    // that job's pending_ hit zero: preempted between its final pending_
+    // decrement and its next cursor fetch_add, it still reads chunks_ /
+    // n_ / grain_ / fn_. Publishing now would race those reads (and the
+    // cursor reset could hand it a phantom chunk of the new job under the
+    // old lambda). Wait until every worker has drained; they exit promptly
+    // because the cursor of the finished job is exhausted.
+    cv_done_.wait(lk, [&] { return active_ == 0; });
     fn_ = &fn;
     n_ = n;
     grain_ = grain;
@@ -67,9 +77,7 @@ void ThreadPool::For(size_t n, size_t grain, const ChunkFn& fn) {
     failed_.store(false, std::memory_order_relaxed);
     error_ = nullptr;
     ++generation_;
-    // Release store last: a worker that claims a chunk via an acquire RMW on
-    // next_chunk_ observes every field above.
-    next_chunk_.store(0, std::memory_order_release);
+    next_chunk_.store(0, std::memory_order_relaxed);
   }
   cv_work_.notify_all();
   ClaimAndRun();
@@ -116,8 +124,13 @@ void ThreadPool::WorkerLoop() {
       cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
+      ++active_;
     }
     ClaimAndRun();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
   }
 }
 
@@ -128,7 +141,7 @@ std::unique_ptr<ThreadPool> g_pool;
 
 int StartupThreads() {
   if (const char* s = std::getenv("GNNPART_THREADS")) {
-    const int v = std::atoi(s);
+    const int v = ParseThreadCount(s);
     if (v > 0) return v;
   }
   const unsigned hc = std::thread::hardware_concurrency();
@@ -149,5 +162,17 @@ void SetDefaultThreads(int num_threads) {
 }
 
 int DefaultThreads() { return DefaultPool().num_threads(); }
+
+int ParseThreadCount(const char* s) {
+  if (!s || *s == '\0') return -1;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < 1 ||
+      v > std::numeric_limits<int>::max()) {
+    return -1;
+  }
+  return static_cast<int>(v);
+}
 
 }  // namespace gnnpart

@@ -84,8 +84,12 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  // Current job; published under mu_, fields read by workers after they
-  // synchronize through next_chunk_ (release store / acquire RMW).
+  // Current job. Fields are published under mu_ and workers are dispatched
+  // under mu_, so every worker inside ClaimAndRun sees the job it was woken
+  // for. For() must not rewrite these while any worker is still inside
+  // ClaimAndRun (a drained worker can linger between its last pending_
+  // decrement and its next cursor fetch_add), so it waits for active_ == 0
+  // before publishing the next job.
   const ChunkFn* fn_ = nullptr;
   size_t n_ = 0;
   size_t grain_ = 1;
@@ -95,6 +99,7 @@ class ThreadPool {
   std::atomic<bool> failed_{false};
   std::exception_ptr error_;
   uint64_t generation_ = 0;
+  int active_ = 0;  // workers currently inside ClaimAndRun; guarded by mu_
   bool stop_ = false;
 };
 
@@ -110,6 +115,11 @@ void SetDefaultThreads(int num_threads);
 
 /// Thread count of the default pool (creates it if needed).
 int DefaultThreads();
+
+/// Parses a `--threads` flag value. Returns the thread count (>= 1) or -1
+/// when `s` is null, empty, non-numeric, has trailing garbage, or is < 1 —
+/// callers should reject the flag loudly instead of silently clamping.
+int ParseThreadCount(const char* s);
 
 /// Chunked loop on the default pool; see ThreadPool::For.
 inline void ParallelFor(size_t n, size_t grain, const ThreadPool::ChunkFn& fn) {

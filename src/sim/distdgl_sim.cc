@@ -1,6 +1,8 @@
 #include "sim/distdgl_sim.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "common/parallel.h"
@@ -80,12 +82,30 @@ Result<DistDglEpochProfile> ProfileDistDglEpoch(
   // Each (step, worker) cell is independent: seeds follow from the step
   // index in closed form (the serial cursor advanced by local_batch per
   // step) and every cell forks its own RNG stream off the post-shuffle
-  // state. Steps are therefore simulated concurrently — the per-machine
-  // sampler loop inside each step runs serially per chunk with a
-  // chunk-local sampler, and SampleBatch's own fan-out parallelism kicks in
-  // when this outer loop doesn't saturate the pool.
+  // state. Steps are therefore simulated concurrently. Everything inside a
+  // chunk — the per-machine loop and SampleBatch itself — runs serially on
+  // the chunk's thread (nested ParallelFor inside a chunk is inline-serial
+  // by design), so with fewer steps than threads the pool is underused;
+  // that regime is small by construction (steps ~ |train| / batch).
+  //
+  // Samplers carry an O(|V|) visit-stamp scratch array, so constructing one
+  // per step would swamp small batches with allocation. SampleBatch resets
+  // its scratch state per call (stamp bump), making reuse output-neutral;
+  // chunks therefore borrow a sampler from a free list and return it when
+  // done, bounding live samplers by the number of concurrently running
+  // chunks instead of the step count.
+  std::mutex sampler_mu;
+  std::vector<std::unique_ptr<NeighborSampler>> free_samplers;
   ParallelFor(epoch.steps, 1, [&](size_t begin, size_t end, size_t) {
-    NeighborSampler sampler(graph);
+    std::unique_ptr<NeighborSampler> sampler;
+    {
+      std::lock_guard<std::mutex> lk(sampler_mu);
+      if (!free_samplers.empty()) {
+        sampler = std::move(free_samplers.back());
+        free_samplers.pop_back();
+      }
+    }
+    if (!sampler) sampler = std::make_unique<NeighborSampler>(graph);
     std::vector<VertexId> seeds;
     for (size_t step = begin; step < end; ++step) {
       epoch.profiles[step].reserve(k);
@@ -99,9 +119,11 @@ Result<DistDglEpochProfile> ProfileDistDglEpoch(
         }
         Rng worker_rng = rng.Fork((step << 8) ^ w);
         epoch.profiles[step].push_back(
-            sampler.SampleBatch(seeds, fanouts, &parts, w, &worker_rng));
+            sampler->SampleBatch(seeds, fanouts, &parts, w, &worker_rng));
       }
     }
+    std::lock_guard<std::mutex> lk(sampler_mu);
+    free_samplers.push_back(std::move(sampler));
   });
   return epoch;
 }

@@ -86,6 +86,25 @@ TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
   EXPECT_EQ(total.load(), 100u * 257u);
 }
 
+// Regression test for the stale-worker race: a worker preempted between its
+// last pending_ decrement and its next cursor fetch_add must not observe the
+// next job being published (phantom chunk under a dangling lambda, double
+// execution, pending_ underflow). Rapid back-to-back tiny jobs maximize the
+// chance a worker straddles the transition; each job's lambda captures stack
+// state that dies as soon as For() returns, so a stale execution shows up as
+// a count mismatch here (and as a data race under the tsan CI target).
+TEST(ThreadPoolTest, RapidJobTransitionsNeverLeakAcrossJobs) {
+  ThreadPool pool(8);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const size_t n = static_cast<size_t>(iter % 13) + 2;
+    std::atomic<size_t> covered{0};
+    pool.For(n, 1, [&](size_t begin, size_t end, size_t) {
+      covered.fetch_add(end - begin);
+    });
+    ASSERT_EQ(covered.load(), n) << "job " << iter;
+  }
+}
+
 TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
   ThreadPool pool(4);
   EXPECT_THROW(
@@ -117,6 +136,22 @@ TEST(ThreadPoolTest, NestedForRunsSerialInline) {
   EXPECT_TRUE(saw_region.load());
   EXPECT_FALSE(ThreadPool::InParallelRegion());
   EXPECT_EQ(inner_total.load(), 8u * 10u);
+}
+
+TEST(ParseThreadCountTest, AcceptsPositiveIntegers) {
+  EXPECT_EQ(ParseThreadCount("1"), 1);
+  EXPECT_EQ(ParseThreadCount("8"), 8);
+  EXPECT_EQ(ParseThreadCount("128"), 128);
+}
+
+TEST(ParseThreadCountTest, RejectsGarbage) {
+  EXPECT_EQ(ParseThreadCount(nullptr), -1);
+  EXPECT_EQ(ParseThreadCount(""), -1);
+  EXPECT_EQ(ParseThreadCount("abc"), -1);
+  EXPECT_EQ(ParseThreadCount("4x"), -1);
+  EXPECT_EQ(ParseThreadCount("0"), -1);
+  EXPECT_EQ(ParseThreadCount("-2"), -1);
+  EXPECT_EQ(ParseThreadCount("99999999999999999999"), -1);
 }
 
 TEST(DefaultPoolTest, SetDefaultThreadsResizes) {

@@ -227,12 +227,21 @@ int main(int argc, char** argv) {
   // then runs its parallel loops on a pool of that size (results do not
   // depend on the thread count).
   for (size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--threads" && i + 1 < args.size()) {
-      SetDefaultThreads(atoi(args[i + 1].c_str()));
-      args.erase(args.begin() + static_cast<long>(i),
-                 args.begin() + static_cast<long>(i) + 2);
-      break;
+    if (args[i] != "--threads") continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << "error: --threads requires a value\n";
+      return Usage();
     }
+    const int v = ParseThreadCount(args[i + 1].c_str());
+    if (v < 1) {
+      std::cerr << "error: invalid --threads value '" << args[i + 1]
+                << "' (expected a positive integer)\n";
+      return Usage();
+    }
+    SetDefaultThreads(v);
+    args.erase(args.begin() + static_cast<long>(i),
+               args.begin() + static_cast<long>(i) + 2);
+    break;
   }
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "info") return CmdInfo(args);
