@@ -34,7 +34,12 @@ int main(int argc, char** argv) {
         config.feature_size = feat;
         config.hidden_dim = 64;
         config.num_classes = 16;
-        DistDglEpochReport r = SimulateDistDglEpoch(profile, config, cluster);
+        trace::TraceRecorder rec;
+        DistDglEpochReport r = SimulateDistDglEpoch(profile, config, cluster,
+                                                    bench::MaybeRecorder(&rec));
+        bench::MaybeWriteTrace(rec, DatasetCode(id) + "_" +
+                                        MakeVertexPartitioner(pid)->name() +
+                                        "_f" + std::to_string(feat));
         table.AddRow(bench::PhaseRow(MakeVertexPartitioner(pid)->name() +
                                          "/" + std::to_string(feat),
                                      r));

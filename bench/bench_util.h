@@ -12,14 +12,25 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 namespace gnnpart {
 namespace bench {
 
+/// Base path given via `--trace-out FILE`; empty when tracing is off.
+/// Per-simulation files derive from it via MaybeWriteTrace.
+inline std::string& TraceOutBase() {
+  static std::string path;
+  return path;
+}
+
 /// Context shared by all bench binaries; honours GNNPART_SCALE,
 /// GNNPART_SEED, GNNPART_CACHE_DIR, GNNPART_GBS, GNNPART_THREADS.
-/// Pass (argc, argv) through to also accept a `--threads N` flag
-/// (which overrides the environment; results are identical for every N).
+/// Pass (argc, argv) through to also accept `--threads N` (overrides the
+/// environment; results are identical for every N) and, on the phase-time
+/// benches, `--trace-out FILE` (dumps one Chrome trace per simulated cell,
+/// suffixed with the cell label).
 inline ExperimentContext DefaultContext(int argc = 0,
                                         char** argv = nullptr) {
   for (int i = 1; i < argc; ++i) {
@@ -36,9 +47,47 @@ inline ExperimentContext DefaultContext(int argc = 0,
       }
       SetDefaultThreads(v);
       ++i;
+    } else if (std::string(argv[i]) == "--trace-out") {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::cerr << "FATAL: --trace-out requires a file path\n";
+        std::exit(2);
+      }
+      TraceOutBase() = argv[i + 1];
+      ++i;
     }
   }
   return ExperimentContext::FromEnv();
+}
+
+/// Recorder to pass into a Simulate* call: the real one when `--trace-out`
+/// was given, nullptr (tracing disabled, zero cost) otherwise.
+inline trace::TraceRecorder* MaybeRecorder(trace::TraceRecorder* rec) {
+  return TraceOutBase().empty() ? nullptr : rec;
+}
+
+/// Writes the recorded trace as <base-stem>.<label><base-ext>; no-op when
+/// tracing is off. Call once per simulated cell, after Simulate*.
+inline void MaybeWriteTrace(const trace::TraceRecorder& rec,
+                            std::string label) {
+  const std::string& base = TraceOutBase();
+  if (base.empty()) return;
+  for (char& c : label) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  const size_t slash = base.find_last_of('/');
+  const size_t dot = base.find_last_of('.');
+  std::string path;
+  if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+    path = base.substr(0, dot) + "." + label + base.substr(dot);
+  } else {
+    path = base + "." + label;
+  }
+  const Status status = trace::WriteTraceFile(rec, path);
+  if (status.ok()) {
+    std::cout << "(trace: " << path << ")\n";
+  } else {
+    std::cerr << "warning: " << status << "\n";
+  }
 }
 
 inline void PrintBanner(const std::string& title, const std::string& ref,

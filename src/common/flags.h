@@ -1,0 +1,29 @@
+#ifndef GNNPART_COMMON_FLAGS_H_
+#define GNNPART_COMMON_FLAGS_H_
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace gnnpart {
+
+/// Validated parsing for numeric command-line flag values (--threads,
+/// --seed, --feature, --hidden, --layers, --gbs, the positional k, ...).
+/// Unlike atol/strtol-with-defaults, garbage is reported instead of
+/// silently becoming 0 or the fallback: callers reject the flag loudly.
+
+/// Parses a strictly positive integer in [1, max]. Returns -1 when `s` is
+/// null, empty, non-numeric, has trailing garbage, overflows, or is < 1.
+inline long ParsePositiveInt(const char* s,
+                             long max = std::numeric_limits<long>::max()) {
+  if (s == nullptr || *s == '\0') return -1;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < 1 || v > max) return -1;
+  return v;
+}
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_COMMON_FLAGS_H_

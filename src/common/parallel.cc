@@ -1,10 +1,11 @@
 #include "common/parallel.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdlib>
 #include <limits>
 #include <memory>
+
+#include "common/flags.h"
 
 namespace gnnpart {
 namespace {
@@ -164,15 +165,8 @@ void SetDefaultThreads(int num_threads) {
 int DefaultThreads() { return DefaultPool().num_threads(); }
 
 int ParseThreadCount(const char* s) {
-  if (!s || *s == '\0') return -1;
-  errno = 0;
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0' || v < 1 ||
-      v > std::numeric_limits<int>::max()) {
-    return -1;
-  }
-  return static_cast<int>(v);
+  return static_cast<int>(
+      ParsePositiveInt(s, std::numeric_limits<int>::max()));
 }
 
 }  // namespace gnnpart

@@ -1,5 +1,7 @@
 #include "partition/edge/registry.h"
 
+#include <cctype>
+
 #include "partition/edge/dbh.h"
 #include "partition/edge/greedy.h"
 #include "partition/edge/grid.h"
@@ -45,9 +47,26 @@ std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id) {
   return nullptr;
 }
 
+namespace {
+
+// Case-insensitive ASCII compare: CLI users write "hdrf" as often as
+// "HDRF", and the names are unambiguous either way.
+bool SameNameIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<EdgePartitionerId> ParseEdgePartitionerName(const std::string& name) {
   for (EdgePartitionerId id : AllEdgePartitionersExtended()) {
-    if (MakeEdgePartitioner(id)->name() == name) return id;
+    if (SameNameIgnoreCase(MakeEdgePartitioner(id)->name(), name)) return id;
   }
   return Status::NotFound("unknown edge partitioner '" + name + "'");
 }

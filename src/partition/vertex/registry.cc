@@ -1,5 +1,7 @@
 #include "partition/vertex/registry.h"
 
+#include <cctype>
+
 #include "partition/vertex/bytegnn_like.h"
 #include "partition/vertex/fennel.h"
 #include "partition/vertex/reldg.h"
@@ -46,10 +48,27 @@ std::unique_ptr<VertexPartitioner> MakeVertexPartitioner(
   return nullptr;
 }
 
+namespace {
+
+// Case-insensitive ASCII compare: CLI users write "metis" as often as
+// "Metis", and the names are unambiguous either way.
+bool SameNameIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<VertexPartitionerId> ParseVertexPartitionerName(
     const std::string& name) {
   for (VertexPartitionerId id : AllVertexPartitionersExtended()) {
-    if (MakeVertexPartitioner(id)->name() == name) return id;
+    if (SameNameIgnoreCase(MakeVertexPartitioner(id)->name(), name)) return id;
   }
   return Status::NotFound("unknown vertex partitioner '" + name + "'");
 }

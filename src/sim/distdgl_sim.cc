@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/stats.h"
 #include "gnn/costs.h"
+#include "trace/trace.h"
 
 namespace gnnpart {
 
@@ -130,9 +131,26 @@ Result<DistDglEpochProfile> ProfileDistDglEpoch(
 
 DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                                         const GnnConfig& config,
-                                        const ClusterSpec& cluster) {
+                                        const ClusterSpec& cluster,
+                                        trace::TraceRecorder* recorder) {
   DistDglEpochReport report;
   const PartitionId k = profile.workers;
+
+  // Tracing sidecar: per-(step, worker, phase) durations and network bytes,
+  // filled by the parallel cost loop below (each cell written exactly once
+  // by its owning chunk, so the arrays are deterministic and race-free) and
+  // replayed onto the BSP timeline in a serial pass at the end. When no
+  // recorder is attached nothing is allocated and the loop only tests one
+  // null pointer per (step, worker).
+  constexpr size_t kStepPhases = 5;
+  std::vector<double> trace_dur;
+  std::vector<double> trace_bytes;
+  if (recorder != nullptr) {
+    trace_dur.assign(profile.steps * static_cast<size_t>(k) * kStepPhases, 0);
+    trace_bytes.assign(trace_dur.size(), 0);
+  }
+  double* const dur_out = recorder != nullptr ? trace_dur.data() : nullptr;
+  double* const bytes_out = recorder != nullptr ? trace_bytes.data() : nullptr;
   const double feat_bytes = static_cast<double>(config.feature_size) *
                             sizeof(float);
   const double params = ModelParameterBytes(config);
@@ -222,6 +240,19 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
             ws.update_seconds += update;
             ws.network_bytes += rpc_bytes + fetch_bytes + 2.0 * params;
 
+            if (dur_out != nullptr) {
+              const size_t base =
+                  (step * static_cast<size_t>(k) + w) * kStepPhases;
+              dur_out[base + 0] = sampling;
+              dur_out[base + 1] = feature;
+              dur_out[base + 2] = forward;
+              dur_out[base + 3] = backward;
+              dur_out[base + 4] = update;
+              bytes_out[base + 0] = rpc_bytes;
+              bytes_out[base + 1] = fetch_bytes;
+              bytes_out[base + 3] = 2.0 * params;  // gradient all-reduce
+            }
+
             max_sampling = std::max(max_sampling, sampling);
             max_feature = std::max(max_feature, feature);
             max_forward = std::max(max_forward, forward);
@@ -273,6 +304,48 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
     totals.push_back(ws.total_seconds());
   }
   report.time_balance = MaxOverMean(totals);
+
+  if (recorder != nullptr) {
+    // Replay the recorded durations onto the BSP timeline: within a step
+    // the phases run in order, every worker enters a phase at its barrier
+    // (the per-phase maximum closes it). Serial and in canonical (step,
+    // phase, worker) order, so the trace is identical for every thread
+    // count. Note the timeline's end may differ from report.epoch_seconds
+    // in the last float bit (the report sums per-chunk partials); use
+    // trace::ReconstructDistDglReport for bit-exact totals.
+    static constexpr trace::Phase kPhaseOrder[kStepPhases] = {
+        trace::Phase::kSampling, trace::Phase::kFeature,
+        trace::Phase::kForward, trace::Phase::kBackward, trace::Phase::kUpdate};
+    recorder->BeginEpoch(trace::Simulator::kDistDgl,
+                         static_cast<uint32_t>(profile.steps),
+                         static_cast<uint32_t>(k));
+    recorder->Reserve(trace_dur.size());
+    double t = 0;
+    for (size_t step = 0; step < profile.steps; ++step) {
+      for (size_t pi = 0; pi < kStepPhases; ++pi) {
+        double barrier = 0;
+        for (PartitionId w = 0; w < k; ++w) {
+          barrier = std::max(
+              barrier,
+              trace_dur[(step * static_cast<size_t>(k) + w) * kStepPhases +
+                        pi]);
+        }
+        for (PartitionId w = 0; w < k; ++w) {
+          const size_t cell =
+              (step * static_cast<size_t>(k) + w) * kStepPhases + pi;
+          trace::Span span;
+          span.step = static_cast<uint32_t>(step);
+          span.worker = static_cast<uint32_t>(w);
+          span.phase = kPhaseOrder[pi];
+          span.t_begin = t;
+          span.seconds = trace_dur[cell];
+          span.bytes = trace_bytes[cell];
+          recorder->Add(span);
+        }
+        t += barrier;
+      }
+    }
+  }
   return report;
 }
 

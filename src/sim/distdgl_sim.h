@@ -14,6 +14,10 @@
 
 namespace gnnpart {
 
+namespace trace {
+class TraceRecorder;
+}  // namespace trace
+
 /// The sampled mini-batches of one epoch: profiles[step][worker]. Sampling
 /// depends only on (graph, partitioning, fan-outs, batch size, seed) — not
 /// on feature/hidden sizes — so one profile is reused across the paper's
@@ -75,9 +79,16 @@ struct DistDglEpochReport {
 };
 
 /// Translates an epoch profile into time/traffic under the cost model.
+/// When `recorder` is non-null, additionally emits one trace::Span per
+/// (step, worker, phase) laying the epoch out on the simulated BSP timeline
+/// (see src/trace/trace.h); the recorded spans are bit-identical for every
+/// thread count and attaching a recorder never changes the report. A null
+/// recorder costs nothing.
 DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                                         const GnnConfig& config,
-                                        const ClusterSpec& cluster);
+                                        const ClusterSpec& cluster,
+                                        trace::TraceRecorder* recorder =
+                                            nullptr);
 
 }  // namespace gnnpart
 

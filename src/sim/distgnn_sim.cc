@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "gnn/costs.h"
+#include "trace/trace.h"
 
 namespace gnnpart {
 
@@ -67,10 +68,22 @@ DistGnnWorkload BuildDistGnnWorkload(const Graph& graph,
 
 DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
                                         const GnnConfig& config,
-                                        const ClusterSpec& cluster) {
+                                        const ClusterSpec& cluster,
+                                        trace::TraceRecorder* recorder) {
   DistGnnEpochReport report;
   const PartitionId k = workload.k;
   report.machines.resize(k);
+
+  // Tracing sidecar: per-(layer, machine) compute and sync costs, captured
+  // by the cost loop below and replayed onto the BSP timeline at the end.
+  // Nothing is allocated when no recorder is attached.
+  const size_t layer_cells =
+      recorder != nullptr
+          ? static_cast<size_t>(config.num_layers) * static_cast<size_t>(k)
+          : 0;
+  std::vector<double> trace_compute(layer_cells, 0);
+  std::vector<double> trace_sync(layer_cells, 0);
+  std::vector<double> trace_sync_bytes(layer_cells, 0);
 
   // Per layer, per machine: compute time and sync time; the epoch is a BSP
   // schedule with a barrier after each phase, so each phase contributes the
@@ -97,6 +110,12 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
       report.machines[p].network_bytes += 2.0 * sync_bytes;
       fwd_compute_max = std::max(fwd_compute_max, compute);
       sync_max = std::max(sync_max, sync);
+      if (recorder != nullptr) {
+        const size_t cell = static_cast<size_t>(l) * k + p;
+        trace_compute[cell] = compute;
+        trace_sync[cell] = sync;
+        trace_sync_bytes[cell] = sync_bytes;
+      }
     }
     report.forward_seconds += fwd_compute_max + sync_max;
     // Backward: ~2x the compute of forward plus the same gradient sync.
@@ -154,6 +173,62 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
   report.out_of_memory = max_mem > cluster.memory_budget_bytes;
   for (PartitionId p = 0; p < k; ++p) {
     report.total_network_bytes += report.machines[p].network_bytes;
+  }
+
+  if (recorder != nullptr) {
+    // Replay the per-layer costs onto the BSP timeline: forward layers in
+    // order (compute then sync, barrier at the per-machine maximum), the
+    // backward pass in reverse layer order (compute at 2x, same gradient
+    // sync), then the optimizer as one extra pseudo-step shared by all
+    // machines. step = layer index; the optimizer uses step = num_layers.
+    const uint32_t layers = static_cast<uint32_t>(config.num_layers);
+    recorder->BeginEpoch(trace::Simulator::kDistGnn, layers + 1,
+                         static_cast<uint32_t>(k));
+    recorder->Reserve(layer_cells * 4 + k);
+    double t = 0;
+    auto emit_barrier = [&](uint32_t layer, trace::Phase phase, double scale,
+                            const std::vector<double>& dur,
+                            const std::vector<double>& bytes) {
+      const size_t base = static_cast<size_t>(layer) * k;
+      double barrier = 0;
+      for (PartitionId p = 0; p < k; ++p) {
+        barrier = std::max(barrier, scale * dur[base + p]);
+      }
+      for (PartitionId p = 0; p < k; ++p) {
+        trace::Span span;
+        span.step = layer;
+        span.worker = static_cast<uint32_t>(p);
+        span.phase = phase;
+        span.t_begin = t;
+        span.seconds = scale * dur[base + p];
+        span.bytes = bytes.empty() ? 0 : bytes[base + p];
+        recorder->Add(span);
+      }
+      t += barrier;
+    };
+    const std::vector<double> no_bytes;
+    for (uint32_t l = 0; l < layers; ++l) {
+      emit_barrier(l, trace::Phase::kForwardCompute, 1.0, trace_compute,
+                   no_bytes);
+      emit_barrier(l, trace::Phase::kForwardSync, 1.0, trace_sync,
+                   trace_sync_bytes);
+    }
+    for (uint32_t l = layers; l-- > 0;) {
+      emit_barrier(l, trace::Phase::kBackwardCompute, 2.0, trace_compute,
+                   no_bytes);
+      emit_barrier(l, trace::Phase::kBackwardSync, 1.0, trace_sync,
+                   trace_sync_bytes);
+    }
+    for (PartitionId p = 0; p < k; ++p) {
+      trace::Span span;
+      span.step = layers;
+      span.worker = static_cast<uint32_t>(p);
+      span.phase = trace::Phase::kOptimizer;
+      span.t_begin = t;
+      span.seconds = report.optimizer_seconds;
+      span.bytes = 2.0 * params;  // model gradient all-reduce (ring)
+      recorder->Add(span);
+    }
   }
   return report;
 }

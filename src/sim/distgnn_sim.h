@@ -13,6 +13,10 @@
 
 namespace gnnpart {
 
+namespace trace {
+class TraceRecorder;
+}  // namespace trace
+
 /// Partition-derived quantities that determine full-batch training cost.
 /// Computed once per (graph, partitioning); every hyper-parameter
 /// configuration is then simulated in closed form.
@@ -63,9 +67,16 @@ struct DistGnnEpochReport {
 
 /// Simulates one epoch of full-batch training. Deterministic; pure
 /// arithmetic over the workload profile.
+/// When `recorder` is non-null, additionally emits one trace::Span per
+/// (layer, machine, phase) — forward compute/sync in layer order, backward
+/// in reverse layer order, then the optimizer as one extra pseudo-step —
+/// on the simulated BSP timeline (see src/trace/trace.h). Attaching a
+/// recorder never changes the report; a null recorder costs nothing.
 DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
                                         const GnnConfig& config,
-                                        const ClusterSpec& cluster);
+                                        const ClusterSpec& cluster,
+                                        trace::TraceRecorder* recorder =
+                                            nullptr);
 
 }  // namespace gnnpart
 

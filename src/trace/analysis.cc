@@ -1,0 +1,189 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+
+namespace gnnpart {
+namespace trace {
+namespace {
+
+// Dense per-(step, phase) accumulator filled in one pass over the spans.
+struct Cell {
+  double max_seconds = 0;
+  double sum_seconds = 0;
+  uint64_t count = 0;
+  uint32_t straggler = 0;
+  bool seen = false;
+};
+
+// cells[step * kNumPhases + phase]; sized (steps x kNumPhases).
+std::vector<Cell> AccumulateCells(const TraceRecorder& rec) {
+  std::vector<Cell> cells(static_cast<size_t>(rec.steps()) * kNumPhases);
+  for (const Span& s : rec.spans()) {
+    if (s.step >= rec.steps()) continue;  // malformed span; skip defensively
+    Cell& c = cells[static_cast<size_t>(s.step) * kNumPhases +
+                    static_cast<size_t>(s.phase)];
+    const double d = s.seconds;
+    if (!c.seen || d > c.max_seconds) {
+      c.max_seconds = d;
+      c.straggler = s.worker;
+      c.seen = true;
+    } else if (d == c.max_seconds && s.worker < c.straggler) {
+      c.straggler = s.worker;
+    }
+    c.sum_seconds += d;
+    ++c.count;
+  }
+  return cells;
+}
+
+}  // namespace
+
+double ChunkedSum(const double* values, size_t n, size_t grain) {
+  if (grain == 0) grain = 1;
+  double total = 0;
+  for (size_t begin = 0; begin < n; begin += grain) {
+    const size_t end = std::min(n, begin + grain);
+    double partial = 0;
+    for (size_t i = begin; i < end; ++i) partial += values[i];
+    total += partial;
+  }
+  return total;
+}
+
+std::vector<StepPhaseStat> ComputeStepPhaseStats(const TraceRecorder& rec) {
+  const std::vector<Cell> cells = AccumulateCells(rec);
+  const std::vector<Phase>& phases = StepPhases(rec.simulator());
+  std::vector<StepPhaseStat> stats;
+  stats.reserve(cells.size());
+  for (uint32_t step = 0; step < rec.steps(); ++step) {
+    for (Phase phase : phases) {
+      const Cell& c = cells[static_cast<size_t>(step) * kNumPhases +
+                            static_cast<size_t>(phase)];
+      if (c.count == 0) continue;
+      StepPhaseStat st;
+      st.step = step;
+      st.phase = phase;
+      st.straggler = c.straggler;
+      st.max_seconds = c.max_seconds;
+      st.mean_seconds = c.sum_seconds / static_cast<double>(c.count);
+      st.wait_seconds =
+          static_cast<double>(c.count) * c.max_seconds - c.sum_seconds;
+      stats.push_back(st);
+    }
+  }
+  return stats;
+}
+
+double WorkerBlame::total_blame() const {
+  double total = 0;
+  for (double s : blame_seconds) total += s;
+  return total;
+}
+
+double WorkerBlame::total_wait() const {
+  double total = 0;
+  for (double s : wait_seconds) total += s;
+  return total;
+}
+
+uint64_t WorkerBlame::total_steps_blamed() const {
+  uint64_t total = 0;
+  for (uint64_t n : steps_blamed) total += n;
+  return total;
+}
+
+std::vector<WorkerBlame> ComputeWorkerBlame(const TraceRecorder& rec) {
+  std::vector<WorkerBlame> blame(rec.workers());
+  for (uint32_t w = 0; w < rec.workers(); ++w) blame[w].worker = w;
+  const std::vector<Cell> cells = AccumulateCells(rec);
+  // Charge each barrier's cost to its straggler...
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    if (c.count == 0 || c.straggler >= blame.size()) continue;
+    const size_t phase = i % kNumPhases;
+    blame[c.straggler].blame_seconds[phase] += c.max_seconds;
+    ++blame[c.straggler].steps_blamed[phase];
+  }
+  // ...and each worker's idle time at it to the worker itself.
+  for (const Span& s : rec.spans()) {
+    if (s.worker >= blame.size() || s.step >= rec.steps()) continue;
+    const Cell& c = cells[static_cast<size_t>(s.step) * kNumPhases +
+                          static_cast<size_t>(s.phase)];
+    blame[s.worker].wait_seconds[static_cast<size_t>(s.phase)] +=
+        c.max_seconds - s.seconds;
+    blame[s.worker].busy_seconds += s.seconds;
+  }
+  return blame;
+}
+
+std::vector<std::array<double, kNumPhases>> ComputeWaitMatrix(
+    const TraceRecorder& rec) {
+  std::vector<WorkerBlame> blame = ComputeWorkerBlame(rec);
+  std::vector<std::array<double, kNumPhases>> matrix(blame.size());
+  for (size_t w = 0; w < blame.size(); ++w) matrix[w] = blame[w].wait_seconds;
+  return matrix;
+}
+
+namespace {
+
+// Per-step phase maxima in step order, 0 for steps without the phase.
+std::vector<double> StepMaxima(const std::vector<Cell>& cells, uint32_t steps,
+                               Phase phase) {
+  std::vector<double> maxima(steps, 0);
+  for (uint32_t step = 0; step < steps; ++step) {
+    const Cell& c = cells[static_cast<size_t>(step) * kNumPhases +
+                          static_cast<size_t>(phase)];
+    if (c.count > 0) maxima[step] = c.max_seconds;
+  }
+  return maxima;
+}
+
+}  // namespace
+
+DistDglPhaseSeconds ReconstructDistDglReport(const TraceRecorder& rec) {
+  DistDglPhaseSeconds r;
+  const std::vector<Cell> cells = AccumulateCells(rec);
+  const uint32_t steps = rec.steps();
+  auto total = [&](Phase phase) {
+    std::vector<double> maxima = StepMaxima(cells, steps, phase);
+    return ChunkedSum(maxima.data(), maxima.size(), kDistDglStepGrain);
+  };
+  r.sampling = total(Phase::kSampling);
+  r.feature = total(Phase::kFeature);
+  r.forward = total(Phase::kForward);
+  r.backward = total(Phase::kBackward);
+  r.update = total(Phase::kUpdate);
+  // Same left-to-right grouping as SimulateDistDglEpoch.
+  r.epoch = r.sampling + r.feature + r.forward + r.backward + r.update;
+  return r;
+}
+
+DistGnnPhaseSeconds ReconstructDistGnnReport(const TraceRecorder& rec) {
+  DistGnnPhaseSeconds r;
+  if (rec.steps() == 0) return r;
+  const std::vector<Cell> cells = AccumulateCells(rec);
+  // DistGNN traces use step = layer for the per-layer phases and one extra
+  // pseudo-step (the last) for the optimizer.
+  const uint32_t layers = rec.steps() - 1;
+  std::vector<double> fwd_c = StepMaxima(cells, layers, Phase::kForwardCompute);
+  std::vector<double> fwd_s = StepMaxima(cells, layers, Phase::kForwardSync);
+  std::vector<double> bwd_c =
+      StepMaxima(cells, layers, Phase::kBackwardCompute);
+  std::vector<double> bwd_s = StepMaxima(cells, layers, Phase::kBackwardSync);
+  // Ascending layer order with the simulator's per-layer grouping; the
+  // timeline replays the backward pass in reverse layer order, but the
+  // report sums it forward, and FP addition is order-sensitive.
+  for (uint32_t l = 0; l < layers; ++l) {
+    r.forward += fwd_c[l] + fwd_s[l];
+    r.backward += bwd_c[l] + bwd_s[l];
+    r.sync += 2.0 * fwd_s[l];
+  }
+  const Cell& opt = cells[static_cast<size_t>(layers) * kNumPhases +
+                          static_cast<size_t>(Phase::kOptimizer)];
+  if (opt.count > 0) r.optimizer = opt.max_seconds;
+  r.epoch = r.forward + r.backward + r.optimizer;
+  return r;
+}
+
+}  // namespace trace
+}  // namespace gnnpart

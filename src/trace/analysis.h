@@ -1,0 +1,102 @@
+#ifndef GNNPART_TRACE_ANALYSIS_H_
+#define GNNPART_TRACE_ANALYSIS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace gnnpart {
+namespace trace {
+
+/// Analysis passes over a recorded epoch trace: per-step critical path,
+/// per-worker straggler blame, barrier wait accounting, and bit-exact
+/// reconstruction of the epoch report's phase totals (the invariant that
+/// ties the trace path to the report path).
+
+/// Sums `values[0, n)` exactly the way ParallelReduce(grain) does: serial
+/// partial sums per chunk, partials folded in chunk order. Reproduces the
+/// simulators' floating-point phase totals bit-for-bit, which a plain
+/// left-to-right sum would not (FP addition is not associative).
+double ChunkedSum(const double* values, size_t n, size_t grain);
+
+/// One (step, phase) barrier: who the straggler was and what the barrier
+/// cost. `wait_seconds` is the total time the other workers idled at this
+/// barrier: sum over workers of (max_seconds - own duration).
+struct StepPhaseStat {
+  uint32_t step = 0;
+  Phase phase = Phase::kSampling;
+  /// Worker whose duration equals the phase maximum (lowest id on ties —
+  /// deterministic).
+  uint32_t straggler = 0;
+  double max_seconds = 0;
+  double mean_seconds = 0;
+  double wait_seconds = 0;
+};
+
+/// All (step, phase) barriers in execution order (step ascending, phases in
+/// StepPhases() order).
+std::vector<StepPhaseStat> ComputeStepPhaseStats(const TraceRecorder& rec);
+
+/// Per-worker blame/wait accounting over the epoch. "Blame" charges the
+/// full barrier cost of a (step, phase) to its straggler: the seconds in
+/// blame_seconds[phase] are seconds *everyone* spent on that phase because
+/// this worker was slowest. Summing blame over workers per phase yields the
+/// report's straggler-summed phase seconds (modulo summation order).
+struct WorkerBlame {
+  uint32_t worker = 0;
+  std::array<double, kNumPhases> blame_seconds{};
+  std::array<double, kNumPhases> wait_seconds{};
+  std::array<uint64_t, kNumPhases> steps_blamed{};
+  /// Sum of the worker's own span durations (its simulated busy time).
+  double busy_seconds = 0;
+
+  double total_blame() const;
+  double total_wait() const;
+  uint64_t total_steps_blamed() const;
+};
+
+std::vector<WorkerBlame> ComputeWorkerBlame(const TraceRecorder& rec);
+
+/// The barrier wait-time matrix: waits[w][p] = seconds worker `w` idled at
+/// `phase p` barriers over the epoch (same data as WorkerBlame's
+/// wait_seconds, exposed as a dense workers x kNumPhases matrix).
+std::vector<std::array<double, kNumPhases>> ComputeWaitMatrix(
+    const TraceRecorder& rec);
+
+/// Chunk grain SimulateDistDglEpoch uses for its step reduction; the
+/// reconstruction must sum per-step maxima with the same chunking to
+/// reproduce the report bit-exactly.
+inline constexpr size_t kDistDglStepGrain = 8;
+
+/// DistDGL phase totals recomputed from the trace with the simulator's
+/// exact summation order. Equal (==, not approx) to the corresponding
+/// DistDglEpochReport fields.
+struct DistDglPhaseSeconds {
+  double sampling = 0;
+  double feature = 0;
+  double forward = 0;
+  double backward = 0;
+  double update = 0;
+  double epoch = 0;
+};
+DistDglPhaseSeconds ReconstructDistDglReport(const TraceRecorder& rec);
+
+/// DistGNN phase totals recomputed from the trace (per-layer maxima summed
+/// in ascending layer order with the simulator's grouping). Equal (==) to
+/// the corresponding DistGnnEpochReport fields.
+struct DistGnnPhaseSeconds {
+  double forward = 0;    // fwd compute + fwd sync stragglers
+  double backward = 0;   // bwd compute + bwd sync stragglers
+  double sync = 0;       // 2x fwd sync straggler per layer (breakdown row)
+  double optimizer = 0;
+  double epoch = 0;
+};
+DistGnnPhaseSeconds ReconstructDistGnnReport(const TraceRecorder& rec);
+
+}  // namespace trace
+}  // namespace gnnpart
+
+#endif  // GNNPART_TRACE_ANALYSIS_H_

@@ -1,0 +1,146 @@
+#include "trace/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace gnnpart {
+namespace trace {
+namespace {
+
+// Fixed-format helpers so the emitted bytes depend only on the values.
+std::string Micros(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds * 1e6);
+  return buf;
+}
+
+std::string Bytes(double bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", bytes);
+  return buf;
+}
+
+std::string Full(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceRecorder& rec) {
+  std::string out;
+  out.reserve(128 + rec.spans().size() * 128);
+  out += "{\n\"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+
+  // Metadata: name the simulated process and one thread row per worker.
+  emit(std::string("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                   "\"args\":{\"name\":\"") +
+       SimulatorName(rec.simulator()) + " simulated epoch\"}}");
+  for (uint32_t w = 0; w < rec.workers(); ++w) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+         std::to_string(w) + ",\"args\":{\"name\":\"worker " +
+         std::to_string(w) + "\"}}");
+  }
+  if (!rec.wall_spans().empty()) {
+    emit(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"wall clock\"}}");
+  }
+
+  for (const Span& s : rec.spans()) {
+    std::string event = "{\"name\":\"";
+    event += PhaseName(s.phase);
+    event += "\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":";
+    event += Micros(s.t_begin);
+    event += ",\"dur\":";
+    event += Micros(s.seconds);
+    event += ",\"pid\":0,\"tid\":";
+    event += std::to_string(s.worker);
+    event += ",\"args\":{\"step\":";
+    event += std::to_string(s.step);
+    event += ",\"bytes\":";
+    event += Bytes(s.bytes);
+    event += "}}";
+    emit(event);
+  }
+  for (const WallSpan& s : rec.wall_spans()) {
+    std::string event = "{\"name\":\"";
+    event += JsonEscape(s.name);
+    event += "\",\"cat\":\"wall\",\"ph\":\"X\",\"ts\":";
+    event += Micros(s.t_begin);
+    event += ",\"dur\":";
+    event += Micros(s.seconds());
+    event += ",\"pid\":1,\"tid\":0}";
+    emit(event);
+  }
+
+  out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"simulator\": \"";
+  out += SimulatorName(rec.simulator());
+  out += "\", \"steps\": \"";
+  out += std::to_string(rec.steps());
+  out += "\", \"workers\": \"";
+  out += std::to_string(rec.workers());
+  out += "\"}\n}\n";
+  return out;
+}
+
+std::string TraceCsv(const TraceRecorder& rec) {
+  std::string out = "step,worker,phase,t_begin,t_end,seconds,bytes\n";
+  out.reserve(out.size() + rec.spans().size() * 64);
+  for (const Span& s : rec.spans()) {
+    out += std::to_string(s.step);
+    out += ',';
+    out += std::to_string(s.worker);
+    out += ',';
+    out += PhaseName(s.phase);
+    out += ',';
+    out += Full(s.t_begin);
+    out += ',';
+    out += Full(s.t_end());
+    out += ',';
+    out += Full(s.seconds);
+    out += ',';
+    out += Full(s.bytes);
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteTraceFile(const TraceRecorder& rec, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open '" + path + "' for writing");
+  const bool csv =
+      path.size() > 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string body = csv ? TraceCsv(rec) : ChromeTraceJson(rec);
+  f << body;
+  if (!f) return Status::IoError("failed writing '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace trace
+}  // namespace gnnpart

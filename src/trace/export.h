@@ -1,0 +1,34 @@
+#ifndef GNNPART_TRACE_EXPORT_H_
+#define GNNPART_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace gnnpart {
+namespace trace {
+
+/// Exporters for recorded epoch traces. Both emit spans in the recorder's
+/// canonical order with fixed-format numbers, so the output is
+/// byte-identical whenever the spans are (i.e. for every thread count).
+
+/// Renders the trace in Chrome's trace_event JSON format (complete "X"
+/// events, timestamps in microseconds), loadable in chrome://tracing and
+/// Perfetto. Simulated spans live on process 0 ("simulated epoch", one
+/// thread row per worker); wall-clock spans, if any, on process 1 ("wall
+/// clock") — the two time bases are never mixed on one row.
+std::string ChromeTraceJson(const TraceRecorder& rec);
+
+/// Flat CSV: step,worker,phase,t_begin,t_end,seconds,bytes — one row per
+/// simulated span, times in (simulated) seconds with round-trip precision.
+std::string TraceCsv(const TraceRecorder& rec);
+
+/// Writes ChromeTraceJson / TraceCsv to `path`. The format is picked from
+/// the extension: ".csv" selects CSV, anything else Chrome JSON.
+Status WriteTraceFile(const TraceRecorder& rec, const std::string& path);
+
+}  // namespace trace
+}  // namespace gnnpart
+
+#endif  // GNNPART_TRACE_EXPORT_H_

@@ -1,0 +1,85 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace gnnpart {
+namespace trace {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kSampling:
+      return "sampling";
+    case Phase::kFeature:
+      return "feature";
+    case Phase::kForward:
+      return "forward";
+    case Phase::kBackward:
+      return "backward";
+    case Phase::kUpdate:
+      return "update";
+    case Phase::kForwardCompute:
+      return "fwd_compute";
+    case Phase::kForwardSync:
+      return "fwd_sync";
+    case Phase::kBackwardCompute:
+      return "bwd_compute";
+    case Phase::kBackwardSync:
+      return "bwd_sync";
+    case Phase::kOptimizer:
+      return "optimizer";
+  }
+  return "unknown";
+}
+
+const char* SimulatorName(Simulator simulator) {
+  switch (simulator) {
+    case Simulator::kNone:
+      return "none";
+    case Simulator::kDistDgl:
+      return "distdgl";
+    case Simulator::kDistGnn:
+      return "distgnn";
+  }
+  return "unknown";
+}
+
+const std::vector<Phase>& StepPhases(Simulator simulator) {
+  static const std::vector<Phase> kDistDgl = {
+      Phase::kSampling, Phase::kFeature, Phase::kForward, Phase::kBackward,
+      Phase::kUpdate};
+  static const std::vector<Phase> kDistGnn = {
+      Phase::kForwardCompute, Phase::kForwardSync, Phase::kBackwardCompute,
+      Phase::kBackwardSync, Phase::kOptimizer};
+  static const std::vector<Phase> kNone = {};
+  switch (simulator) {
+    case Simulator::kDistDgl:
+      return kDistDgl;
+    case Simulator::kDistGnn:
+      return kDistGnn;
+    case Simulator::kNone:
+      break;
+  }
+  return kNone;
+}
+
+void TraceRecorder::BeginEpoch(Simulator simulator, uint32_t steps,
+                               uint32_t workers) {
+  simulator_ = simulator;
+  steps_ = steps;
+  workers_ = workers;
+  spans_.clear();
+}
+
+void TraceRecorder::AddWallSpan(const std::string& name, double t_begin,
+                                double t_end) {
+  wall_spans_.push_back(WallSpan{name, t_begin, t_end});
+}
+
+double TraceRecorder::epoch_end() const {
+  double end = 0;
+  for (const Span& s : spans_) end = std::max(end, s.t_end());
+  return end;
+}
+
+}  // namespace trace
+}  // namespace gnnpart

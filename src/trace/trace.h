@@ -1,0 +1,126 @@
+#ifndef GNNPART_TRACE_TRACE_H_
+#define GNNPART_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnnpart {
+namespace trace {
+
+/// Per-(step, worker, phase) event tracing for the epoch simulators.
+///
+/// The simulators' epoch reports only surface aggregate maxima (straggler-
+/// summed phase seconds, max/mean balance); the trace layer records the
+/// underlying timeline — one span per (step, worker, phase) in *simulated*
+/// time — so straggler behaviour can be inspected span by span (who stalls
+/// which step at which barrier) and exported to Chrome's trace_event format
+/// for Perfetto/chrome://tracing. See DESIGN.md §7.
+///
+/// Time semantics: both simulators model BSP execution, so every worker
+/// enters a phase at the same simulated instant (the step's barrier) and
+/// leaves after its own duration; the barrier closes at the per-phase
+/// maximum. Consequently spans of one (step, phase) share t_begin and the
+/// difference `max(t_end) - t_end` is the worker's barrier wait. Spans are
+/// deterministic — byte-identical for every thread count — because the
+/// per-span durations are pure functions of (profile/workload, config,
+/// cluster) and emission happens in a canonical serial pass.
+
+/// Phases of the two simulated systems. The first five belong to DistDGL
+/// mini-batch steps; the next five to DistGNN full-batch layers, where the
+/// "step" of a span is the layer index (kOptimizer uses step = num_layers).
+enum class Phase : uint8_t {
+  // DistDGL (mini-batch, per step).
+  kSampling = 0,
+  kFeature,
+  kForward,
+  kBackward,
+  kUpdate,
+  // DistGNN (full-batch, per layer).
+  kForwardCompute,
+  kForwardSync,
+  kBackwardCompute,
+  kBackwardSync,
+  kOptimizer,
+};
+inline constexpr int kNumPhases = 10;
+
+/// Lower-case stable name ("sampling", "fwd_sync", ...); used by exporters
+/// and tables, so it is part of the trace file format.
+const char* PhaseName(Phase phase);
+
+/// Which simulator emitted the trace; selects the phase set the analysis
+/// and report passes iterate over.
+enum class Simulator : uint8_t { kNone = 0, kDistDgl, kDistGnn };
+const char* SimulatorName(Simulator simulator);
+
+/// The phases a simulator emits per step, in execution order.
+const std::vector<Phase>& StepPhases(Simulator simulator);
+
+/// One simulated-time event: worker `worker` spent `seconds` in `phase` of
+/// step `step` starting at `t_begin`, moving `bytes` bytes over the network
+/// (0 for pure-compute phases). The duration is the primary quantity — it
+/// is the exact cost-model value, which is what makes the report
+/// reconstruction bit-exact; the timeline position is derived (t_begin + d
+/// would lose the last float bit if durations were recomputed from
+/// endpoints).
+struct Span {
+  uint32_t step = 0;
+  uint32_t worker = 0;
+  Phase phase = Phase::kSampling;
+  double t_begin = 0;  // simulated seconds since epoch start
+  double seconds = 0;  // exact cost-model duration
+  double bytes = 0;
+
+  double t_end() const { return t_begin + seconds; }
+};
+
+/// A wall-clock span (e.g. the partitioner run that produced the traced
+/// partitioning). Kept separate from simulated time; exporters place wall
+/// spans on their own process row so the two clocks are never conflated.
+struct WallSpan {
+  std::string name;
+  double t_begin = 0;  // wall seconds, caller-defined origin
+  double t_end = 0;
+
+  double seconds() const { return t_end - t_begin; }
+};
+
+/// Collects the spans of one simulated epoch. Not thread-safe: the
+/// simulators compute per-span durations in their parallel loops but emit
+/// spans in one canonical serial pass, which is what makes the recorded
+/// trace independent of the thread count. A null recorder disables tracing
+/// at zero cost (the simulators skip all bookkeeping).
+class TraceRecorder {
+ public:
+  /// Declares the epoch shape. Must be called (by the simulator) before the
+  /// first Add; calling it again resets the recorded simulated spans so a
+  /// recorder can be reused across simulate calls. Wall spans survive the
+  /// reset (they describe setup work, not the epoch).
+  void BeginEpoch(Simulator simulator, uint32_t steps, uint32_t workers);
+
+  void Reserve(size_t spans) { spans_.reserve(spans); }
+  void Add(const Span& span) { spans_.push_back(span); }
+  void AddWallSpan(const std::string& name, double t_begin, double t_end);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<WallSpan>& wall_spans() const { return wall_spans_; }
+  Simulator simulator() const { return simulator_; }
+  uint32_t steps() const { return steps_; }
+  uint32_t workers() const { return workers_; }
+
+  /// Simulated end of the epoch: max t_end over spans (0 when empty).
+  double epoch_end() const;
+
+ private:
+  Simulator simulator_ = Simulator::kNone;
+  uint32_t steps_ = 0;
+  uint32_t workers_ = 0;
+  std::vector<Span> spans_;
+  std::vector<WallSpan> wall_spans_;
+};
+
+}  // namespace trace
+}  // namespace gnnpart
+
+#endif  // GNNPART_TRACE_TRACE_H_

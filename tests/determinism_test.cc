@@ -18,6 +18,8 @@
 #include "sampling/neighbor_sampler.h"
 #include "sim/distdgl_sim.h"
 #include "sim/distgnn_sim.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 namespace gnnpart {
 namespace {
@@ -247,6 +249,61 @@ TEST_F(DeterminismTest, DistDglPipelineBitIdentical) {
           EXPECT_EQ(ref.workers[w].network_bytes,
                     probe.workers[w].network_bytes);
         }
+      });
+}
+
+// The exported trace is part of the deterministic surface: the Chrome
+// trace JSON written by --trace-out must be byte-identical for every
+// thread count (the spans are computed in the parallel loops but emitted
+// by a canonical serial replay).
+TEST_F(DeterminismTest, DistGnnTraceBytesIdentical) {
+  auto parts = MakeEdgePartitioner(EdgePartitionerId::kHdrf)
+                   ->Partition(*graph_, kParts, kSeed);
+  ASSERT_TRUE(parts.ok());
+  GnnConfig config;
+  config.num_layers = 3;
+  config.feature_size = 64;
+  config.hidden_dim = 64;
+  config.num_classes = 16;
+  config.fanouts = GnnConfig::DefaultFanouts(3);
+  ClusterSpec cluster;
+  cluster.num_machines = static_cast<int>(kParts);
+  ExpectInvariant(
+      [&] {
+        DistGnnWorkload workload = BuildDistGnnWorkload(*graph_, *parts);
+        trace::TraceRecorder rec;
+        SimulateDistGnnEpoch(workload, config, cluster, &rec);
+        return trace::ChromeTraceJson(rec);
+      },
+      [](const std::string& ref, const std::string& probe, int threads) {
+        EXPECT_EQ(ref, probe) << "at " << threads << " threads";
+      });
+}
+
+TEST_F(DeterminismTest, DistDglTraceBytesIdentical) {
+  auto parts = MakeVertexPartitioner(VertexPartitionerId::kMetis)
+                   ->Partition(*graph_, *split_, kParts, kSeed);
+  ASSERT_TRUE(parts.ok());
+  GnnConfig config;
+  config.num_layers = 3;
+  config.feature_size = 64;
+  config.hidden_dim = 64;
+  config.num_classes = 16;
+  config.fanouts = GnnConfig::DefaultFanouts(3);
+  ClusterSpec cluster;
+  cluster.num_machines = static_cast<int>(kParts);
+  ExpectInvariant(
+      [&] {
+        auto profile = ProfileDistDglEpoch(*graph_, *parts, *split_,
+                                           config.fanouts,
+                                           /*global_batch_size=*/256, kSeed);
+        EXPECT_TRUE(profile.ok());
+        trace::TraceRecorder rec;
+        SimulateDistDglEpoch(*profile, config, cluster, &rec);
+        return trace::ChromeTraceJson(rec);
+      },
+      [](const std::string& ref, const std::string& probe, int threads) {
+        EXPECT_EQ(ref, probe) << "at " << threads << " threads";
       });
 }
 

@@ -1,0 +1,65 @@
+// ParsePositiveInt is the single validated entry point for every numeric
+// CLI flag (--threads, --seed, --feature, --hidden, --layers, --gbs, k);
+// it must reject garbage loudly (-1) instead of atol-style silent zeros.
+#include <climits>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/parallel.h"
+
+namespace gnnpart {
+namespace {
+
+TEST(ParsePositiveIntTest, AcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(ParsePositiveInt("1"), 1);
+  EXPECT_EQ(ParsePositiveInt("8"), 8);
+  EXPECT_EQ(ParsePositiveInt("512"), 512);
+  EXPECT_EQ(ParsePositiveInt("123456789"), 123456789);
+}
+
+TEST(ParsePositiveIntTest, AcceptsLeadingWhitespaceAndPlusLikeStrtol) {
+  // strtol semantics: leading spaces and an explicit '+' are part of a
+  // valid number; anything *after* the digits is not.
+  EXPECT_EQ(ParsePositiveInt(" 42"), 42);
+  EXPECT_EQ(ParsePositiveInt("+7"), 7);
+}
+
+TEST(ParsePositiveIntTest, RejectsGarbage) {
+  EXPECT_EQ(ParsePositiveInt(nullptr), -1);
+  EXPECT_EQ(ParsePositiveInt(""), -1);
+  EXPECT_EQ(ParsePositiveInt("abc"), -1);
+  EXPECT_EQ(ParsePositiveInt("12abc"), -1);  // trailing junk
+  EXPECT_EQ(ParsePositiveInt("1.5"), -1);
+  EXPECT_EQ(ParsePositiveInt("1e3"), -1);
+  EXPECT_EQ(ParsePositiveInt("--threads"), -1);
+  EXPECT_EQ(ParsePositiveInt(" "), -1);
+}
+
+TEST(ParsePositiveIntTest, RejectsNonPositive) {
+  EXPECT_EQ(ParsePositiveInt("0"), -1);
+  EXPECT_EQ(ParsePositiveInt("-1"), -1);
+  EXPECT_EQ(ParsePositiveInt("-42"), -1);
+}
+
+TEST(ParsePositiveIntTest, EnforcesUpperBound) {
+  EXPECT_EQ(ParsePositiveInt("64", /*max=*/64), 64);
+  EXPECT_EQ(ParsePositiveInt("65", /*max=*/64), -1);
+  EXPECT_EQ(ParsePositiveInt("1", /*max=*/1), 1);
+}
+
+TEST(ParsePositiveIntTest, RejectsOverflow) {
+  // LONG_MAX * 10-ish; strtol sets ERANGE.
+  EXPECT_EQ(ParsePositiveInt("99999999999999999999999999"), -1);
+}
+
+TEST(ParsePositiveIntTest, ThreadCountParserSharesTheValidation) {
+  EXPECT_EQ(ParseThreadCount("4"), 4);
+  EXPECT_EQ(ParseThreadCount("0"), -1);
+  EXPECT_EQ(ParseThreadCount("four"), -1);
+  EXPECT_EQ(ParseThreadCount(""), -1);
+}
+
+}  // namespace
+}  // namespace gnnpart

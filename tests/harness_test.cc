@@ -5,6 +5,8 @@
 
 #include "harness/cache.h"
 #include "harness/experiment.h"
+#include "trace/analysis.h"
+#include "trace/trace.h"
 
 namespace gnnpart {
 namespace {
@@ -144,6 +146,43 @@ TEST(DistDglGridTest, FullGridRunsAndHasShape) {
   // ProfileFor maps layers to the right profile.
   const auto& p3 = result->ProfileFor("Metis", 3);
   EXPECT_GT(p3.steps, 0u);
+}
+
+TEST(TraceDistDglEpochTest, RetracesFromCachedProfileWithoutResampling) {
+  ExperimentContext ctx = TinyContext();
+  ctx.cache_dir = (std::filesystem::temp_directory_path() /
+                   ("gnnpart_tracecache_" + std::to_string(::getpid())))
+                      .string();
+  Result<DatasetBundle> bundle = LoadDataset(ctx, DatasetId::kEnwiki);
+  ASSERT_TRUE(bundle.ok());
+  GnnConfig config;
+  config.num_layers = 2;
+  config.feature_size = 32;
+  config.hidden_dim = 32;
+  config.num_classes = 16;
+  config.fanouts = GnnConfig::DefaultFanouts(2);
+  ClusterSpec cluster = ctx.MakeCluster(4);
+
+  trace::TraceRecorder first_rec;
+  Result<DistDglEpochReport> first = TraceDistDglEpoch(
+      ctx, DatasetId::kEnwiki, bundle->graph, bundle->split,
+      VertexPartitionerId::kLdg, 4, config, cluster, &first_rec);
+  ASSERT_TRUE(first.ok()) << first.status();
+  // Second call hits the profile cache — a pure replay that must yield
+  // the identical report and trace.
+  trace::TraceRecorder second_rec;
+  Result<DistDglEpochReport> second = TraceDistDglEpoch(
+      ctx, DatasetId::kEnwiki, bundle->graph, bundle->split,
+      VertexPartitionerId::kLdg, 4, config, cluster, &second_rec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->epoch_seconds, second->epoch_seconds);
+  EXPECT_EQ(first->sampling_seconds, second->sampling_seconds);
+  ASSERT_EQ(first_rec.spans().size(), second_rec.spans().size());
+  EXPECT_GT(first_rec.spans().size(), 0u);
+  trace::DistDglPhaseSeconds rebuilt =
+      trace::ReconstructDistDglReport(second_rec);
+  EXPECT_EQ(rebuilt.epoch, second->epoch_seconds);
+  std::filesystem::remove_all(ctx.cache_dir);
 }
 
 TEST(AmortizationTest, MatchesHandComputation) {

@@ -1,0 +1,10 @@
+# Runs at ctest time, after the gtest discovery include files have defined
+# <target>_TESTS variables. Relabels the suites that exercise the trace
+# subsystem so `ctest -L trace` selects them alongside `ctest -L tsan` —
+# gtest_discover_tests flattens list-valued PROPERTIES, so the multi-label
+# set cannot be attached at discovery time. (set_tests_properties is the
+# only property command ctest supports here, so this overwrites rather
+# than appends; keep the list in sync with the suites' primary labels.)
+foreach(_t IN LISTS trace_test_TESTS determinism_test_TESTS)
+  set_tests_properties("${_t}" PROPERTIES LABELS "tsan;trace")
+endforeach()

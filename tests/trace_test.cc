@@ -1,0 +1,449 @@
+// The trace subsystem's core contract: an attached recorder never changes
+// the simulated report, and the recorded spans carry enough exact
+// information to reconstruct the report's phase seconds bit-for-bit
+// (straggler-summed per-step maxima == report totals, EXPECT_EQ on
+// doubles, no tolerance). Plus the analysis/exporter invariants that the
+// CLI's trace-report and --trace-out paths rely on.
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "gen/datasets.h"
+#include "graph/split.h"
+#include "partition/edge/registry.h"
+#include "partition/vertex/registry.h"
+#include "sim/distdgl_sim.h"
+#include "sim/distgnn_sim.h"
+#include "trace/analysis.h"
+#include "trace/export.h"
+#include "trace/report.h"
+#include "trace/trace.h"
+
+namespace gnnpart {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+constexpr PartitionId kParts = 8;
+
+GnnConfig TestConfig() {
+  GnnConfig config;
+  config.arch = GnnArchitecture::kGraphSage;
+  config.num_layers = 3;
+  config.feature_size = 64;
+  config.hidden_dim = 64;
+  config.num_classes = 16;
+  config.fanouts = GnnConfig::DefaultFanouts(3);
+  return config;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Result<Graph> g = MakeDataset(DatasetId::kOrkut, 0.05, kSeed);
+    ASSERT_TRUE(g.ok()) << g.status();
+    graph_ = new Graph(std::move(g).value());
+    split_ = new VertexSplit(
+        VertexSplit::MakeRandom(graph_->num_vertices(), 0.1, 0.1, kSeed));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete split_;
+    graph_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static ClusterSpec Cluster() {
+    ClusterSpec cluster;
+    cluster.num_machines = static_cast<int>(kParts);
+    return cluster;
+  }
+
+  // DistGNN epoch over an HDRF edge partitioning, traced into `rec`.
+  static DistGnnEpochReport RunDistGnn(trace::TraceRecorder* rec) {
+    auto parts = MakeEdgePartitioner(EdgePartitionerId::kHdrf)
+                     ->Partition(*graph_, kParts, kSeed);
+    EXPECT_TRUE(parts.ok());
+    DistGnnWorkload workload = BuildDistGnnWorkload(*graph_, *parts);
+    return SimulateDistGnnEpoch(workload, TestConfig(), Cluster(), rec);
+  }
+
+  // DistDGL epoch over a Metis vertex partitioning, traced into `rec`.
+  static DistDglEpochReport RunDistDgl(trace::TraceRecorder* rec) {
+    auto parts = MakeVertexPartitioner(VertexPartitionerId::kMetis)
+                     ->Partition(*graph_, *split_, kParts, kSeed);
+    EXPECT_TRUE(parts.ok());
+    auto profile = ProfileDistDglEpoch(*graph_, *parts, *split_,
+                                       TestConfig().fanouts,
+                                       /*global_batch_size=*/256, kSeed);
+    EXPECT_TRUE(profile.ok());
+    return SimulateDistDglEpoch(*profile, TestConfig(), Cluster(), rec);
+  }
+
+  static Graph* graph_;
+  static VertexSplit* split_;
+};
+
+Graph* TraceTest::graph_ = nullptr;
+VertexSplit* TraceTest::split_ = nullptr;
+
+// --- the central invariant: trace reconstructs the report bit-exactly ---
+
+TEST_F(TraceTest, DistGnnTraceReconstructsReportBitExactly) {
+  trace::TraceRecorder rec;
+  DistGnnEpochReport report = RunDistGnn(&rec);
+  trace::DistGnnPhaseSeconds r = trace::ReconstructDistGnnReport(rec);
+  EXPECT_EQ(r.forward, report.forward_seconds);
+  EXPECT_EQ(r.backward, report.backward_seconds);
+  EXPECT_EQ(r.sync, report.sync_seconds);
+  EXPECT_EQ(r.optimizer, report.optimizer_seconds);
+  EXPECT_EQ(r.epoch, report.epoch_seconds);
+}
+
+TEST_F(TraceTest, DistDglTraceReconstructsReportBitExactly) {
+  trace::TraceRecorder rec;
+  DistDglEpochReport report = RunDistDgl(&rec);
+  trace::DistDglPhaseSeconds r = trace::ReconstructDistDglReport(rec);
+  EXPECT_EQ(r.sampling, report.sampling_seconds);
+  EXPECT_EQ(r.feature, report.feature_seconds);
+  EXPECT_EQ(r.forward, report.forward_seconds);
+  EXPECT_EQ(r.backward, report.backward_seconds);
+  EXPECT_EQ(r.update, report.update_seconds);
+  EXPECT_EQ(r.epoch, report.epoch_seconds);
+}
+
+// --- attaching a recorder never perturbs the simulation ---
+
+TEST_F(TraceTest, RecorderAttachmentDoesNotChangeDistGnnReport) {
+  DistGnnEpochReport plain = RunDistGnn(nullptr);
+  trace::TraceRecorder rec;
+  DistGnnEpochReport traced = RunDistGnn(&rec);
+  EXPECT_EQ(plain.epoch_seconds, traced.epoch_seconds);
+  EXPECT_EQ(plain.forward_seconds, traced.forward_seconds);
+  EXPECT_EQ(plain.backward_seconds, traced.backward_seconds);
+  EXPECT_EQ(plain.sync_seconds, traced.sync_seconds);
+  EXPECT_EQ(plain.optimizer_seconds, traced.optimizer_seconds);
+  EXPECT_EQ(plain.total_network_bytes, traced.total_network_bytes);
+}
+
+TEST_F(TraceTest, RecorderAttachmentDoesNotChangeDistDglReport) {
+  DistDglEpochReport plain = RunDistDgl(nullptr);
+  trace::TraceRecorder rec;
+  DistDglEpochReport traced = RunDistDgl(&rec);
+  EXPECT_EQ(plain.epoch_seconds, traced.epoch_seconds);
+  EXPECT_EQ(plain.sampling_seconds, traced.sampling_seconds);
+  EXPECT_EQ(plain.feature_seconds, traced.feature_seconds);
+  EXPECT_EQ(plain.forward_seconds, traced.forward_seconds);
+  EXPECT_EQ(plain.backward_seconds, traced.backward_seconds);
+  EXPECT_EQ(plain.update_seconds, traced.update_seconds);
+}
+
+// --- BSP span-layout invariants ---
+
+// Every (step, phase) barrier has exactly one span per worker and all of
+// them share t_begin (workers enter a BSP phase together); span times are
+// finite and non-negative.
+void CheckBspLayout(const trace::TraceRecorder& rec) {
+  ASSERT_GT(rec.spans().size(), 0u);
+  std::map<std::pair<uint32_t, int>, std::pair<double, uint32_t>> barriers;
+  std::map<std::pair<uint32_t, int>, std::set<uint32_t>> workers;
+  for (const trace::Span& s : rec.spans()) {
+    EXPECT_LT(s.step, rec.steps());
+    EXPECT_LT(s.worker, rec.workers());
+    EXPECT_GE(s.seconds, 0.0);
+    EXPECT_GE(s.t_begin, 0.0);
+    const auto key = std::make_pair(s.step, static_cast<int>(s.phase));
+    auto [it, fresh] = barriers.emplace(key, std::make_pair(s.t_begin, 1u));
+    if (!fresh) {
+      EXPECT_EQ(it->second.first, s.t_begin)
+          << "workers of step " << s.step << " phase "
+          << trace::PhaseName(s.phase) << " must enter at the same barrier";
+      ++it->second.second;
+    }
+    EXPECT_TRUE(workers[key].insert(s.worker).second)
+        << "duplicate span for worker " << s.worker;
+  }
+  for (const auto& [key, entry] : barriers) {
+    EXPECT_EQ(entry.second, rec.workers())
+        << "step " << key.first << " phase " << key.second
+        << " must have one span per worker";
+  }
+}
+
+TEST_F(TraceTest, DistGnnSpansFollowBspLayout) {
+  trace::TraceRecorder rec;
+  RunDistGnn(&rec);
+  CheckBspLayout(rec);
+  // layers + 1 pseudo-step (optimizer), 8 workers, 2 phases per layer in
+  // each direction + optimizer.
+  EXPECT_EQ(rec.simulator(), trace::Simulator::kDistGnn);
+  EXPECT_EQ(rec.steps(), 4u);  // 3 layers + optimizer pseudo-step
+  EXPECT_EQ(rec.workers(), static_cast<uint32_t>(kParts));
+  EXPECT_EQ(rec.spans().size(), (3u * 4u + 1u) * kParts);
+}
+
+TEST_F(TraceTest, DistDglSpansFollowBspLayout) {
+  trace::TraceRecorder rec;
+  DistDglEpochReport report = RunDistDgl(&rec);
+  CheckBspLayout(rec);
+  EXPECT_EQ(rec.simulator(), trace::Simulator::kDistDgl);
+  EXPECT_EQ(rec.workers(), static_cast<uint32_t>(kParts));
+  EXPECT_EQ(rec.spans().size(), static_cast<size_t>(rec.steps()) * 5 * kParts);
+  // The epoch ends when the last barrier closes; with per-step barrier
+  // accumulation this is the sum of all barrier maxima, which can differ
+  // from the report's chunk-summed total only in FP grouping.
+  EXPECT_NEAR(rec.epoch_end(), report.epoch_seconds,
+              1e-12 * report.epoch_seconds);
+}
+
+// --- analysis invariants (satellite: straggler sums == per-step maxima) ---
+
+// Per phase: the blame charged to all workers equals the sum of per-step
+// maxima reconstructed from the trace (both are "straggler-summed" phase
+// totals; plain double sums on both sides, so EXPECT_EQ holds).
+TEST_F(TraceTest, BlameSumsMatchStepMaxima) {
+  trace::TraceRecorder rec;
+  RunDistDgl(&rec);
+  const auto stats = trace::ComputeStepPhaseStats(rec);
+  const auto blame = trace::ComputeWorkerBlame(rec);
+  for (trace::Phase phase : trace::StepPhases(rec.simulator())) {
+    const size_t p = static_cast<size_t>(phase);
+    double max_total = 0, blame_total = 0;
+    uint64_t barriers = 0;
+    for (const auto& st : stats) {
+      if (st.phase == phase) max_total += st.max_seconds;
+    }
+    for (const auto& b : blame) {
+      blame_total += b.blame_seconds[p];
+      barriers += b.steps_blamed[p];
+    }
+    EXPECT_EQ(blame_total, max_total)
+        << "phase " << trace::PhaseName(phase);
+    EXPECT_EQ(barriers, rec.steps()) << "each step has one "
+                                     << trace::PhaseName(phase) << " barrier";
+  }
+}
+
+TEST_F(TraceTest, WaitMatrixIsNonNegativeAndStragglersNeverWait) {
+  trace::TraceRecorder rec;
+  RunDistGnn(&rec);
+  const auto matrix = trace::ComputeWaitMatrix(rec);
+  ASSERT_EQ(matrix.size(), rec.workers());
+  for (const auto& row : matrix) {
+    for (double wait : row) EXPECT_GE(wait, 0.0);
+  }
+  // A barrier's straggler is the max by construction, so its own wait
+  // contribution at that barrier is exactly zero.
+  const auto stats = trace::ComputeStepPhaseStats(rec);
+  for (const auto& st : stats) {
+    double total_wait_check = 0;
+    for (const trace::Span& s : rec.spans()) {
+      if (s.step != st.step || s.phase != st.phase) continue;
+      if (s.worker == st.straggler) EXPECT_EQ(s.seconds, st.max_seconds);
+      total_wait_check += st.max_seconds - s.seconds;
+    }
+    // count*max - sum vs sum of (max - d): same quantity, different FP
+    // grouping, so compare with a tiny absolute tolerance.
+    EXPECT_NEAR(total_wait_check, st.wait_seconds, 1e-15);
+  }
+}
+
+TEST_F(TraceTest, ChunkedSumMatchesParallelReduceGrouping) {
+  std::vector<double> values;
+  uint64_t state = kSeed;
+  for (int i = 0; i < 1000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    values.push_back(static_cast<double>(state >> 11) * 0x1.0p-53);
+  }
+  for (size_t grain : {1u, 8u, 64u, 1000u, 5000u}) {
+    const double chunked =
+        trace::ChunkedSum(values.data(), values.size(), grain);
+    const double reduced = ParallelReduce<double>(
+        values.size(), grain, 0.0,
+        [&](size_t begin, size_t end, size_t) {
+          double acc = 0;
+          for (size_t i = begin; i < end; ++i) acc += values[i];
+          return acc;
+        },
+        [](double acc, double part) { return acc + part; });
+    EXPECT_EQ(chunked, reduced) << "grain " << grain;
+  }
+}
+
+// --- exporters ---
+
+// Minimal recursive-descent JSON syntax check — enough to catch broken
+// escaping/comma placement without a JSON library.
+bool ValidJson(const std::string& text, size_t& pos);
+
+bool SkipWs(const std::string& t, size_t& p) {
+  while (p < t.size() && (t[p] == ' ' || t[p] == '\n' || t[p] == '\t' ||
+                          t[p] == '\r')) {
+    ++p;
+  }
+  return p < t.size();
+}
+
+bool ValidString(const std::string& t, size_t& p) {
+  if (t[p] != '"') return false;
+  for (++p; p < t.size(); ++p) {
+    if (t[p] == '\\') {
+      ++p;
+    } else if (t[p] == '"') {
+      ++p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ValidJson(const std::string& t, size_t& p) {
+  if (!SkipWs(t, p)) return false;
+  if (t[p] == '{') {
+    ++p;
+    if (!SkipWs(t, p)) return false;
+    if (t[p] == '}') return ++p, true;
+    while (true) {
+      if (!SkipWs(t, p) || !ValidString(t, p)) return false;
+      if (!SkipWs(t, p) || t[p] != ':') return false;
+      ++p;
+      if (!ValidJson(t, p)) return false;
+      if (!SkipWs(t, p)) return false;
+      if (t[p] == ',') {
+        ++p;
+        continue;
+      }
+      return t[p] == '}' ? (++p, true) : false;
+    }
+  }
+  if (t[p] == '[') {
+    ++p;
+    if (!SkipWs(t, p)) return false;
+    if (t[p] == ']') return ++p, true;
+    while (true) {
+      if (!ValidJson(t, p)) return false;
+      if (!SkipWs(t, p)) return false;
+      if (t[p] == ',') {
+        ++p;
+        continue;
+      }
+      return t[p] == ']' ? (++p, true) : false;
+    }
+  }
+  if (t[p] == '"') return ValidString(t, p);
+  const size_t start = p;
+  while (p < t.size() && (std::isdigit(static_cast<unsigned char>(t[p])) ||
+                          t[p] == '-' || t[p] == '+' || t[p] == '.' ||
+                          t[p] == 'e' || t[p] == 'E' || t[p] == 't' ||
+                          t[p] == 'r' || t[p] == 'u' || t[p] == 'f' ||
+                          t[p] == 'a' || t[p] == 'l' || t[p] == 's' ||
+                          t[p] == 'n')) {
+    ++p;
+  }
+  return p > start;
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsSyntacticallyValidAndComplete) {
+  trace::TraceRecorder rec;
+  rec.AddWallSpan("partition/test", 0.0, 1.5);
+  RunDistGnn(&rec);
+  const std::string json = trace::ChromeTraceJson(rec);
+  size_t pos = 0;
+  EXPECT_TRUE(ValidJson(json, pos)) << "invalid JSON near byte " << pos;
+  SkipWs(json, pos);
+  EXPECT_EQ(pos, json.size()) << "trailing bytes after the JSON value";
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"distgnn simulated epoch\""), std::string::npos);
+  // One complete ("X") event per span + the wall span.
+  size_t x_events = 0;
+  for (size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++x_events;
+  }
+  EXPECT_EQ(x_events, rec.spans().size() + rec.wall_spans().size());
+  // Wall-clock spans live in their own process so the two time domains
+  // never share a track.
+  EXPECT_NE(json.find("\"cat\":\"wall\",\"ph\":\"X\",\"ts\":0.000000,"
+                      "\"dur\":1500000.000000,\"pid\":1"),
+            std::string::npos);
+}
+
+// Within one worker's track the simulated spans must not overlap —
+// otherwise Perfetto renders garbage and the timeline lies.
+TEST_F(TraceTest, SpansWithinAWorkerTrackAreDisjoint) {
+  for (int sim = 0; sim < 2; ++sim) {
+    trace::TraceRecorder rec;
+    if (sim == 0) {
+      RunDistGnn(&rec);
+    } else {
+      RunDistDgl(&rec);
+    }
+    std::map<uint32_t, std::vector<const trace::Span*>> tracks;
+    for (const trace::Span& s : rec.spans()) tracks[s.worker].push_back(&s);
+    for (auto& [worker, spans] : tracks) {
+      // Spans are emitted in timeline order by the canonical replay pass.
+      for (size_t i = 1; i < spans.size(); ++i) {
+        EXPECT_GE(spans[i]->t_begin, spans[i - 1]->t_end())
+            << trace::SimulatorName(rec.simulator()) << " worker " << worker
+            << " span " << i;
+      }
+    }
+  }
+}
+
+TEST_F(TraceTest, CsvExportHasOneRowPerSpan) {
+  trace::TraceRecorder rec;
+  RunDistDgl(&rec);
+  const std::string csv = trace::TraceCsv(rec);
+  size_t lines = 0;
+  for (char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, rec.spans().size() + 1);  // + header
+  EXPECT_EQ(csv.rfind("step,worker,phase,t_begin,t_end,seconds,bytes\n", 0),
+            0u);
+}
+
+// --- report tables ---
+
+TEST_F(TraceTest, ReportTablesRenderForBothSimulators) {
+  for (int sim = 0; sim < 2; ++sim) {
+    trace::TraceRecorder rec;
+    if (sim == 0) {
+      RunDistGnn(&rec);
+    } else {
+      RunDistDgl(&rec);
+    }
+    std::ostringstream blame, critical, steps;
+    trace::BlameTable(rec).Print(blame);
+    trace::CriticalPathTable(rec).Print(critical);
+    trace::TopStepsTable(rec).Print(steps);
+    EXPECT_NE(blame.str().find("worker"), std::string::npos);
+    EXPECT_NE(blame.str().find("blame ms"), std::string::npos);
+    EXPECT_NE(critical.str().find("top straggler"), std::string::npos);
+    EXPECT_NE(steps.str().find("dominant phase"), std::string::npos);
+    // One blame row per worker (plus the header/rule lines).
+    size_t rows = 0;
+    for (char c : blame.str()) rows += (c == '\n');
+    EXPECT_GE(rows, static_cast<size_t>(kParts));
+  }
+}
+
+TEST_F(TraceTest, RecorderReusableAcrossEpochs) {
+  trace::TraceRecorder rec;
+  rec.AddWallSpan("partition/hdrf", 0.0, 0.25);
+  RunDistGnn(&rec);
+  const size_t gnn_spans = rec.spans().size();
+  RunDistDgl(&rec);  // BeginEpoch resets simulated spans, keeps wall spans
+  EXPECT_EQ(rec.simulator(), trace::Simulator::kDistDgl);
+  EXPECT_NE(rec.spans().size(), gnn_spans);
+  EXPECT_EQ(rec.wall_spans().size(), 1u);
+}
+
+}  // namespace
+}  // namespace gnnpart

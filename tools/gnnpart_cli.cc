@@ -9,6 +9,8 @@
 //       [--directed] [--seed N]
 //   gnnpart_cli simulate <graph-file> <partitioner> <k>
 //       [--feature N] [--hidden N] [--layers N] [--gbs N] [--directed]
+//       [--trace-out FILE]
+//   gnnpart_cli trace-report <graph-file> <partitioner> <k> [same flags]
 //
 // Graph files are whitespace edge lists ("u v" per line, '#' comments) or
 // the library's .bin snapshots (by extension).
@@ -18,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "common/timer.h"
@@ -30,6 +33,10 @@
 #include "partition/vertex/registry.h"
 #include "sim/distdgl_sim.h"
 #include "sim/distgnn_sim.h"
+#include "trace/analysis.h"
+#include "trace/export.h"
+#include "trace/report.h"
+#include "trace/trace.h"
 
 using namespace gnnpart;
 
@@ -44,6 +51,10 @@ int Usage() {
          "      [--directed] [--seed N]\n"
          "  gnnpart_cli simulate <graph> <partitioner> <k> [--feature N]\n"
          "      [--hidden N] [--layers N] [--gbs N] [--directed] [--seed N]\n"
+         "      [--trace-out FILE]  per-(step,worker,phase) timeline;\n"
+         "      .csv -> flat CSV, else Chrome trace_event JSON (Perfetto)\n"
+         "  gnnpart_cli trace-report <graph> <partitioner> <k>\n"
+         "      [simulate flags]  straggler-blame / critical-path tables\n"
          "partitioners: Random DBH HDRF 2PS-L HEP10 HEP100 Greedy (edge)\n"
          "              Random LDG Spinner Metis ByteGNN KaHIP Fennel"
          " (vertex; prefix with 'v' for Random, e.g. vRandom)\n"
@@ -59,12 +70,52 @@ bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
   return false;
 }
 
+/// Validated `--flag N` lookup: absent -> `fallback`; present with a
+/// missing, non-numeric, non-positive or > `max` value -> loud exit (no
+/// silent atol-style zero defaults).
 long FlagValue(const std::vector<std::string>& args, const std::string& flag,
-               long fallback) {
-  for (size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == flag) return atol(args[i + 1].c_str());
+               long fallback, long max = std::numeric_limits<long>::max()) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << "error: " << flag << " requires a value\n";
+      std::exit(2);
+    }
+    const long v = ParsePositiveInt(args[i + 1].c_str(), max);
+    if (v < 1) {
+      std::cerr << "error: invalid " << flag << " value '" << args[i + 1]
+                << "' (expected a positive integer";
+      if (max != std::numeric_limits<long>::max()) std::cerr << " <= " << max;
+      std::cerr << ")\n";
+      std::exit(2);
+    }
+    return v;
   }
   return fallback;
+}
+
+std::string StringFlagValue(const std::vector<std::string>& args,
+                            const std::string& flag) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << "error: " << flag << " requires a value\n";
+      std::exit(2);
+    }
+    return args[i + 1];
+  }
+  return "";
+}
+
+/// Validated positional partition count.
+PartitionId ParseK(const std::string& arg) {
+  const long v = ParsePositiveInt(arg.c_str(), kMaxPartitions);
+  if (v < 1) {
+    std::cerr << "error: invalid partition count '" << arg
+              << "' (expected an integer in [1, " << kMaxPartitions << "])\n";
+    std::exit(2);
+  }
+  return static_cast<PartitionId>(v);
 }
 
 Result<Graph> LoadGraph(const std::string& path, bool directed) {
@@ -84,7 +135,16 @@ int CmdGenerate(const std::vector<std::string>& args) {
   Result<DatasetId> id = ParseDatasetCode(args[0]);
   if (!id.ok()) return Fail(id.status());
   double scale = atof(args[1].c_str());
-  uint64_t seed = args.size() > 3 ? strtoull(args[3].c_str(), nullptr, 10) : 42;
+  uint64_t seed = 42;
+  if (args.size() > 3) {
+    const long v = ParsePositiveInt(args[3].c_str());
+    if (v < 1) {
+      std::cerr << "error: invalid seed '" << args[3]
+                << "' (expected a positive integer)\n";
+      return 2;
+    }
+    seed = static_cast<uint64_t>(v);
+  }
   Result<Graph> graph = MakeDataset(*id, scale, seed);
   if (!graph.ok()) return Fail(graph.status());
   const std::string& out = args[2];
@@ -114,7 +174,7 @@ int CmdPartition(const std::vector<std::string>& args) {
   if (args.size() < 3) return Usage();
   Result<Graph> graph = LoadGraph(args[0], HasFlag(args, "--directed"));
   if (!graph.ok()) return Fail(graph.status());
-  PartitionId k = static_cast<PartitionId>(atoi(args[2].c_str()));
+  PartitionId k = ParseK(args[2]);
   uint64_t seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
   std::string out = args.size() > 3 && args[3][0] != '-' ? args[3] : "";
   std::string name = args[1];
@@ -165,11 +225,16 @@ int CmdPartition(const std::vector<std::string>& args) {
   return 0;
 }
 
-int CmdSimulate(const std::vector<std::string>& args) {
+/// Shared pipeline of `simulate` and `trace-report`: load, partition,
+/// simulate one epoch — with a trace recorder attached when the trace file
+/// or the report tables ask for one. Tracing verifies the trace/report
+/// invariant (per-step phase maxima must reproduce the report's phase
+/// seconds bit-exactly) before anything is written.
+int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
   if (args.size() < 3) return Usage();
   Result<Graph> graph = LoadGraph(args[0], HasFlag(args, "--directed"));
   if (!graph.ok()) return Fail(graph.status());
-  PartitionId k = static_cast<PartitionId>(atoi(args[2].c_str()));
+  PartitionId k = ParseK(args[2]);
   uint64_t seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
   GnnConfig config;
   config.feature_size = static_cast<size_t>(FlagValue(args, "--feature", 64));
@@ -181,40 +246,101 @@ int CmdSimulate(const std::vector<std::string>& args) {
   ClusterSpec cluster;
   cluster.num_machines = static_cast<int>(k);
   std::string name = args[1];
+  const std::string trace_out = StringFlagValue(args, "--trace-out");
+  trace::TraceRecorder recorder;
+  trace::TraceRecorder* rec =
+      (print_tables || !trace_out.empty()) ? &recorder : nullptr;
+  WallTimer partition_timer;
 
   if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(name); id.ok()) {
     Result<EdgePartitioning> parts =
         MakeEdgePartitioner(*id)->Partition(*graph, k, seed);
     if (!parts.ok()) return Fail(parts.status());
+    const double partition_seconds = partition_timer.ElapsedSeconds();
     DistGnnEpochReport r = SimulateDistGnnEpoch(
-        BuildDistGnnWorkload(*graph, *parts), config, cluster);
+        BuildDistGnnWorkload(*graph, *parts), config, cluster, rec);
     std::cout << "full-batch epoch " << r.epoch_seconds * 1e3 << " ms"
               << " (fwd " << r.forward_seconds * 1e3 << ", bwd "
               << r.backward_seconds * 1e3 << "), network "
               << r.total_network_bytes / 1e6 << " MB, peak memory "
               << r.max_memory_bytes / 1e6 << " MB"
               << (r.out_of_memory ? " (OOM!)" : "") << "\n";
-    return 0;
+    if (rec != nullptr) {
+      rec->AddWallSpan("partition/" + MakeEdgePartitioner(*id)->name(), 0,
+                       partition_seconds);
+      trace::DistGnnPhaseSeconds rebuilt = trace::ReconstructDistGnnReport(
+          recorder);
+      if (rebuilt.forward != r.forward_seconds ||
+          rebuilt.backward != r.backward_seconds ||
+          rebuilt.optimizer != r.optimizer_seconds ||
+          rebuilt.epoch != r.epoch_seconds) {
+        return Fail(Status::Internal(
+            "trace does not reproduce the epoch report (simulator bug)"));
+      }
+    }
+  } else {
+    std::string lookup =
+        !name.empty() && name[0] == 'v' ? name.substr(1) : name;
+    Result<VertexPartitionerId> vid = ParseVertexPartitionerName(lookup);
+    if (!vid.ok()) return Fail(vid.status());
+    VertexSplit split =
+        VertexSplit::MakeRandom(graph->num_vertices(), 0.1, 0.1, seed);
+    Result<VertexPartitioning> parts =
+        MakeVertexPartitioner(*vid)->Partition(*graph, split, k, seed);
+    if (!parts.ok()) return Fail(parts.status());
+    const double partition_seconds = partition_timer.ElapsedSeconds();
+    Result<DistDglEpochProfile> profile =
+        ProfileDistDglEpoch(*graph, *parts, split, config.fanouts, gbs, seed);
+    if (!profile.ok()) return Fail(profile.status());
+    DistDglEpochReport r = SimulateDistDglEpoch(*profile, config, cluster,
+                                                rec);
+    std::cout << "mini-batch epoch " << r.epoch_seconds * 1e3
+              << " ms (sampling " << r.sampling_seconds * 1e3 << ", fetch "
+              << r.feature_seconds * 1e3 << ", fwd " << r.forward_seconds * 1e3
+              << ", bwd " << r.backward_seconds * 1e3 << "), remote vertices "
+              << r.remote_input_vertices << ", network "
+              << r.total_network_bytes / 1e6 << " MB\n";
+    if (rec != nullptr) {
+      rec->AddWallSpan("partition/" + MakeVertexPartitioner(*vid)->name(), 0,
+                       partition_seconds);
+      trace::DistDglPhaseSeconds rebuilt = trace::ReconstructDistDglReport(
+          recorder);
+      if (rebuilt.sampling != r.sampling_seconds ||
+          rebuilt.feature != r.feature_seconds ||
+          rebuilt.forward != r.forward_seconds ||
+          rebuilt.backward != r.backward_seconds ||
+          rebuilt.update != r.update_seconds ||
+          rebuilt.epoch != r.epoch_seconds) {
+        return Fail(Status::Internal(
+            "trace does not reproduce the epoch report (simulator bug)"));
+      }
+    }
   }
-  std::string lookup = !name.empty() && name[0] == 'v' ? name.substr(1) : name;
-  Result<VertexPartitionerId> id = ParseVertexPartitionerName(lookup);
-  if (!id.ok()) return Fail(id.status());
-  VertexSplit split =
-      VertexSplit::MakeRandom(graph->num_vertices(), 0.1, 0.1, seed);
-  Result<VertexPartitioning> parts =
-      MakeVertexPartitioner(*id)->Partition(*graph, split, k, seed);
-  if (!parts.ok()) return Fail(parts.status());
-  Result<DistDglEpochProfile> profile =
-      ProfileDistDglEpoch(*graph, *parts, split, config.fanouts, gbs, seed);
-  if (!profile.ok()) return Fail(profile.status());
-  DistDglEpochReport r = SimulateDistDglEpoch(*profile, config, cluster);
-  std::cout << "mini-batch epoch " << r.epoch_seconds * 1e3
-            << " ms (sampling " << r.sampling_seconds * 1e3 << ", fetch "
-            << r.feature_seconds * 1e3 << ", fwd " << r.forward_seconds * 1e3
-            << ", bwd " << r.backward_seconds * 1e3 << "), remote vertices "
-            << r.remote_input_vertices << ", network "
-            << r.total_network_bytes / 1e6 << " MB\n";
+
+  if (!trace_out.empty()) {
+    Status st = trace::WriteTraceFile(recorder, trace_out);
+    if (!st.ok()) return Fail(st);
+    std::cout << "trace: " << trace_out << " (" << recorder.spans().size()
+              << " spans, " << recorder.steps() << " steps, "
+              << recorder.workers() << " workers)\n";
+  }
+  if (print_tables) {
+    std::cout << "\n--- critical path (straggler-summed, per phase) ---\n";
+    trace::CriticalPathTable(recorder).Print(std::cout);
+    std::cout << "\n--- per-worker straggler blame ---\n";
+    trace::BlameTable(recorder).Print(std::cout);
+    std::cout << "\n--- most expensive steps ---\n";
+    trace::TopStepsTable(recorder).Print(std::cout);
+  }
   return 0;
+}
+
+int CmdSimulate(const std::vector<std::string>& args) {
+  return RunSimulation(args, /*print_tables=*/false);
+}
+
+int CmdTraceReport(const std::vector<std::string>& args) {
+  return RunSimulation(args, /*print_tables=*/true);
 }
 
 }  // namespace
@@ -247,5 +373,6 @@ int main(int argc, char** argv) {
   if (cmd == "info") return CmdInfo(args);
   if (cmd == "partition") return CmdPartition(args);
   if (cmd == "simulate") return CmdSimulate(args);
+  if (cmd == "trace-report") return CmdTraceReport(args);
   return Usage();
 }
