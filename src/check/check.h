@@ -1,0 +1,103 @@
+#ifndef GNNPART_CHECK_CHECK_H_
+#define GNNPART_CHECK_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/// Leveled invariant assertions (DESIGN.md §8). The level is fixed at
+/// compile time by the GNNPART_CHECK_LEVEL CMake option:
+///
+///   off      (0)  every macro compiles to nothing — Release stays zero-cost;
+///   cheap    (1)  O(1)/O(n) assertions on module boundaries (index bounds,
+///                 size agreements, sign checks);
+///   paranoid (2)  cheap plus full structural validators (CSR
+///                 well-formedness, exactly-once partition assignment,
+///                 bit-exact metric recomputation) at producer boundaries.
+///
+/// Macros are for *programmer-error* invariants: a failure aborts the
+/// process, naming the violated condition and site. Conditions that external
+/// input can violate (corrupt files, user flags) must go through the
+/// Status-returning validators in check/validators.h instead.
+///
+/// This header is dependency-free on purpose so every module (including the
+/// ones the validator library itself links against) can assert invariants
+/// without a link cycle.
+
+#ifndef GNNPART_CHECK_LEVEL_VALUE
+#define GNNPART_CHECK_LEVEL_VALUE 1
+#endif
+
+namespace gnnpart {
+namespace check {
+
+enum class Level { kOff = 0, kCheap = 1, kParanoid = 2 };
+
+/// The level this binary was compiled with.
+constexpr Level CompiledLevel() {
+  return static_cast<Level>(GNNPART_CHECK_LEVEL_VALUE);
+}
+constexpr bool CheapEnabled() {
+  return GNNPART_CHECK_LEVEL_VALUE >= 1;
+}
+constexpr bool ParanoidEnabled() {
+  return GNNPART_CHECK_LEVEL_VALUE >= 2;
+}
+
+/// Stable name of the compiled level ("off", "cheap", "paranoid").
+constexpr const char* LevelName() {
+  return GNNPART_CHECK_LEVEL_VALUE >= 2   ? "paranoid"
+         : GNNPART_CHECK_LEVEL_VALUE >= 1 ? "cheap"
+                                          : "off";
+}
+
+/// Aborts with the violated invariant. Out-of-line enough for the failure
+/// path; inline so the header stays link-free.
+[[noreturn]] inline void FailCheck(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::fprintf(stderr,
+               "[gnnpart::check] invariant violated at %s:%d\n"
+               "  condition: %s\n"
+               "  %s\n",
+               file, line, condition, message.c_str());
+  std::abort();
+}
+
+}  // namespace check
+}  // namespace gnnpart
+
+// The message expression is only evaluated on failure, so it may allocate.
+#if GNNPART_CHECK_LEVEL_VALUE >= 1
+#define GNNPART_CHECK_CHEAP(condition, message)                        \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::gnnpart::check::FailCheck(__FILE__, __LINE__, #condition,      \
+                                  (message));                          \
+    }                                                                  \
+  } while (0)
+#else
+// sizeof keeps the operands name-checked (no unused-variable warnings,
+// no bit-rot in disabled branches) without evaluating them.
+#define GNNPART_CHECK_CHEAP(condition, message) \
+  do {                                          \
+    (void)sizeof(!(condition));                 \
+  } while (0)
+#endif
+
+#if GNNPART_CHECK_LEVEL_VALUE >= 2
+#define GNNPART_CHECK_PARANOID(condition, message)                     \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::gnnpart::check::FailCheck(__FILE__, __LINE__, #condition,      \
+                                  (message));                          \
+    }                                                                  \
+  } while (0)
+#else
+#define GNNPART_CHECK_PARANOID(condition, message) \
+  do {                                             \
+    (void)sizeof(!(condition));                    \
+  } while (0)
+#endif
+
+#endif  // GNNPART_CHECK_CHECK_H_

@@ -1,0 +1,575 @@
+#include "check/validators.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "common/stats.h"
+#include "trace/analysis.h"
+
+namespace gnnpart {
+namespace check {
+namespace {
+
+Status Violation(const std::string& invariant, const std::string& detail) {
+  return Status::FailedPrecondition(invariant + ": " + detail);
+}
+
+std::vector<double> ToDoubles(const std::vector<uint64_t>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+Status CheckPartitionIds(const std::vector<PartitionId>& assignment,
+                         PartitionId k, size_t expected_size,
+                         const std::string& unit) {
+  if (k == 0 || k > kMaxPartitions) {
+    return Violation("partition/k-range",
+                     "k=" + std::to_string(k) + " outside [1, " +
+                         std::to_string(kMaxPartitions) + "]");
+  }
+  if (assignment.size() != expected_size) {
+    return Violation(
+        "partition/assignment-size",
+        "assignment covers " + std::to_string(assignment.size()) + " " +
+            unit + "s but the graph has " + std::to_string(expected_size) +
+            " (every " + unit + " must be assigned exactly once)");
+  }
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] >= k) {
+      return Violation("partition/id-range",
+                       unit + " " + std::to_string(i) + " assigned to " +
+                           std::to_string(assignment[i]) + " >= k=" +
+                           std::to_string(k));
+    }
+  }
+  return Status::Ok();
+}
+
+// Serial recomputation of the replica masks (the obvious loop).
+std::vector<uint64_t> SerialReplicaMasks(const Graph& graph,
+                                         const EdgePartitioning& parts) {
+  std::vector<uint64_t> masks(graph.num_vertices(), 0);
+  const auto& edges = graph.edges();
+  for (EdgeId e = 0; e < edges.size(); ++e) {
+    uint64_t bit = 1ULL << parts.assignment[e];
+    masks[edges[e].src] |= bit;
+    masks[edges[e].dst] |= bit;
+  }
+  return masks;
+}
+
+Status CompareCounts(const std::vector<uint64_t>& expected,
+                     const std::vector<uint64_t>& reported,
+                     const std::string& invariant) {
+  if (expected != reported) {
+    for (size_t p = 0; p < std::max(expected.size(), reported.size()); ++p) {
+      uint64_t want = p < expected.size() ? expected[p] : 0;
+      uint64_t got = p < reported.size() ? reported[p] : 0;
+      if (want != got) {
+        return Violation(invariant, "partition " + std::to_string(p) +
+                                        ": reported " + std::to_string(got) +
+                                        ", recomputed " +
+                                        std::to_string(want));
+      }
+    }
+    return Violation(invariant, "per-partition count vectors differ in size");
+  }
+  return Status::Ok();
+}
+
+Status CompareExact(double expected, double reported,
+                    const std::string& invariant) {
+  // Bit-exact comparison on purpose: both sides derive their doubles from
+  // integer counts with identical final arithmetic, so any difference means
+  // the metrics path and this serial re-derivation disagree.
+  if (expected != reported) {
+    return Violation(invariant, "reported " + std::to_string(reported) +
+                                    ", recomputed " +
+                                    std::to_string(expected) +
+                                    " (must match bit-exactly)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateGraph(const Graph& graph) {
+  const size_t n = graph.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    auto nbrs = graph.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= n) {
+        return Violation("graph/neighbor-range",
+                         "vertex " + std::to_string(v) + " lists neighbor " +
+                             std::to_string(nbrs[i]) + " >= |V|=" +
+                             std::to_string(n));
+      }
+      if (nbrs[i] == v) {
+        return Violation("graph/self-loop", "vertex " + std::to_string(v) +
+                                                " lists itself as neighbor");
+      }
+      if (i > 0 && nbrs[i] == nbrs[i - 1]) {
+        return Violation("graph/adjacency-duplicate",
+                         "vertex " + std::to_string(v) +
+                             " lists duplicate CSR entry " +
+                             std::to_string(nbrs[i]));
+      }
+      if (i > 0 && nbrs[i] < nbrs[i - 1]) {
+        return Violation("graph/adjacency-sorted",
+                         "vertex " + std::to_string(v) +
+                             " adjacency not sorted at position " +
+                             std::to_string(i));
+      }
+    }
+  }
+  // Symmetry: u in N(v) requires v in N(u).
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : graph.Neighbors(v)) {
+      auto back = graph.Neighbors(u);
+      if (!std::binary_search(back.begin(), back.end(), v)) {
+        return Violation("graph/asymmetric-adjacency",
+                         std::to_string(u) + " in N(" + std::to_string(v) +
+                             ") but " + std::to_string(v) + " not in N(" +
+                             std::to_string(u) + ")");
+      }
+    }
+  }
+  // Canonical edge list: sorted, unique, in range, self-loop-free, and for
+  // undirected graphs stored once with src < dst.
+  const auto& edges = graph.edges();
+  size_t reciprocal_pairs = 0;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const Edge& edge = edges[e];
+    if (edge.src >= n || edge.dst >= n) {
+      return Violation("graph/edge-range",
+                       "edge " + std::to_string(e) + " = (" +
+                           std::to_string(edge.src) + ", " +
+                           std::to_string(edge.dst) + ") out of range");
+    }
+    if (edge.src == edge.dst) {
+      return Violation("graph/edge-self-loop",
+                       "edge " + std::to_string(e) + " is a self-loop on " +
+                           std::to_string(edge.src));
+    }
+    if (!graph.directed() && edge.src > edge.dst) {
+      return Violation("graph/edge-canonical",
+                       "undirected edge " + std::to_string(e) +
+                           " not stored with src < dst");
+    }
+    if (e > 0 && !(edges[e - 1] < edge)) {
+      return Violation("graph/edge-order",
+                       "edge list unsorted or duplicate at index " +
+                           std::to_string(e));
+    }
+    if (!graph.HasEdge(edge.src, edge.dst)) {
+      return Violation("graph/edge-not-in-adjacency",
+                       "edge " + std::to_string(e) + " = (" +
+                           std::to_string(edge.src) + ", " +
+                           std::to_string(edge.dst) +
+                           ") missing from the adjacency");
+    }
+    if (graph.directed() && edge.src > edge.dst &&
+        std::binary_search(edges.begin(), edges.end(),
+                           Edge{edge.dst, edge.src})) {
+      ++reciprocal_pairs;
+    }
+  }
+  // Every adjacency entry must be backed by a canonical edge: with the
+  // per-edge membership above it suffices to compare entry counts.
+  size_t adjacency_entries = 0;
+  for (VertexId v = 0; v < n; ++v) adjacency_entries += graph.Degree(v);
+  size_t expected = 2 * edges.size() - 2 * reciprocal_pairs;
+  if (adjacency_entries != expected) {
+    return Violation("graph/adjacency-count",
+                     "adjacency holds " + std::to_string(adjacency_entries) +
+                         " entries but the edge list implies " +
+                         std::to_string(expected));
+  }
+  return Status::Ok();
+}
+
+Status ValidateEdgePartitioning(const Graph& graph,
+                                const EdgePartitioning& parts) {
+  return CheckPartitionIds(parts.assignment, parts.k, graph.num_edges(),
+                           "edge");
+}
+
+Status ValidateVertexPartitioning(const Graph& graph,
+                                  const VertexPartitioning& parts) {
+  return CheckPartitionIds(parts.assignment, parts.k, graph.num_vertices(),
+                           "vertex");
+}
+
+Status ValidateReplicaMasks(const Graph& graph, const EdgePartitioning& parts,
+                            const std::vector<uint64_t>& masks) {
+  GNNPART_RETURN_NOT_OK(ValidateEdgePartitioning(graph, parts));
+  if (masks.size() != graph.num_vertices()) {
+    return Violation("partition/replica-mask",
+                     "mask vector covers " + std::to_string(masks.size()) +
+                         " vertices, graph has " +
+                         std::to_string(graph.num_vertices()));
+  }
+  std::vector<uint64_t> expected = SerialReplicaMasks(graph, parts);
+  for (size_t v = 0; v < masks.size(); ++v) {
+    if (masks[v] != expected[v]) {
+      return Violation("partition/replica-mask",
+                       "vertex " + std::to_string(v) +
+                           " mask inconsistent with the edge assignment");
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckEdgeMetrics(const Graph& graph, const EdgePartitioning& parts,
+                        const EdgePartitionMetrics& reported) {
+  GNNPART_RETURN_NOT_OK(ValidateEdgePartitioning(graph, parts));
+
+  std::vector<uint64_t> edge_counts(parts.k, 0);
+  for (PartitionId p : parts.assignment) ++edge_counts[p];
+  GNNPART_RETURN_NOT_OK(CompareCounts(edge_counts,
+                                      reported.edges_per_partition,
+                                      "metrics/edges-per-partition"));
+
+  std::vector<uint64_t> masks = SerialReplicaMasks(graph, parts);
+  uint64_t covered = 0;
+  uint64_t extra_replicas = 0;
+  std::vector<uint64_t> vertex_counts(parts.k, 0);
+  for (uint64_t mask : masks) {
+    int replicas = 0;
+    uint64_t m = mask;
+    while (m) {
+      ++vertex_counts[static_cast<size_t>(std::countr_zero(m))];
+      m &= m - 1;
+      ++replicas;
+    }
+    covered += static_cast<uint64_t>(replicas);
+    if (replicas > 0) extra_replicas += static_cast<uint64_t>(replicas - 1);
+  }
+  GNNPART_RETURN_NOT_OK(CompareCounts(vertex_counts,
+                                      reported.vertices_per_partition,
+                                      "metrics/vertices-per-partition"));
+  if (extra_replicas != reported.total_replicas) {
+    return Violation("metrics/total-replicas",
+                     "reported " + std::to_string(reported.total_replicas) +
+                         ", recomputed " + std::to_string(extra_replicas));
+  }
+  double denom = static_cast<double>(graph.num_vertices());
+  double rf = denom > 0 ? static_cast<double>(covered) / denom : 0;
+  GNNPART_RETURN_NOT_OK(CompareExact(rf, reported.replication_factor,
+                                     "metrics/replication-factor"));
+  GNNPART_RETURN_NOT_OK(CompareExact(MaxOverMean(ToDoubles(edge_counts)),
+                                     reported.edge_balance,
+                                     "metrics/edge-balance"));
+  GNNPART_RETURN_NOT_OK(CompareExact(MaxOverMean(ToDoubles(vertex_counts)),
+                                     reported.vertex_balance,
+                                     "metrics/vertex-balance"));
+  return Status::Ok();
+}
+
+Status CheckVertexMetrics(const Graph& graph, const VertexPartitioning& parts,
+                          const VertexSplit& split,
+                          const VertexPartitionMetrics& reported) {
+  GNNPART_RETURN_NOT_OK(ValidateVertexPartitioning(graph, parts));
+  if (split.num_vertices() != graph.num_vertices()) {
+    return Violation("partition/split-size",
+                     "split covers " + std::to_string(split.num_vertices()) +
+                         " vertices, graph has " +
+                         std::to_string(graph.num_vertices()));
+  }
+
+  std::vector<uint64_t> vertex_counts(parts.k, 0);
+  for (PartitionId p : parts.assignment) ++vertex_counts[p];
+  GNNPART_RETURN_NOT_OK(CompareCounts(vertex_counts,
+                                      reported.vertices_per_partition,
+                                      "metrics/vertices-per-partition"));
+
+  std::vector<uint64_t> train_counts(parts.k, 0);
+  for (VertexId v : split.train_vertices()) {
+    ++train_counts[parts.assignment[v]];
+  }
+  GNNPART_RETURN_NOT_OK(CompareCounts(train_counts,
+                                      reported.train_vertices_per_partition,
+                                      "metrics/train-vertices-per-partition"));
+
+  uint64_t cut = 0;
+  for (const Edge& e : graph.edges()) {
+    if (parts.assignment[e.src] != parts.assignment[e.dst]) ++cut;
+  }
+  if (cut != reported.cut_edges) {
+    return Violation("metrics/edge-cut",
+                     "reported " + std::to_string(reported.cut_edges) +
+                         " cut edges, recomputed " + std::to_string(cut));
+  }
+  double ratio = graph.num_edges() > 0
+                     ? static_cast<double>(cut) /
+                           static_cast<double>(graph.num_edges())
+                     : 0;
+  GNNPART_RETURN_NOT_OK(
+      CompareExact(ratio, reported.edge_cut_ratio, "metrics/cut-ratio"));
+  GNNPART_RETURN_NOT_OK(CompareExact(MaxOverMean(ToDoubles(vertex_counts)),
+                                     reported.vertex_balance,
+                                     "metrics/vertex-balance"));
+  GNNPART_RETURN_NOT_OK(CompareExact(MaxOverMean(ToDoubles(train_counts)),
+                                     reported.train_vertex_balance,
+                                     "metrics/train-balance"));
+  return Status::Ok();
+}
+
+Status ValidateBlock(const Graph& graph, const SampledBlock& block,
+                     const std::vector<size_t>& fanouts) {
+  if (block.num_seeds > block.vertices.size()) {
+    return Violation("block/seed-count",
+                     std::to_string(block.num_seeds) + " seeds but only " +
+                         std::to_string(block.vertices.size()) +
+                         " block vertices");
+  }
+  for (VertexId v : block.vertices) {
+    if (v >= graph.num_vertices()) {
+      return Violation("block/vertex-range",
+                       "block vertex " + std::to_string(v) + " >= |V|=" +
+                           std::to_string(graph.num_vertices()));
+    }
+  }
+  std::vector<VertexId> sorted(block.vertices);
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Violation("block/vertex-duplicate",
+                     "block vertex list contains duplicates");
+  }
+  size_t max_fanout = 0;
+  for (size_t f : fanouts) max_fanout = std::max(max_fanout, f);
+  std::vector<size_t> out_degree(block.vertices.size(), 0);
+  for (const Edge& e : block.local_edges) {
+    if (e.src >= block.vertices.size() || e.dst >= block.vertices.size()) {
+      return Violation("block/edge-index-range",
+                       "local edge (" + std::to_string(e.src) + ", " +
+                           std::to_string(e.dst) + ") indexes past " +
+                           std::to_string(block.vertices.size()) +
+                           " block vertices (frontier containment)");
+    }
+    if (!graph.HasEdge(block.vertices[e.src], block.vertices[e.dst])) {
+      return Violation("block/phantom-edge",
+                       "sampled edge (" +
+                           std::to_string(block.vertices[e.src]) + ", " +
+                           std::to_string(block.vertices[e.dst]) +
+                           ") does not exist in the graph");
+    }
+    ++out_degree[e.src];
+  }
+  for (size_t i = 0; i < out_degree.size(); ++i) {
+    if (out_degree[i] > max_fanout) {
+      return Violation("block/fanout-exceeded",
+                       "block vertex " + std::to_string(i) + " sampled " +
+                           std::to_string(out_degree[i]) +
+                           " out-edges, max fan-out is " +
+                           std::to_string(max_fanout));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateProfile(const DistDglEpochProfile& profile) {
+  if (profile.steps == 0 || profile.workers == 0 ||
+      profile.workers > kMaxPartitions) {
+    return Violation("profile/shape",
+                     "steps=" + std::to_string(profile.steps) + " workers=" +
+                         std::to_string(profile.workers));
+  }
+  if (profile.profiles.size() != profile.steps) {
+    return Violation("profile/shape",
+                     "profile matrix has " +
+                         std::to_string(profile.profiles.size()) +
+                         " step rows, declared steps=" +
+                         std::to_string(profile.steps));
+  }
+  for (size_t s = 0; s < profile.profiles.size(); ++s) {
+    const auto& step = profile.profiles[s];
+    if (step.size() != profile.workers) {
+      return Violation("profile/shape",
+                       "step " + std::to_string(s) + " has " +
+                           std::to_string(step.size()) +
+                           " worker entries, declared workers=" +
+                           std::to_string(profile.workers));
+    }
+    for (size_t w = 0; w < step.size(); ++w) {
+      const MiniBatchProfile& mb = step[w];
+      const std::string at =
+          " at (step " + std::to_string(s) + ", worker " + std::to_string(w) +
+          ")";
+      if (mb.local_input_vertices + mb.remote_input_vertices !=
+          mb.input_vertices) {
+        return Violation("profile/locality-sum",
+                         "local " + std::to_string(mb.local_input_vertices) +
+                             " + remote " +
+                             std::to_string(mb.remote_input_vertices) +
+                             " != input " +
+                             std::to_string(mb.input_vertices) + at);
+      }
+      if (mb.seeds > mb.input_vertices) {
+        return Violation("profile/seed-count",
+                         std::to_string(mb.seeds) + " seeds exceed " +
+                             std::to_string(mb.input_vertices) +
+                             " input vertices" + at);
+      }
+      if (!mb.frontier_sizes.empty() &&
+          mb.frontier_sizes.size() != mb.hop_edges.size() + 1) {
+        return Violation("profile/hop-shape",
+                         std::to_string(mb.frontier_sizes.size()) +
+                             " frontier sizes vs " +
+                             std::to_string(mb.hop_edges.size()) +
+                             " hop-edge entries" + at);
+      }
+      size_t edge_sum = 0;
+      for (size_t h : mb.hop_edges) edge_sum += h;
+      if (edge_sum != mb.computation_edges) {
+        return Violation("profile/edge-sum",
+                         "computation_edges=" +
+                             std::to_string(mb.computation_edges) +
+                             " but hops sum to " + std::to_string(edge_sum) +
+                             at);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateTrace(const trace::TraceRecorder& rec) {
+  using trace::Phase;
+  using trace::Simulator;
+  if (rec.spans().empty()) {
+    return rec.simulator() == Simulator::kNone
+               ? Status::Ok()
+               : Violation("trace/empty-epoch",
+                           "simulator declared but no spans recorded");
+  }
+  if (rec.simulator() == Simulator::kNone) {
+    return Violation("trace/no-simulator",
+                     "spans recorded without BeginEpoch");
+  }
+  const std::vector<Phase>& phases = trace::StepPhases(rec.simulator());
+  // Barrier alignment: spans of one (step, phase) share t_begin.
+  std::vector<std::vector<double>> barrier(
+      rec.steps(), std::vector<double>(trace::kNumPhases, -1.0));
+  for (size_t i = 0; i < rec.spans().size(); ++i) {
+    const trace::Span& span = rec.spans()[i];
+    const std::string at = " in span " + std::to_string(i);
+    if (span.step >= rec.steps()) {
+      return Violation("trace/step-range",
+                       "step " + std::to_string(span.step) + " >= declared " +
+                           std::to_string(rec.steps()) + at);
+    }
+    if (span.worker >= rec.workers()) {
+      return Violation("trace/worker-range",
+                       "worker " + std::to_string(span.worker) +
+                           " >= declared " + std::to_string(rec.workers()) +
+                           at);
+    }
+    if (!(span.seconds >= 0) || !std::isfinite(span.seconds)) {
+      return Violation("trace/negative-duration",
+                       "duration " + std::to_string(span.seconds) + at);
+    }
+    if (!(span.bytes >= 0) || !std::isfinite(span.bytes)) {
+      return Violation("trace/negative-bytes",
+                       "bytes " + std::to_string(span.bytes) + at);
+    }
+    if (!(span.t_begin >= 0) || !std::isfinite(span.t_begin)) {
+      return Violation("trace/negative-begin",
+                       "t_begin " + std::to_string(span.t_begin) + at);
+    }
+    if (std::find(phases.begin(), phases.end(), span.phase) == phases.end()) {
+      return Violation("trace/phase-set",
+                       std::string("phase ") + trace::PhaseName(span.phase) +
+                           " does not belong to simulator " +
+                           trace::SimulatorName(rec.simulator()) + at);
+    }
+    double& begin = barrier[span.step][static_cast<size_t>(span.phase)];
+    if (begin < 0) {
+      begin = span.t_begin;
+    } else if (begin != span.t_begin) {
+      return Violation("trace/barrier-alignment",
+                       "workers enter (step " + std::to_string(span.step) +
+                           ", " + trace::PhaseName(span.phase) +
+                           ") at different instants" + at);
+    }
+  }
+  for (const trace::WallSpan& wall : rec.wall_spans()) {
+    if (wall.t_end < wall.t_begin || !std::isfinite(wall.t_begin) ||
+        !std::isfinite(wall.t_end)) {
+      return Violation("trace/wall-span",
+                       "wall span '" + wall.name + "' ends before it begins");
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+Status ReportMismatch(const char* phase, double reconstructed,
+                      double reported) {
+  return Violation("trace/report-mismatch",
+                   std::string(phase) + " reconstructed " +
+                       std::to_string(reconstructed) + " != reported " +
+                       std::to_string(reported) +
+                       " (per-step phase maxima must reproduce the epoch "
+                       "report bit-exactly)");
+}
+
+}  // namespace
+
+Status CheckTraceReconstructsReport(const trace::TraceRecorder& rec,
+                                    const DistDglEpochReport& report) {
+  GNNPART_RETURN_NOT_OK(ValidateTrace(rec));
+  if (rec.simulator() != trace::Simulator::kDistDgl) {
+    return Violation("trace/simulator-mismatch",
+                     "trace was not recorded by the DistDGL simulator");
+  }
+  trace::DistDglPhaseSeconds r = trace::ReconstructDistDglReport(rec);
+  if (r.sampling != report.sampling_seconds) {
+    return ReportMismatch("sampling", r.sampling, report.sampling_seconds);
+  }
+  if (r.feature != report.feature_seconds) {
+    return ReportMismatch("feature", r.feature, report.feature_seconds);
+  }
+  if (r.forward != report.forward_seconds) {
+    return ReportMismatch("forward", r.forward, report.forward_seconds);
+  }
+  if (r.backward != report.backward_seconds) {
+    return ReportMismatch("backward", r.backward, report.backward_seconds);
+  }
+  if (r.update != report.update_seconds) {
+    return ReportMismatch("update", r.update, report.update_seconds);
+  }
+  if (r.epoch != report.epoch_seconds) {
+    return ReportMismatch("epoch", r.epoch, report.epoch_seconds);
+  }
+  return Status::Ok();
+}
+
+Status CheckTraceReconstructsReport(const trace::TraceRecorder& rec,
+                                    const DistGnnEpochReport& report) {
+  GNNPART_RETURN_NOT_OK(ValidateTrace(rec));
+  if (rec.simulator() != trace::Simulator::kDistGnn) {
+    return Violation("trace/simulator-mismatch",
+                     "trace was not recorded by the DistGNN simulator");
+  }
+  trace::DistGnnPhaseSeconds r = trace::ReconstructDistGnnReport(rec);
+  if (r.forward != report.forward_seconds) {
+    return ReportMismatch("forward", r.forward, report.forward_seconds);
+  }
+  if (r.backward != report.backward_seconds) {
+    return ReportMismatch("backward", r.backward, report.backward_seconds);
+  }
+  if (r.optimizer != report.optimizer_seconds) {
+    return ReportMismatch("optimizer", r.optimizer,
+                          report.optimizer_seconds);
+  }
+  if (r.epoch != report.epoch_seconds) {
+    return ReportMismatch("epoch", r.epoch, report.epoch_seconds);
+  }
+  return Status::Ok();
+}
+
+}  // namespace check
+}  // namespace gnnpart

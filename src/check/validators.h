@@ -1,0 +1,92 @@
+#ifndef GNNPART_CHECK_VALIDATORS_H_
+#define GNNPART_CHECK_VALIDATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/split.h"
+#include "metrics/partition_metrics.h"
+#include "partition/partitioning.h"
+#include "sampling/block_sampler.h"
+#include "sim/distdgl_sim.h"
+#include "sim/distgnn_sim.h"
+#include "trace/trace.h"
+
+namespace gnnpart {
+namespace check {
+
+/// Full structural validators (DESIGN.md §8). Every function returns OK or
+/// a FailedPrecondition status whose message starts with the stable name of
+/// the violated invariant (e.g. "graph/self-loop: ..."), so failures are
+/// greppable and each corruption mode is distinguishable in tests.
+///
+/// Validators are independent re-derivations: they recompute the checked
+/// property from the raw structure with a deliberately simple serial
+/// implementation instead of trusting the code under test. They are O(n)
+/// to O(E log d) and meant for module boundaries, the `gnnpart_cli check`
+/// subcommand and test fixtures — not for inner loops (use the
+/// GNNPART_CHECK_* macros from check/check.h there).
+
+/// CSR well-formedness: sorted, duplicate-free, self-loop-free symmetric
+/// adjacency; sorted canonical edge list consistent with the adjacency and
+/// with the generator contract (undirected edges stored once with
+/// src < dst).
+Status ValidateGraph(const Graph& graph);
+
+/// Vertex-cut validity: every canonical edge assigned exactly once to a
+/// partition id in [0, k), k in [1, kMaxPartitions].
+Status ValidateEdgePartitioning(const Graph& graph,
+                                const EdgePartitioning& parts);
+
+/// Edge-cut validity: every vertex assigned exactly once to a partition id
+/// in [0, k), k in [1, kMaxPartitions].
+Status ValidateVertexPartitioning(const Graph& graph,
+                                  const VertexPartitioning& parts);
+
+/// Replica masks consistent with the assignment: masks[v] has exactly the
+/// bits of the partitions owning an edge incident to v.
+Status ValidateReplicaMasks(const Graph& graph, const EdgePartitioning& parts,
+                            const std::vector<uint64_t>& masks);
+
+/// Recomputes every EdgePartitionMetrics field serially from scratch and
+/// compares bit-exactly (==, not approximately) with `reported` — the
+/// parallel metrics path must agree with the obvious serial one.
+Status CheckEdgeMetrics(const Graph& graph, const EdgePartitioning& parts,
+                        const EdgePartitionMetrics& reported);
+
+/// Bit-exact recomputation check for VertexPartitionMetrics.
+Status CheckVertexMetrics(const Graph& graph, const VertexPartitioning& parts,
+                          const VertexSplit& split,
+                          const VertexPartitionMetrics& reported);
+
+/// Sampled-block sanity: seeds first and unique vertices, local edge
+/// indices in range, every sampled edge present in the graph, and no source
+/// vertex exceeding the largest fan-out.
+Status ValidateBlock(const Graph& graph, const SampledBlock& block,
+                     const std::vector<size_t>& fanouts);
+
+/// Epoch-profile shape and accounting: profiles[steps][workers], local +
+/// remote input vertices summing to the input set, computation edges equal
+/// to the per-hop sum, and hop vectors of consistent length.
+Status ValidateProfile(const DistDglEpochProfile& profile);
+
+/// Trace-span invariants: spans within the declared epoch shape,
+/// non-negative durations/bytes, phases belonging to the recording
+/// simulator, BSP barrier alignment (spans of one (step, phase) share
+/// t_begin), and well-ordered wall spans.
+Status ValidateTrace(const trace::TraceRecorder& rec);
+
+/// Per-step phase maxima of the trace must reconstruct the epoch report's
+/// phase seconds bit-exactly (the invariant tying the trace path to the
+/// report path; see trace/analysis.h).
+Status CheckTraceReconstructsReport(const trace::TraceRecorder& rec,
+                                    const DistDglEpochReport& report);
+Status CheckTraceReconstructsReport(const trace::TraceRecorder& rec,
+                                    const DistGnnEpochReport& report);
+
+}  // namespace check
+}  // namespace gnnpart
+
+#endif  // GNNPART_CHECK_VALIDATORS_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/check.h"
+
 namespace gnnpart {
 
 size_t Graph::MaxDegree() const {
@@ -87,6 +89,41 @@ Result<Graph> GraphBuilder::Build(std::string name) {
   g.neighbors_.resize(write);
   g.neighbors_.shrink_to_fit();
   g.offsets_ = std::move(new_offsets);
+
+  GNNPART_CHECK_CHEAP(g.offsets_.size() == num_vertices_ + 1,
+                      "builder produced a malformed offset table");
+  GNNPART_CHECK_CHEAP(g.offsets_.back() == g.neighbors_.size(),
+                      "builder offset table does not cover the adjacency");
+  if constexpr (check::ParanoidEnabled()) {
+    // Self-audit of the CSR contract the rest of the library relies on
+    // (sorted, unique, self-loop-free neighbourhoods).
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      auto nbrs = g.Neighbors(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        GNNPART_CHECK_PARANOID(nbrs[i] != v,
+                               "builder kept a self-loop on vertex " +
+                                   std::to_string(v));
+        GNNPART_CHECK_PARANOID(
+            i == 0 || nbrs[i - 1] < nbrs[i],
+            "builder produced an unsorted or duplicate adjacency for "
+            "vertex " +
+                std::to_string(v));
+      }
+    }
+  }
+  return g;
+}
+
+Graph Graph::FromRawPartsForTest(std::string name, bool directed,
+                                 std::vector<uint64_t> offsets,
+                                 std::vector<VertexId> neighbors,
+                                 std::vector<Edge> edges) {
+  Graph g;
+  g.name_ = std::move(name);
+  g.directed_ = directed;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+  g.edges_ = std::move(edges);
   return g;
 }
 

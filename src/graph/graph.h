@@ -61,6 +61,15 @@ class Graph {
            neighbors_.size() * sizeof(VertexId) + edges_.size() * sizeof(Edge);
   }
 
+  /// Test-only escape hatch: assembles a Graph from raw CSR pieces with no
+  /// normalization or validation, so validator tests can fabricate invalid
+  /// structures (check/validators.h). Production code must go through
+  /// GraphBuilder, which enforces the class invariants.
+  static Graph FromRawPartsForTest(std::string name, bool directed,
+                                   std::vector<uint64_t> offsets,
+                                   std::vector<VertexId> neighbors,
+                                   std::vector<Edge> edges);
+
  private:
   friend class GraphBuilder;
 

@@ -1,13 +1,43 @@
 #include "harness/cache.h"
 
+#include <cctype>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 namespace gnnpart {
 namespace {
-constexpr uint64_t kCacheMagic = 0x474e4e5043414348ULL;  // "GNNPCACH"
-constexpr uint64_t kBlobMagic = 0x474e4e50424c4f42ULL;   // "GNNPBLOB"
+
+// "GNNPCH02" / "GNNPBL02": format v2 appends an FNV-1a checksum over the
+// payload, so bit flips and truncated writes are detected instead of being
+// simulated as real measurements. v1 entries ("GNNPCACH"/"GNNPBLOB") fail
+// the magic test and are recomputed like any stale entry.
+constexpr uint64_t kCacheMagic = 0x474e4e5043483032ULL;
+constexpr uint64_t kBlobMagic = 0x474e4e50424c3032ULL;
+
+/// FNV-1a over a byte range; chain calls by passing the previous result as
+/// `hash`. Deterministic and dependency-free — this is an integrity check
+/// against corruption, not an authenticity check.
+uint64_t Fnv1a(const void* data, size_t bytes,
+               uint64_t hash = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Corrupt-but-present entries are rejected loudly: silent fallback would
+/// hide a failing disk or a torn write behind slightly-slower benchmarks.
+void WarnCorrupt(const std::string& path, const char* what) {
+  std::fprintf(stderr,
+               "[gnnpart] cache/%s: rejecting '%s' (recomputing; delete the "
+               "file to silence this warning)\n",
+               what, path.c_str());
+}
+
 }  // namespace
 
 std::string PartitionCache::PathFor(const std::string& key) const {
@@ -25,9 +55,10 @@ Result<std::vector<PartitionId>> PartitionCache::Load(const std::string& key,
                                                       PartitionId k,
                                                       double* seconds) const {
   if (!enabled()) return Status::NotFound("cache disabled");
-  std::ifstream in(PathFor(key), std::ios::binary);
+  const std::string path = PathFor(key);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cache miss for '" + key + "'");
-  uint64_t magic = 0, stored_k = 0, n = 0;
+  uint64_t magic = 0, stored_k = 0, n = 0, stored_sum = 0;
   double secs = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&stored_k), sizeof(stored_k));
@@ -39,7 +70,19 @@ Result<std::vector<PartitionId>> PartitionCache::Load(const std::string& key,
   std::vector<PartitionId> assignment(n);
   in.read(reinterpret_cast<char*>(assignment.data()),
           static_cast<std::streamsize>(n * sizeof(PartitionId)));
-  if (!in) return Status::NotFound("truncated cache entry for '" + key + "'");
+  in.read(reinterpret_cast<char*>(&stored_sum), sizeof(stored_sum));
+  if (!in) {
+    WarnCorrupt(path, "truncated-entry");
+    return Status::NotFound("truncated cache entry for '" + key + "'");
+  }
+  uint64_t sum = Fnv1a(&stored_k, sizeof(stored_k));
+  sum = Fnv1a(&secs, sizeof(secs), sum);
+  sum = Fnv1a(&n, sizeof(n), sum);
+  sum = Fnv1a(assignment.data(), n * sizeof(PartitionId), sum);
+  if (sum != stored_sum) {
+    WarnCorrupt(path, "checksum-mismatch");
+    return Status::NotFound("corrupt cache entry for '" + key + "'");
+  }
   if (seconds) *seconds = secs;
   return assignment;
 }
@@ -53,12 +96,17 @@ Status PartitionCache::Store(const std::string& key, PartitionId k,
   std::ofstream out(PathFor(key), std::ios::binary);
   if (!out) return Status::IoError("cannot write cache entry '" + key + "'");
   uint64_t magic = kCacheMagic, stored_k = k, n = assignment.size();
+  uint64_t sum = Fnv1a(&stored_k, sizeof(stored_k));
+  sum = Fnv1a(&seconds, sizeof(seconds), sum);
+  sum = Fnv1a(&n, sizeof(n), sum);
+  sum = Fnv1a(assignment.data(), n * sizeof(PartitionId), sum);
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   out.write(reinterpret_cast<const char*>(&stored_k), sizeof(stored_k));
   out.write(reinterpret_cast<const char*>(&seconds), sizeof(seconds));
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   out.write(reinterpret_cast<const char*>(assignment.data()),
             static_cast<std::streamsize>(n * sizeof(PartitionId)));
+  out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
   if (!out) return Status::IoError("write failed for cache entry '" + key + "'");
   return Status::Ok();
 }
@@ -66,9 +114,10 @@ Status PartitionCache::Store(const std::string& key, PartitionId k,
 Result<std::vector<uint64_t>> PartitionCache::LoadBlob(
     const std::string& key) const {
   if (!enabled()) return Status::NotFound("cache disabled");
-  std::ifstream in(PathFor(key), std::ios::binary);
+  const std::string path = PathFor(key);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cache miss for '" + key + "'");
-  uint64_t magic = 0, n = 0;
+  uint64_t magic = 0, n = 0, stored_sum = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in || magic != kBlobMagic) {
@@ -77,7 +126,17 @@ Result<std::vector<uint64_t>> PartitionCache::LoadBlob(
   std::vector<uint64_t> blob(n);
   in.read(reinterpret_cast<char*>(blob.data()),
           static_cast<std::streamsize>(n * sizeof(uint64_t)));
-  if (!in) return Status::NotFound("truncated blob entry for '" + key + "'");
+  in.read(reinterpret_cast<char*>(&stored_sum), sizeof(stored_sum));
+  if (!in) {
+    WarnCorrupt(path, "truncated-entry");
+    return Status::NotFound("truncated blob entry for '" + key + "'");
+  }
+  uint64_t sum = Fnv1a(&n, sizeof(n));
+  sum = Fnv1a(blob.data(), n * sizeof(uint64_t), sum);
+  if (sum != stored_sum) {
+    WarnCorrupt(path, "checksum-mismatch");
+    return Status::NotFound("corrupt blob entry for '" + key + "'");
+  }
   return blob;
 }
 
@@ -89,10 +148,13 @@ Status PartitionCache::StoreBlob(const std::string& key,
   std::ofstream out(PathFor(key), std::ios::binary);
   if (!out) return Status::IoError("cannot write blob entry '" + key + "'");
   uint64_t magic = kBlobMagic, n = blob.size();
+  uint64_t sum = Fnv1a(&n, sizeof(n));
+  sum = Fnv1a(blob.data(), n * sizeof(uint64_t), sum);
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   out.write(reinterpret_cast<const char*>(blob.data()),
             static_cast<std::streamsize>(n * sizeof(uint64_t)));
+  out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
   if (!out) return Status::IoError("write failed for blob '" + key + "'");
   return Status::Ok();
 }

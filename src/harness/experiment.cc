@@ -1,8 +1,11 @@
 #include "harness/experiment.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "harness/cache.h"
@@ -11,9 +14,10 @@ namespace gnnpart {
 namespace {
 
 // Bump when partitioner or generator algorithms change, so stale cache
-// entries from older binaries cannot leak into results. v4: the sampler's
-// per-chunk RNG streams changed the sampled-profile blobs.
-constexpr int kCacheVersion = 4;
+// entries from older binaries cannot leak into results. v5: Multilevel's
+// label-propagation coarsening now breaks connectivity ties on the smallest
+// label, which can move Metis-family assignments on exact ties.
+constexpr int kCacheVersion = 5;
 
 std::string CacheKey(const ExperimentContext& ctx, DatasetId dataset,
                      const std::string& partitioner, PartitionId k) {
@@ -21,6 +25,26 @@ std::string CacheKey(const ExperimentContext& ctx, DatasetId dataset,
   os << "v" << kCacheVersion << "-" << DatasetCode(dataset) << "-s"
      << ctx.scale << "-r" << ctx.seed << "-" << partitioner << "-k" << k;
   return os.str();
+}
+
+/// Structural sanity for assignments loaded from disk: the checksum proves
+/// the bytes survived, not that they are a valid partitioning for this
+/// graph. Out-of-range ids would index past metric arrays downstream.
+bool CachedAssignmentValid(const std::vector<PartitionId>& assignment,
+                           PartitionId k, size_t expected_size,
+                           const std::string& key) {
+  if (assignment.size() != expected_size) return false;  // stale, not corrupt
+  for (PartitionId p : assignment) {
+    if (p >= k) {
+      std::fprintf(stderr,
+                   "[gnnpart] cache/id-range: entry '%s' holds partition id "
+                   "%u >= k=%u; recomputing\n",
+                   key.c_str(), static_cast<unsigned>(p),
+                   static_cast<unsigned>(k));
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -94,11 +118,17 @@ Result<EdgePartitioning> RunEdgePartitioner(const ExperimentContext& ctx,
   const std::string key = CacheKey(ctx, dataset, partitioner->name(), k);
   double seconds = 0;
   if (auto cached = cache.Load(key, k, &seconds); cached.ok()) {
-    if (cached.value().size() == graph.num_edges()) {
+    if (CachedAssignmentValid(cached.value(), k, graph.num_edges(), key)) {
       EdgePartitioning parts;
       parts.k = k;
       parts.assignment = std::move(cached).value();
       parts.partitioning_seconds = seconds;
+      if constexpr (check::ParanoidEnabled()) {
+        if (Status st = check::ValidateEdgePartitioning(graph, parts);
+            !st.ok()) {
+          return st;
+        }
+      }
       return parts;
     }
   }
@@ -123,11 +153,17 @@ Result<VertexPartitioning> RunVertexPartitioner(const ExperimentContext& ctx,
   const std::string key = CacheKey(ctx, dataset, "v" + partitioner->name(), k);
   double seconds = 0;
   if (auto cached = cache.Load(key, k, &seconds); cached.ok()) {
-    if (cached.value().size() == graph.num_vertices()) {
+    if (CachedAssignmentValid(cached.value(), k, graph.num_vertices(), key)) {
       VertexPartitioning parts;
       parts.k = k;
       parts.assignment = std::move(cached).value();
       parts.partitioning_seconds = seconds;
+      if constexpr (check::ParanoidEnabled()) {
+        if (Status st = check::ValidateVertexPartitioning(graph, parts);
+            !st.ok()) {
+          return st;
+        }
+      }
       return parts;
     }
   }
@@ -280,7 +316,17 @@ Result<DistDglEpochProfile> ProfileWithCache(const ExperimentContext& ctx,
   key << "profile-" << CacheKey(ctx, dataset, partitioner->name(), k) << "-L"
       << num_layers << "-b" << global_batch_size;
   if (auto blob = cache.LoadBlob(key.str()); blob.ok()) {
-    if (auto decoded = DecodeProfile(*blob); decoded.ok()) return decoded;
+    // A blob that passed the checksum but fails to decode or violates the
+    // profile invariants means the *writer* was broken, not the disk — say
+    // so instead of silently re-measuring.
+    auto decoded = DecodeProfile(*blob);
+    Status st = decoded.ok() ? check::ValidateProfile(*decoded)
+                             : decoded.status();
+    if (st.ok()) return decoded;
+    std::fprintf(stderr,
+                 "[gnnpart] cache/invalid-profile: entry '%s' rejected (%s); "
+                 "recomputing\n",
+                 key.str().c_str(), st.ToString().c_str());
   }
   Result<VertexPartitioning> parts =
       RunVertexPartitioner(ctx, dataset, graph, split, id, k);

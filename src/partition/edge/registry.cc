@@ -1,7 +1,9 @@
 #include "partition/edge/registry.h"
 
 #include <cctype>
+#include <utility>
 
+#include "check/check.h"
 #include "partition/edge/dbh.h"
 #include "partition/edge/greedy.h"
 #include "partition/edge/grid.h"
@@ -11,6 +13,47 @@
 #include "partition/edge/two_ps_l.h"
 
 namespace gnnpart {
+
+#if GNNPART_CHECK_LEVEL_VALUE >= 2
+namespace {
+
+/// Paranoid-mode decorator: bounds-validates every Partition() result at
+/// the registry boundary, so all callers (CLI, harness, benches, tests)
+/// consume checked partitionings. A violation here is a partitioner
+/// implementation bug, hence abort rather than Status.
+class CheckedEdgePartitioner : public EdgePartitioner {
+ public:
+  explicit CheckedEdgePartitioner(std::unique_ptr<EdgePartitioner> inner)
+      : inner_(std::move(inner)) {}
+  std::string name() const override { return inner_->name(); }
+  std::string category() const override { return inner_->category(); }
+  Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
+                                     uint64_t seed) const override {
+    Result<EdgePartitioning> parts = inner_->Partition(graph, k, seed);
+    if (!parts.ok()) return parts;
+    GNNPART_CHECK_PARANOID(parts->k == k,
+                           inner_->name() + " returned k=" +
+                               std::to_string(parts->k) + " for requested " +
+                               std::to_string(k));
+    GNNPART_CHECK_PARANOID(
+        parts->assignment.size() == graph.num_edges(),
+        inner_->name() + " assigned " +
+            std::to_string(parts->assignment.size()) + " of " +
+            std::to_string(graph.num_edges()) + " edges");
+    for (PartitionId p : parts->assignment) {
+      GNNPART_CHECK_PARANOID(p < k, inner_->name() +
+                                        " produced partition id " +
+                                        std::to_string(p) + " >= k");
+    }
+    return parts;
+  }
+
+ private:
+  std::unique_ptr<EdgePartitioner> inner_;
+};
+
+}  // namespace
+#endif  // GNNPART_CHECK_LEVEL_VALUE >= 2
 
 std::vector<EdgePartitionerId> AllEdgePartitioners() {
   return {EdgePartitionerId::kRandom, EdgePartitionerId::kDbh,
@@ -25,7 +68,9 @@ std::vector<EdgePartitionerId> AllEdgePartitionersExtended() {
   return all;
 }
 
-std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id) {
+namespace {
+
+std::unique_ptr<EdgePartitioner> MakeRawEdgePartitioner(EdgePartitionerId id) {
   switch (id) {
     case EdgePartitionerId::kRandom:
       return std::make_unique<RandomEdgePartitioner>();
@@ -45,6 +90,19 @@ std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id) {
       return std::make_unique<GridPartitioner>();
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id) {
+  std::unique_ptr<EdgePartitioner> partitioner = MakeRawEdgePartitioner(id);
+#if GNNPART_CHECK_LEVEL_VALUE >= 2
+  if (partitioner != nullptr) {
+    partitioner =
+        std::make_unique<CheckedEdgePartitioner>(std::move(partitioner));
+  }
+#endif
+  return partitioner;
 }
 
 namespace {

@@ -73,10 +73,18 @@ std::vector<uint32_t> LpCluster(const WeightedGraph& g, Rng* rng,
       uint32_t own = label[v];
       uint32_t best = own;
       uint64_t best_w = conn.count(own) ? conn[own] : 0;
+      // lint:order-insensitive — connectivity ties break on the lighter
+      // cluster (keeps coarsening balanced), then on the smaller label, so
+      // the chosen cluster never depends on the hash-bucket iteration order
+      // (which varies across standard-library implementations).
       for (const auto& [lbl, w] : conn) {
         if (lbl == own) continue;
         if (cluster_weight[lbl] + g.vweight[v] > max_cluster_weight) continue;
-        if (w > best_w) {
+        const bool tie_better =
+            w == best_w && best != own &&
+            (cluster_weight[lbl] < cluster_weight[best] ||
+             (cluster_weight[lbl] == cluster_weight[best] && lbl < best));
+        if (w > best_w || tie_better) {
           best_w = w;
           best = lbl;
         }

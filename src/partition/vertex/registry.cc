@@ -1,7 +1,9 @@
 #include "partition/vertex/registry.h"
 
 #include <cctype>
+#include <utility>
 
+#include "check/check.h"
 #include "partition/vertex/bytegnn_like.h"
 #include "partition/vertex/fennel.h"
 #include "partition/vertex/reldg.h"
@@ -11,6 +13,47 @@
 #include "partition/vertex/spinner.h"
 
 namespace gnnpart {
+
+#if GNNPART_CHECK_LEVEL_VALUE >= 2
+namespace {
+
+/// Paranoid-mode decorator mirroring CheckedEdgePartitioner: every vertex
+/// assignment is bounds-validated at the registry boundary.
+class CheckedVertexPartitioner : public VertexPartitioner {
+ public:
+  explicit CheckedVertexPartitioner(std::unique_ptr<VertexPartitioner> inner)
+      : inner_(std::move(inner)) {}
+  std::string name() const override { return inner_->name(); }
+  std::string category() const override { return inner_->category(); }
+  Result<VertexPartitioning> Partition(const Graph& graph,
+                                       const VertexSplit& split, PartitionId k,
+                                       uint64_t seed) const override {
+    Result<VertexPartitioning> parts =
+        inner_->Partition(graph, split, k, seed);
+    if (!parts.ok()) return parts;
+    GNNPART_CHECK_PARANOID(parts->k == k,
+                           inner_->name() + " returned k=" +
+                               std::to_string(parts->k) + " for requested " +
+                               std::to_string(k));
+    GNNPART_CHECK_PARANOID(
+        parts->assignment.size() == graph.num_vertices(),
+        inner_->name() + " assigned " +
+            std::to_string(parts->assignment.size()) + " of " +
+            std::to_string(graph.num_vertices()) + " vertices");
+    for (PartitionId p : parts->assignment) {
+      GNNPART_CHECK_PARANOID(p < k, inner_->name() +
+                                        " produced partition id " +
+                                        std::to_string(p) + " >= k");
+    }
+    return parts;
+  }
+
+ private:
+  std::unique_ptr<VertexPartitioner> inner_;
+};
+
+}  // namespace
+#endif  // GNNPART_CHECK_LEVEL_VALUE >= 2
 
 std::vector<VertexPartitionerId> AllVertexPartitioners() {
   return {VertexPartitionerId::kRandom,  VertexPartitionerId::kLdg,
@@ -25,7 +68,9 @@ std::vector<VertexPartitionerId> AllVertexPartitionersExtended() {
   return all;
 }
 
-std::unique_ptr<VertexPartitioner> MakeVertexPartitioner(
+namespace {
+
+std::unique_ptr<VertexPartitioner> MakeRawVertexPartitioner(
     VertexPartitionerId id) {
   switch (id) {
     case VertexPartitionerId::kRandom:
@@ -46,6 +91,21 @@ std::unique_ptr<VertexPartitioner> MakeVertexPartitioner(
       return std::make_unique<ReldgPartitioner>();
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<VertexPartitioner> MakeVertexPartitioner(
+    VertexPartitionerId id) {
+  std::unique_ptr<VertexPartitioner> partitioner =
+      MakeRawVertexPartitioner(id);
+#if GNNPART_CHECK_LEVEL_VALUE >= 2
+  if (partitioner != nullptr) {
+    partitioner =
+        std::make_unique<CheckedVertexPartitioner>(std::move(partitioner));
+  }
+#endif
+  return partitioner;
 }
 
 namespace {

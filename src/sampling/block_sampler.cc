@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/check.h"
 #include "common/parallel.h"
 
 namespace gnnpart {
@@ -95,6 +96,19 @@ SampledBlock BlockSampler::SampleBlock(std::span<const VertexId> seeds,
       }
     }
     frontier.swap(next);
+  }
+  GNNPART_CHECK_CHEAP(block.num_seeds <= block.vertices.size(),
+                      "sampled block lost its seed prefix");
+  if constexpr (check::ParanoidEnabled()) {
+    for (const Edge& e : block.local_edges) {
+      GNNPART_CHECK_PARANOID(
+          e.src < block.vertices.size() && e.dst < block.vertices.size(),
+          "sampled block edge indexes outside the block (frontier "
+          "containment)");
+      GNNPART_CHECK_PARANOID(
+          graph_.HasEdge(block.vertices[e.src], block.vertices[e.dst]),
+          "sampled block contains a phantom edge");
+    }
   }
   return block;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.h"
 #include "common/parallel.h"
 
 namespace gnnpart {
@@ -123,6 +124,15 @@ MiniBatchProfile NeighborSampler::SampleBatch(
     profile.remote_input_vertices =
         input.size() - profile.local_input_vertices;
   }
+  GNNPART_CHECK_CHEAP(parts == nullptr ||
+                          profile.local_input_vertices +
+                                  profile.remote_input_vertices ==
+                              profile.input_vertices,
+                      "mini-batch locality counts do not sum to the input "
+                      "set");
+  GNNPART_CHECK_CHEAP(profile.frontier_sizes.size() ==
+                          profile.hop_edges.size() + 1,
+                      "mini-batch hop vectors out of shape");
   return profile;
 }
 

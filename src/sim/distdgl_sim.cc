@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "check/check.h"
 #include "common/parallel.h"
 #include "common/stats.h"
 #include "gnn/costs.h"
@@ -135,6 +136,8 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                                         trace::TraceRecorder* recorder) {
   DistDglEpochReport report;
   const PartitionId k = profile.workers;
+  GNNPART_CHECK_CHEAP(profile.profiles.size() == profile.steps,
+                      "epoch profile declares more steps than it holds");
 
   // Tracing sidecar: per-(step, worker, phase) durations and network bytes,
   // filled by the parallel cost loop below (each cell written exactly once

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "check/check.h"
+
 namespace gnnpart {
 namespace trace {
 
@@ -100,7 +102,13 @@ class TraceRecorder {
   void BeginEpoch(Simulator simulator, uint32_t steps, uint32_t workers);
 
   void Reserve(size_t spans) { spans_.reserve(spans); }
-  void Add(const Span& span) { spans_.push_back(span); }
+  void Add(const Span& span) {
+    GNNPART_CHECK_CHEAP(span.seconds >= 0,
+                        "trace span with negative duration");
+    GNNPART_CHECK_CHEAP(span.step < steps_ && span.worker < workers_,
+                        "trace span outside the declared epoch shape");
+    spans_.push_back(span);
+  }
   void AddWallSpan(const std::string& name, double t_begin, double t_end);
 
   const std::vector<Span>& spans() const { return spans_; }

@@ -1,0 +1,52 @@
+#ifndef GNNPART_TESTS_CHECK_FIXTURE_H_
+#define GNNPART_TESTS_CHECK_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include "check/validators.h"
+#include "metrics/partition_metrics.h"
+
+// Shared full-validation entry points for every partitioner test suite:
+// one call runs the structural validators plus the bit-exact metric
+// recomputation from check/validators.h, so each suite asserts the complete
+// partitioning contract instead of its own subset of spot checks.
+
+namespace gnnpart {
+
+inline ::testing::AssertionResult FullyValidEdgePartitioning(
+    const Graph& graph, const EdgePartitioning& parts) {
+  if (Status st = check::ValidateEdgePartitioning(graph, parts); !st.ok()) {
+    return ::testing::AssertionFailure() << st;
+  }
+  if (Status st = check::ValidateReplicaMasks(graph, parts,
+                                              ComputeReplicaMasks(graph,
+                                                                  parts));
+      !st.ok()) {
+    return ::testing::AssertionFailure() << st;
+  }
+  if (Status st = check::CheckEdgeMetrics(
+          graph, parts, ComputeEdgePartitionMetrics(graph, parts));
+      !st.ok()) {
+    return ::testing::AssertionFailure() << st;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+inline ::testing::AssertionResult FullyValidVertexPartitioning(
+    const Graph& graph, const VertexPartitioning& parts,
+    const VertexSplit& split) {
+  if (Status st = check::ValidateVertexPartitioning(graph, parts); !st.ok()) {
+    return ::testing::AssertionFailure() << st;
+  }
+  if (Status st = check::CheckVertexMetrics(
+          graph, parts, split,
+          ComputeVertexPartitionMetrics(graph, parts, split));
+      !st.ok()) {
+    return ::testing::AssertionFailure() << st;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_TESTS_CHECK_FIXTURE_H_

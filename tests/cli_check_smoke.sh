@@ -1,0 +1,71 @@
+#!/bin/sh
+# Tier-1 smoke for `gnnpart_cli check`: every study partitioner must pass
+# full validation (structure + replica masks + bit-exact metric
+# recomputation) on every generator category, and argument errors must
+# exit non-zero with usage instead of being silently ignored.
+# Usage: cli_check_smoke.sh <path-to-gnnpart_cli>
+set -eu
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# All five dataset categories of the study (hyperlink, social, wiki, road,
+# co-purchase), small scales so the 12-partitioner sweep stays fast.
+for ds in HW DI EN EU OR; do
+  case "$ds" in
+    EU) scale=0.02 ;;
+    *) scale=0.1 ;;
+  esac
+  "$CLI" generate "$ds" "$scale" "$TMP/$ds.bin" 7 > /dev/null
+  "$CLI" check "$TMP/$ds.bin" > /dev/null
+  out="$("$CLI" check "$TMP/$ds.bin" all 4)"
+  echo "$out" | grep -q 'all 6+6 partitioners verified' || {
+    echo "FAIL: check all did not verify 12 partitioners on $ds" >&2
+    exit 1
+  }
+  echo "$out" | grep -q 'metrics bit-exact' || {
+    echo "FAIL: no bit-exact metric confirmation on $ds" >&2
+    exit 1
+  }
+done
+
+# Single-partitioner forms, edge and vertex.
+"$CLI" check "$TMP/HW.bin" HDRF 4 > /dev/null
+"$CLI" check "$TMP/HW.bin" vMetis 4 > /dev/null
+
+# Unknown flags and malformed positionals must exit non-zero with usage.
+if "$CLI" check "$TMP/HW.bin" --bogus-flag 2> "$TMP/err.txt"; then
+  echo "FAIL: unknown flag accepted" >&2
+  exit 1
+fi
+grep -q 'unknown flag' "$TMP/err.txt"
+grep -q 'usage:' "$TMP/err.txt"
+
+if "$CLI" check 2> "$TMP/err.txt"; then
+  echo "FAIL: missing positional accepted" >&2
+  exit 1
+fi
+grep -q 'usage:' "$TMP/err.txt"
+
+if "$CLI" check "$TMP/HW.bin" HDRF 2> /dev/null; then
+  echo "FAIL: partitioner without k accepted" >&2
+  exit 1
+fi
+
+if "$CLI" check "$TMP/HW.bin" HDRF 4 surplus 2> /dev/null; then
+  echo "FAIL: surplus positional accepted" >&2
+  exit 1
+fi
+
+if "$CLI" check "$TMP/HW.bin" HDRF 99 2> /dev/null; then
+  echo "FAIL: k past kMaxPartitions accepted" >&2
+  exit 1
+fi
+
+if "$CLI" frobnicate 2> /dev/null; then
+  echo "FAIL: unknown subcommand accepted" >&2
+  exit 1
+fi
+
+echo OK

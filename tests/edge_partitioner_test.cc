@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "check_fixture.h"
 #include "gen/datasets.h"
 #include "gen/generators.h"
 #include "metrics/partition_metrics.h"
@@ -106,6 +107,17 @@ TEST_P(EdgePartitionerParamTest, EdgeBalanceWithinBound) {
   // The paper observes edge balance <= 1.11 for all edge partitioners; we
   // allow a slightly wider envelope for the hash-based ones at this scale.
   EXPECT_LE(m.edge_balance, 1.25) << partitioner->name();
+}
+
+TEST_P(EdgePartitionerParamTest, PassesFullValidation) {
+  Graph g = TestGraph();
+  auto partitioner = MakeEdgePartitioner(GetParam());
+  for (PartitionId k : {2u, 8u}) {
+    Result<EdgePartitioning> parts = partitioner->Partition(g, k, 42);
+    ASSERT_TRUE(parts.ok());
+    EXPECT_TRUE(FullyValidEdgePartitioning(g, *parts))
+        << partitioner->name() << " k=" << k;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,9 +1,10 @@
 #include <gtest/gtest.h>
 
-#include "gen/generators.h"
-#include "metrics/partition_metrics.h"
 #include <bit>
 
+#include "check_fixture.h"
+#include "gen/generators.h"
+#include "metrics/partition_metrics.h"
 #include "partition/edge/grid.h"
 #include "partition/edge/registry.h"
 #include "partition/vertex/registry.h"
@@ -18,6 +19,24 @@ Graph TestGraph() {
   Result<Graph> g = GeneratePowerLawCommunity(p, 31);
   EXPECT_TRUE(g.ok());
   return std::move(g).value();
+}
+
+TEST(ExtendedRegistryTest, ExtensionPartitionersPassFullValidation) {
+  Graph g = TestGraph();
+  VertexSplit split = VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 5);
+  for (EdgePartitionerId id : AllEdgePartitionersExtended()) {
+    Result<EdgePartitioning> parts = MakeEdgePartitioner(id)->Partition(g, 6, 42);
+    ASSERT_TRUE(parts.ok());
+    EXPECT_TRUE(FullyValidEdgePartitioning(g, *parts))
+        << MakeEdgePartitioner(id)->name();
+  }
+  for (VertexPartitionerId id : AllVertexPartitionersExtended()) {
+    Result<VertexPartitioning> parts =
+        MakeVertexPartitioner(id)->Partition(g, split, 6, 42);
+    ASSERT_TRUE(parts.ok());
+    EXPECT_TRUE(FullyValidVertexPartitioning(g, *parts, split))
+        << MakeVertexPartitioner(id)->name();
+  }
 }
 
 TEST(ExtendedRegistryTest, ExtendedListsSupersetPaperLists) {

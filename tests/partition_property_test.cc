@@ -7,6 +7,7 @@
 #include <bit>
 #include <tuple>
 
+#include "check_fixture.h"
 #include "gen/generators.h"
 #include "metrics/partition_metrics.h"
 #include "partition/edge/registry.h"
@@ -111,6 +112,10 @@ TEST_P(EdgePartitionProperties, InvariantsHold) {
     EXPECT_TRUE(masks[g.edge(e).src] & bit);
     EXPECT_TRUE(masks[g.edge(e).dst] & bit);
   }
+
+  // (6) The full validator stack agrees, including the bit-exact serial
+  // recomputation of every metric.
+  EXPECT_TRUE(FullyValidEdgePartitioning(g, *parts));
 }
 
 TEST_P(EdgePartitionProperties, SeedChangesAreLocalized) {
@@ -186,6 +191,10 @@ TEST_P(VertexPartitionProperties, InvariantsHold) {
     if (parts->assignment[e.src] != parts->assignment[e.dst]) ++cut;
   }
   EXPECT_EQ(cut, m.cut_edges);
+
+  // (5) The full validator stack agrees, including the bit-exact serial
+  // recomputation of every metric.
+  EXPECT_TRUE(FullyValidVertexPartitioning(g, *parts, split));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -8,3 +8,9 @@
 foreach(_t IN LISTS trace_test_TESTS determinism_test_TESTS)
   set_tests_properties("${_t}" PROPERTIES LABELS "tsan;trace")
 endforeach()
+
+# The validator suite also runs under the TSan selection: its fixtures drive
+# the parallel partitioner/metric/sampler paths end to end.
+foreach(_t IN LISTS check_test_TESTS)
+  set_tests_properties("${_t}" PROPERTIES LABELS "check;tsan")
+endforeach()

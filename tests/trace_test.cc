@@ -245,7 +245,9 @@ TEST_F(TraceTest, WaitMatrixIsNonNegativeAndStragglersNeverWait) {
     double total_wait_check = 0;
     for (const trace::Span& s : rec.spans()) {
       if (s.step != st.step || s.phase != st.phase) continue;
-      if (s.worker == st.straggler) EXPECT_EQ(s.seconds, st.max_seconds);
+      if (s.worker == st.straggler) {
+        EXPECT_EQ(s.seconds, st.max_seconds);
+      }
       total_wait_check += st.max_seconds - s.seconds;
     }
     // count*max - sum vs sum of (max - d): same quantity, different FP

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "check_fixture.h"
 #include "gen/generators.h"
 #include "metrics/partition_metrics.h"
 #include "partition/vertex/multilevel.h"
@@ -104,6 +105,18 @@ TEST_P(VertexPartitionerParamTest, VertexBalanceReasonable) {
   VertexPartitionMetrics m =
       ComputeVertexPartitionMetrics(f.graph, *parts, f.split);
   EXPECT_LE(m.vertex_balance, 1.35) << partitioner->name();
+}
+
+TEST_P(VertexPartitionerParamTest, PassesFullValidation) {
+  Fixture f = TestFixture();
+  auto partitioner = MakeVertexPartitioner(GetParam());
+  for (PartitionId k : {2u, 8u}) {
+    Result<VertexPartitioning> parts =
+        partitioner->Partition(f.graph, f.split, k, 42);
+    ASSERT_TRUE(parts.ok());
+    EXPECT_TRUE(FullyValidVertexPartitioning(f.graph, *parts, f.split))
+        << partitioner->name() << " k=" << k;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,11 +1,13 @@
 // gnnpart command-line tool: generate datasets, inspect graphs, partition
-// edge-list files with any of the study's algorithms, and simulate
-// distributed training epochs — the library's functionality for users who
-// bring their own graphs.
+// edge-list files with any of the study's algorithms, verify structural
+// invariants, and simulate distributed training epochs — the library's
+// functionality for users who bring their own graphs.
 //
 //   gnnpart_cli generate <HW|DI|EN|EU|OR> <scale> <out-file> [seed]
 //   gnnpart_cli info <graph-file> [--directed]
 //   gnnpart_cli partition <graph-file> <partitioner> <k> [out-file]
+//       [--directed] [--seed N]
+//   gnnpart_cli check <graph-file> [<partitioner>|all <k>]
 //       [--directed] [--seed N]
 //   gnnpart_cli simulate <graph-file> <partitioner> <k>
 //       [--feature N] [--hidden N] [--layers N] [--gbs N] [--directed]
@@ -14,12 +16,18 @@
 //
 // Graph files are whitespace edge lists ("u v" per line, '#' comments) or
 // the library's .bin snapshots (by extension).
+//
+// Argument handling is strict: unknown flags and missing or surplus
+// positional arguments exit non-zero with the usage message instead of
+// being silently ignored.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/table.h"
@@ -49,6 +57,10 @@ int Usage() {
          "  gnnpart_cli info <graph> [--directed]\n"
          "  gnnpart_cli partition <graph> <partitioner> <k> [out]\n"
          "      [--directed] [--seed N]\n"
+         "  gnnpart_cli check <graph> [<partitioner>|all <k>]\n"
+         "      [--directed] [--seed N]  validate CSR invariants; with a\n"
+         "      partitioner, verify the partitioning and recompute its\n"
+         "      metrics bit-exactly ('all' runs the study's 12)\n"
          "  gnnpart_cli simulate <graph> <partitioner> <k> [--feature N]\n"
          "      [--hidden N] [--layers N] [--gbs N] [--directed] [--seed N]\n"
          "      [--trace-out FILE]  per-(step,worker,phase) timeline;\n"
@@ -61,6 +73,54 @@ int Usage() {
          "global flags: --threads N  worker threads (default: all cores;\n"
          "              results are identical for every N)\n";
   return 2;
+}
+
+/// A flag a subcommand accepts, and whether it consumes the next argument.
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+};
+
+/// Splits `args` into positional arguments, rejecting unknown flags and
+/// wrong positional counts loudly (exit 2 + usage) instead of the old
+/// behavior of silently ignoring stray arguments.
+std::vector<std::string> Positionals(const std::vector<std::string>& args,
+                                     std::initializer_list<FlagSpec> flags,
+                                     size_t min_count, size_t max_count) {
+  std::vector<std::string> positionals;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.size() > 1 && arg[0] == '-' &&
+        !std::isdigit(static_cast<unsigned char>(arg[1]))) {
+      const FlagSpec* spec = nullptr;
+      for (const FlagSpec& f : flags) {
+        if (arg == f.name) {
+          spec = &f;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        std::cerr << "error: unknown flag '" << arg << "'\n";
+        std::exit(Usage());
+      }
+      if (spec->takes_value) {
+        if (i + 1 >= args.size()) {
+          std::cerr << "error: " << arg << " requires a value\n";
+          std::exit(Usage());
+        }
+        ++i;  // the value is consumed by the FlagValue lookups
+      }
+      continue;
+    }
+    positionals.push_back(arg);
+  }
+  if (positionals.size() < min_count || positionals.size() > max_count) {
+    std::cerr << "error: expected between " << min_count << " and "
+              << max_count << " positional arguments, got "
+              << positionals.size() << "\n";
+    std::exit(Usage());
+  }
+  return positionals;
 }
 
 bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
@@ -131,15 +191,15 @@ int Fail(const Status& status) {
 }
 
 int CmdGenerate(const std::vector<std::string>& args) {
-  if (args.size() < 3) return Usage();
-  Result<DatasetId> id = ParseDatasetCode(args[0]);
+  std::vector<std::string> pos = Positionals(args, {}, 3, 4);
+  Result<DatasetId> id = ParseDatasetCode(pos[0]);
   if (!id.ok()) return Fail(id.status());
-  double scale = atof(args[1].c_str());
+  double scale = atof(pos[1].c_str());
   uint64_t seed = 42;
-  if (args.size() > 3) {
-    const long v = ParsePositiveInt(args[3].c_str());
+  if (pos.size() > 3) {
+    const long v = ParsePositiveInt(pos[3].c_str());
     if (v < 1) {
-      std::cerr << "error: invalid seed '" << args[3]
+      std::cerr << "error: invalid seed '" << pos[3]
                 << "' (expected a positive integer)\n";
       return 2;
     }
@@ -147,7 +207,7 @@ int CmdGenerate(const std::vector<std::string>& args) {
   }
   Result<Graph> graph = MakeDataset(*id, scale, seed);
   if (!graph.ok()) return Fail(graph.status());
-  const std::string& out = args[2];
+  const std::string& out = pos[2];
   Status st = (out.size() > 4 && out.substr(out.size() - 4) == ".bin")
                   ? WriteBinaryGraph(*graph, out)
                   : WriteEdgeListFile(*graph, out);
@@ -158,8 +218,9 @@ int CmdGenerate(const std::vector<std::string>& args) {
 }
 
 int CmdInfo(const std::vector<std::string>& args) {
-  if (args.empty()) return Usage();
-  Result<Graph> graph = LoadGraph(args[0], HasFlag(args, "--directed"));
+  std::vector<std::string> pos = Positionals(args, {{"--directed", false}},
+                                             1, 1);
+  Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
   if (!graph.ok()) return Fail(graph.status());
   DegreeStats stats = ComputeDegreeStats(*graph);
   ComponentInfo comps = ConnectedComponents(*graph);
@@ -171,13 +232,14 @@ int CmdInfo(const std::vector<std::string>& args) {
 }
 
 int CmdPartition(const std::vector<std::string>& args) {
-  if (args.size() < 3) return Usage();
-  Result<Graph> graph = LoadGraph(args[0], HasFlag(args, "--directed"));
+  std::vector<std::string> pos = Positionals(
+      args, {{"--directed", false}, {"--seed", true}}, 3, 4);
+  Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
   if (!graph.ok()) return Fail(graph.status());
-  PartitionId k = ParseK(args[2]);
+  PartitionId k = ParseK(pos[2]);
   uint64_t seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
-  std::string out = args.size() > 3 && args[3][0] != '-' ? args[3] : "";
-  std::string name = args[1];
+  std::string out = pos.size() > 3 ? pos[3] : "";
+  std::string name = pos[1];
 
   VertexSplit split =
       VertexSplit::MakeRandom(graph->num_vertices(), 0.1, 0.1, seed);
@@ -225,16 +287,131 @@ int CmdPartition(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Runs one edge partitioner and verifies its output end to end: structural
+/// partition validity, replica-mask consistency, and a bit-exact serial
+/// recomputation of every metric the figures are built from.
+int CheckOneEdgePartitioner(const Graph& graph, EdgePartitionerId id,
+                            PartitionId k, uint64_t seed) {
+  auto partitioner = MakeEdgePartitioner(id);
+  Result<EdgePartitioning> parts = partitioner->Partition(graph, k, seed);
+  if (!parts.ok()) return Fail(parts.status());
+  if (Status st = check::ValidateEdgePartitioning(graph, *parts); !st.ok()) {
+    return Fail(st);
+  }
+  std::vector<uint64_t> masks = ComputeReplicaMasks(graph, *parts);
+  if (Status st = check::ValidateReplicaMasks(graph, *parts, masks);
+      !st.ok()) {
+    return Fail(st);
+  }
+  EdgePartitionMetrics metrics = ComputeEdgePartitionMetrics(graph, *parts);
+  if (Status st = check::CheckEdgeMetrics(graph, *parts, metrics); !st.ok()) {
+    return Fail(st);
+  }
+  std::cout << "  " << partitioner->name() << " k=" << k
+            << ": partition OK, replica masks OK, metrics bit-exact ("
+            << metrics.ToString() << ")\n";
+  return 0;
+}
+
+/// Vertex-partitioner counterpart of CheckOneEdgePartitioner.
+int CheckOneVertexPartitioner(const Graph& graph, const VertexSplit& split,
+                              VertexPartitionerId id, PartitionId k,
+                              uint64_t seed) {
+  auto partitioner = MakeVertexPartitioner(id);
+  Result<VertexPartitioning> parts =
+      partitioner->Partition(graph, split, k, seed);
+  if (!parts.ok()) return Fail(parts.status());
+  if (Status st = check::ValidateVertexPartitioning(graph, *parts);
+      !st.ok()) {
+    return Fail(st);
+  }
+  VertexPartitionMetrics metrics =
+      ComputeVertexPartitionMetrics(graph, *parts, split);
+  if (Status st = check::CheckVertexMetrics(graph, *parts, split, metrics);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::cout << "  v" << partitioner->name() << " k=" << k
+            << ": partition OK, metrics bit-exact (" << metrics.ToString()
+            << ")\n";
+  return 0;
+}
+
+int CmdCheck(const std::vector<std::string>& args) {
+  std::vector<std::string> pos = Positionals(
+      args, {{"--directed", false}, {"--seed", true}}, 1, 3);
+  if (pos.size() == 2) {
+    std::cerr << "error: 'check <graph> <partitioner>' also needs <k>\n";
+    return Usage();
+  }
+  Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
+  if (!graph.ok()) return Fail(graph.status());
+  if (Status st = check::ValidateGraph(*graph); !st.ok()) return Fail(st);
+  std::cout << "graph OK: |V|=" << graph->num_vertices()
+            << " |E|=" << graph->num_edges()
+            << " (CSR sorted/unique/symmetric, canonical edge list)\n";
+  if (pos.size() == 1) return 0;
+
+  PartitionId k = ParseK(pos[2]);
+  uint64_t seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
+  VertexSplit split =
+      VertexSplit::MakeRandom(graph->num_vertices(), 0.1, 0.1, seed);
+  const std::string& name = pos[1];
+
+  if (name == "all") {
+    for (EdgePartitionerId id : AllEdgePartitioners()) {
+      if (int rc = CheckOneEdgePartitioner(*graph, id, k, seed); rc != 0) {
+        return rc;
+      }
+    }
+    for (VertexPartitionerId id : AllVertexPartitioners()) {
+      if (int rc = CheckOneVertexPartitioner(*graph, split, id, k, seed);
+          rc != 0) {
+        return rc;
+      }
+    }
+    std::cout << "all " << AllEdgePartitioners().size() << "+"
+              << AllVertexPartitioners().size() << " partitioners verified\n";
+    return 0;
+  }
+
+  bool vertex_mode = !name.empty() && name[0] == 'v';
+  std::string lookup = vertex_mode ? name.substr(1) : name;
+  if (!vertex_mode) {
+    if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(lookup);
+        id.ok()) {
+      return CheckOneEdgePartitioner(*graph, *id, k, seed);
+    }
+  }
+  Result<VertexPartitionerId> id = ParseVertexPartitionerName(lookup);
+  if (!id.ok()) return Fail(id.status());
+  return CheckOneVertexPartitioner(*graph, split, *id, k, seed);
+}
+
 /// Shared pipeline of `simulate` and `trace-report`: load, partition,
 /// simulate one epoch — with a trace recorder attached when the trace file
-/// or the report tables ask for one. Tracing verifies the trace/report
-/// invariant (per-step phase maxima must reproduce the report's phase
-/// seconds bit-exactly) before anything is written.
+/// or the report tables ask for one. In a paranoid-check build the graph
+/// and the partitioning are fully validated between the partition and
+/// simulate stages. Tracing verifies the trace/report invariant (per-step
+/// phase maxima must reproduce the report's phase seconds bit-exactly)
+/// before anything is written.
 int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
-  if (args.size() < 3) return Usage();
-  Result<Graph> graph = LoadGraph(args[0], HasFlag(args, "--directed"));
+  std::vector<std::string> pos = Positionals(
+      args,
+      {{"--feature", true},
+       {"--hidden", true},
+       {"--layers", true},
+       {"--gbs", true},
+       {"--directed", false},
+       {"--seed", true},
+       {"--trace-out", true}},
+      3, 3);
+  Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
   if (!graph.ok()) return Fail(graph.status());
-  PartitionId k = ParseK(args[2]);
+  if constexpr (check::ParanoidEnabled()) {
+    if (Status st = check::ValidateGraph(*graph); !st.ok()) return Fail(st);
+  }
+  PartitionId k = ParseK(pos[2]);
   uint64_t seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
   GnnConfig config;
   config.feature_size = static_cast<size_t>(FlagValue(args, "--feature", 64));
@@ -245,7 +422,7 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
   size_t gbs = static_cast<size_t>(FlagValue(args, "--gbs", 256));
   ClusterSpec cluster;
   cluster.num_machines = static_cast<int>(k);
-  std::string name = args[1];
+  std::string name = pos[1];
   const std::string trace_out = StringFlagValue(args, "--trace-out");
   trace::TraceRecorder recorder;
   trace::TraceRecorder* rec =
@@ -257,6 +434,12 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
         MakeEdgePartitioner(*id)->Partition(*graph, k, seed);
     if (!parts.ok()) return Fail(parts.status());
     const double partition_seconds = partition_timer.ElapsedSeconds();
+    if constexpr (check::ParanoidEnabled()) {
+      if (Status st = check::ValidateEdgePartitioning(*graph, *parts);
+          !st.ok()) {
+        return Fail(st);
+      }
+    }
     DistGnnEpochReport r = SimulateDistGnnEpoch(
         BuildDistGnnWorkload(*graph, *parts), config, cluster, rec);
     std::cout << "full-batch epoch " << r.epoch_seconds * 1e3 << " ms"
@@ -268,14 +451,9 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
     if (rec != nullptr) {
       rec->AddWallSpan("partition/" + MakeEdgePartitioner(*id)->name(), 0,
                        partition_seconds);
-      trace::DistGnnPhaseSeconds rebuilt = trace::ReconstructDistGnnReport(
-          recorder);
-      if (rebuilt.forward != r.forward_seconds ||
-          rebuilt.backward != r.backward_seconds ||
-          rebuilt.optimizer != r.optimizer_seconds ||
-          rebuilt.epoch != r.epoch_seconds) {
-        return Fail(Status::Internal(
-            "trace does not reproduce the epoch report (simulator bug)"));
+      if (Status st = check::CheckTraceReconstructsReport(recorder, r);
+          !st.ok()) {
+        return Fail(st);
       }
     }
   } else {
@@ -289,9 +467,20 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
         MakeVertexPartitioner(*vid)->Partition(*graph, split, k, seed);
     if (!parts.ok()) return Fail(parts.status());
     const double partition_seconds = partition_timer.ElapsedSeconds();
+    if constexpr (check::ParanoidEnabled()) {
+      if (Status st = check::ValidateVertexPartitioning(*graph, *parts);
+          !st.ok()) {
+        return Fail(st);
+      }
+    }
     Result<DistDglEpochProfile> profile =
         ProfileDistDglEpoch(*graph, *parts, split, config.fanouts, gbs, seed);
     if (!profile.ok()) return Fail(profile.status());
+    if constexpr (check::ParanoidEnabled()) {
+      if (Status st = check::ValidateProfile(*profile); !st.ok()) {
+        return Fail(st);
+      }
+    }
     DistDglEpochReport r = SimulateDistDglEpoch(*profile, config, cluster,
                                                 rec);
     std::cout << "mini-batch epoch " << r.epoch_seconds * 1e3
@@ -303,16 +492,9 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
     if (rec != nullptr) {
       rec->AddWallSpan("partition/" + MakeVertexPartitioner(*vid)->name(), 0,
                        partition_seconds);
-      trace::DistDglPhaseSeconds rebuilt = trace::ReconstructDistDglReport(
-          recorder);
-      if (rebuilt.sampling != r.sampling_seconds ||
-          rebuilt.feature != r.feature_seconds ||
-          rebuilt.forward != r.forward_seconds ||
-          rebuilt.backward != r.backward_seconds ||
-          rebuilt.update != r.update_seconds ||
-          rebuilt.epoch != r.epoch_seconds) {
-        return Fail(Status::Internal(
-            "trace does not reproduce the epoch report (simulator bug)"));
+      if (Status st = check::CheckTraceReconstructsReport(recorder, r);
+          !st.ok()) {
+        return Fail(st);
       }
     }
   }
@@ -372,7 +554,9 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "info") return CmdInfo(args);
   if (cmd == "partition") return CmdPartition(args);
+  if (cmd == "check") return CmdCheck(args);
   if (cmd == "simulate") return CmdSimulate(args);
   if (cmd == "trace-report") return CmdTraceReport(args);
+  std::cerr << "error: unknown subcommand '" << cmd << "'\n";
   return Usage();
 }

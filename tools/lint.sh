@@ -1,0 +1,101 @@
+#!/bin/sh
+# Determinism lint (DESIGN.md §8): the library's contract is that every
+# result is a pure function of (input graph, seed, config) — independent of
+# thread count, wall clock, process, and standard-library implementation.
+# This script rejects the constructs that silently break that contract:
+#
+#   1. C and <random> randomness (rand, srand, mt19937, random_device, ...):
+#      all randomness must flow through common/rng.h's seeded xoshiro
+#      streams.
+#   2. Wall-clock reads (time, system_clock, gettimeofday, ...): simulated
+#      results must not depend on when they are computed. steady_clock is
+#      allowed only inside common/timer.h, the one sanctioned stopwatch for
+#      *reported* (never result-bearing) wall durations.
+#   3. Range-for iteration over unordered containers: bucket order varies
+#      across standard libraries, so any loop whose effect could depend on
+#      visit order is a portability bug. Loops where order provably does not
+#      matter carry a `lint:order-insensitive` comment explaining why.
+#
+# Usage: tools/lint.sh  (from the repository root; exits non-zero on findings)
+set -u
+
+fail=0
+finding() {
+  echo "lint: $1" >&2
+  echo "$2" | sed 's/^/    /' >&2
+  fail=1
+}
+
+# Library sources only: tests may fabricate whatever they need, and the
+# bench harness may time things, but nothing under src/ may.
+src_files=$(find src -name '*.cc' -o -name '*.h')
+
+# --- 1. banned randomness -------------------------------------------------
+out=$(grep -nE '\b(srand|rand)[[:space:]]*\(' $src_files | grep -v 'lint:allow')
+[ -n "$out" ] && finding "C randomness is banned; use common/rng.h" "$out"
+
+out=$(grep -nE 'std::(mt19937|minstd_rand|random_device|uniform_(int|real)_distribution|bernoulli_distribution|shuffle)\b' $src_files)
+[ -n "$out" ] && finding "<random> engines are banned; use common/rng.h" "$out"
+
+out=$(grep -nE '#include[[:space:]]*<random>' $src_files)
+[ -n "$out" ] && finding "<random> must not be included under src/" "$out"
+
+# --- 2. banned clocks -----------------------------------------------------
+out=$(grep -nE '\b(time|gettimeofday|clock_gettime|clock)[[:space:]]*\([[:space:]]*(NULL|nullptr)?[[:space:]]*\)' $src_files)
+[ -n "$out" ] && finding "wall-clock reads are banned under src/" "$out"
+
+out=$(grep -nE 'system_clock|high_resolution_clock' $src_files)
+[ -n "$out" ] && finding "system_clock is banned (non-monotonic, non-deterministic)" "$out"
+
+out=$(grep -nE 'steady_clock' $src_files | grep -v '^src/common/timer\.h:')
+[ -n "$out" ] && finding "steady_clock is allowed only in common/timer.h (WallTimer)" "$out"
+
+# --- 3. unordered-container iteration needs a justification --------------
+# For each file that declares unordered containers, flag range-for loops
+# over a variable of unordered type unless an explanatory
+# `lint:order-insensitive` comment appears on the loop or just above it.
+unordered_out=""
+for f in $src_files; do
+  grep -q 'unordered_' "$f" || continue
+  hits=$(awk '
+    /unordered_(map|set)</ {
+      # Record identifiers declared with an unordered type on this line:
+      #   std::unordered_map<K, V> name;   ...> name(...)   ...>& name
+      line = $0
+      while (match(line, />[&[:space:]]+[A-Za-z_][A-Za-z0-9_]*/)) {
+        id = substr(line, RSTART, RLENGTH)
+        sub(/^>[&[:space:]]+/, "", id)
+        declared[id] = 1
+        line = substr(line, RSTART + RLENGTH)
+      }
+    }
+    {
+      # Remember whether an annotation covers this loop (same line or a
+      # few lines above — the justification is usually a short comment
+      # block sitting directly on top of the loop).
+      window = $0 prev1 prev2 prev3 prev4 prev5
+      if ($0 ~ /for[[:space:]]*\(.*:.*\)/ && window !~ /lint:order-insensitive/) {
+        n = split($0, parts, ":")
+        tail = parts[n]
+        gsub(/^[[:space:]]*/, "", tail)
+        gsub(/[)({;[:space:]&*.].*$/, "", tail)
+        if (tail in declared) {
+          printf "%d: %s\n", NR, $0
+        }
+      }
+      prev5 = prev4; prev4 = prev3
+      prev3 = prev2; prev2 = prev1; prev1 = $0
+    }
+  ' "$f")
+  [ -n "$hits" ] && unordered_out="$unordered_out$f:$hits
+"
+done
+[ -n "$unordered_out" ] && finding \
+  "range-for over an unordered container without a lint:order-insensitive justification (bucket order is implementation-defined)" \
+  "$unordered_out"
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK"
