@@ -12,6 +12,8 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "trace/export.h"
 #include "trace/trace.h"
 
@@ -25,11 +27,42 @@ inline std::string& TraceOutBase() {
   return path;
 }
 
+/// Manifest path given via `--metrics-out FILE` or GNNPART_METRICS_OUT;
+/// empty when metrics export is off. The manifest (BENCH_<name>.json in CI)
+/// is written by an atexit hook registered in DefaultContext.
+inline std::string& MetricsOutPath() {
+  static std::string path;
+  return path;
+}
+
+/// Tool name recorded in the manifest meta line (argv[0] basename).
+inline std::string& MetricsToolName() {
+  static std::string name = "bench";
+  return name;
+}
+
+inline void WriteMetricsManifestAtExit() {
+  const Status status = obs::WriteManifestFile(
+      MetricsOutPath(),
+      {{"tool", MetricsToolName()},
+       {"scale", std::to_string(ExperimentContext::FromEnv().scale)},
+       {"seed", std::to_string(ExperimentContext::FromEnv().seed)},
+       {"threads", std::to_string(DefaultThreads())}});
+  if (status.ok()) {
+    std::fprintf(stderr, "[gnnpart] metrics manifest: %s\n",
+                 MetricsOutPath().c_str());
+  } else {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+}
+
 /// Context shared by all bench binaries; honours GNNPART_SCALE,
-/// GNNPART_SEED, GNNPART_CACHE_DIR, GNNPART_GBS, GNNPART_THREADS.
+/// GNNPART_SEED, GNNPART_CACHE_DIR, GNNPART_GBS, GNNPART_THREADS,
+/// GNNPART_METRICS_OUT.
 /// Pass (argc, argv) through to also accept `--threads N` (overrides the
-/// environment; results are identical for every N) and, on the phase-time
-/// benches, `--trace-out FILE` (dumps one Chrome trace per simulated cell,
+/// environment; results are identical for every N), `--metrics-out FILE`
+/// (JSONL run manifest written at exit) and, on the phase-time benches,
+/// `--trace-out FILE` (dumps one Chrome trace per simulated cell,
 /// suffixed with the cell label).
 inline ExperimentContext DefaultContext(int argc = 0,
                                         char** argv = nullptr) {
@@ -54,6 +87,32 @@ inline ExperimentContext DefaultContext(int argc = 0,
       }
       TraceOutBase() = argv[i + 1];
       ++i;
+    } else if (std::string(argv[i]) == "--metrics-out") {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::cerr << "FATAL: --metrics-out requires a file path\n";
+        std::exit(2);
+      }
+      MetricsOutPath() = argv[i + 1];
+      ++i;
+    }
+  }
+  if (MetricsOutPath().empty()) {
+    if (const char* env = std::getenv("GNNPART_METRICS_OUT")) {
+      MetricsOutPath() = env;
+    }
+  }
+  if (!MetricsOutPath().empty()) {
+    if (argv != nullptr && argc > 0) {
+      std::string tool = argv[0];
+      const size_t slash = tool.find_last_of('/');
+      if (slash != std::string::npos) tool = tool.substr(slash + 1);
+      MetricsToolName() = tool;
+    }
+    obs::EnableTiming(true);
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit(WriteMetricsManifestAtExit);
     }
   }
   return ExperimentContext::FromEnv();

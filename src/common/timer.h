@@ -7,14 +7,28 @@ namespace gnnpart {
 
 /// Wall-clock stopwatch used to measure real partitioning times (the only
 /// quantity in the study that is measured, not simulated).
+///
+/// A disabled timer never touches the clock: construction, Restart() and
+/// Elapsed*() are all no-ops returning 0. Paths that are instrumented but
+/// whose timing is only read when metrics/tracing are requested construct
+/// `enabled ? WallTimer() : WallTimer::Disabled()` so the hot path costs
+/// nothing when nobody is looking (see obs::ScopedTimer).
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : enabled_(true), start_(Clock::now()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  /// A null stopwatch: no clock reads, Elapsed*() returns 0.
+  static WallTimer Disabled() { return WallTimer(DisabledTag{}); }
+
+  bool enabled() const { return enabled_; }
+
+  void Restart() {
+    if (enabled_) start_ = Clock::now();
+  }
 
   /// Seconds elapsed since construction or the last Restart().
   double ElapsedSeconds() const {
+    if (!enabled_) return 0.0;
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
@@ -22,7 +36,11 @@ class WallTimer {
 
  private:
   using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  struct DisabledTag {};
+  explicit WallTimer(DisabledTag) : enabled_(false) {}
+
+  bool enabled_;
+  Clock::time_point start_{};
 };
 
 }  // namespace gnnpart

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 namespace {
@@ -15,6 +16,19 @@ size_t CeilPow2(size_t n) {
   size_t p = 1;
   while (p < n) p <<= 1;
   return p;
+}
+
+// Publishes emission telemetry once per Generate* call: the global
+// edges-emitted counter plus a per-generator breakdown, and (for the
+// rejection-sampling generators) the attempt count.
+void CountEmitted(const char* generator, size_t edges, size_t attempts = 0) {
+  obs::Count("gen/edges_emitted", edges, "edges");
+  obs::Count(std::string("gen/") + generator + "/edges_emitted", edges,
+             "edges");
+  if (attempts > 0) {
+    obs::Count(std::string("gen/") + generator + "/edge_attempts", attempts,
+               "attempts");
+  }
 }
 
 }  // namespace
@@ -83,6 +97,7 @@ Result<Graph> GenerateRmat(const RmatParams& params, uint64_t seed) {
       if (u != v) builder.AddEdge(v, u);
     }
   }
+  CountEmitted("rmat", builder.pending_edges(), attempts);
   return builder.Build();
 }
 
@@ -125,6 +140,7 @@ Result<Graph> GenerateBarabasiAlbert(size_t num_vertices,
       targets.push_back(t);
     }
   }
+  CountEmitted("ba", builder.pending_edges());
   return builder.Build();
 }
 
@@ -141,6 +157,7 @@ Result<Graph> GenerateErdosRenyi(size_t num_vertices, size_t num_edges,
     VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
     builder.AddEdge(u, v);
   }
+  CountEmitted("er", builder.pending_edges());
   return builder.Build();
 }
 
@@ -162,6 +179,7 @@ Result<Graph> GenerateWattsStrogatz(size_t num_vertices, size_t k, double beta,
       builder.AddEdge(u, v);
     }
   }
+  CountEmitted("ws", builder.pending_edges());
   return builder.Build();
 }
 
@@ -257,6 +275,7 @@ Result<Graph> GeneratePowerLawCommunity(const PowerLawCommunityParams& params,
     if (u == v) u = sample_global();
     if (u != v) builder.AddEdge(v, u);
   }
+  CountEmitted("dcsbm", builder.pending_edges(), attempts);
   return builder.Build();
 }
 
@@ -287,6 +306,7 @@ Result<Graph> GenerateRoadNetwork(const RoadParams& params, uint64_t seed) {
       }
     }
   }
+  CountEmitted("road", builder.pending_edges());
   return builder.Build();
 }
 

@@ -3,8 +3,12 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+
+#include "obs/metrics.h"
 
 namespace gnnpart {
 namespace {
@@ -38,6 +42,59 @@ void WarnCorrupt(const std::string& path, const char* what) {
                what, path.c_str());
 }
 
+// Cache outcomes depend on on-disk state left by earlier runs, so the
+// counters are registered non-deterministic: two invocations with different
+// cache directories (or a cold vs. warm cache) legitimately disagree.
+struct CacheCounters {
+  obs::Counter hit =
+      obs::GetCounter("harness/cache/hit", "entries", /*deterministic=*/false);
+  obs::Counter miss =
+      obs::GetCounter("harness/cache/miss", "entries", /*deterministic=*/false);
+  obs::Counter stale = obs::GetCounter("harness/cache/stale", "entries",
+                                       /*deterministic=*/false);
+  obs::Counter corrupt = obs::GetCounter("harness/cache/corrupt", "entries",
+                                         /*deterministic=*/false);
+  obs::Counter bytes_read = obs::GetCounter("harness/cache/bytes_read",
+                                            "bytes", /*deterministic=*/false);
+  obs::Counter bytes_written = obs::GetCounter(
+      "harness/cache/bytes_written", "bytes", /*deterministic=*/false);
+};
+
+const CacheCounters& Counters() {
+  static const CacheCounters counters;
+  return counters;
+}
+
+/// End-of-run cache summary (registered via std::atexit the first time an
+/// enabled cache is constructed). A recompute storm caused by a stale or
+/// corrupt cache is otherwise invisible in the benchmark numbers.
+void PrintCacheSummary() {
+  uint64_t hit = 0, miss = 0, stale = 0, corrupt = 0, read = 0, written = 0;
+  for (const obs::MetricRow& row : obs::Snapshot().rows) {
+    if (row.name == "harness/cache/hit") hit = row.value;
+    else if (row.name == "harness/cache/miss") miss = row.value;
+    else if (row.name == "harness/cache/stale") stale = row.value;
+    else if (row.name == "harness/cache/corrupt") corrupt = row.value;
+    else if (row.name == "harness/cache/bytes_read") read = row.value;
+    else if (row.name == "harness/cache/bytes_written") written = row.value;
+  }
+  if (hit + miss + stale + corrupt == 0) return;
+  std::fprintf(stderr,
+               "[gnnpart] cache: %llu hits, %llu misses, %llu stale, "
+               "%llu corrupt (%.1f MiB read, %.1f MiB written)\n",
+               static_cast<unsigned long long>(hit),
+               static_cast<unsigned long long>(miss),
+               static_cast<unsigned long long>(stale),
+               static_cast<unsigned long long>(corrupt),
+               static_cast<double>(read) / (1024.0 * 1024.0),
+               static_cast<double>(written) / (1024.0 * 1024.0));
+}
+
+void RegisterCacheSummary() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit(PrintCacheSummary); });
+}
+
 }  // namespace
 
 std::string PartitionCache::PathFor(const std::string& key) const {
@@ -55,9 +112,13 @@ Result<std::vector<PartitionId>> PartitionCache::Load(const std::string& key,
                                                       PartitionId k,
                                                       double* seconds) const {
   if (!enabled()) return Status::NotFound("cache disabled");
+  RegisterCacheSummary();
   const std::string path = PathFor(key);
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cache miss for '" + key + "'");
+  if (!in) {
+    Counters().miss.Inc();
+    return Status::NotFound("cache miss for '" + key + "'");
+  }
   uint64_t magic = 0, stored_k = 0, n = 0, stored_sum = 0;
   double secs = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
@@ -65,6 +126,7 @@ Result<std::vector<PartitionId>> PartitionCache::Load(const std::string& key,
   in.read(reinterpret_cast<char*>(&secs), sizeof(secs));
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in || magic != kCacheMagic || stored_k != k) {
+    Counters().stale.Inc();
     return Status::NotFound("stale cache entry for '" + key + "'");
   }
   std::vector<PartitionId> assignment(n);
@@ -72,6 +134,7 @@ Result<std::vector<PartitionId>> PartitionCache::Load(const std::string& key,
           static_cast<std::streamsize>(n * sizeof(PartitionId)));
   in.read(reinterpret_cast<char*>(&stored_sum), sizeof(stored_sum));
   if (!in) {
+    Counters().corrupt.Inc();
     WarnCorrupt(path, "truncated-entry");
     return Status::NotFound("truncated cache entry for '" + key + "'");
   }
@@ -80,9 +143,13 @@ Result<std::vector<PartitionId>> PartitionCache::Load(const std::string& key,
   sum = Fnv1a(&n, sizeof(n), sum);
   sum = Fnv1a(assignment.data(), n * sizeof(PartitionId), sum);
   if (sum != stored_sum) {
+    Counters().corrupt.Inc();
     WarnCorrupt(path, "checksum-mismatch");
     return Status::NotFound("corrupt cache entry for '" + key + "'");
   }
+  Counters().hit.Inc();
+  Counters().bytes_read.Add(5 * sizeof(uint64_t) + sizeof(double) +
+                            n * sizeof(PartitionId));
   if (seconds) *seconds = secs;
   return assignment;
 }
@@ -108,19 +175,27 @@ Status PartitionCache::Store(const std::string& key, PartitionId k,
             static_cast<std::streamsize>(n * sizeof(PartitionId)));
   out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
   if (!out) return Status::IoError("write failed for cache entry '" + key + "'");
+  RegisterCacheSummary();
+  Counters().bytes_written.Add(5 * sizeof(uint64_t) + sizeof(double) +
+                               n * sizeof(PartitionId));
   return Status::Ok();
 }
 
 Result<std::vector<uint64_t>> PartitionCache::LoadBlob(
     const std::string& key) const {
   if (!enabled()) return Status::NotFound("cache disabled");
+  RegisterCacheSummary();
   const std::string path = PathFor(key);
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cache miss for '" + key + "'");
+  if (!in) {
+    Counters().miss.Inc();
+    return Status::NotFound("cache miss for '" + key + "'");
+  }
   uint64_t magic = 0, n = 0, stored_sum = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in || magic != kBlobMagic) {
+    Counters().stale.Inc();
     return Status::NotFound("stale blob entry for '" + key + "'");
   }
   std::vector<uint64_t> blob(n);
@@ -128,15 +203,19 @@ Result<std::vector<uint64_t>> PartitionCache::LoadBlob(
           static_cast<std::streamsize>(n * sizeof(uint64_t)));
   in.read(reinterpret_cast<char*>(&stored_sum), sizeof(stored_sum));
   if (!in) {
+    Counters().corrupt.Inc();
     WarnCorrupt(path, "truncated-entry");
     return Status::NotFound("truncated blob entry for '" + key + "'");
   }
   uint64_t sum = Fnv1a(&n, sizeof(n));
   sum = Fnv1a(blob.data(), n * sizeof(uint64_t), sum);
   if (sum != stored_sum) {
+    Counters().corrupt.Inc();
     WarnCorrupt(path, "checksum-mismatch");
     return Status::NotFound("corrupt blob entry for '" + key + "'");
   }
+  Counters().hit.Inc();
+  Counters().bytes_read.Add(3 * sizeof(uint64_t) + n * sizeof(uint64_t));
   return blob;
 }
 
@@ -156,6 +235,8 @@ Status PartitionCache::StoreBlob(const std::string& key,
             static_cast<std::streamsize>(n * sizeof(uint64_t)));
   out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
   if (!out) return Status::IoError("write failed for blob '" + key + "'");
+  RegisterCacheSummary();
+  Counters().bytes_written.Add(3 * sizeof(uint64_t) + n * sizeof(uint64_t));
   return Status::Ok();
 }
 

@@ -9,6 +9,8 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "harness/cache.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 namespace {
@@ -99,9 +101,11 @@ std::vector<GnnConfig> HyperParameterGrid(const ExperimentContext& ctx,
 }
 
 Result<DatasetBundle> LoadDataset(const ExperimentContext& ctx, DatasetId id) {
+  obs::ScopedTimer timer("time/generate");
   Result<Graph> graph = MakeDataset(id, ctx.scale, ctx.seed);
   if (!graph.ok()) return graph.status();
   DatasetBundle bundle{std::move(graph).value(), {}};
+  obs::RecordStructureBytes("graph", bundle.graph.MemoryBytes());
   bundle.split = VertexSplit::MakeRandom(bundle.graph.num_vertices(),
                                          ctx.train_fraction,
                                          ctx.validation_fraction, ctx.seed);
@@ -133,9 +137,14 @@ Result<EdgePartitioning> RunEdgePartitioner(const ExperimentContext& ctx,
     }
   }
   WallTimer timer;
-  Result<EdgePartitioning> result = partitioner->Partition(graph, k, ctx.seed);
+  Result<EdgePartitioning> result = [&] {
+    obs::ScopedTimer phase("time/partition/" + partitioner->name());
+    return partitioner->Partition(graph, k, ctx.seed);
+  }();
   if (!result.ok()) return result.status();
   result.value().partitioning_seconds = timer.ElapsedSeconds();
+  obs::RecordStructureBytes(
+      "edge_assignment", result.value().assignment.size() * sizeof(PartitionId));
   // Cache write failures only cost future time, not correctness.
   (void)cache.Store(key, k, result.value().assignment,
                     result.value().partitioning_seconds);
@@ -168,10 +177,15 @@ Result<VertexPartitioning> RunVertexPartitioner(const ExperimentContext& ctx,
     }
   }
   WallTimer timer;
-  Result<VertexPartitioning> result =
-      partitioner->Partition(graph, split, k, ctx.seed);
+  Result<VertexPartitioning> result = [&] {
+    obs::ScopedTimer phase("time/partition/" + partitioner->name());
+    return partitioner->Partition(graph, split, k, ctx.seed);
+  }();
   if (!result.ok()) return result.status();
   result.value().partitioning_seconds = timer.ElapsedSeconds();
+  obs::RecordStructureBytes(
+      "vertex_assignment",
+      result.value().assignment.size() * sizeof(PartitionId));
   (void)cache.Store(key, k, result.value().assignment,
                     result.value().partitioning_seconds);
   return result;
@@ -331,11 +345,16 @@ Result<DistDglEpochProfile> ProfileWithCache(const ExperimentContext& ctx,
   Result<VertexPartitioning> parts =
       RunVertexPartitioner(ctx, dataset, graph, split, id, k);
   if (!parts.ok()) return parts.status();
-  Result<DistDglEpochProfile> profile = ProfileDistDglEpoch(
-      graph, *parts, split, GnnConfig::DefaultFanouts(num_layers),
-      global_batch_size, ctx.seed + static_cast<uint64_t>(num_layers));
+  Result<DistDglEpochProfile> profile = [&] {
+    obs::ScopedTimer phase("time/profile");
+    return ProfileDistDglEpoch(
+        graph, *parts, split, GnnConfig::DefaultFanouts(num_layers),
+        global_batch_size, ctx.seed + static_cast<uint64_t>(num_layers));
+  }();
   if (!profile.ok()) return profile.status();
-  (void)cache.StoreBlob(key.str(), EncodeProfile(*profile));
+  const std::vector<uint64_t> blob = EncodeProfile(*profile);
+  obs::RecordStructureBytes("profile_blob", blob.size() * sizeof(uint64_t));
+  (void)cache.StoreBlob(key.str(), blob);
   return profile;
 }
 

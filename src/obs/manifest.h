@@ -1,0 +1,71 @@
+#ifndef GNNPART_OBS_MANIFEST_H_
+#define GNNPART_OBS_MANIFEST_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+/// Run manifest: the machine-readable metrics artifact (DESIGN.md §9).
+///
+/// JSON-lines, one object per line. The first line is the meta record
+///
+///   {"type":"meta","schema":"gnnpart.metrics","version":1,...}
+///
+/// followed by one line per metric, sorted by name:
+///
+///   {"type":"counter","name":"...","unit":"edges","det":true,"value":42}
+///   {"type":"gauge","name":"...","unit":"bytes","det":true,"value":1024}
+///   {"type":"histogram","name":"...","unit":"","det":true,
+///    "bounds":[1,2,4],"buckets":[0,3,1,0],"count":4,"sum":9}
+///   {"type":"timer","name":"...","unit":"seconds","det":false,
+///    "seconds":0.125,"count":3}
+///
+/// `det` marks the determinism contract per metric: det:true lines are
+/// bit-identical for any `--threads` setting and machine; det:false lines
+/// (timers, peak RSS) are wall-clock/kernel-dependent and exempt.
+/// `tools/bench_compare.py` compares det:true lines exactly and det:false
+/// timers by relative threshold.
+///
+/// The parser rejects malformed input with invariant-named errors in the
+/// `gnnpart::check` style: manifest/bad-json, manifest/missing-meta,
+/// manifest/schema, manifest/schema-version, manifest/missing-field,
+/// manifest/unknown-type, manifest/bucket-shape.
+namespace gnnpart::obs {
+
+inline constexpr int kManifestVersion = 1;
+inline constexpr const char* kManifestSchema = "gnnpart.metrics";
+
+/// A parsed manifest: meta key/value pairs (minus type/schema/version) plus
+/// the metric rows in file order.
+struct Manifest {
+  int version = kManifestVersion;
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<MetricRow> rows;
+};
+
+/// Appends one metric row as a single JSON line (with trailing newline).
+/// Shared between WriteManifest and the canonical DumpDeterministic.
+void AppendMetricLine(const MetricRow& row, std::string* out);
+
+/// Serializes meta line + all rows of `snap` (already name-sorted).
+void WriteManifest(const MetricsSnapshot& snap,
+                   const std::vector<std::pair<std::string, std::string>>& meta,
+                   std::string* out);
+
+/// Snapshots the registry (refreshing the peak-RSS gauge first) and writes
+/// the manifest to `path`.
+Status WriteManifestFile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& meta);
+
+/// Parses manifest text; rejects corruption with invariant-named errors.
+Result<Manifest> ParseManifest(const std::string& content);
+
+Result<Manifest> LoadManifestFile(const std::string& path);
+
+}  // namespace gnnpart::obs
+
+#endif  // GNNPART_OBS_MANIFEST_H_

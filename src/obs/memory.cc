@@ -1,0 +1,51 @@
+#include "obs/memory.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gnnpart::obs {
+namespace {
+
+/// Reads a "Vm...: N kB" field from /proc/self/status; 0 if absent.
+/// lint:wall-clock-ok — procfs telemetry is quarantined to src/obs/.
+uint64_t ReadProcStatusKb(const char* field) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  const size_t field_len = std::strlen(field);
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      kb = std::strtoull(line + field_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  (void)field;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+uint64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM") * 1024; }
+
+uint64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
+
+void RecordStructureBytes(std::string_view structure, uint64_t bytes) {
+  GaugeMax("mem/" + std::string(structure) + "_bytes",
+           static_cast<int64_t>(bytes), "bytes");
+}
+
+void RecordPeakRss() {
+  GetGauge("mem/peak_rss_bytes", "bytes", /*deterministic=*/false)
+      .Max(static_cast<int64_t>(PeakRssBytes()));
+}
+
+}  // namespace gnnpart::obs

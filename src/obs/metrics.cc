@@ -1,0 +1,394 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "obs/manifest.h"
+
+namespace gnnpart::obs {
+namespace {
+
+constexpr uint32_t kInvalidSlot = ~0u;
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "FATAL: obs: %s\n", msg.c_str());
+  std::abort();
+}
+
+/// Histogram cell: bounds.size()+1 bucket counts plus count/sum.
+struct HistCell {
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+struct TimerCell {
+  double seconds = 0.0;
+  uint64_t calls = 0;
+};
+
+/// Per-thread accumulator. Sized lazily: a slot index past the current size
+/// means "all zero so far". Only the owning thread writes; serial sections
+/// (Snapshot/Reset) read/zero it via the pool's completion happens-before.
+struct Shard {
+  std::vector<uint64_t> counters;
+  std::vector<HistCell> hists;
+  std::vector<TimerCell> timers;
+};
+
+struct MetricInfo {
+  MetricKind kind;
+  std::string name;
+  std::string unit;
+  bool deterministic;
+  /// Histograms: leaked stable storage so handles can search bounds without
+  /// touching registry containers (no lock on the Observe path).
+  const std::vector<uint64_t>* bounds = nullptr;
+  uint32_t slot = kInvalidSlot;
+};
+
+class Registry {
+ public:
+  static Registry& Get() {
+    // Leaked: manifest writers run atexit and thread-local shard
+    // destructors run at thread exit; neither may outlive the registry.
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  const MetricInfo& Register(MetricKind kind, std::string_view name,
+                             std::string_view unit, bool deterministic,
+                             std::vector<uint64_t> bounds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) {
+      const MetricInfo& info = metrics_[it->second];
+      if (info.kind != kind) {
+        Die("metric '" + info.name + "' re-registered as " +
+            MetricKindName(kind) + " (was " + MetricKindName(info.kind) + ")");
+      }
+      return info;
+    }
+    MetricInfo info;
+    info.kind = kind;
+    info.name = std::string(name);
+    info.unit = std::string(unit);
+    info.deterministic = deterministic;
+    switch (kind) {
+      case MetricKind::kCounter:
+        info.slot = counter_slots_++;
+        break;
+      case MetricKind::kGauge:
+        info.slot = static_cast<uint32_t>(gauges_.size());
+        gauges_.push_back(0);
+        break;
+      case MetricKind::kHistogram:
+        if (bounds.empty()) Die("histogram '" + info.name + "' has no buckets");
+        for (size_t i = 1; i < bounds.size(); ++i) {
+          if (bounds[i] <= bounds[i - 1]) {
+            Die("histogram '" + info.name +
+                "' bounds must be strictly increasing");
+          }
+        }
+        info.slot = hist_slots_++;
+        info.bounds = new std::vector<uint64_t>(std::move(bounds));  // leaked
+        break;
+      case MetricKind::kTimer:
+        info.slot = timer_slots_++;
+        info.deterministic = false;  // wall time is never deterministic
+        break;
+    }
+    const size_t index = metrics_.size();
+    metrics_.push_back(std::move(info));
+    by_name_.emplace(metrics_.back().name, index);
+    return metrics_.back();
+  }
+
+  void Adopt(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.push_back(shard);
+  }
+
+  void Retire(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MergeShard(*shard, &retired_);
+    live_.erase(std::remove(live_.begin(), live_.end(), shard), live_.end());
+  }
+
+  void SetGauge(uint32_t slot, int64_t value, bool max_only) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot >= gauges_.size()) return;
+    if (max_only) {
+      gauges_[slot] = std::max(gauges_[slot], value);
+    } else {
+      gauges_[slot] = value;
+    }
+  }
+
+  MetricsSnapshot Snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Shard total = retired_;
+    for (const Shard* s : live_) MergeShard(*s, &total);
+    MetricsSnapshot snap;
+    snap.rows.reserve(metrics_.size());
+    for (const MetricInfo& info : metrics_) {
+      MetricRow row;
+      row.kind = info.kind;
+      row.name = info.name;
+      row.unit = info.unit;
+      row.deterministic = info.deterministic;
+      switch (info.kind) {
+        case MetricKind::kCounter:
+          if (info.slot < total.counters.size()) {
+            row.value = total.counters[info.slot];
+          }
+          break;
+        case MetricKind::kGauge:
+          row.level = gauges_[info.slot];
+          break;
+        case MetricKind::kHistogram: {
+          row.bounds = *info.bounds;
+          row.buckets.assign(info.bounds->size() + 1, 0);
+          if (info.slot < total.hists.size()) {
+            const HistCell& cell = total.hists[info.slot];
+            for (size_t i = 0; i < cell.buckets.size(); ++i) {
+              row.buckets[i] = cell.buckets[i];
+            }
+            row.count = cell.count;
+            row.sum = cell.sum;
+          }
+          break;
+        }
+        case MetricKind::kTimer:
+          if (info.slot < total.timers.size()) {
+            row.seconds = total.timers[info.slot].seconds;
+            row.count = total.timers[info.slot].calls;
+          }
+          break;
+      }
+      snap.rows.push_back(std::move(row));
+    }
+    std::sort(snap.rows.begin(), snap.rows.end(),
+              [](const MetricRow& a, const MetricRow& b) {
+                return a.name < b.name;
+              });
+    return snap;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ZeroShard(&retired_);
+    for (Shard* s : live_) ZeroShard(s);
+    std::fill(gauges_.begin(), gauges_.end(), 0);
+  }
+
+  Shard& LocalShard();
+
+ private:
+  static void MergeShard(const Shard& from, Shard* into) {
+    if (into->counters.size() < from.counters.size()) {
+      into->counters.resize(from.counters.size(), 0);
+    }
+    for (size_t i = 0; i < from.counters.size(); ++i) {
+      into->counters[i] += from.counters[i];
+    }
+    if (into->hists.size() < from.hists.size()) {
+      into->hists.resize(from.hists.size());
+    }
+    for (size_t i = 0; i < from.hists.size(); ++i) {
+      const HistCell& src = from.hists[i];
+      HistCell& dst = into->hists[i];
+      if (dst.buckets.size() < src.buckets.size()) {
+        dst.buckets.resize(src.buckets.size(), 0);
+      }
+      for (size_t b = 0; b < src.buckets.size(); ++b) {
+        dst.buckets[b] += src.buckets[b];
+      }
+      dst.count += src.count;
+      dst.sum += src.sum;
+    }
+    if (into->timers.size() < from.timers.size()) {
+      into->timers.resize(from.timers.size());
+    }
+    for (size_t i = 0; i < from.timers.size(); ++i) {
+      into->timers[i].seconds += from.timers[i].seconds;
+      into->timers[i].calls += from.timers[i].calls;
+    }
+  }
+
+  static void ZeroShard(Shard* s) {
+    std::fill(s->counters.begin(), s->counters.end(), 0);
+    for (HistCell& cell : s->hists) {
+      std::fill(cell.buckets.begin(), cell.buckets.end(), 0);
+      cell.count = 0;
+      cell.sum = 0;
+    }
+    for (TimerCell& cell : s->timers) {
+      cell.seconds = 0.0;
+      cell.calls = 0;
+    }
+  }
+
+  std::mutex mu_;
+  std::map<std::string, size_t> by_name_;
+  std::deque<MetricInfo> metrics_;  // deque: stable refs across Register
+  std::vector<int64_t> gauges_;
+  uint32_t counter_slots_ = 0;
+  uint32_t hist_slots_ = 0;
+  uint32_t timer_slots_ = 0;
+  std::vector<Shard*> live_;
+  Shard retired_;
+};
+
+/// Registers the thread's shard on first touch, retires (merges) it when
+/// the thread exits so no telemetry is lost with short-lived threads.
+struct ShardRef {
+  ShardRef() { Registry::Get().Adopt(&shard); }
+  ~ShardRef() { Registry::Get().Retire(&shard); }
+  Shard shard;
+};
+
+Shard& Registry::LocalShard() {
+  thread_local ShardRef ref;
+  return ref.shard;
+}
+
+std::atomic<bool> g_timing_enabled{false};
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+    case MetricKind::kTimer:
+      return "timer";
+  }
+  return "unknown";
+}
+
+void Counter::Add(uint64_t n) const {
+  if (slot_ == kInvalid) return;
+  Shard& s = Registry::Get().LocalShard();
+  if (slot_ >= s.counters.size()) s.counters.resize(slot_ + 1, 0);
+  s.counters[slot_] += n;
+}
+
+void Gauge::Set(int64_t value) const {
+  if (slot_ == kInvalid) return;
+  Registry::Get().SetGauge(slot_, value, /*max_only=*/false);
+}
+
+void Gauge::Max(int64_t value) const {
+  if (slot_ == kInvalid) return;
+  Registry::Get().SetGauge(slot_, value, /*max_only=*/true);
+}
+
+void Timer::Record(double seconds) const {
+  if (slot_ == kInvalid) return;
+  Shard& s = Registry::Get().LocalShard();
+  if (slot_ >= s.timers.size()) s.timers.resize(slot_ + 1);
+  s.timers[slot_].seconds += seconds;
+  s.timers[slot_].calls += 1;
+}
+
+Counter GetCounter(std::string_view name, std::string_view unit,
+                   bool deterministic) {
+  const MetricInfo& info = Registry::Get().Register(
+      MetricKind::kCounter, name, unit, deterministic, {});
+  return Counter(info.slot);
+}
+
+Gauge GetGauge(std::string_view name, std::string_view unit,
+               bool deterministic) {
+  const MetricInfo& info = Registry::Get().Register(MetricKind::kGauge, name,
+                                                    unit, deterministic, {});
+  return Gauge(info.slot);
+}
+
+Timer GetTimer(std::string_view name) {
+  const MetricInfo& info =
+      Registry::Get().Register(MetricKind::kTimer, name, "seconds",
+                               /*deterministic=*/false, {});
+  return Timer(info.slot);
+}
+
+Histogram GetHistogram(std::string_view name, std::string_view unit,
+                       const std::vector<uint64_t>& bucket_bounds) {
+  const MetricInfo& info = Registry::Get().Register(
+      MetricKind::kHistogram, name, unit, /*deterministic=*/true,
+      bucket_bounds);
+  Histogram h(info.slot);
+  h.bounds_ = info.bounds->data();
+  h.num_bounds_ = static_cast<uint32_t>(info.bounds->size());
+  return h;
+}
+
+void Histogram::Observe(uint64_t value) const {
+  if (slot_ == kInvalid) return;
+  // First bound >= value: bounds are inclusive upper limits; anything past
+  // the last bound lands in the overflow bucket (index num_bounds_).
+  const uint64_t* end = bounds_ + num_bounds_;
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_, end, value) - bounds_);
+  Shard& s = Registry::Get().LocalShard();
+  if (slot_ >= s.hists.size()) s.hists.resize(slot_ + 1);
+  HistCell& cell = s.hists[slot_];
+  if (cell.buckets.size() < num_bounds_ + 1u) {
+    cell.buckets.resize(num_bounds_ + 1u, 0);
+  }
+  cell.buckets[bucket] += 1;
+  cell.count += 1;
+  cell.sum += value;
+}
+
+void Count(std::string_view name, uint64_t n, std::string_view unit) {
+  GetCounter(name, unit).Add(n);
+}
+
+void GaugeMax(std::string_view name, int64_t value, std::string_view unit) {
+  GetGauge(name, unit).Max(value);
+}
+
+void RecordSeconds(std::string_view name, double seconds) {
+  GetTimer(name).Record(seconds);
+}
+
+std::vector<uint64_t> Pow2Buckets(int count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  uint64_t b = 1;
+  for (int i = 0; i < count; ++i, b <<= 1) bounds.push_back(b);
+  return bounds;
+}
+
+void EnableTiming(bool enabled) {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TimingEnabled() {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+MetricsSnapshot Snapshot() { return Registry::Get().Snapshot(); }
+
+void DumpDeterministic(std::string* out) {
+  const MetricsSnapshot snap = Snapshot();
+  for (const MetricRow& row : snap.rows) {
+    if (!row.deterministic) continue;
+    AppendMetricLine(row, out);
+  }
+}
+
+void ResetForTest() { Registry::Get().Reset(); }
+
+}  // namespace gnnpart::obs

@@ -1,0 +1,203 @@
+#ifndef GNNPART_OBS_METRICS_H_
+#define GNNPART_OBS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/timer.h"
+
+/// gnnpart::obs — deterministic runtime telemetry (DESIGN.md §9).
+///
+/// A process-wide registry of named metrics, designed around the library's
+/// determinism contract: every *deterministic* metric (counter, gauge,
+/// histogram) is a pure function of (input graph, seed, config), bit-identical
+/// for any `--threads` setting. That works because
+///
+///   - deterministic metrics hold only integers, and updates are additions
+///     (or max, for gauges) — commutative and associative, so the merge of
+///     per-thread shards cannot depend on scheduling;
+///   - hot paths accumulate locally and publish once per call/chunk, so the
+///     *number* of updates is workload-defined, not scheduling-defined.
+///
+/// Wall-clock-dependent telemetry (phase timers, peak RSS) is explicitly
+/// second-class: timers hold doubles, are marked `det:false` in the manifest
+/// schema, and are skipped by the canonical DumpDeterministic() serialization
+/// that the byte-equality tests and `tools/bench_compare.py --det-only` use.
+///
+/// Threading model: Counter::Add / Histogram::Observe write a thread-local
+/// shard and are safe from any thread, including inside ParallelFor chunks.
+/// Gauge::Set/Max take the registry mutex (rare, coarse-grained call sites).
+/// Snapshot()/Reset() must run from serial sections — the ThreadPool's
+/// completion handshake provides the happens-before edge that makes shard
+/// reads race-free after a parallel region.
+namespace gnnpart::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram, kTimer };
+
+/// Returns the manifest type tag for a kind: "counter", "gauge", ...
+const char* MetricKindName(MetricKind kind);
+
+class Counter;
+class Gauge;
+class Histogram;
+class Timer;
+
+/// Looks up or registers a metric. Name is the identity: repeated calls with
+/// the same name return the same metric; re-registering a name with a
+/// different kind aborts (programmer error). Units are informational
+/// ("edges", "bytes", "seconds").
+Counter GetCounter(std::string_view name, std::string_view unit = "",
+                   bool deterministic = true);
+Gauge GetGauge(std::string_view name, std::string_view unit = "",
+               bool deterministic = true);
+Histogram GetHistogram(std::string_view name, std::string_view unit,
+                       const std::vector<uint64_t>& bucket_bounds);
+Timer GetTimer(std::string_view name);
+
+/// Monotonic integer count (edges assigned, cache hits, ...). Always
+/// deterministic unless registered with deterministic=false (reserved for
+/// scheduling-dependent counts such as sampler free-list reuse).
+class Counter {
+ public:
+  Counter() : slot_(kInvalid) {}
+  /// Adds n to this thread's shard. Safe inside parallel regions.
+  void Add(uint64_t n) const;
+  void Inc() const { Add(1); }
+
+ private:
+  friend Counter GetCounter(std::string_view, std::string_view, bool);
+  static constexpr uint32_t kInvalid = ~0u;
+  explicit Counter(uint32_t slot) : slot_(slot) {}
+  uint32_t slot_;
+};
+
+/// Point-in-time level (bytes held by a structure). Set/Max lock the
+/// registry; call from coarse-grained sites only.
+class Gauge {
+ public:
+  Gauge() : slot_(kInvalid) {}
+  void Set(int64_t value) const;
+  /// Raises the gauge to `value` if larger (high-water accounting). Max is
+  /// commutative, so concurrent calls stay deterministic.
+  void Max(int64_t value) const;
+
+ private:
+  friend Gauge GetGauge(std::string_view, std::string_view, bool);
+  static constexpr uint32_t kInvalid = ~0u;
+  explicit Gauge(uint32_t slot) : slot_(slot) {}
+  uint32_t slot_;
+};
+
+/// Fixed-bucket histogram: upper bounds are inclusive ("value <= bound"),
+/// plus one implicit overflow bucket; tracks observation count and sum.
+class Histogram {
+ public:
+  Histogram() : slot_(kInvalid) {}
+  /// Records one observation in this thread's shard.
+  void Observe(uint64_t value) const;
+
+ private:
+  friend Histogram GetHistogram(std::string_view, std::string_view,
+                                const std::vector<uint64_t>&);
+  static constexpr uint32_t kInvalid = ~0u;
+  explicit Histogram(uint32_t slot) : slot_(slot) {}
+  // Stable (leaked) storage owned by the registry: Observe searches the
+  // bounds without taking any lock.
+  const uint64_t* bounds_ = nullptr;
+  uint32_t num_bounds_ = 0;
+  uint32_t slot_;
+};
+
+/// Accumulated wall seconds + call count. Always non-deterministic
+/// (`det:false`); excluded from the canonical dump.
+class Timer {
+ public:
+  Timer() : slot_(kInvalid) {}
+  void Record(double seconds) const;
+
+ private:
+  friend Timer GetTimer(std::string_view);
+  static constexpr uint32_t kInvalid = ~0u;
+  explicit Timer(uint32_t slot) : slot_(slot) {}
+  uint32_t slot_;
+};
+
+/// One-shot conveniences for call sites with dynamic metric names (one
+/// registry lookup per call — fine per Partition()/epoch, not per edge).
+void Count(std::string_view name, uint64_t n, std::string_view unit = "");
+void GaugeMax(std::string_view name, int64_t value,
+              std::string_view unit = "");
+void RecordSeconds(std::string_view name, double seconds);
+
+/// {1, 2, 4, ..., 2^(count-1)}: integral power-of-two bounds, the stock
+/// shape for size-ish distributions (fan-out, frontier sizes).
+std::vector<uint64_t> Pow2Buckets(int count);
+
+/// Global switch for wall-clock telemetry, set when `--metrics-out` (or a
+/// metrics-emitting caller) is active. When off, ScopedTimer skips the
+/// clock reads entirely so instrumented loops cost nothing.
+void EnableTiming(bool enabled);
+bool TimingEnabled();
+
+/// RAII phase timer: reads the clock only when TimingEnabled().
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer timer)
+      : timer_(timer),
+        wall_(TimingEnabled() ? WallTimer() : WallTimer::Disabled()) {}
+  /// Convenience for dynamic names (one registry lookup per construction).
+  explicit ScopedTimer(std::string_view name) : ScopedTimer(GetTimer(name)) {}
+  explicit ScopedTimer(const std::string& name)
+      : ScopedTimer(std::string_view(name)) {}
+  explicit ScopedTimer(const char* name) : ScopedTimer(std::string_view(name)) {}
+  ~ScopedTimer() {
+    if (wall_.enabled()) timer_.Record(wall_.ElapsedSeconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer timer_;
+  WallTimer wall_;
+};
+
+/// Merged view of one metric. Exactly the fields for its kind are
+/// meaningful; the rest stay zero/empty.
+struct MetricRow {
+  MetricKind kind = MetricKind::kCounter;
+  std::string name;
+  std::string unit;
+  bool deterministic = true;
+  uint64_t value = 0;                  // counter
+  int64_t level = 0;                   // gauge
+  std::vector<uint64_t> bounds;        // histogram: inclusive upper bounds
+  std::vector<uint64_t> buckets;       // histogram: bounds.size()+1 counts
+  uint64_t count = 0;                  // histogram observations / timer calls
+  uint64_t sum = 0;                    // histogram sum of observed values
+  double seconds = 0.0;                // timer accumulated wall seconds
+};
+
+/// Registry state merged across all shards, rows sorted by name. Metric
+/// *registration* order can depend on which thread first touches a metric
+/// inside a parallel region, so the canonical serialization orders by name,
+/// which is scheduling-independent (DESIGN.md §9).
+struct MetricsSnapshot {
+  std::vector<MetricRow> rows;
+};
+
+/// Merges live + retired shards into a snapshot. Serial sections only.
+MetricsSnapshot Snapshot();
+
+/// Writes the deterministic rows (det:true) in manifest line format, sorted
+/// by name — the byte-equality surface for the 1/2/8-thread tests.
+void DumpDeterministic(std::string* out);
+
+/// Zeroes every value (registrations survive). Serial sections only; used
+/// by tests that compare runs.
+void ResetForTest();
+
+}  // namespace gnnpart::obs
+
+#endif  // GNNPART_OBS_METRICS_H_

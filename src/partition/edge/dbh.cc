@@ -2,6 +2,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -28,6 +29,8 @@ Result<EdgePartitioning> DbhPartitioner::Partition(const Graph& graph,
           static_cast<PartitionId>(HashCombine64(seed, key) % k);
     }
   });
+  obs::Count("partition/edge/" + name() + "/edges_assigned",
+             graph.num_edges(), "edges");
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -38,12 +39,14 @@ Result<EdgePartitioning> GreedyEdgePartitioner::Partition(const Graph& graph,
   const uint64_t all_mask = (k == 64) ? ~0ULL : ((1ULL << k) - 1);
 
   const auto& edges = graph.edges();
+  uint64_t cases[4] = {0, 0, 0, 0};  // per-rule tallies, published once below
   for (EdgeId e : order) {
     VertexId u = edges[e].src;
     VertexId v = edges[e].dst;
     uint64_t au = replicas[u];
     uint64_t av = replicas[v];
     PartitionId target;
+    ++cases[(au & av) ? 0 : (au && av) ? 1 : (au | av) ? 2 : 3];
     if (au & av) {
       // Case 1: both endpoints share partitions.
       target = least_loaded_in(au & av);
@@ -65,6 +68,11 @@ Result<EdgePartitioning> GreedyEdgePartitioner::Partition(const Graph& graph,
     replicas[v] |= 1ULL << target;
     ++load[target];
   }
+  obs::Count("partition/edge/" + name() + "/edges_assigned", m, "edges");
+  obs::Count("partition/edge/" + name() + "/case_shared", cases[0], "edges");
+  obs::Count("partition/edge/" + name() + "/case_disjoint", cases[1], "edges");
+  obs::Count("partition/edge/" + name() + "/case_single", cases[2], "edges");
+  obs::Count("partition/edge/" + name() + "/case_fresh", cases[3], "edges");
   return result;
 }
 

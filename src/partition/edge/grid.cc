@@ -2,6 +2,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -33,6 +34,8 @@ Result<EdgePartitioning> GridPartitioner::Partition(const Graph& graph,
       result.assignment[e] = row * cols + col;
     }
   });
+  obs::Count("partition/edge/" + name() + "/edges_assigned",
+             graph.num_edges(), "edges");
   return result;
 }
 

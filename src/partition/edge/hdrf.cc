@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -34,6 +35,7 @@ Result<EdgePartitioning> HdrfPartitioner::Partition(const Graph& graph,
   rng.Shuffle(&order);
 
   const auto& edges = graph.edges();
+  uint64_t score_evals = 0;  // accumulated locally, published once below
   for (EdgeId e : order) {
     VertexId u = edges[e].src;
     VertexId v = edges[e].dst;
@@ -48,6 +50,7 @@ Result<EdgePartitioning> HdrfPartitioner::Partition(const Graph& graph,
     double best_score = -1.0;
     uint64_t best_load = ~0ULL;
     double denom = epsilon_ + static_cast<double>(max_load - min_load);
+    score_evals += k;
     for (PartitionId p = 0; p < k; ++p) {
       double g = 0;
       if (replicas[u] & (1ULL << p)) g += 1.0 + (1.0 - theta_u);
@@ -69,6 +72,9 @@ Result<EdgePartitioning> HdrfPartitioner::Partition(const Graph& graph,
     max_load = std::max(max_load, load[best]);
     min_load = *std::min_element(load.begin(), load.end());
   }
+  obs::Count("partition/edge/" + name() + "/edges_assigned", m, "edges");
+  obs::Count("partition/edge/" + name() + "/score_evals", score_evals,
+             "evals");
   return result;
 }
 

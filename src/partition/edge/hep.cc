@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "partition/incidence.h"
 
 namespace gnnpart {
@@ -161,6 +162,8 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
   }
   rng.Shuffle(&rest);
 
+  const size_t streamed_edges = rest.size();
+  uint64_t score_evals = 0;  // accumulated locally, published once below
   std::vector<uint32_t> partial_degree(n, 0);
   const uint64_t cap = static_cast<uint64_t>(
       alpha_ * static_cast<double>(m) / static_cast<double>(k)) + 1;
@@ -179,6 +182,7 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
     double best_score = -1.0;
     for (PartitionId p = 0; p < k; ++p) {
       if (load[p] >= cap) continue;
+      ++score_evals;
       double g = 0;
       if (replicas[u] & (1ULL << p)) g += 1.0 + (1.0 - theta_u);
       if (replicas[v] & (1ULL << p)) g += 1.0 + theta_u;
@@ -197,6 +201,13 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
     assign_edge(e, best);
     max_load = std::max(max_load, load[best]);
   }
+  obs::Count("partition/edge/" + name() + "/edges_assigned", m, "edges");
+  obs::Count("partition/edge/" + name() + "/in_memory_edges", assigned_low,
+             "edges");
+  obs::Count("partition/edge/" + name() + "/streamed_edges", streamed_edges,
+             "edges");
+  obs::Count("partition/edge/" + name() + "/score_evals", score_evals,
+             "evals");
   return result;
 }
 

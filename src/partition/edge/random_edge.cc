@@ -2,6 +2,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -20,6 +21,8 @@ Result<EdgePartitioning> RandomEdgePartitioner::Partition(const Graph& graph,
           static_cast<PartitionId>(HashCombine64(seed, e) % k);
     }
   });
+  obs::Count("partition/edge/" + name() + "/edges_assigned",
+             graph.num_edges(), "edges");
   return result;
 }
 

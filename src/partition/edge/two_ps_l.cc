@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -37,6 +38,8 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
   // consolidates vertices that streamed by before their cluster existed
   // (2PS-L restreams the edge set anyway for phase 2, so the second
   // clustering pass costs no extra I/O in the out-of-core setting).
+  uint64_t cluster_moves = 0;  // accumulated locally, published once below
+  uint64_t score_evals = 0;
   for (int pass = 0; pass < 2; ++pass) {
     for (EdgeId e : order) {
       VertexId u = edges[e].src;
@@ -44,6 +47,7 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
       uint32_t cu = cluster[u];
       uint32_t cv = cluster[v];
       if (cu == cv) continue;
+      ++score_evals;
       double du = static_cast<double>(graph.Degree(u));
       double dv = static_cast<double>(graph.Degree(v));
       // Move the endpoint in the smaller cluster to the larger one.
@@ -52,12 +56,14 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
           cluster[u] = cv;
           volume[cv] += du;
           volume[cu] -= du;
+          ++cluster_moves;
         }
       } else {
         if (volume[cu] + dv <= cap) {
           cluster[v] = cu;
           volume[cu] += dv;
           volume[cv] -= dv;
+          ++cluster_moves;
         }
       }
     }
@@ -96,6 +102,7 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
     }
     return best;
   };
+  uint64_t spills = 0;  // edges bounced off the load cap
   for (EdgeId e : order) {
     VertexId u = edges[e].src;
     VertexId v = edges[e].dst;
@@ -113,12 +120,19 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
       target = (du < dv || (du == dv && load[pu] <= load[pv])) ? pu : pv;
     }
     if (load[target] >= load_cap) {
+      ++spills;
       PartitionId other = (target == pu) ? pv : pu;
       target = load[other] < load_cap ? other : least_loaded();
     }
     result.assignment[e] = target;
     ++load[target];
   }
+  obs::Count("partition/edge/" + name() + "/edges_assigned", m, "edges");
+  obs::Count("partition/edge/" + name() + "/cluster_moves", cluster_moves,
+             "moves");
+  obs::Count("partition/edge/" + name() + "/score_evals", score_evals,
+             "evals");
+  obs::Count("partition/edge/" + name() + "/spills", spills, "edges");
   return result;
 }
 

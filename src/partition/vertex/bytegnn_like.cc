@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -43,8 +44,11 @@ Result<VertexPartitioning> ByteGnnLikePartitioner::Partition(
   std::vector<std::deque<QueueEntry>> frontiers(k);
   PartitionId next_part = 0;
   std::vector<uint32_t> root_conn(k, 0);
+  uint64_t roots_placed = 0;  // accumulated locally, published once below
+  uint64_t block_vertices = 0;
   for (VertexId root : roots) {
     if (result.assignment[root] != kInvalidPartition) continue;
+    ++roots_placed;
     // Primary objective: balance training vertices. Among the partitions
     // tied at the minimum training load, prefer the one already holding
     // most of the root's neighbourhood — that keeps adjacent blocks
@@ -99,6 +103,7 @@ Result<VertexPartitioning> ByteGnnLikePartitioner::Partition(
       }
       if (load[p] >= capacity || block_size >= root_budget) break;
     }
+    block_vertices += block_size;
     frontiers[p].clear();
   }
 
@@ -140,6 +145,12 @@ Result<VertexPartitioning> ByteGnnLikePartitioner::Partition(
     ++load[best];
     if (split.IsTrain(v)) ++train_load[best];
   }
+  obs::Count("partition/vertex/" + name() + "/vertices_assigned", n,
+             "vertices");
+  obs::Count("partition/vertex/" + name() + "/roots_placed", roots_placed,
+             "roots");
+  obs::Count("partition/vertex/" + name() + "/block_vertices", block_vertices,
+             "vertices");
   return result;
 }
 

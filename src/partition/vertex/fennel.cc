@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -31,6 +32,7 @@ Result<VertexPartitioning> FennelPartitioner::Partition(
   Rng rng(seed);
   rng.Shuffle(&order);
 
+  uint64_t score_evals = 0;  // accumulated locally, published once below
   for (VertexId v : order) {
     std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
     for (VertexId u : graph.Neighbors(v)) {
@@ -41,6 +43,7 @@ Result<VertexPartitioning> FennelPartitioner::Partition(
     double best_score = -1e300;
     for (PartitionId p = 0; p < k; ++p) {
       if (static_cast<double>(load[p]) >= capacity) continue;
+      ++score_evals;
       double penalty =
           alpha * gamma_ *
           std::pow(static_cast<double>(load[p]), gamma_ - 1.0);
@@ -54,6 +57,10 @@ Result<VertexPartitioning> FennelPartitioner::Partition(
     result.assignment[v] = best;
     ++load[best];
   }
+  obs::Count("partition/vertex/" + name() + "/vertices_assigned", n,
+             "vertices");
+  obs::Count("partition/vertex/" + name() + "/score_evals", score_evals,
+             "evals");
   return result;
 }
 

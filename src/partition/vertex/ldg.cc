@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -27,6 +28,7 @@ Result<VertexPartitioning> LdgPartitioner::Partition(const Graph& graph,
   Rng rng(seed);
   rng.Shuffle(&order);
 
+  uint64_t score_evals = 0;  // accumulated locally, published once below
   for (VertexId v : order) {
     std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
     for (VertexId u : graph.Neighbors(v)) {
@@ -36,6 +38,7 @@ Result<VertexPartitioning> LdgPartitioner::Partition(const Graph& graph,
     PartitionId best = 0;
     double best_score = -1.0;
     uint64_t best_load = ~0ULL;
+    score_evals += k;
     for (PartitionId p = 0; p < k; ++p) {
       double penalty = 1.0 - static_cast<double>(load[p]) / capacity;
       if (penalty < 0) penalty = 0;
@@ -50,6 +53,10 @@ Result<VertexPartitioning> LdgPartitioner::Partition(const Graph& graph,
     result.assignment[v] = best;
     ++load[best];
   }
+  obs::Count("partition/vertex/" + name() + "/vertices_assigned", n,
+             "vertices");
+  obs::Count("partition/vertex/" + name() + "/score_evals", score_evals,
+             "evals");
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 namespace {
@@ -311,11 +312,18 @@ void Refine(const WeightedGraph& g, PartitionId k, int passes,
     pweight[(*part)[v]] += g.vweight[v];
   }
   RebalancePass(g, k, imbalance, part, &pweight, rng);
+  uint64_t total_moves = 0;
+  uint64_t total_passes = 0;
   for (int pass = 0; pass < passes; ++pass) {
     size_t moves = RefinePass(g, k, imbalance, part, &pweight, rng);
     RebalancePass(g, k, imbalance, part, &pweight, rng);
+    total_moves += moves;
+    ++total_passes;
     if (moves == 0) break;
   }
+  obs::Count("partition/vertex/multilevel/refine_moves", total_moves, "moves");
+  obs::Count("partition/vertex/multilevel/refine_passes", total_passes,
+             "passes");
 }
 
 // Runs one full multilevel cycle. If `current` is non-null it is used as
@@ -349,6 +357,8 @@ std::vector<PartitionId> RunCycle(const WeightedGraph& base, PartitionId k,
     levels.push_back(std::move(level));
     top = &levels.back().graph;
   }
+  obs::Count("partition/vertex/multilevel/coarsen_levels", levels.size(),
+             "levels");
 
   // Initial partition of the coarsest graph. The coarsest graph is tiny,
   // so refinement effort there is nearly free — spend 4x the passes.
@@ -397,6 +407,10 @@ Result<VertexPartitioning> MultilevelPartition(const Graph& graph,
   }
   Rng rng(seed);
   WeightedGraph base = FromGraph(graph);
+  obs::Count("partition/vertex/multilevel/vertices_assigned",
+             graph.num_vertices(), "vertices");
+  obs::Count("partition/vertex/multilevel/v_cycles",
+             static_cast<uint64_t>(params.v_cycles), "cycles");
 
   std::vector<PartitionId> part = RunCycle(base, k, params, &rng, nullptr);
   for (int cycle = 1; cycle < params.v_cycles; ++cycle) {

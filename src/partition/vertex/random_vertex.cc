@@ -2,6 +2,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -20,6 +21,8 @@ Result<VertexPartitioning> RandomVertexPartitioner::Partition(
                       static_cast<PartitionId>(HashCombine64(seed, v) % k);
                 }
               });
+  obs::Count("partition/vertex/" + name() + "/vertices_assigned",
+             graph.num_vertices(), "vertices");
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -24,6 +25,7 @@ Result<VertexPartitioning> ReldgPartitioner::Partition(
   std::iota(order.begin(), order.end(), 0);
   Rng rng(seed);
 
+  uint64_t placements = 0;  // accumulated locally, published once below
   for (int pass = 0; pass < passes_; ++pass) {
     rng.Shuffle(&order);
     for (VertexId v : order) {
@@ -51,8 +53,15 @@ Result<VertexPartitioning> ReldgPartitioner::Partition(
       }
       result.assignment[v] = best;
       ++load[best];
+      ++placements;
     }
   }
+  obs::Count("partition/vertex/" + name() + "/vertices_assigned", n,
+             "vertices");
+  obs::Count("partition/vertex/" + name() + "/placements", placements,
+             "placements");
+  obs::Count("partition/vertex/" + name() + "/passes",
+             static_cast<uint64_t>(passes_), "passes");
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 
@@ -31,7 +32,10 @@ Result<VertexPartitioning> SpinnerPartitioner::Partition(
   std::iota(order.begin(), order.end(), 0);
   std::vector<uint32_t> label_count(k, 0);
 
+  uint64_t iterations = 0;  // accumulated locally, published once below
+  uint64_t total_migrations = 0;
   for (int iter = 0; iter < max_iterations_; ++iter) {
+    ++iterations;
     rng.Shuffle(&order);
     size_t migrations = 0;
     for (VertexId v : order) {
@@ -61,11 +65,18 @@ Result<VertexPartitioning> SpinnerPartitioner::Partition(
         ++migrations;
       }
     }
+    total_migrations += migrations;
     if (static_cast<double>(migrations) <
         convergence_threshold_ * static_cast<double>(n)) {
       break;
     }
   }
+  obs::Count("partition/vertex/" + name() + "/vertices_assigned", n,
+             "vertices");
+  obs::Count("partition/vertex/" + name() + "/lp_iterations", iterations,
+             "iterations");
+  obs::Count("partition/vertex/" + name() + "/migrations", total_migrations,
+             "moves");
   return result;
 }
 

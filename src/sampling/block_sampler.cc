@@ -5,6 +5,8 @@
 
 #include "check/check.h"
 #include "common/parallel.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 namespace {
@@ -58,6 +60,7 @@ SampledBlock BlockSampler::SampleBlock(std::span<const VertexId> seeds,
   // local indices and dedups via visit stamps, so block contents are
   // bit-identical for every thread count.
   std::vector<VertexId> next;
+  size_t revisit_hits = 0;  // sampled endpoints already in the block
   for (size_t fanout : fanouts) {
     const size_t chunks = NumChunks(frontier.size(), kFrontierGrain);
     const uint64_t layer_base = rng->Next();
@@ -92,7 +95,11 @@ SampledBlock BlockSampler::SampleBlock(std::span<const VertexId> seeds,
         uint32_t lu = local_of(u);
         block.local_edges.push_back(
             {static_cast<VertexId>(lv), static_cast<VertexId>(lu)});
-        if (block.vertices.size() > before) next.push_back(u);
+        if (block.vertices.size() > before) {
+          next.push_back(u);
+        } else {
+          ++revisit_hits;
+        }
       }
     }
     frontier.swap(next);
@@ -110,6 +117,23 @@ SampledBlock BlockSampler::SampleBlock(std::span<const VertexId> seeds,
           "sampled block contains a phantom edge");
     }
   }
+
+  // Per-block telemetry (see neighbor_sampler.cc for the idiom).
+  static const obs::Counter blocks =
+      obs::GetCounter("sampler/block/blocks", "blocks");
+  static const obs::Counter sampled_edges =
+      obs::GetCounter("sampler/block/sampled_edges", "edges");
+  static const obs::Counter revisits =
+      obs::GetCounter("sampler/block/revisit_hits", "vertices");
+  static const obs::Histogram size_hist = obs::GetHistogram(
+      "sampler/block/block_vertices", "vertices", obs::Pow2Buckets(24));
+  blocks.Inc();
+  sampled_edges.Add(block.local_edges.size());
+  revisits.Add(revisit_hits);
+  size_hist.Observe(block.vertices.size());
+  obs::RecordStructureBytes("sampler_block",
+                       block.vertices.size() * sizeof(VertexId) +
+                           block.local_edges.size() * sizeof(Edge));
   return block;
 }
 

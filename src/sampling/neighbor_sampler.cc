@@ -4,6 +4,7 @@
 
 #include "check/check.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace gnnpart {
 namespace {
@@ -54,8 +55,11 @@ MiniBatchProfile NeighborSampler::SampleBatch(
     std::vector<VertexId> sampled;
     size_t edges = 0;
     size_t remote_requests = 0;
+    size_t empty_adjacency = 0;
   };
   std::vector<VertexId> next;
+  size_t empty_adjacency = 0;  // accumulated locally, published once below
+  size_t revisit_skips = 0;    // sampled endpoints already in the batch
   for (size_t fanout : fanouts) {
     const size_t chunks = NumChunks(frontier.size(), kFrontierGrain);
     const uint64_t layer_base = rng->Next();
@@ -72,7 +76,10 @@ MiniBatchProfile NeighborSampler::SampleBatch(
               ++o.remote_requests;
             }
             auto nbrs = graph_.Neighbors(v);
-            if (nbrs.empty()) continue;
+            if (nbrs.empty()) {
+              ++o.empty_adjacency;
+              continue;
+            }
             size_t take = std::min(fanout, nbrs.size());
             o.edges += take;
             if (take == nbrs.size()) {
@@ -92,8 +99,11 @@ MiniBatchProfile NeighborSampler::SampleBatch(
         });
     next.clear();
     size_t hop_edge_count = 0;
+    size_t hop_sampled = 0;
     for (const ChunkOut& o : out) {
       hop_edge_count += o.edges;
+      hop_sampled += o.sampled.size();
+      empty_adjacency += o.empty_adjacency;
       profile.remote_sampling_requests += o.remote_requests;
       for (VertexId u : o.sampled) {
         if (visit_stamp_[u] != now) {
@@ -106,6 +116,7 @@ MiniBatchProfile NeighborSampler::SampleBatch(
     profile.computation_edges += hop_edge_count;
     profile.frontier_sizes.push_back(next.size());
     profile.hop_edges.push_back(hop_edge_count);
+    revisit_skips += hop_sampled - next.size();
     frontier.swap(next);
   }
 
@@ -133,6 +144,29 @@ MiniBatchProfile NeighborSampler::SampleBatch(
   GNNPART_CHECK_CHEAP(profile.frontier_sizes.size() ==
                           profile.hop_edges.size() + 1,
                       "mini-batch hop vectors out of shape");
+
+  // Per-batch telemetry: handles are function-local statics so repeated
+  // batches pay one thread-local shard write per counter, no registry
+  // lookups. Safe inside parallel regions (shards are per-thread).
+  static const obs::Counter batches =
+      obs::GetCounter("sampler/neighbor/batches", "batches");
+  static const obs::Counter sampled_edges =
+      obs::GetCounter("sampler/neighbor/sampled_edges", "edges");
+  static const obs::Counter remote_requests =
+      obs::GetCounter("sampler/neighbor/remote_requests", "requests");
+  static const obs::Counter empty_skips =
+      obs::GetCounter("sampler/neighbor/empty_adjacency_skips", "vertices");
+  static const obs::Counter revisits =
+      obs::GetCounter("sampler/neighbor/revisit_skips", "vertices");
+  static const obs::Histogram input_hist = obs::GetHistogram(
+      "sampler/neighbor/batch_input_vertices", "vertices",
+      obs::Pow2Buckets(24));
+  batches.Inc();
+  sampled_edges.Add(profile.computation_edges);
+  remote_requests.Add(profile.remote_sampling_requests);
+  empty_skips.Add(empty_adjacency);
+  revisits.Add(revisit_skips);
+  input_hist.Observe(profile.input_vertices);
   return profile;
 }
 

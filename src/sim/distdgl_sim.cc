@@ -8,6 +8,7 @@
 #include "check/check.h"
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 #include "gnn/costs.h"
 #include "trace/trace.h"
 
@@ -107,7 +108,18 @@ Result<DistDglEpochProfile> ProfileDistDglEpoch(
         free_samplers.pop_back();
       }
     }
-    if (!sampler) sampler = std::make_unique<NeighborSampler>(graph);
+    // Free-list hits depend on chunk scheduling, so these counters are
+    // registered non-deterministic (exempt from cross-thread byte-equality).
+    static const obs::Counter reused = obs::GetCounter(
+        "sim/distdgl/sampler_reuse", "samplers", /*deterministic=*/false);
+    static const obs::Counter allocated = obs::GetCounter(
+        "sim/distdgl/sampler_alloc", "samplers", /*deterministic=*/false);
+    if (!sampler) {
+      sampler = std::make_unique<NeighborSampler>(graph);
+      allocated.Inc();
+    } else {
+      reused.Inc();
+    }
     std::vector<VertexId> seeds;
     for (size_t step = begin; step < end; ++step) {
       epoch.profiles[step].reserve(k);
@@ -127,6 +139,8 @@ Result<DistDglEpochProfile> ProfileDistDglEpoch(
     std::lock_guard<std::mutex> lk(sampler_mu);
     free_samplers.push_back(std::move(sampler));
   });
+  obs::Count("sim/distdgl/epochs_profiled", 1, "epochs");
+  obs::Count("sim/distdgl/steps_profiled", epoch.steps, "steps");
   return epoch;
 }
 
@@ -307,6 +321,11 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
     totals.push_back(ws.total_seconds());
   }
   report.time_balance = MaxOverMean(totals);
+  obs::Count("sim/distdgl/epochs_simulated", 1, "epochs");
+  obs::Count("sim/distdgl/network_bytes",
+             static_cast<uint64_t>(report.total_network_bytes), "bytes");
+  obs::Count("sim/distdgl/remote_input_vertices",
+             report.remote_input_vertices, "vertices");
 
   if (recorder != nullptr) {
     // Replay the recorded durations onto the BSP timeline: within a step

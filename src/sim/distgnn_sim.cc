@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "gnn/costs.h"
+#include "obs/metrics.h"
 #include "trace/trace.h"
 
 namespace gnnpart {
@@ -174,6 +175,10 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
   for (PartitionId p = 0; p < k; ++p) {
     report.total_network_bytes += report.machines[p].network_bytes;
   }
+  obs::Count("sim/distgnn/epochs_simulated", 1, "epochs");
+  obs::Count("sim/distgnn/network_bytes",
+             static_cast<uint64_t>(report.total_network_bytes), "bytes");
+  if (report.out_of_memory) obs::Count("sim/distgnn/oom_epochs", 1, "epochs");
 
   if (recorder != nullptr) {
     // Replay the per-layer costs onto the BSP timeline: forward layers in

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Tier-1 smoke for the metrics manifest path (ISSUE 4 acceptance):
+#   * `gnnpart_cli --metrics-out` writes a schema-versioned JSONL manifest
+#     whose det:true rows are byte-identical for --threads 1/2/8;
+#   * `gnnpart_cli metrics` pretty-prints (and strictly re-parses) it;
+#   * tools/bench_compare.py exits 0 on identical manifests and non-zero
+#     on an injected 2x regression.
+# Usage: cli_metrics_smoke.sh <path-to-gnnpart_cli> <path-to-bench_compare.py>
+set -eu
+
+CLI="$1"
+COMPARE="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$CLI" generate OR 0.02 "$TMP/g.txt" 7 > /dev/null
+
+# Manifest written by the global flag (before the subcommand, as documented).
+for t in 1 2 8; do
+  "$CLI" --metrics-out "$TMP/m$t.jsonl" --threads "$t" \
+      simulate "$TMP/g.txt" HDRF 8 > /dev/null 2> /dev/null
+done
+head -1 "$TMP/m1.jsonl" | grep -q '"type":"meta"'
+head -1 "$TMP/m1.jsonl" | grep -q '"schema":"gnnpart.metrics"'
+head -1 "$TMP/m1.jsonl" | grep -q '"version":1'
+grep -q '"name":"partition/edge/HDRF/edges_assigned"' "$TMP/m1.jsonl"
+
+# The deterministic surface must not depend on the thread count.
+for t in 1 2 8; do
+  grep '"det":true' "$TMP/m$t.jsonl" > "$TMP/det$t"
+done
+cmp -s "$TMP/det1" "$TMP/det2"
+cmp -s "$TMP/det1" "$TMP/det8"
+
+# Timers and RSS are exempt, and must be explicitly marked non-deterministic.
+grep -q '"name":"mem/peak_rss_bytes".*"det":false' "$TMP/m1.jsonl"
+
+# The pretty-printer re-parses strictly and renders a table.
+"$CLI" metrics "$TMP/m1.jsonl" > "$TMP/pretty.txt"
+grep -q 'partition/edge/HDRF/edges_assigned' "$TMP/pretty.txt"
+# A truncated manifest must be rejected with the invariant name.
+head -1 "$TMP/m1.jsonl" > "$TMP/broken.jsonl"
+printf '{"type":"counter","name":"x"\n' >> "$TMP/broken.jsonl"
+if "$CLI" metrics "$TMP/broken.jsonl" 2> "$TMP/err.txt"; then
+  echo "FAIL: corrupted manifest was accepted" >&2
+  exit 1
+fi
+grep -q 'manifest/bad-json' "$TMP/err.txt"
+
+# bench_compare: identical manifests pass ...
+python3 "$COMPARE" "$TMP/m1.jsonl" "$TMP/m2.jsonl" --det-only > /dev/null
+
+# ... an injected 2x regression on a det counter fails.
+sed 's/"name":"partition\/edge\/HDRF\/edges_assigned","unit":"edges","det":true,"value":\([0-9]*\)/"name":"partition\/edge\/HDRF\/edges_assigned","unit":"edges","det":true,"value":\1\1/' \
+    "$TMP/m1.jsonl" > "$TMP/regressed.jsonl"
+if python3 "$COMPARE" "$TMP/m1.jsonl" "$TMP/regressed.jsonl" --det-only > /dev/null; then
+  echo "FAIL: injected regression not flagged" >&2
+  exit 1
+fi
+
+echo OK

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare two gnnpart run manifests and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE CURRENT [--threshold FRAC] [--det-only]
+
+Both files are JSONL run manifests written by `--metrics-out` /
+GNNPART_METRICS_OUT (schema "gnnpart.metrics", see DESIGN.md §9).
+
+Comparison rules follow the manifest determinism contract:
+
+  * det:true rows (counters, gauges, histograms) must match *exactly* —
+    they are bit-identical for any thread count and machine, so any drift
+    is a behaviour change, not noise.
+  * det:false rows (timers, peak RSS, cache counters) are wall-clock or
+    environment dependent; timers are compared by relative threshold
+    (default 25% slower fails), everything else det:false is informational.
+    `--det-only` skips det:false rows entirely — the mode CI uses, since
+    shared runners make time thresholds flaky.
+  * A det:true row present in the baseline but missing from the current
+    manifest fails (instrumentation silently lost); rows that are new in
+    the current manifest are reported but do not fail.
+
+Exit status: 0 = no regressions, 1 = regressions found, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_manifest(path):
+    """Parses a JSONL manifest into (meta, {name: row}). Exits 2 on bad input."""
+    rows = {}
+    meta = None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as err:
+                    sys.exit(f"error: {path}:{lineno}: bad JSON: {err}")
+                if meta is None:
+                    if obj.get("type") != "meta":
+                        sys.exit(f"error: {path}: first line is not a meta record")
+                    if obj.get("schema") != "gnnpart.metrics":
+                        sys.exit(f"error: {path}: unknown schema {obj.get('schema')!r}")
+                    if obj.get("version") != 1:
+                        sys.exit(f"error: {path}: unsupported version {obj.get('version')!r}")
+                    meta = obj
+                    continue
+                name = obj.get("name")
+                if not name:
+                    sys.exit(f"error: {path}:{lineno}: metric row without a name")
+                rows[name] = obj
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if meta is None:
+        sys.exit(f"error: {path}: empty manifest")
+    return meta, rows
+
+
+def value_key(row):
+    """The comparable payload of a row, by kind."""
+    kind = row.get("type")
+    if kind == "counter" or kind == "gauge":
+        return row.get("value")
+    if kind == "histogram":
+        return (tuple(row.get("bounds", [])), tuple(row.get("buckets", [])),
+                row.get("count"), row.get("sum"))
+    if kind == "timer":
+        return (row.get("seconds"), row.get("count"))
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative slowdown allowed for det:false timers "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--det-only", action="store_true",
+                        help="compare only det:true rows (CI mode)")
+    args = parser.parse_args()
+
+    _, base = load_manifest(args.baseline)
+    _, cur = load_manifest(args.current)
+
+    regressions = []
+    notes = []
+
+    for name, brow in sorted(base.items()):
+        det = bool(brow.get("det", True))
+        crow = cur.get(name)
+        if crow is None:
+            if det:
+                regressions.append(f"MISSING  {name}: in baseline but not in current")
+            else:
+                notes.append(f"missing (non-det) {name}")
+            continue
+        if crow.get("type") != brow.get("type"):
+            regressions.append(
+                f"KIND     {name}: {brow.get('type')} -> {crow.get('type')}")
+            continue
+        if det:
+            if not crow.get("det", True):
+                regressions.append(f"DET      {name}: det:true -> det:false")
+                continue
+            if value_key(brow) != value_key(crow):
+                regressions.append(
+                    f"VALUE    {name}: {value_key(brow)} -> {value_key(crow)}")
+            continue
+        # det:false from here on.
+        if args.det_only:
+            continue
+        if brow.get("type") == "timer":
+            b_secs, c_secs = brow.get("seconds", 0.0), crow.get("seconds", 0.0)
+            if b_secs > 0 and c_secs > b_secs * (1.0 + args.threshold):
+                regressions.append(
+                    f"TIMER    {name}: {b_secs:.6f}s -> {c_secs:.6f}s "
+                    f"(+{100.0 * (c_secs / b_secs - 1.0):.1f}%, "
+                    f"threshold {100.0 * args.threshold:.0f}%)")
+        else:
+            if value_key(brow) != value_key(crow):
+                notes.append(f"changed (non-det) {name}: "
+                             f"{value_key(brow)} -> {value_key(crow)}")
+
+    for name in sorted(set(cur) - set(base)):
+        notes.append(f"new metric {name}")
+
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) vs {args.baseline}:")
+        for reg in regressions:
+            print(f"  {reg}")
+        return 1
+    print(f"OK: {len(base)} baseline metrics match {args.current}"
+          + (" (det-only)" if args.det_only else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@
 //       [--feature N] [--hidden N] [--layers N] [--gbs N] [--directed]
 //       [--trace-out FILE]
 //   gnnpart_cli trace-report <graph-file> <partitioner> <k> [same flags]
+//   gnnpart_cli metrics <manifest.jsonl>
 //
 // Graph files are whitespace edge lists ("u v" per line, '#' comments) or
 // the library's .bin snapshots (by extension).
@@ -37,6 +38,8 @@
 #include "graph/degree_stats.h"
 #include "graph/io.h"
 #include "metrics/partition_metrics.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "partition/edge/registry.h"
 #include "partition/vertex/registry.h"
 #include "sim/distdgl_sim.h"
@@ -67,11 +70,15 @@ int Usage() {
          "      .csv -> flat CSV, else Chrome trace_event JSON (Perfetto)\n"
          "  gnnpart_cli trace-report <graph> <partitioner> <k>\n"
          "      [simulate flags]  straggler-blame / critical-path tables\n"
+         "  gnnpart_cli metrics <manifest.jsonl>  pretty-print a run\n"
+         "      manifest written by --metrics-out\n"
          "partitioners: Random DBH HDRF 2PS-L HEP10 HEP100 Greedy (edge)\n"
          "              Random LDG Spinner Metis ByteGNN KaHIP Fennel"
          " (vertex; prefix with 'v' for Random, e.g. vRandom)\n"
          "global flags: --threads N  worker threads (default: all cores;\n"
-         "              results are identical for every N)\n";
+         "              results are identical for every N)\n"
+         "              --metrics-out FILE  write a JSONL run manifest of\n"
+         "              all counters/gauges/histograms/timers at exit\n";
   return 2;
 }
 
@@ -427,7 +434,10 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
   trace::TraceRecorder recorder;
   trace::TraceRecorder* rec =
       (print_tables || !trace_out.empty()) ? &recorder : nullptr;
-  WallTimer partition_timer;
+  // The partition wall time only feeds the trace; without a recorder the
+  // timer stays in its disabled null mode and never touches the clock.
+  WallTimer partition_timer =
+      rec != nullptr ? WallTimer() : WallTimer::Disabled();
 
   if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(name); id.ok()) {
     Result<EdgePartitioning> parts =
@@ -517,6 +527,43 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
   return 0;
 }
 
+
+/// Pretty-prints a run manifest written by --metrics-out. Parsing goes
+/// through the strict loader, so this doubles as a manifest validator.
+int CmdMetrics(const std::vector<std::string>& args) {
+  std::vector<std::string> pos = Positionals(args, {}, 1, 1);
+  Result<obs::Manifest> manifest = obs::LoadManifestFile(pos[0]);
+  if (!manifest.ok()) return Fail(manifest.status());
+  for (const auto& [key, value] : manifest->meta) {
+    std::cout << key << "=" << value << "  ";
+  }
+  if (!manifest->meta.empty()) std::cout << "\n\n";
+  TablePrinter table({"metric", "kind", "det", "value", "unit"});
+  for (const obs::MetricRow& row : manifest->rows) {
+    std::string value;
+    switch (row.kind) {
+      case obs::MetricKind::kCounter:
+        value = std::to_string(row.value);
+        break;
+      case obs::MetricKind::kGauge:
+        value = std::to_string(row.level);
+        break;
+      case obs::MetricKind::kHistogram:
+        value = std::to_string(row.count) + " obs, sum " +
+                std::to_string(row.sum);
+        break;
+      case obs::MetricKind::kTimer:
+        value = TablePrinter::Fmt(row.seconds * 1e3, 3) + " ms / " +
+                std::to_string(row.count);
+        break;
+    }
+    table.AddRow({row.name, obs::MetricKindName(row.kind),
+                  row.deterministic ? "yes" : "no", value, row.unit});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
 int CmdSimulate(const std::vector<std::string>& args) {
   return RunSimulation(args, /*print_tables=*/false);
 }
@@ -528,35 +575,68 @@ int CmdTraceReport(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
-  // Strip the global --threads flag before dispatching; every subcommand
-  // then runs its parallel loops on a pool of that size (results do not
-  // depend on the thread count).
-  for (size_t i = 0; i < args.size(); ++i) {
-    if (args[i] != "--threads") continue;
-    if (i + 1 >= args.size()) {
-      std::cerr << "error: --threads requires a value\n";
-      return Usage();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  // Strip the global flags before dispatching; they may appear before or
+  // after the subcommand. --threads sizes the worker pool (results do not
+  // depend on the thread count); --metrics-out enables phase timing and
+  // writes the run manifest at exit.
+  std::string metrics_out;
+  int threads = 0;
+  for (size_t i = 0; i < args.size();) {
+    if (args[i] == "--threads") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --threads requires a value\n";
+        return Usage();
+      }
+      const int v = ParseThreadCount(args[i + 1].c_str());
+      if (v < 1) {
+        std::cerr << "error: invalid --threads value '" << args[i + 1]
+                  << "' (expected a positive integer)\n";
+        return Usage();
+      }
+      threads = v;
+      SetDefaultThreads(v);
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      continue;
     }
-    const int v = ParseThreadCount(args[i + 1].c_str());
-    if (v < 1) {
-      std::cerr << "error: invalid --threads value '" << args[i + 1]
-                << "' (expected a positive integer)\n";
-      return Usage();
+    if (args[i] == "--metrics-out") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --metrics-out requires a value\n";
+        return Usage();
+      }
+      metrics_out = args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      continue;
     }
-    SetDefaultThreads(v);
-    args.erase(args.begin() + static_cast<long>(i),
-               args.begin() + static_cast<long>(i) + 2);
-    break;
+    ++i;
   }
-  if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "info") return CmdInfo(args);
-  if (cmd == "partition") return CmdPartition(args);
-  if (cmd == "check") return CmdCheck(args);
-  if (cmd == "simulate") return CmdSimulate(args);
-  if (cmd == "trace-report") return CmdTraceReport(args);
-  std::cerr << "error: unknown subcommand '" << cmd << "'\n";
-  return Usage();
+  if (args.empty()) return Usage();
+  const std::string cmd = args[0];
+  args.erase(args.begin());
+  if (!metrics_out.empty()) obs::EnableTiming(true);
+
+  int rc;
+  if (cmd == "generate") rc = CmdGenerate(args);
+  else if (cmd == "info") rc = CmdInfo(args);
+  else if (cmd == "partition") rc = CmdPartition(args);
+  else if (cmd == "check") rc = CmdCheck(args);
+  else if (cmd == "simulate") rc = CmdSimulate(args);
+  else if (cmd == "trace-report") rc = CmdTraceReport(args);
+  else if (cmd == "metrics") rc = CmdMetrics(args);
+  else {
+    std::cerr << "error: unknown subcommand '" << cmd << "'\n";
+    return Usage();
+  }
+  if (!metrics_out.empty()) {
+    Status st = obs::WriteManifestFile(
+        metrics_out,
+        {{"tool", "gnnpart_cli"},
+         {"command", cmd},
+         {"threads", threads > 0 ? std::to_string(threads) : "auto"}});
+    if (!st.ok()) return Fail(st);
+    std::cerr << "[gnnpart] metrics manifest: " << metrics_out << "\n";
+  }
+  return rc;
 }

@@ -15,6 +15,11 @@
 #      across standard libraries, so any loop whose effect could depend on
 #      visit order is a portability bug. Loops where order provably does not
 #      matter carry a `lint:order-insensitive` comment explaining why.
+#   4. Wall-clock/procfs telemetry quarantine: <chrono> is confined to
+#      common/timer.h (the one stopwatch) and /proc/self/* reads to src/obs/
+#      (RSS telemetry). Everything else must consume time through WallTimer
+#      or obs::ScopedTimer, so the determinism boundary stays auditable.
+#      Deliberate exceptions carry a `lint:wall-clock-ok` comment.
 #
 # Usage: tools/lint.sh  (from the repository root; exits non-zero on findings)
 set -u
@@ -93,6 +98,19 @@ done
 [ -n "$unordered_out" ] && finding \
   "range-for over an unordered container without a lint:order-insensitive justification (bucket order is implementation-defined)" \
   "$unordered_out"
+
+# --- 4. wall-clock/procfs telemetry quarantine ----------------------------
+out=$(grep -nE '#include[[:space:]]*<chrono>|std::chrono' $src_files \
+      | grep -v '^src/common/timer\.h:' | grep -v 'lint:wall-clock-ok')
+[ -n "$out" ] && finding \
+  "<chrono> is quarantined to common/timer.h; time phases via WallTimer or obs::ScopedTimer (lint:wall-clock-ok to override)" \
+  "$out"
+
+out=$(grep -n '/proc/self/' $src_files \
+      | grep -v '^src/obs/' | grep -v 'lint:wall-clock-ok')
+[ -n "$out" ] && finding \
+  "/proc/self/* reads are quarantined to src/obs/ (RSS telemetry; lint:wall-clock-ok to override)" \
+  "$out"
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED" >&2
