@@ -1,0 +1,146 @@
+// fig-overlap: re-ranks all 12 study partitioners under communication/
+// computation pipelining on the three gnnpart::net fabrics (EXPERIMENTS.md
+// "fig-overlap"). For every partitioner the BSP epoch, the pipelined epoch
+// (gnnpart::net overlap replay), the hidden-communication share and the
+// pipelined speedup vs Random are reported — the ROADMAP question "how
+// much of each partitioner's advantage survives pipelining", answered per
+// topology. GraphSage 3x64x64 on EN at k=8, the study's center cell.
+#include "bench/bench_util.h"
+
+#include "check/validators.h"
+#include "net/flowsim.h"
+#include "net/metrics.h"
+#include "net/overlap.h"
+#include "net/topology.h"
+
+using namespace gnnpart;
+
+namespace {
+
+struct Cell {
+  double bsp = 0;
+  double pipelined = 0;
+  double hidden_pct = 0;
+};
+
+/// One fabric variant of the overlap grid.
+struct Topo {
+  const char* label;
+  net::NetworkConfig config;
+};
+
+std::vector<Topo> TopologyGrid(const ClusterSpec& cluster) {
+  net::NetworkConfig base = net::NetworkConfig::FromCluster(cluster);
+  Topo full{"full-bisection", base};
+  Topo fat{"fat-tree 4:1", base};
+  fat.config.topology = net::TopologyKind::kFatTree;
+  fat.config.oversubscription = 4.0;
+  Topo ring{"ring", base};
+  ring.config.topology = net::TopologyKind::kRing;
+  return {full, fat, ring};
+}
+
+/// Replays a recorded epoch under pipelining and folds the result into the
+/// obs manifest; the trace/overlap invariants are validated on every cell.
+Cell Analyze(const net::Fabric& fabric, const net::LinkUsage& usage,
+             const trace::TraceRecorder& rec) {
+  net::OverlapReport overlap = net::ComputeOverlap(rec);
+  Status ok = check::ValidateOverlapReport(rec, overlap);
+  if (!ok.ok()) {
+    std::cerr << "FATAL: " << ok << "\n";
+    std::exit(1);
+  }
+  ok = check::ValidateFlowConservation(fabric, usage);
+  if (!ok.ok()) {
+    std::cerr << "FATAL: " << ok << "\n";
+    std::exit(1);
+  }
+  net::RecordOverlapMetrics(overlap);
+  net::RecordUsageMetrics(fabric, usage);
+  Cell cell;
+  cell.bsp = overlap.bsp_epoch_seconds;
+  cell.pipelined = overlap.pipelined_epoch_seconds;
+  cell.hidden_pct = overlap.bsp_epoch_seconds > 0
+                        ? 100.0 * overlap.hidden_seconds /
+                              overlap.bsp_epoch_seconds
+                        : 0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentContext ctx = bench::DefaultContext(argc, argv);
+  bench::PrintBanner(
+      "Partitioner ranking under communication/computation overlap",
+      "EXPERIMENTS.md fig-overlap (ROADMAP: overlap modeling)", ctx);
+
+  constexpr PartitionId kWorkers = 8;
+  const DatasetId dataset = DatasetId::kEnwiki;
+  ClusterSpec cluster = ctx.MakeCluster(kWorkers);
+  GnnConfig config;
+  config.arch = GnnArchitecture::kGraphSage;
+  config.num_layers = 3;
+  config.feature_size = 64;
+  config.hidden_dim = 64;
+  config.num_classes = 16;
+  config.fanouts = GnnConfig::DefaultFanouts(3);
+
+  DatasetBundle bundle = bench::Unwrap(LoadDataset(ctx, dataset), "dataset");
+
+  for (const Topo& topo : TopologyGrid(cluster)) {
+    const net::Fabric fabric(topo.config, static_cast<int>(kWorkers));
+    std::cout << "\n--- " << topo.label << " (" << topo.config.Summary()
+              << ") ---\n";
+    TablePrinter table({"Partitioner", "System", "BSP ms", "Pipelined ms",
+                        "Hidden %", "Speedup vs Random"});
+
+    // Full-batch (DistGNN, edge partitioners). Random is first in the
+    // registry, so its pipelined epoch is available as the baseline.
+    double random_pipelined = 0;
+    for (EdgePartitionerId pid : AllEdgePartitioners()) {
+      EdgePartitioning parts = bench::Unwrap(
+          RunEdgePartitioner(ctx, dataset, bundle.graph, pid, kWorkers),
+          "edge partitioner");
+      DistGnnWorkload w = BuildDistGnnWorkload(bundle.graph, parts);
+      trace::TraceRecorder rec;
+      net::LinkUsage usage;
+      SimulateDistGnnEpoch(w, config, cluster, &rec, &fabric, &usage);
+      Cell cell = Analyze(fabric, usage, rec);
+      const std::string name = MakeEdgePartitioner(pid)->name();
+      if (name == "Random") random_pipelined = cell.pipelined;
+      table.AddRow({name, "DistGNN", bench::F(cell.bsp * 1e3, 1),
+                    bench::F(cell.pipelined * 1e3, 1),
+                    bench::F(cell.hidden_pct, 1),
+                    bench::F(cell.pipelined > 0
+                                 ? random_pipelined / cell.pipelined
+                                 : 0,
+                             2)});
+    }
+
+    // Mini-batch (DistDGL, vertex partitioners); profiles are network-
+    // independent, so the shared cache is reused across topologies.
+    for (VertexPartitionerId pid : AllVertexPartitioners()) {
+      DistDglEpochProfile profile = bench::Unwrap(
+          ProfileWithCache(ctx, dataset, bundle.graph, bundle.split, pid,
+                           kWorkers, config.num_layers,
+                           ctx.global_batch_size),
+          "profile");
+      trace::TraceRecorder rec;
+      net::LinkUsage usage;
+      SimulateDistDglEpoch(profile, config, cluster, &rec, &fabric, &usage);
+      Cell cell = Analyze(fabric, usage, rec);
+      const std::string name = MakeVertexPartitioner(pid)->name();
+      if (name == "Random") random_pipelined = cell.pipelined;
+      table.AddRow({name, "DistDGL", bench::F(cell.bsp * 1e3, 1),
+                    bench::F(cell.pipelined * 1e3, 1),
+                    bench::F(cell.hidden_pct, 1),
+                    bench::F(cell.pipelined > 0
+                                 ? random_pipelined / cell.pipelined
+                                 : 0,
+                             2)});
+    }
+    bench::Emit(table, "fig_overlap");
+  }
+  return 0;
+}

@@ -474,6 +474,13 @@ Status ValidateTrace(const trace::TraceRecorder& rec) {
       return Violation("trace/negative-bytes",
                        "bytes " + std::to_string(span.bytes) + at);
     }
+    if (!(span.comm_seconds >= 0) || span.comm_seconds > span.seconds ||
+        !std::isfinite(span.comm_seconds)) {
+      return Violation("trace/comm-share",
+                       "comm_seconds " + std::to_string(span.comm_seconds) +
+                           " outside [0, duration " +
+                           std::to_string(span.seconds) + "]" + at);
+    }
     if (!(span.t_begin >= 0) || !std::isfinite(span.t_begin)) {
       return Violation("trace/negative-begin",
                        "t_begin " + std::to_string(span.t_begin) + at);
@@ -567,6 +574,100 @@ Status CheckTraceReconstructsReport(const trace::TraceRecorder& rec,
   }
   if (r.epoch != report.epoch_seconds) {
     return ReportMismatch("epoch", r.epoch, report.epoch_seconds);
+  }
+  return Status::Ok();
+}
+
+Status ValidateFlowConservation(const net::Fabric& fabric,
+                                const net::LinkUsage& usage) {
+  const size_t links = fabric.links().size();
+  const size_t hosts = static_cast<size_t>(fabric.num_hosts());
+  if (usage.link_bytes.size() != links ||
+      usage.link_busy_seconds.size() != links ||
+      usage.host_egress_bytes.size() != hosts ||
+      usage.host_offered_bytes.size() != hosts) {
+    return Violation("net/usage-shape",
+                     "usage vectors are not shaped for the fabric (" +
+                         std::to_string(links) + " links, " +
+                         std::to_string(hosts) + " hosts)");
+  }
+  for (size_t l = 0; l < links; ++l) {
+    if (!(usage.link_bytes[l] >= 0) || !std::isfinite(usage.link_bytes[l]) ||
+        !(usage.link_busy_seconds[l] >= 0) ||
+        !std::isfinite(usage.link_busy_seconds[l])) {
+      return Violation("net/usage-negative",
+                       "link '" + fabric.links()[l].name +
+                           "' carries negative or non-finite accounting");
+    }
+  }
+  for (size_t h = 0; h < hosts; ++h) {
+    const double offered = usage.host_offered_bytes[h];
+    const double egress = usage.host_egress_bytes[h];
+    if (!(offered >= 0) || !std::isfinite(offered) || !(egress >= 0) ||
+        !std::isfinite(egress)) {
+      return Violation("net/usage-negative",
+                       "host " + std::to_string(h) +
+                           " carries negative or non-finite byte totals");
+    }
+    if (fabric.HostRoutes(static_cast<int>(h)).size() == 1) {
+      // Single-route hosts carry their bytes unsplit, so delivery must
+      // match the offered volume bit-exactly.
+      if (egress != offered) {
+        return Violation("net/flow-conservation",
+                         "host " + std::to_string(h) + " offered " +
+                             std::to_string(offered) + " bytes but links "
+                             "delivered " + std::to_string(egress) +
+                             " (single route: must match bit-exactly)");
+      }
+    } else {
+      const double scale = std::max(1.0, offered);
+      if (std::abs(egress - offered) > 1e-9 * scale) {
+        return Violation("net/flow-conservation",
+                         "host " + std::to_string(h) + " offered " +
+                             std::to_string(offered) + " bytes but links "
+                             "delivered " + std::to_string(egress));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateOverlapReport(const trace::TraceRecorder& rec,
+                             const net::OverlapReport& report) {
+  const net::OverlapReport r = net::ComputeOverlap(rec);
+  if (r.steps.size() != report.steps.size() ||
+      r.worker_pipelined_blame != report.worker_pipelined_blame ||
+      r.worker_comm_seconds != report.worker_comm_seconds ||
+      r.worker_compute_seconds != report.worker_compute_seconds ||
+      r.bsp_epoch_seconds != report.bsp_epoch_seconds ||
+      r.pipelined_epoch_seconds != report.pipelined_epoch_seconds ||
+      r.hidden_seconds != report.hidden_seconds) {
+    return Violation("net/overlap-mismatch",
+                     "overlap report does not match its serial re-derivation "
+                     "from the trace (must agree bit-exactly)");
+  }
+  for (size_t s = 0; s < report.steps.size(); ++s) {
+    const net::StepOverlap& step = report.steps[s];
+    const net::StepOverlap& ref = r.steps[s];
+    if (step.bsp_seconds != ref.bsp_seconds ||
+        step.pipelined_seconds != ref.pipelined_seconds ||
+        step.straggler != ref.straggler || step.comm_bound != ref.comm_bound) {
+      return Violation("net/overlap-mismatch",
+                       "step " + std::to_string(s) +
+                           " differs from its serial re-derivation");
+    }
+    if (step.pipelined_seconds > step.bsp_seconds) {
+      return Violation("net/overlap-exceeds-bsp",
+                       "step " + std::to_string(s) + " pipelined " +
+                           std::to_string(step.pipelined_seconds) +
+                           " exceeds BSP " +
+                           std::to_string(step.bsp_seconds));
+    }
+  }
+  if (report.hidden_seconds !=
+      report.bsp_epoch_seconds - report.pipelined_epoch_seconds) {
+    return Violation("net/overlap-hidden-identity",
+                     "hidden != bsp - pipelined (bit-exact identity)");
   }
   return Status::Ok();
 }

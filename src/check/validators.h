@@ -8,6 +8,9 @@
 #include "graph/graph.h"
 #include "graph/split.h"
 #include "metrics/partition_metrics.h"
+#include "net/flowsim.h"
+#include "net/overlap.h"
+#include "net/topology.h"
 #include "partition/partitioning.h"
 #include "sampling/block_sampler.h"
 #include "sim/distdgl_sim.h"
@@ -85,6 +88,21 @@ Status CheckTraceReconstructsReport(const trace::TraceRecorder& rec,
                                     const DistDglEpochReport& report);
 Status CheckTraceReconstructsReport(const trace::TraceRecorder& rec,
                                     const DistGnnEpochReport& report);
+
+/// Flow conservation of gnnpart::net link accounting: usage vectors shaped
+/// for the fabric, all entries finite and non-negative, and per host the
+/// delivered egress bytes equal to the offered bytes — bit-exactly for
+/// single-route hosts (every host on full-bisection), within 1e-9 relative
+/// for hosts whose bytes were split over several routes.
+Status ValidateFlowConservation(const net::Fabric& fabric,
+                                const net::LinkUsage& usage);
+
+/// Overlap-report integrity: `report` must be bit-exactly what
+/// ComputeOverlap(rec) returns (serial re-derivation), every step's
+/// pipelined cost must not exceed its BSP cost, and the epoch identity
+/// hidden == bsp - pipelined must hold bit-exactly.
+Status ValidateOverlapReport(const trace::TraceRecorder& rec,
+                             const net::OverlapReport& report);
 
 }  // namespace check
 }  // namespace gnnpart

@@ -18,8 +18,10 @@ namespace {
 // Bump when partitioner or generator algorithms change, so stale cache
 // entries from older binaries cannot leak into results. v5: Multilevel's
 // label-propagation coarsening now breaks connectivity ties on the smallest
-// label, which can move Metis-family assignments on exact ties.
-constexpr int kCacheVersion = 5;
+// label, which can move Metis-family assignments on exact ties. v6: profile
+// keys carry the gnnpart::net fabric tag (topology/overlap config), so
+// entries written before the network model existed are retired.
+constexpr int kCacheVersion = 6;
 
 std::string CacheKey(const ExperimentContext& ctx, DatasetId dataset,
                      const std::string& partitioner, PartitionId k) {
@@ -328,7 +330,8 @@ Result<DistDglEpochProfile> ProfileWithCache(const ExperimentContext& ctx,
   PartitionCache cache(ctx.cache_dir);
   std::ostringstream key;
   key << "profile-" << CacheKey(ctx, dataset, partitioner->name(), k) << "-L"
-      << num_layers << "-b" << global_batch_size;
+      << num_layers << "-b" << global_batch_size << "-"
+      << ctx.network.CacheKeyTag();
   if (auto blob = cache.LoadBlob(key.str()); blob.ok()) {
     // A blob that passed the checksum but fails to decode or violates the
     // profile invariants means the *writer* was broken, not the disk — say

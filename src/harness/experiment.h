@@ -12,6 +12,7 @@
 #include "graph/graph.h"
 #include "graph/split.h"
 #include "metrics/partition_metrics.h"
+#include "net/topology.h"
 #include "partition/edge/registry.h"
 #include "partition/partitioning.h"
 #include "partition/vertex/registry.h"
@@ -36,6 +37,10 @@ struct ExperimentContext {
   double validation_fraction = 0.1;
   /// Scaled default global batch size (paper: 1024 on ~500x larger graphs).
   size_t global_batch_size = 256;
+  /// Fabric the simulated epochs run on (gnnpart::net). The default is the
+  /// legacy full-bisection fabric; its tag is part of every profile cache
+  /// key so cached artifacts are never reused across incompatible fabrics.
+  net::NetworkConfig network;
 
   static ExperimentContext FromEnv();
 

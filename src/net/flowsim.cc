@@ -1,0 +1,291 @@
+#include "net/flowsim.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "check/check.h"
+#include "obs/metrics.h"
+
+namespace gnnpart {
+namespace net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Max-min fair-share allocation (progressive water-filling) over the
+/// active flows. Deterministic: the bottleneck link is the strict minimum
+/// of capacity/flows with ties broken on the lowest link index, and flows
+/// are fixed in ascending active-set order.
+void FairShareRates(const std::vector<Link>& links,
+                    const std::vector<Flow>& flows,
+                    const std::vector<size_t>& active,
+                    std::vector<double>* rates, std::vector<double>* cap,
+                    std::vector<int>* nflows, std::vector<char>* assigned) {
+  const size_t n = active.size();
+  rates->assign(n, 0.0);
+  cap->resize(links.size());
+  nflows->assign(links.size(), 0);
+  for (size_t l = 0; l < links.size(); ++l) (*cap)[l] = links[l].capacity;
+  for (size_t i = 0; i < n; ++i) {
+    for (int l : flows[active[i]].links) ++(*nflows)[static_cast<size_t>(l)];
+  }
+  assigned->assign(n, 0);
+  size_t left = n;
+  while (left > 0) {
+    int bottleneck = -1;
+    double fair = 0;
+    for (size_t l = 0; l < links.size(); ++l) {
+      if ((*nflows)[l] == 0) continue;
+      const double share = (*cap)[l] / (*nflows)[l];
+      if (bottleneck < 0 || share < fair) {
+        bottleneck = static_cast<int>(l);
+        fair = share;
+      }
+    }
+    GNNPART_CHECK_CHEAP(bottleneck >= 0 && fair > 0,
+                        "net/fair-share: no capacity left for active flows");
+    for (size_t i = 0; i < n; ++i) {
+      if ((*assigned)[i]) continue;
+      const Flow& f = flows[active[i]];
+      bool crosses = false;
+      for (int l : f.links) {
+        if (l == bottleneck) {
+          crosses = true;
+          break;
+        }
+      }
+      if (!crosses) continue;
+      (*rates)[i] = fair;
+      (*assigned)[i] = 1;
+      --left;
+      for (int l : f.links) {
+        (*cap)[static_cast<size_t>(l)] -= fair;
+        --(*nflows)[static_cast<size_t>(l)];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void LinkUsage::EnsureShape(const Fabric& fabric) {
+  link_bytes.resize(fabric.links().size(), 0.0);
+  link_busy_seconds.resize(fabric.links().size(), 0.0);
+  host_egress_bytes.resize(static_cast<size_t>(fabric.num_hosts()), 0.0);
+  host_offered_bytes.resize(static_cast<size_t>(fabric.num_hosts()), 0.0);
+}
+
+void LinkUsage::MergeFrom(const LinkUsage& other) {
+  auto merge = [](std::vector<double>* into, const std::vector<double>& from) {
+    if (into->size() < from.size()) into->resize(from.size(), 0.0);
+    for (size_t i = 0; i < from.size(); ++i) (*into)[i] += from[i];
+  };
+  merge(&link_bytes, other.link_bytes);
+  merge(&link_busy_seconds, other.link_busy_seconds);
+  merge(&host_egress_bytes, other.host_egress_bytes);
+  merge(&host_offered_bytes, other.host_offered_bytes);
+  phases += other.phases;
+  flows += other.flows;
+}
+
+std::vector<double> SimulateFlows(const Fabric& fabric,
+                                  const std::vector<Flow>& flows,
+                                  LinkUsage* usage) {
+  const std::vector<Link>& links = fabric.links();
+  const double latency = fabric.config().link_latency;
+  std::vector<double> completion(flows.size(), 0.0);
+  if (usage != nullptr) usage->EnsureShape(fabric);
+  for (const Flow& f : flows) {
+    GNNPART_CHECK_CHEAP(!f.links.empty(), "net/flow: flow without links");
+    GNNPART_CHECK_CHEAP(f.bytes >= 0 && f.start >= 0 && f.latency_rounds >= 0,
+                        "net/flow: negative bytes, start or rounds");
+    for (int l : f.links) {
+      GNNPART_CHECK_CHEAP(l >= 0 && static_cast<size_t>(l) < links.size(),
+                          "net/flow: link index out of range");
+    }
+  }
+
+  // Arrival order: (start, flow index) — stable_sort keeps the index
+  // tiebreak, so admission order is deterministic.
+  std::vector<size_t> order(flows.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return flows[a].start < flows[b].start;
+  });
+
+  // The flow's finish projection is anchor_t + remaining/rate; the anchor
+  // moves ONLY when the fair-share rate changes (bitwise), so uncontended
+  // flows keep anchor_t == start, remaining == bytes and finish exactly at
+  // start + bytes/rate — the closed form (see flowsim.h).
+  struct Anchor {
+    double t = 0;
+    double remaining = 0;
+    double rate = 0;
+  };
+  std::vector<size_t> active;         // flow indices, admission order
+  std::vector<Anchor> anchors;        // parallel to `active`
+  std::vector<double> rates, cap;     // FairShareRates scratch
+  std::vector<int> nflows;
+  std::vector<char> assigned;
+  std::vector<char> link_active;
+  size_t next_arrival = 0;
+  double now = 0.0;
+
+  auto project = [&](size_t i) {
+    const Anchor& a = anchors[i];
+    return a.remaining <= 0 ? a.t : a.t + a.remaining / a.rate;
+  };
+
+  while (next_arrival < order.size() || !active.empty()) {
+    if (active.empty()) {
+      // Idle fabric: jump straight to the next arrival. Arrivals at or
+      // before `now` were admitted at an earlier event, so time moves
+      // forward (event-queue monotonicity).
+      const double t0 = flows[order[next_arrival]].start;
+      GNNPART_CHECK_CHEAP(t0 >= now, "net/event-monotonic: arrival in past");
+      now = t0;
+    }
+    while (next_arrival < order.size() &&
+           flows[order[next_arrival]].start <= now) {
+      const size_t idx = order[next_arrival];
+      active.push_back(idx);
+      anchors.push_back({flows[idx].start, flows[idx].bytes, 0.0});
+      ++next_arrival;
+    }
+
+    // Reallocate bandwidth; re-anchor only flows whose rate changed.
+    FairShareRates(links, flows, active, &rates, &cap, &nflows, &assigned);
+    for (size_t i = 0; i < active.size(); ++i) {
+      Anchor& a = anchors[i];
+      if (a.rate == rates[i]) continue;
+      if (a.rate > 0) {
+        a.remaining -= a.rate * (now - a.t);
+        if (a.remaining < 0) a.remaining = 0;
+      }
+      a.t = now;
+      a.rate = rates[i];
+    }
+
+    double t_finish = kInf;
+    for (size_t i = 0; i < active.size(); ++i) {
+      t_finish = std::min(t_finish, project(i));
+    }
+    const double t_arrive = next_arrival < order.size()
+                                ? flows[order[next_arrival]].start
+                                : kInf;
+    const double t_next = std::min(t_finish, t_arrive);
+    GNNPART_CHECK_CHEAP(t_next >= now && t_next < kInf,
+                        "net/event-monotonic: next event not in the future");
+
+    if (usage != nullptr && t_next > now) {
+      link_active.assign(links.size(), 0);
+      for (size_t i = 0; i < active.size(); ++i) {
+        for (int l : flows[active[i]].links) {
+          link_active[static_cast<size_t>(l)] = 1;
+        }
+      }
+      const double dt = t_next - now;
+      for (size_t l = 0; l < links.size(); ++l) {
+        if (link_active[l]) usage->link_busy_seconds[l] += dt;
+      }
+    }
+    now = t_next;
+
+    // Retire flows whose projection is due. The completion uses the flow's
+    // own projection (not `now`) so the closed form survives bit-exactly.
+    size_t kept = 0;
+    for (size_t i = 0; i < active.size(); ++i) {
+      const double finish = project(i);
+      if (finish <= now) {
+        const size_t idx = active[i];
+        completion[idx] = finish + flows[idx].latency_rounds * latency;
+        if (usage != nullptr) {
+          for (int l : flows[idx].links) {
+            usage->link_bytes[static_cast<size_t>(l)] += flows[idx].bytes;
+          }
+          usage->host_egress_bytes[static_cast<size_t>(flows[idx].host)] +=
+              flows[idx].bytes;
+        }
+        continue;
+      }
+      active[kept] = active[i];
+      anchors[kept] = anchors[i];
+      ++kept;
+    }
+    active.resize(kept);
+    anchors.resize(kept);
+  }
+  if (usage != nullptr) usage->flows += flows.size();
+  return completion;
+}
+
+std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
+                                  LinkUsage* usage) {
+  const size_t hosts = static_cast<size_t>(fabric.num_hosts());
+  GNNPART_CHECK_CHEAP(spec.start.size() == hosts &&
+                          spec.bytes.size() == hosts &&
+                          spec.rounds.size() == hosts,
+                      "net/phase: spec shape does not match the fabric");
+  static const obs::Counter phase_count =
+      obs::GetCounter("net/phases", "phases");
+  static const obs::Counter flow_count = obs::GetCounter("net/flows", "flows");
+  const double latency = fabric.config().link_latency;
+  std::vector<double> completion(hosts, 0.0);
+  if (usage != nullptr) {
+    usage->EnsureShape(fabric);
+    ++usage->phases;
+  }
+
+  std::vector<Flow> flows;
+  std::vector<std::pair<size_t, size_t>> flow_range(hosts, {0, 0});
+  for (size_t h = 0; h < hosts; ++h) {
+    if (usage != nullptr) usage->host_offered_bytes[h] += spec.bytes[h];
+    // Floor charge: the serial offset plus the latency rounds. For zero
+    // egress this is the whole cost — bitwise what the legacy closed form
+    // (start + 0/B) + rounds*latency evaluates to — and the engine's
+    // finish times can only meet or exceed it.
+    completion[h] = spec.start[h] + spec.rounds[h] * latency;
+    if (spec.bytes[h] <= 0) continue;
+    const std::vector<Route>& routes = fabric.HostRoutes(static_cast<int>(h));
+    const uint32_t weight = fabric.HostWeight(static_cast<int>(h));
+    flow_range[h].first = flows.size();
+    double split = 0;
+    for (size_t r = 0; r < routes.size(); ++r) {
+      // The last route takes the remainder, so the host's flow bytes sum
+      // to spec.bytes[h] exactly — and a single-route host (every host on
+      // full-bisection) carries its bytes unsplit.
+      double share;
+      if (r + 1 == routes.size()) {
+        share = spec.bytes[h] - split;
+        if (share < 0) share = 0;
+      } else {
+        share = spec.bytes[h] * routes[r].weight / weight;
+        split += share;
+      }
+      if (share <= 0) continue;
+      Flow flow;
+      flow.host = static_cast<int>(h);
+      flow.start = spec.start[h];
+      flow.bytes = share;
+      flow.latency_rounds = spec.rounds[h];
+      flow.links = routes[r].links;
+      flows.push_back(std::move(flow));
+    }
+    flow_range[h].second = flows.size();
+  }
+
+  const std::vector<double> finish = SimulateFlows(fabric, flows, usage);
+  for (size_t h = 0; h < hosts; ++h) {
+    for (size_t i = flow_range[h].first; i < flow_range[h].second; ++i) {
+      completion[h] = std::max(completion[h], finish[i]);
+    }
+  }
+  phase_count.Inc();
+  flow_count.Add(flows.size());
+  return completion;
+}
+
+}  // namespace net
+}  // namespace gnnpart

@@ -1,0 +1,91 @@
+#ifndef GNNPART_NET_FLOWSIM_H_
+#define GNNPART_NET_FLOWSIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace gnnpart {
+namespace net {
+
+/// Discrete-event flow simulation over a Fabric (DESIGN.md §10).
+///
+/// Time is flow-level, not packet-level: between events every active flow
+/// drains at its max-min fair share of the links it crosses; events are
+/// flow arrivals and completions. On top of the bandwidth term each flow is
+/// charged `latency_rounds * config.link_latency` (the α of the α-β model).
+///
+/// Bit-exactness contract: a flow whose fair-share rate never changes —
+/// true for every flow on an uncontended link, hence for *all* flows on the
+/// full-bisection fabric — completes at exactly
+///
+///     (start + bytes / rate) + latency_rounds * link_latency
+///
+/// with that floating-point association, which is the legacy closed-form
+/// charge of both epoch simulators. The engine guarantees this by anchoring
+/// each flow at (anchor_time, remaining_bytes) and re-anchoring ONLY when
+/// the flow's rate actually changes (bitwise comparison), so uncontended
+/// flows accumulate no intermediate rounding.
+
+/// One flow: `bytes` from `host`, eligible at simulated time `start`,
+/// crossing `links` (indices into Fabric::links()), plus `latency_rounds`
+/// message rounds charged after the last byte drains.
+struct Flow {
+  int host = 0;
+  double start = 0;
+  double bytes = 0;
+  double latency_rounds = 0;
+  std::vector<int> links;
+};
+
+/// Aggregate accounting across SimulatePhase calls; all fields accumulate,
+/// so one LinkUsage can absorb a whole epoch (or be merged from per-chunk
+/// partials in deterministic chunk order — see MergeFrom).
+struct LinkUsage {
+  std::vector<double> link_bytes;         // delivered bytes per link
+  std::vector<double> link_busy_seconds;  // seconds with >= 1 active flow
+  std::vector<double> host_egress_bytes;  // per source host, from flows
+  std::vector<double> host_offered_bytes; // per source host, as specified
+  uint64_t phases = 0;
+  uint64_t flows = 0;
+
+  /// Sizes the vectors for `fabric` (idempotent).
+  void EnsureShape(const Fabric& fabric);
+  /// Element-wise accumulation; used to fold per-chunk partials in chunk
+  /// order so the totals stay thread-count independent.
+  void MergeFrom(const LinkUsage& other);
+};
+
+/// Runs the flows to completion and returns the per-flow completion time
+/// (bandwidth term + latency rounds). `usage`, when non-null, accrues link
+/// bytes/busy time and per-host egress bytes. Deterministic: ties in
+/// arrival order break on flow index, bottleneck ties on link index.
+std::vector<double> SimulateFlows(const Fabric& fabric,
+                                  const std::vector<Flow>& flows,
+                                  LinkUsage* usage);
+
+/// One BSP communication phase: per host, `bytes[h]` of egress traffic
+/// becomes eligible at `start[h]` (the host's serial pre-comm work) and is
+/// charged `rounds[h]` latency rounds. Hosts with zero bytes complete at
+/// start[h] + rounds[h] * latency without entering the event engine.
+struct PhaseSpec {
+  std::vector<double> start;
+  std::vector<double> bytes;
+  std::vector<double> rounds;
+
+  explicit PhaseSpec(size_t hosts = 0)
+      : start(hosts, 0.0), bytes(hosts, 0.0), rounds(hosts, 0.0) {}
+};
+
+/// Expands the phase onto the fabric's routes, runs the event engine, and
+/// returns each host's completion time (max over the host's flows). On the
+/// full-bisection fabric this is bit-exactly the legacy closed form
+/// (start + bytes/B) + rounds*latency for every host.
+std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
+                                  LinkUsage* usage);
+
+}  // namespace net
+}  // namespace gnnpart
+
+#endif  // GNNPART_NET_FLOWSIM_H_

@@ -1,0 +1,39 @@
+#include "net/metrics.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gnnpart {
+namespace net {
+
+void RecordUsageMetrics(const Fabric& fabric, const LinkUsage& usage) {
+  static const obs::Histogram link_hist = obs::GetHistogram(
+      "net/link_bytes", "bytes", obs::Pow2Buckets(40));
+  const std::vector<Link>& links = fabric.links();
+  for (size_t l = 0; l < links.size() && l < usage.link_bytes.size(); ++l) {
+    const uint64_t bytes = static_cast<uint64_t>(usage.link_bytes[l]);
+    obs::Count("net/link/" + links[l].name + "/bytes", bytes, "bytes");
+    link_hist.Observe(bytes);
+  }
+  double egress = 0;
+  for (double b : usage.host_egress_bytes) egress += b;
+  obs::Count("net/egress_bytes", static_cast<uint64_t>(egress), "bytes");
+}
+
+void RecordOverlapMetrics(const OverlapReport& report) {
+  obs::Count("net/overlap/hidden_us",
+             static_cast<uint64_t>(report.hidden_seconds * 1e6), "us");
+  obs::Count("net/overlap/pipelined_us",
+             static_cast<uint64_t>(report.pipelined_epoch_seconds * 1e6),
+             "us");
+  uint64_t comm_bound = 0;
+  for (const StepOverlap& step : report.steps) {
+    if (step.comm_bound) ++comm_bound;
+  }
+  obs::Count("net/overlap/comm_bound_steps", comm_bound, "steps");
+  obs::Count("net/overlap/steps", report.steps.size(), "steps");
+}
+
+}  // namespace net
+}  // namespace gnnpart

@@ -1,0 +1,26 @@
+#ifndef GNNPART_NET_METRICS_H_
+#define GNNPART_NET_METRICS_H_
+
+#include "net/flowsim.h"
+#include "net/overlap.h"
+#include "net/topology.h"
+
+namespace gnnpart {
+namespace net {
+
+/// gnnpart::obs glue: records deterministic counters/histograms for the
+/// network subsystem. Everything is integer-valued (bytes, whole
+/// microseconds), so the rows stay byte-identical for any thread count.
+
+/// Per-link delivered bytes ("net/link/<name>/bytes" counters plus the
+/// "net/link_bytes" distribution histogram) and total host egress.
+void RecordUsageMetrics(const Fabric& fabric, const LinkUsage& usage);
+
+/// Overlap outcome: hidden/pipelined epoch time in integer microseconds
+/// plus the number of comm-bound steps.
+void RecordOverlapMetrics(const OverlapReport& report);
+
+}  // namespace net
+}  // namespace gnnpart
+
+#endif  // GNNPART_NET_METRICS_H_

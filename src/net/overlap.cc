@@ -1,0 +1,68 @@
+#include "net/overlap.h"
+
+#include <algorithm>
+#include <array>
+
+#include "check/check.h"
+
+namespace gnnpart {
+namespace net {
+
+OverlapReport ComputeOverlap(const trace::TraceRecorder& rec) {
+  OverlapReport report;
+  const size_t steps = rec.steps();
+  const size_t workers = rec.workers();
+  report.worker_pipelined_blame.assign(workers, 0.0);
+  report.worker_comm_seconds.assign(workers, 0.0);
+  report.worker_compute_seconds.assign(workers, 0.0);
+  if (steps == 0 || workers == 0) return report;
+
+  // Per (step, worker): compute and comm sums; per (step, phase): the BSP
+  // barrier maximum. Accumulation follows recorded span order, which is
+  // canonical (serial emission), so the sums are deterministic.
+  std::vector<double> compute(steps * workers, 0.0);
+  std::vector<double> comm(steps * workers, 0.0);
+  std::vector<std::array<double, trace::kNumPhases>> phase_max(
+      steps, std::array<double, trace::kNumPhases>{});
+  for (const trace::Span& span : rec.spans()) {
+    GNNPART_CHECK_CHEAP(
+        span.comm_seconds >= 0 && span.comm_seconds <= span.seconds,
+        "net/overlap: span comm share outside [0, seconds]");
+    const size_t cell = static_cast<size_t>(span.step) * workers + span.worker;
+    compute[cell] += span.seconds - span.comm_seconds;
+    comm[cell] += span.comm_seconds;
+    double& slot = phase_max[span.step][static_cast<size_t>(span.phase)];
+    slot = std::max(slot, span.seconds);
+    report.worker_comm_seconds[span.worker] += span.comm_seconds;
+    report.worker_compute_seconds[span.worker] +=
+        span.seconds - span.comm_seconds;
+  }
+
+  report.steps.reserve(steps);
+  for (size_t s = 0; s < steps; ++s) {
+    StepOverlap step;
+    step.step = static_cast<uint32_t>(s);
+    for (int p = 0; p < trace::kNumPhases; ++p) {
+      step.bsp_seconds += phase_max[s][static_cast<size_t>(p)];
+    }
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t cell = s * workers + w;
+      const double cost = std::max(compute[cell], comm[cell]);
+      if (cost > step.pipelined_seconds) {
+        step.pipelined_seconds = cost;
+        step.straggler = static_cast<uint32_t>(w);
+        step.comm_bound = comm[cell] >= compute[cell];
+      }
+    }
+    report.bsp_epoch_seconds += step.bsp_seconds;
+    report.pipelined_epoch_seconds += step.pipelined_seconds;
+    report.worker_pipelined_blame[step.straggler] += step.pipelined_seconds;
+    report.steps.push_back(step);
+  }
+  report.hidden_seconds =
+      report.bsp_epoch_seconds - report.pipelined_epoch_seconds;
+  return report;
+}
+
+}  // namespace net
+}  // namespace gnnpart

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "check/check.h"
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "net/flowsim.h"
 #include "obs/metrics.h"
 #include "gnn/costs.h"
 #include "trace/trace.h"
@@ -147,11 +149,26 @@ Result<DistDglEpochProfile> ProfileDistDglEpoch(
 DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                                         const GnnConfig& config,
                                         const ClusterSpec& cluster,
-                                        trace::TraceRecorder* recorder) {
+                                        trace::TraceRecorder* recorder,
+                                        const net::Fabric* fabric,
+                                        net::LinkUsage* usage) {
   DistDglEpochReport report;
   const PartitionId k = profile.workers;
   GNNPART_CHECK_CHEAP(profile.profiles.size() == profile.steps,
                       "epoch profile declares more steps than it holds");
+
+  // All communication is priced by gnnpart::net. Callers that pass no
+  // fabric get the legacy one — the cluster's own bandwidth/latency on a
+  // full-bisection switch — under which every charge below is bit-exactly
+  // the pre-net closed form (see src/net/flowsim.h).
+  std::optional<net::Fabric> local_fabric;
+  if (fabric == nullptr) {
+    local_fabric.emplace(net::NetworkConfig::FromCluster(cluster),
+                         static_cast<int>(k));
+    fabric = &*local_fabric;
+  }
+  GNNPART_CHECK_CHEAP(fabric->num_hosts() == static_cast<int>(k),
+                      "distdgl: fabric host count != worker count");
 
   // Tracing sidecar: per-(step, worker, phase) durations and network bytes,
   // filled by the parallel cost loop below (each cell written exactly once
@@ -162,12 +179,15 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
   constexpr size_t kStepPhases = 5;
   std::vector<double> trace_dur;
   std::vector<double> trace_bytes;
+  std::vector<double> trace_comm;
   if (recorder != nullptr) {
     trace_dur.assign(profile.steps * static_cast<size_t>(k) * kStepPhases, 0);
     trace_bytes.assign(trace_dur.size(), 0);
+    trace_comm.assign(trace_dur.size(), 0);
   }
   double* const dur_out = recorder != nullptr ? trace_dur.data() : nullptr;
   double* const bytes_out = recorder != nullptr ? trace_bytes.data() : nullptr;
+  double* const comm_out = recorder != nullptr ? trace_comm.data() : nullptr;
   const double feat_bytes = static_cast<double>(config.feature_size) *
                             sizeof(float);
   const double params = ModelParameterBytes(config);
@@ -181,7 +201,10 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
     std::vector<DistDglWorkerStats> workers;
     double sampling = 0, feature = 0, forward = 0, backward = 0, update = 0;
     uint64_t remote_input_vertices = 0;
+    net::LinkUsage usage;
   };
+  // The model update is the same for every (step, worker).
+  const double update = params / sizeof(float) / cluster.flops_per_second;
   StepAcc init;
   init.workers.resize(k);
   StepAcc total = ParallelReduce<StepAcc>(
@@ -189,40 +212,46 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
       [&](size_t chunk_begin, size_t chunk_end, size_t) {
         StepAcc acc;
         acc.workers.resize(k);
+        net::LinkUsage* const chunk_usage =
+            usage != nullptr ? &acc.usage : nullptr;
+        // Per-step scratch, refilled for every step of the chunk. Each
+        // communication phase of a step is one gnnpart::net phase: the
+        // worker's serial pre-comm work is the flow start offset, the
+        // network volume the flow bytes, the RPC round trips the latency
+        // rounds (see flowsim.h for why the uncontended charge is the
+        // legacy closed form bit-exactly).
+        net::PhaseSpec sampling_spec(k);
+        net::PhaseSpec feature_spec(k);
+        net::PhaseSpec backward_spec(k);
+        std::vector<double> forward_w(k, 0.0);
         for (size_t step = chunk_begin; step < chunk_end; ++step) {
-          double max_sampling = 0, max_feature = 0, max_forward = 0,
-                 max_backward = 0, max_update = 0;
           for (PartitionId w = 0; w < k; ++w) {
             const MiniBatchProfile& mb = profile.profiles[step][w];
-            DistDglWorkerStats& ws = acc.workers[w];
 
             // --- Mini-batch sampling: local traversal + remote sampling RPCs.
             // DistDGL batches RPCs per (layer, remote machine), so the latency
             // charge is one round trip per remote machine actually contacted —
             // at most layers * (k-1), but zero when the partitioning keeps the
             // expansion local (the regime that makes DI scale so well).
-            double rpc_bytes = static_cast<double>(mb.remote_sampling_requests) *
-                               cluster.rpc_bytes_per_remote_vertex;
-            double rpc_rounds =
+            sampling_spec.start[w] = static_cast<double>(mb.computation_edges) /
+                                     cluster.sampling_edges_per_second;
+            sampling_spec.bytes[w] =
+                static_cast<double>(mb.remote_sampling_requests) *
+                cluster.rpc_bytes_per_remote_vertex;
+            sampling_spec.rounds[w] =
                 std::min(static_cast<double>(layers) * (k - 1),
                          static_cast<double>(mb.remote_sampling_requests));
-            double sampling = static_cast<double>(mb.computation_edges) /
-                                  cluster.sampling_edges_per_second +
-                              rpc_bytes / cluster.network_bandwidth +
-                              rpc_rounds * cluster.network_latency;
 
             // --- Feature loading: remote fetch over the network, local gather
             // from memory. Latency again per remote machine actually holding
             // needed features.
-            double fetch_bytes =
+            feature_spec.start[w] = static_cast<double>(mb.local_input_vertices) *
+                                    feat_bytes / cluster.memory_bandwidth;
+            feature_spec.bytes[w] =
                 static_cast<double>(mb.remote_input_vertices) * feat_bytes;
-            double fetch_rounds =
+            feature_spec.rounds[w] =
                 std::min(static_cast<double>(k - 1),
                          static_cast<double>(mb.remote_input_vertices));
-            double feature = fetch_bytes / cluster.network_bandwidth +
-                             static_cast<double>(mb.local_input_vertices) *
-                                 feat_bytes / cluster.memory_bandwidth +
-                             fetch_rounds * cluster.network_latency;
 
             // --- Forward: per-layer cost on the shrinking computation graph.
             // Layer l aggregates over the edges sampled at hop (layers-1-l) and
@@ -242,13 +271,33 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                   cost.aggregation_flops / cluster.aggregation_flops_per_second +
                   cost.dense_flops / cluster.flops_per_second;
             }
+            forward_w[w] = forward;
 
             // --- Backward: ~2x forward compute + gradient all-reduce.
-            double backward = 2.0 * forward +
-                              2.0 * params / cluster.network_bandwidth +
-                              2.0 * cluster.network_latency;
-            // --- Model update.
-            double update = params / sizeof(float) / cluster.flops_per_second;
+            backward_spec.start[w] = 2.0 * forward;
+            backward_spec.bytes[w] = 2.0 * params;
+            backward_spec.rounds[w] = 2.0;
+          }
+
+          // Price the step's three communication phases on the fabric.
+          const std::vector<double> sampling_done =
+              net::SimulatePhase(*fabric, sampling_spec, chunk_usage);
+          const std::vector<double> feature_done =
+              net::SimulatePhase(*fabric, feature_spec, chunk_usage);
+          const std::vector<double> backward_done =
+              net::SimulatePhase(*fabric, backward_spec, chunk_usage);
+
+          double max_sampling = 0, max_feature = 0, max_forward = 0,
+                 max_backward = 0, max_update = 0;
+          for (PartitionId w = 0; w < k; ++w) {
+            const MiniBatchProfile& mb = profile.profiles[step][w];
+            DistDglWorkerStats& ws = acc.workers[w];
+            const double sampling = sampling_done[w];
+            const double feature = feature_done[w];
+            const double forward = forward_w[w];
+            const double backward = backward_done[w];
+            const double rpc_bytes = sampling_spec.bytes[w];
+            const double fetch_bytes = feature_spec.bytes[w];
 
             ws.sampling_seconds += sampling;
             ws.feature_seconds += feature;
@@ -268,6 +317,12 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
               bytes_out[base + 0] = rpc_bytes;
               bytes_out[base + 1] = fetch_bytes;
               bytes_out[base + 3] = 2.0 * params;  // gradient all-reduce
+              // Communication share of each phase: the duration past the
+              // worker's serial pre-comm offset. (Non-negative: every
+              // completion is >= its own start offset.)
+              comm_out[base + 0] = sampling - sampling_spec.start[w];
+              comm_out[base + 1] = feature - feature_spec.start[w];
+              comm_out[base + 3] = backward - backward_spec.start[w];
             }
 
             max_sampling = std::max(max_sampling, sampling);
@@ -302,8 +357,11 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
         acc.backward += part.backward;
         acc.update += part.update;
         acc.remote_input_vertices += part.remote_input_vertices;
+        // Chunk-order merge keeps the link accounting thread-invariant.
+        acc.usage.MergeFrom(part.usage);
         return acc;
       });
+  if (usage != nullptr) usage->MergeFrom(total.usage);
   report.workers = std::move(total.workers);
   report.sampling_seconds = total.sampling;
   report.feature_seconds = total.feature;
@@ -361,6 +419,7 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
           span.phase = kPhaseOrder[pi];
           span.t_begin = t;
           span.seconds = trace_dur[cell];
+          span.comm_seconds = trace_comm[cell];
           span.bytes = trace_bytes[cell];
           recorder->Add(span);
         }

@@ -18,6 +18,11 @@ namespace trace {
 class TraceRecorder;
 }  // namespace trace
 
+namespace net {
+class Fabric;
+struct LinkUsage;
+}  // namespace net
+
 /// The sampled mini-batches of one epoch: profiles[step][worker]. Sampling
 /// depends only on (graph, partitioning, fan-outs, batch size, seed) — not
 /// on feature/hidden sizes — so one profile is reused across the paper's
@@ -84,11 +89,22 @@ struct DistDglEpochReport {
 /// (see src/trace/trace.h); the recorded spans are bit-identical for every
 /// thread count and attaching a recorder never changes the report. A null
 /// recorder costs nothing.
+///
+/// All communication (sampling RPCs, feature fetches, gradient all-reduce)
+/// is priced by gnnpart::net. `fabric`, when non-null, selects the topology
+/// (its host count must equal profile.workers); a null fabric uses the
+/// legacy one — NetworkConfig::FromCluster(cluster) — under which the
+/// report is bit-exactly the pre-net closed form (DESIGN.md §10). `usage`,
+/// when non-null, accrues per-link bytes/busy time for net-report;
+/// per-chunk partials are merged in chunk order, so it is bit-identical
+/// for every thread count.
 DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                                         const GnnConfig& config,
                                         const ClusterSpec& cluster,
                                         trace::TraceRecorder* recorder =
-                                            nullptr);
+                                            nullptr,
+                                        const net::Fabric* fabric = nullptr,
+                                        net::LinkUsage* usage = nullptr);
 
 }  // namespace gnnpart
 

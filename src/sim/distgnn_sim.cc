@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
 #include <utility>
 
+#include "check/check.h"
 #include "common/parallel.h"
 #include "gnn/costs.h"
+#include "net/flowsim.h"
 #include "obs/metrics.h"
 #include "trace/trace.h"
 
@@ -70,10 +73,49 @@ DistGnnWorkload BuildDistGnnWorkload(const Graph& graph,
 DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
                                         const GnnConfig& config,
                                         const ClusterSpec& cluster,
-                                        trace::TraceRecorder* recorder) {
+                                        trace::TraceRecorder* recorder,
+                                        const net::Fabric* fabric,
+                                        net::LinkUsage* usage) {
   DistGnnEpochReport report;
   const PartitionId k = workload.k;
   report.machines.resize(k);
+
+  // All communication is priced by gnnpart::net. Callers that pass no
+  // fabric get the legacy one — the cluster's own bandwidth/latency on a
+  // full-bisection switch — under which every charge below is bit-exactly
+  // the pre-net closed form (see src/net/flowsim.h).
+  std::optional<net::Fabric> local_fabric;
+  if (fabric == nullptr) {
+    local_fabric.emplace(net::NetworkConfig::FromCluster(cluster),
+                         static_cast<int>(k));
+    fabric = &*local_fabric;
+  }
+  GNNPART_CHECK_CHEAP(fabric->num_hosts() == static_cast<int>(k),
+                      "distgnn: fabric host count != partition count");
+
+  // Per layer: each machine's replica-sync egress, priced on the fabric.
+  // The phase runs twice per layer in the real schedule (forward state
+  // sync + backward gradient sync with the same volumes), so it is
+  // simulated twice to keep the link-usage accounting honest; completions
+  // are identical by determinism.
+  const size_t sync_cells =
+      static_cast<size_t>(config.num_layers) * static_cast<size_t>(k);
+  std::vector<double> net_sync(sync_cells, 0);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const double dout = static_cast<double>(config.LayerOutputDim(l));
+    net::PhaseSpec spec(k);
+    for (PartitionId p = 0; p < k; ++p) {
+      spec.bytes[p] = 2.0 *
+                      static_cast<double>(workload.synced_vertices[p]) * dout *
+                      sizeof(float);
+      spec.rounds[p] = 2.0;
+    }
+    std::vector<double> done = net::SimulatePhase(*fabric, spec, usage);
+    net::SimulatePhase(*fabric, spec, usage);  // backward gradient sync
+    for (PartitionId p = 0; p < k; ++p) {
+      net_sync[static_cast<size_t>(l) * k + p] = done[p];
+    }
+  }
 
   // Tracing sidecar: per-(layer, machine) compute and sync costs, captured
   // by the cost loop below and replayed onto the BSP timeline at the end.
@@ -102,10 +144,11 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
           cost.dense_flops / cluster.flops_per_second;
       // Replica synchronization after the layer: every replicated vertex
       // covered by p exchanges its dout-dimensional state (send + receive).
+      // The time is the fabric's charge for that egress (uncontended NIC:
+      // bytes/bandwidth + 2 latency rounds, the legacy closed form).
       double sync_bytes = 2.0 * static_cast<double>(workload.synced_vertices[p]) *
                           dout * sizeof(float);
-      double sync = sync_bytes / cluster.network_bandwidth +
-                    2.0 * cluster.network_latency;
+      double sync = net_sync[static_cast<size_t>(l) * k + p];
       report.machines[p].compute_seconds += 3.0 * compute;  // fwd + bwd(2x)
       report.machines[p].network_seconds += 2.0 * sync;     // fwd + bwd
       report.machines[p].network_bytes += 2.0 * sync_bytes;
@@ -124,22 +167,31 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
   }
 
   // Optimizer: gradient all-reduce of the model (ring: 2 * bytes) + step.
+  // Every machine pushes 2 * params over its egress route(s); the epoch
+  // waits for the slowest (on the legacy fabric all are equal and the sum
+  // below is the pre-net closed form bit-exactly).
   double params = ModelParameterBytes(config);
-  report.optimizer_seconds = 2.0 * params / cluster.network_bandwidth +
-                             2.0 * cluster.network_latency +
-                             params / sizeof(float) / cluster.flops_per_second;
+  net::PhaseSpec opt_spec(k);
+  for (PartitionId p = 0; p < k; ++p) {
+    opt_spec.bytes[p] = 2.0 * params;
+    opt_spec.rounds[p] = 2.0;
+  }
+  const std::vector<double> opt_net =
+      net::SimulatePhase(*fabric, opt_spec, usage);
+  double opt_net_max = 0;
+  for (PartitionId p = 0; p < k; ++p) {
+    opt_net_max = std::max(opt_net_max, opt_net[p]);
+  }
+  report.optimizer_seconds =
+      opt_net_max + params / sizeof(float) / cluster.flops_per_second;
 
   report.sync_seconds = 0;
   for (int l = 0; l < config.num_layers; ++l) {
-    // Recompute the per-layer sync straggler for the breakdown. (Cheap:
-    // k <= 64, layers <= 4.)
-    const double dout = static_cast<double>(config.LayerOutputDim(l));
+    // Per-layer sync straggler for the breakdown, from the same fabric
+    // charges as the epoch accounting above.
     double sync_max = 0;
     for (PartitionId p = 0; p < k; ++p) {
-      double sync_bytes = 2.0 * static_cast<double>(workload.synced_vertices[p]) *
-                          dout * sizeof(float);
-      sync_max = std::max(sync_max, sync_bytes / cluster.network_bandwidth +
-                                        2.0 * cluster.network_latency);
+      sync_max = std::max(sync_max, net_sync[static_cast<size_t>(l) * k + p]);
     }
     report.sync_seconds += 2.0 * sync_max;
   }
@@ -193,7 +245,7 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
     double t = 0;
     auto emit_barrier = [&](uint32_t layer, trace::Phase phase, double scale,
                             const std::vector<double>& dur,
-                            const std::vector<double>& bytes) {
+                            const std::vector<double>& bytes, bool comm) {
       const size_t base = static_cast<size_t>(layer) * k;
       double barrier = 0;
       for (PartitionId p = 0; p < k; ++p) {
@@ -206,6 +258,7 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
         span.phase = phase;
         span.t_begin = t;
         span.seconds = scale * dur[base + p];
+        span.comm_seconds = comm ? span.seconds : 0;
         span.bytes = bytes.empty() ? 0 : bytes[base + p];
         recorder->Add(span);
       }
@@ -214,15 +267,15 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
     const std::vector<double> no_bytes;
     for (uint32_t l = 0; l < layers; ++l) {
       emit_barrier(l, trace::Phase::kForwardCompute, 1.0, trace_compute,
-                   no_bytes);
+                   no_bytes, false);
       emit_barrier(l, trace::Phase::kForwardSync, 1.0, trace_sync,
-                   trace_sync_bytes);
+                   trace_sync_bytes, true);
     }
     for (uint32_t l = layers; l-- > 0;) {
       emit_barrier(l, trace::Phase::kBackwardCompute, 2.0, trace_compute,
-                   no_bytes);
+                   no_bytes, false);
       emit_barrier(l, trace::Phase::kBackwardSync, 1.0, trace_sync,
-                   trace_sync_bytes);
+                   trace_sync_bytes, true);
     }
     for (PartitionId p = 0; p < k; ++p) {
       trace::Span span;
@@ -231,6 +284,9 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
       span.phase = trace::Phase::kOptimizer;
       span.t_begin = t;
       span.seconds = report.optimizer_seconds;
+      // The all-reduce (network) part of the optimizer; the remainder of
+      // the span is the compute of the parameter step.
+      span.comm_seconds = opt_net[p];
       span.bytes = 2.0 * params;  // model gradient all-reduce (ring)
       recorder->Add(span);
     }

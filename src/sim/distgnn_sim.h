@@ -17,6 +17,11 @@ namespace trace {
 class TraceRecorder;
 }  // namespace trace
 
+namespace net {
+class Fabric;
+struct LinkUsage;
+}  // namespace net
+
 /// Partition-derived quantities that determine full-batch training cost.
 /// Computed once per (graph, partitioning); every hyper-parameter
 /// configuration is then simulated in closed form.
@@ -72,11 +77,20 @@ struct DistGnnEpochReport {
 /// in reverse layer order, then the optimizer as one extra pseudo-step —
 /// on the simulated BSP timeline (see src/trace/trace.h). Attaching a
 /// recorder never changes the report; a null recorder costs nothing.
+///
+/// All communication (replica sync, gradient all-reduce) is priced by
+/// gnnpart::net. `fabric`, when non-null, selects the topology (its host
+/// count must equal workload.k); a null fabric uses the legacy one —
+/// NetworkConfig::FromCluster(cluster) — under which the report is
+/// bit-exactly the pre-net closed form (DESIGN.md §10). `usage`, when
+/// non-null, accrues per-link bytes/busy time for net-report.
 DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
                                         const GnnConfig& config,
                                         const ClusterSpec& cluster,
                                         trace::TraceRecorder* recorder =
-                                            nullptr);
+                                            nullptr,
+                                        const net::Fabric* fabric = nullptr,
+                                        net::LinkUsage* usage = nullptr);
 
 }  // namespace gnnpart
 

@@ -85,6 +85,8 @@ std::string ChromeTraceJson(const TraceRecorder& rec) {
     event += std::to_string(s.step);
     event += ",\"bytes\":";
     event += Bytes(s.bytes);
+    event += ",\"comm_us\":";
+    event += Micros(s.comm_seconds);
     event += "}}";
     emit(event);
   }
@@ -110,8 +112,9 @@ std::string ChromeTraceJson(const TraceRecorder& rec) {
 }
 
 std::string TraceCsv(const TraceRecorder& rec) {
-  std::string out = "step,worker,phase,t_begin,t_end,seconds,bytes\n";
-  out.reserve(out.size() + rec.spans().size() * 64);
+  std::string out =
+      "step,worker,phase,t_begin,t_end,seconds,comm_seconds,bytes\n";
+  out.reserve(out.size() + rec.spans().size() * 72);
   for (const Span& s : rec.spans()) {
     out += std::to_string(s.step);
     out += ',';
@@ -124,6 +127,8 @@ std::string TraceCsv(const TraceRecorder& rec) {
     out += Full(s.t_end());
     out += ',';
     out += Full(s.seconds);
+    out += ',';
+    out += Full(s.comm_seconds);
     out += ',';
     out += Full(s.bytes);
     out += '\n';

@@ -20,8 +20,9 @@ namespace trace {
 /// clock") — the two time bases are never mixed on one row.
 std::string ChromeTraceJson(const TraceRecorder& rec);
 
-/// Flat CSV: step,worker,phase,t_begin,t_end,seconds,bytes — one row per
-/// simulated span, times in (simulated) seconds with round-trip precision.
+/// Flat CSV: step,worker,phase,t_begin,t_end,seconds,comm_seconds,bytes —
+/// one row per simulated span, times in (simulated) seconds with
+/// round-trip precision.
 std::string TraceCsv(const TraceRecorder& rec);
 
 /// Writes ChromeTraceJson / TraceCsv to `path`. The format is picked from

@@ -65,13 +65,17 @@ const std::vector<Phase>& StepPhases(Simulator simulator);
 /// is the exact cost-model value, which is what makes the report
 /// reconstruction bit-exact; the timeline position is derived (t_begin + d
 /// would lose the last float bit if durations were recomputed from
-/// endpoints).
+/// endpoints). `comm_seconds` is the communication share of the duration
+/// (the part gnnpart::net charged for bytes + latency rounds, in
+/// [0, seconds]); gnnpart::net's overlap analysis slides exactly this
+/// share under compute.
 struct Span {
   uint32_t step = 0;
   uint32_t worker = 0;
   Phase phase = Phase::kSampling;
   double t_begin = 0;  // simulated seconds since epoch start
   double seconds = 0;  // exact cost-model duration
+  double comm_seconds = 0;  // communication share of `seconds`
   double bytes = 0;
 
   double t_end() const { return t_begin + seconds; }

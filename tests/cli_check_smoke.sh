@@ -68,4 +68,17 @@ if "$CLI" frobnicate 2> /dev/null; then
   exit 1
 fi
 
+# String-valued flags given without a value must also fail loudly (the
+# value would otherwise silently swallow the next argument or default).
+for flag in --metrics-out --trace-out --topology --overlap; do
+  if "$CLI" simulate "$TMP/HW.bin" HDRF 4 "$flag" 2> "$TMP/err.txt"; then
+    echo "FAIL: trailing $flag without a value accepted" >&2
+    exit 1
+  fi
+  grep -q 'requires a value' "$TMP/err.txt" || {
+    echo "FAIL: $flag missing-value error not reported" >&2
+    exit 1
+  }
+done
+
 echo OK

@@ -18,7 +18,7 @@ grep -q '"distgnn simulated epoch"' "$TMP/t.json"
 
 # Flat CSV from the mini-batch (vertex-partitioned) simulator.
 "$CLI" simulate "$TMP/g.txt" Metis 4 --trace-out "$TMP/t.csv" > /dev/null
-head -1 "$TMP/t.csv" | grep -q '^step,worker,phase,t_begin,t_end,seconds,bytes$'
+head -1 "$TMP/t.csv" | grep -q '^step,worker,phase,t_begin,t_end,seconds,comm_seconds,bytes$'
 grep -q ',sampling,' "$TMP/t.csv"
 
 # trace-report prints the straggler-blame and critical-path tables.

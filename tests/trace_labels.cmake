@@ -14,3 +14,9 @@ endforeach()
 foreach(_t IN LISTS check_test_TESTS)
   set_tests_properties("${_t}" PROPERTIES LABELS "check;tsan")
 endforeach()
+
+# The network suite exercises the chunked LinkUsage merge across thread
+# counts, so it belongs to the TSan selection too.
+foreach(_t IN LISTS net_test_TESTS)
+  set_tests_properties("${_t}" PROPERTIES LABELS "net;tsan")
+endforeach()

@@ -407,8 +407,10 @@ TEST_F(TraceTest, CsvExportHasOneRowPerSpan) {
   size_t lines = 0;
   for (char c : csv) lines += (c == '\n');
   EXPECT_EQ(lines, rec.spans().size() + 1);  // + header
-  EXPECT_EQ(csv.rfind("step,worker,phase,t_begin,t_end,seconds,bytes\n", 0),
-            0u);
+  EXPECT_EQ(
+      csv.rfind("step,worker,phase,t_begin,t_end,seconds,comm_seconds,bytes\n",
+                0),
+      0u);
 }
 
 // --- report tables ---

@@ -76,6 +76,52 @@ def value_key(row):
     return None
 
 
+def describe_value_diff(brow, crow):
+    """Human-actionable description of a det:true value mismatch.
+
+    Counters/gauges report the delta; histograms pinpoint the first
+    differing bucket (index + upper bound) and the count/sum drift, so a
+    CI failure names the diverging distribution cell instead of dumping
+    two opaque tuples.
+    """
+    kind = brow.get("type")
+    if kind in ("counter", "gauge"):
+        b, c = brow.get("value"), crow.get("value")
+        try:
+            return f"{b} -> {c} (delta {c - b:+})"
+        except TypeError:
+            return f"{b} -> {c}"
+    if kind == "histogram":
+        parts = []
+        b_bounds = list(brow.get("bounds", []))
+        c_bounds = list(crow.get("bounds", []))
+        if b_bounds != c_bounds:
+            parts.append(f"bounds changed ({len(b_bounds)} -> {len(c_bounds)})")
+        else:
+            b_buckets = list(brow.get("buckets", []))
+            c_buckets = list(crow.get("buckets", []))
+            for i in range(max(len(b_buckets), len(c_buckets))):
+                b = b_buckets[i] if i < len(b_buckets) else None
+                c = c_buckets[i] if i < len(c_buckets) else None
+                if b != c:
+                    bound = b_bounds[i] if i < len(b_bounds) else "inf"
+                    parts.append(
+                        f"first differing bucket [{i}] (<= {bound}): {b} -> {c}")
+                    break
+        for field in ("count", "sum"):
+            b, c = brow.get(field), crow.get(field)
+            if b != c:
+                try:
+                    parts.append(f"{field} {b} -> {c} (delta {c - b:+})")
+                except TypeError:
+                    parts.append(f"{field} {b} -> {c}")
+        return "; ".join(parts) if parts else "histograms differ"
+    if kind == "timer":
+        return (f"seconds {brow.get('seconds')} -> {crow.get('seconds')}, "
+                f"count {brow.get('count')} -> {crow.get('count')}")
+    return f"{value_key(brow)} -> {value_key(crow)}"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -112,7 +158,7 @@ def main():
                 continue
             if value_key(brow) != value_key(crow):
                 regressions.append(
-                    f"VALUE    {name}: {value_key(brow)} -> {value_key(crow)}")
+                    f"VALUE    {name}: {describe_value_diff(brow, crow)}")
             continue
         # det:false from here on.
         if args.det_only:

@@ -11,8 +11,10 @@
 //       [--directed] [--seed N]
 //   gnnpart_cli simulate <graph-file> <partitioner> <k>
 //       [--feature N] [--hidden N] [--layers N] [--gbs N] [--directed]
-//       [--trace-out FILE]
+//       [--trace-out FILE] [--topology T] [--oversubscription N]
+//       [--rack-size N] [--nic-gbps N] [--overlap on|off]
 //   gnnpart_cli trace-report <graph-file> <partitioner> <k> [same flags]
+//   gnnpart_cli net-report <graph-file> <partitioner> <k> [same flags]
 //   gnnpart_cli metrics <manifest.jsonl>
 //
 // Graph files are whitespace edge lists ("u v" per line, '#' comments) or
@@ -38,6 +40,10 @@
 #include "graph/degree_stats.h"
 #include "graph/io.h"
 #include "metrics/partition_metrics.h"
+#include "net/flowsim.h"
+#include "net/metrics.h"
+#include "net/overlap.h"
+#include "net/topology.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "partition/edge/registry.h"
@@ -68,8 +74,15 @@ int Usage() {
          "      [--hidden N] [--layers N] [--gbs N] [--directed] [--seed N]\n"
          "      [--trace-out FILE]  per-(step,worker,phase) timeline;\n"
          "      .csv -> flat CSV, else Chrome trace_event JSON (Perfetto)\n"
+         "      [--topology full-bisection|fat-tree|ring]  cluster fabric\n"
+         "      [--oversubscription N] [--rack-size N]  fat-tree shape\n"
+         "      [--nic-gbps N]  per-host NIC bandwidth\n"
+         "      [--overlap on|off]  also report the pipelined epoch time\n"
          "  gnnpart_cli trace-report <graph> <partitioner> <k>\n"
          "      [simulate flags]  straggler-blame / critical-path tables\n"
+         "  gnnpart_cli net-report <graph> <partitioner> <k>\n"
+         "      [simulate flags]  per-link utilization and overlap-adjusted\n"
+         "      straggler blame on the selected fabric\n"
          "  gnnpart_cli metrics <manifest.jsonl>  pretty-print a run\n"
          "      manifest written by --metrics-out\n"
          "partitioners: Random DBH HDRF 2PS-L HEP10 HEP100 Greedy (edge)\n"
@@ -183,6 +196,49 @@ PartitionId ParseK(const std::string& arg) {
     std::exit(2);
   }
   return static_cast<PartitionId>(v);
+}
+
+/// Network flags shared by simulate / trace-report / net-report. Starts
+/// from the legacy fabric (NetworkConfig::FromCluster) and only overrides
+/// what was passed explicitly, so the default run is byte-identical to the
+/// pre-net cost model. All numeric values go through ParsePositiveInt via
+/// FlagValue (loud exit 2 on garbage); --overlap only accepts on|off.
+net::NetworkConfig ParseNetworkConfig(const std::vector<std::string>& args,
+                                      const ClusterSpec& cluster) {
+  net::NetworkConfig cfg = net::NetworkConfig::FromCluster(cluster);
+  if (HasFlag(args, "--topology")) {
+    Result<net::TopologyKind> kind =
+        net::ParseTopologyName(StringFlagValue(args, "--topology"));
+    if (!kind.ok()) {
+      std::cerr << "error: " << kind.status() << "\n";
+      std::exit(2);
+    }
+    cfg.topology = *kind;
+  }
+  if (HasFlag(args, "--oversubscription")) {
+    cfg.oversubscription =
+        static_cast<double>(FlagValue(args, "--oversubscription", 1, 64));
+  }
+  if (HasFlag(args, "--rack-size")) {
+    cfg.rack_size = static_cast<int>(FlagValue(args, "--rack-size", 4, 64));
+  }
+  if (HasFlag(args, "--nic-gbps")) {
+    cfg.nic_bandwidth =
+        static_cast<double>(FlagValue(args, "--nic-gbps", 1, 1000)) * 1.25e8;
+  }
+  if (HasFlag(args, "--overlap")) {
+    const std::string value = StringFlagValue(args, "--overlap");
+    if (value == "on") {
+      cfg.overlap = true;
+    } else if (value == "off") {
+      cfg.overlap = false;
+    } else {
+      std::cerr << "error: invalid --overlap value '" << value
+                << "' (expected on or off)\n";
+      std::exit(2);
+    }
+  }
+  return cfg;
 }
 
 Result<Graph> LoadGraph(const std::string& path, bool directed) {
@@ -395,14 +451,19 @@ int CmdCheck(const std::vector<std::string>& args) {
   return CheckOneVertexPartitioner(*graph, split, *id, k, seed);
 }
 
-/// Shared pipeline of `simulate` and `trace-report`: load, partition,
-/// simulate one epoch — with a trace recorder attached when the trace file
-/// or the report tables ask for one. In a paranoid-check build the graph
-/// and the partitioning are fully validated between the partition and
-/// simulate stages. Tracing verifies the trace/report invariant (per-step
-/// phase maxima must reproduce the report's phase seconds bit-exactly)
-/// before anything is written.
-int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
+/// What the shared simulate pipeline should print at the end.
+enum class SimMode { kSimulate, kTraceReport, kNetReport };
+
+/// Shared pipeline of `simulate`, `trace-report` and `net-report`: load,
+/// partition, simulate one epoch — with a trace recorder attached when the
+/// trace file, the report tables or the overlap analysis ask for one. In a
+/// paranoid-check build the graph and the partitioning are fully validated
+/// between the partition and simulate stages. Tracing verifies the
+/// trace/report invariant (per-step phase maxima must reproduce the
+/// report's phase seconds bit-exactly) before anything is written;
+/// net-report additionally verifies flow conservation and the overlap
+/// report's serial re-derivation.
+int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
   std::vector<std::string> pos = Positionals(
       args,
       {{"--feature", true},
@@ -411,7 +472,12 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
        {"--gbs", true},
        {"--directed", false},
        {"--seed", true},
-       {"--trace-out", true}},
+       {"--trace-out", true},
+       {"--topology", true},
+       {"--oversubscription", true},
+       {"--rack-size", true},
+       {"--nic-gbps", true},
+       {"--overlap", true}},
       3, 3);
   Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
   if (!graph.ok()) return Fail(graph.status());
@@ -431,9 +497,14 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
   cluster.num_machines = static_cast<int>(k);
   std::string name = pos[1];
   const std::string trace_out = StringFlagValue(args, "--trace-out");
+  const net::NetworkConfig netcfg = ParseNetworkConfig(args, cluster);
+  const net::Fabric fabric(netcfg, static_cast<int>(k));
+  net::LinkUsage usage;
   trace::TraceRecorder recorder;
-  trace::TraceRecorder* rec =
-      (print_tables || !trace_out.empty()) ? &recorder : nullptr;
+  trace::TraceRecorder* rec = (mode != SimMode::kSimulate || netcfg.overlap ||
+                               !trace_out.empty())
+                                  ? &recorder
+                                  : nullptr;
   // The partition wall time only feeds the trace; without a recorder the
   // timer stays in its disabled null mode and never touches the clock.
   WallTimer partition_timer =
@@ -450,8 +521,9 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
         return Fail(st);
       }
     }
-    DistGnnEpochReport r = SimulateDistGnnEpoch(
-        BuildDistGnnWorkload(*graph, *parts), config, cluster, rec);
+    DistGnnEpochReport r =
+        SimulateDistGnnEpoch(BuildDistGnnWorkload(*graph, *parts), config,
+                             cluster, rec, &fabric, &usage);
     std::cout << "full-batch epoch " << r.epoch_seconds * 1e3 << " ms"
               << " (fwd " << r.forward_seconds * 1e3 << ", bwd "
               << r.backward_seconds * 1e3 << "), network "
@@ -491,8 +563,8 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
         return Fail(st);
       }
     }
-    DistDglEpochReport r = SimulateDistDglEpoch(*profile, config, cluster,
-                                                rec);
+    DistDglEpochReport r =
+        SimulateDistDglEpoch(*profile, config, cluster, rec, &fabric, &usage);
     std::cout << "mini-batch epoch " << r.epoch_seconds * 1e3
               << " ms (sampling " << r.sampling_seconds * 1e3 << ", fetch "
               << r.feature_seconds * 1e3 << ", fwd " << r.forward_seconds * 1e3
@@ -516,7 +588,58 @@ int RunSimulation(const std::vector<std::string>& args, bool print_tables) {
               << " spans, " << recorder.steps() << " steps, "
               << recorder.workers() << " workers)\n";
   }
-  if (print_tables) {
+  if (netcfg.overlap || mode == SimMode::kNetReport) {
+    const net::OverlapReport overlap = net::ComputeOverlap(recorder);
+    if (Status st = check::ValidateOverlapReport(recorder, overlap);
+        !st.ok()) {
+      return Fail(st);
+    }
+    net::RecordOverlapMetrics(overlap);
+    const double pct = overlap.bsp_epoch_seconds > 0
+                           ? 100.0 * overlap.hidden_seconds /
+                                 overlap.bsp_epoch_seconds
+                           : 0.0;
+    std::cout << "overlap: bsp " << overlap.bsp_epoch_seconds * 1e3
+              << " ms, pipelined " << overlap.pipelined_epoch_seconds * 1e3
+              << " ms, hidden " << overlap.hidden_seconds * 1e3 << " ms ("
+              << TablePrinter::Fmt(pct, 1) << "% of bsp)\n";
+    if (mode == SimMode::kNetReport) {
+      if (Status st = check::ValidateFlowConservation(fabric, usage);
+          !st.ok()) {
+        return Fail(st);
+      }
+      net::RecordUsageMetrics(fabric, usage);
+      std::cout << "\n--- network: " << netcfg.Summary() << " ---\n";
+      const double epoch_end = recorder.epoch_end();
+      TablePrinter links({"link", "MB", "busy ms", "util %"});
+      for (size_t l = 0; l < fabric.links().size(); ++l) {
+        const double busy = usage.link_busy_seconds[l];
+        links.AddRow({fabric.links()[l].name,
+                      TablePrinter::Fmt(usage.link_bytes[l] / 1e6, 2),
+                      TablePrinter::Fmt(busy * 1e3, 3),
+                      TablePrinter::Fmt(
+                          epoch_end > 0 ? 100.0 * busy / epoch_end : 0.0,
+                          1)});
+      }
+      links.Print(std::cout);
+      std::cout << "\n--- overlap-adjusted straggler blame ---\n";
+      const std::vector<trace::WorkerBlame> bsp_blame =
+          trace::ComputeWorkerBlame(recorder);
+      TablePrinter blame(
+          {"worker", "bsp blame ms", "pipelined blame ms", "comm ms",
+           "compute ms"});
+      for (uint32_t w = 0; w < recorder.workers(); ++w) {
+        blame.AddRow(
+            {std::to_string(w),
+             TablePrinter::Fmt(bsp_blame[w].total_blame() * 1e3, 3),
+             TablePrinter::Fmt(overlap.worker_pipelined_blame[w] * 1e3, 3),
+             TablePrinter::Fmt(overlap.worker_comm_seconds[w] * 1e3, 3),
+             TablePrinter::Fmt(overlap.worker_compute_seconds[w] * 1e3, 3)});
+      }
+      blame.Print(std::cout);
+    }
+  }
+  if (mode == SimMode::kTraceReport) {
     std::cout << "\n--- critical path (straggler-summed, per phase) ---\n";
     trace::CriticalPathTable(recorder).Print(std::cout);
     std::cout << "\n--- per-worker straggler blame ---\n";
@@ -565,11 +688,15 @@ int CmdMetrics(const std::vector<std::string>& args) {
 }
 
 int CmdSimulate(const std::vector<std::string>& args) {
-  return RunSimulation(args, /*print_tables=*/false);
+  return RunSimulation(args, SimMode::kSimulate);
 }
 
 int CmdTraceReport(const std::vector<std::string>& args) {
-  return RunSimulation(args, /*print_tables=*/true);
+  return RunSimulation(args, SimMode::kTraceReport);
+}
+
+int CmdNetReport(const std::vector<std::string>& args) {
+  return RunSimulation(args, SimMode::kNetReport);
 }
 
 }  // namespace
@@ -624,6 +751,7 @@ int main(int argc, char** argv) {
   else if (cmd == "check") rc = CmdCheck(args);
   else if (cmd == "simulate") rc = CmdSimulate(args);
   else if (cmd == "trace-report") rc = CmdTraceReport(args);
+  else if (cmd == "net-report") rc = CmdNetReport(args);
   else if (cmd == "metrics") rc = CmdMetrics(args);
   else {
     std::cerr << "error: unknown subcommand '" << cmd << "'\n";

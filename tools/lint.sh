@@ -20,6 +20,9 @@
 #      (RSS telemetry). Everything else must consume time through WallTimer
 #      or obs::ScopedTimer, so the determinism boundary stays auditable.
 #      Deliberate exceptions carry a `lint:wall-clock-ok` comment.
+#   5. src/net/ runs in simulated time only: the discrete-event engine's
+#      outputs are results, so not even the sanctioned WallTimer/ScopedTimer
+#      stopwatches may appear there — no ambient clock of any kind.
 #
 # Usage: tools/lint.sh  (from the repository root; exits non-zero on findings)
 set -u
@@ -110,6 +113,17 @@ out=$(grep -n '/proc/self/' $src_files \
       | grep -v '^src/obs/' | grep -v 'lint:wall-clock-ok')
 [ -n "$out" ] && finding \
   "/proc/self/* reads are quarantined to src/obs/ (RSS telemetry; lint:wall-clock-ok to override)" \
+  "$out"
+
+# --- 5. src/net/ is simulated-time only -----------------------------------
+# The network subsystem's event clock is part of its *result* (completion
+# times, busy seconds), so even the sanctioned telemetry stopwatches are
+# banned there: a wall-clock read in src/net/ is a determinism bug by
+# definition, not telemetry.
+net_files=$(find src/net -name '*.cc' -o -name '*.h')
+out=$(grep -nE 'WallTimer|ScopedTimer|steady_clock|std::chrono|#include[[:space:]]*<chrono>' $net_files)
+[ -n "$out" ] && finding \
+  "src/net/ must use simulated time only (no WallTimer/ScopedTimer/<chrono>)" \
   "$out"
 
 if [ "$fail" -ne 0 ]; then
