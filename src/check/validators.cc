@@ -672,5 +672,147 @@ Status ValidateOverlapReport(const trace::TraceRecorder& rec,
   return Status::Ok();
 }
 
+Status ValidateSplitMergePlan(const Graph& graph, const SplitMergePlan& plan,
+                              const EdgePartitioning& merged) {
+  const uint64_t m = graph.num_edges();
+  const size_t shards = static_cast<size_t>(plan.split_factor);
+  if (plan.split_factor < 1 || plan.split_factor > kMaxSplitFactor) {
+    return Violation("partition/split-merge-shape",
+                     "split factor " + std::to_string(plan.split_factor) +
+                         " outside [1, " + std::to_string(kMaxSplitFactor) +
+                         "]");
+  }
+  if (plan.k != merged.k) {
+    return Violation("partition/split-merge-shape",
+                     "plan k=" + std::to_string(plan.k) +
+                         " but merged partitioning has k=" +
+                         std::to_string(merged.k));
+  }
+  if (plan.num_edges != m || plan.sub_assignment.size() != m ||
+      merged.assignment.size() != m) {
+    return Violation(
+        "partition/split-merge-shape",
+        "graph has " + std::to_string(m) + " edges; plan covers " +
+            std::to_string(plan.num_edges) + ", sub-assignment " +
+            std::to_string(plan.sub_assignment.size()) + ", merged " +
+            std::to_string(merged.assignment.size()));
+  }
+  const size_t num_subs = shards * plan.k;
+  if (plan.sub_to_partition.size() != num_subs) {
+    return Violation("partition/split-merge-shape",
+                     "matching covers " +
+                         std::to_string(plan.sub_to_partition.size()) +
+                         " sub-partitions, expected " +
+                         std::to_string(num_subs));
+  }
+
+  // Shard coverage: the boundaries must tile [0, m) — every edge belongs to
+  // exactly one shard, no shard dropped, none overlapping.
+  if (plan.shard_begin.size() != shards + 1) {
+    return Violation("partition/split-merge-shard-coverage",
+                     "boundary vector has " +
+                         std::to_string(plan.shard_begin.size()) +
+                         " entries, expected " + std::to_string(shards + 1));
+  }
+  if (plan.shard_begin.front() != 0 || plan.shard_begin.back() != m) {
+    return Violation("partition/split-merge-shard-coverage",
+                     "boundaries span [" +
+                         std::to_string(plan.shard_begin.front()) + ", " +
+                         std::to_string(plan.shard_begin.back()) +
+                         "), expected [0, " + std::to_string(m) + ")");
+  }
+  for (size_t s = 0; s < shards; ++s) {
+    if (plan.shard_begin[s] > plan.shard_begin[s + 1]) {
+      return Violation("partition/split-merge-shard-coverage",
+                       "shard " + std::to_string(s) +
+                           " has negative extent: begin " +
+                           std::to_string(plan.shard_begin[s]) + " > end " +
+                           std::to_string(plan.shard_begin[s + 1]));
+    }
+  }
+
+  // Sub-partition range: every edge's sub-partition must belong to its own
+  // shard's id block [s * k, (s + 1) * k) — a shard instance can only
+  // assign its own edges.
+  {
+    size_t s = 0;
+    for (uint64_t e = 0; e < m; ++e) {
+      while (e >= plan.shard_begin[s + 1]) ++s;
+      const uint32_t sub = plan.sub_assignment[e];
+      const uint32_t sub_lo = static_cast<uint32_t>(s * plan.k);
+      if (sub < sub_lo || sub >= sub_lo + plan.k) {
+        return Violation("partition/split-merge-sub-range",
+                         "edge " + std::to_string(e) + " of shard " +
+                             std::to_string(s) + " carries sub-partition " +
+                             std::to_string(sub) + " outside [" +
+                             std::to_string(sub_lo) + ", " +
+                             std::to_string(sub_lo + plan.k) + ")");
+      }
+    }
+  }
+
+  // Matching totality: every sub-partition maps to a real partition.
+  for (size_t i = 0; i < num_subs; ++i) {
+    if (plan.sub_to_partition[i] >= plan.k) {
+      return Violation("partition/split-merge-matching",
+                       "sub-partition " + std::to_string(i) +
+                           " matched to partition " +
+                           std::to_string(plan.sub_to_partition[i]) +
+                           " >= k=" + std::to_string(plan.k));
+    }
+  }
+
+  // Merge conservation: merging relabels sub-partitions, it never
+  // reassigns an edge — the final assignment must be exactly the
+  // composition through the matching.
+  for (uint64_t e = 0; e < m; ++e) {
+    const PartitionId expected =
+        plan.sub_to_partition[plan.sub_assignment[e]];
+    if (merged.assignment[e] != expected) {
+      return Violation("partition/split-merge-conservation",
+                       "edge " + std::to_string(e) + " assigned to " +
+                           std::to_string(merged.assignment[e]) +
+                           " but its sub-partition " +
+                           std::to_string(plan.sub_assignment[e]) +
+                           " is matched to " + std::to_string(expected));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckSplitMergeSerialEquivalence(const Graph& graph,
+                                        const EdgePartitioner& sequential,
+                                        PartitionId k, uint64_t seed,
+                                        const EdgePartitioning& merged) {
+  Result<EdgePartitioning> reference = sequential.Partition(graph, k, seed);
+  if (!reference.ok()) {
+    return Violation("partition/split-merge-serial-equivalence",
+                     "sequential reference run failed: " +
+                         reference.status().message());
+  }
+  if (reference->k != merged.k ||
+      reference->assignment.size() != merged.assignment.size()) {
+    return Violation("partition/split-merge-serial-equivalence",
+                     "shape mismatch: sequential (k=" +
+                         std::to_string(reference->k) + ", " +
+                         std::to_string(reference->assignment.size()) +
+                         " edges) vs split-merge (k=" +
+                         std::to_string(merged.k) + ", " +
+                         std::to_string(merged.assignment.size()) +
+                         " edges)");
+  }
+  for (size_t e = 0; e < merged.assignment.size(); ++e) {
+    if (reference->assignment[e] != merged.assignment[e]) {
+      return Violation("partition/split-merge-serial-equivalence",
+                       "edge " + std::to_string(e) + ": sequential " +
+                           std::to_string(reference->assignment[e]) +
+                           " vs split-merge " +
+                           std::to_string(merged.assignment[e]) +
+                           " (split factor 1 must be bit-identical)");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace check
 }  // namespace gnnpart

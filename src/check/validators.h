@@ -12,6 +12,7 @@
 #include "net/overlap.h"
 #include "net/topology.h"
 #include "partition/partitioning.h"
+#include "partition/split_merge.h"
 #include "sampling/block_sampler.h"
 #include "sim/distdgl_sim.h"
 #include "sim/distgnn_sim.h"
@@ -103,6 +104,27 @@ Status ValidateFlowConservation(const net::Fabric& fabric,
 /// hidden == bsp - pipelined must hold bit-exactly.
 Status ValidateOverlapReport(const trace::TraceRecorder& rec,
                              const net::OverlapReport& report);
+
+/// Split-merge execution integrity (DESIGN.md §11). Checks, in order:
+/// plan/partitioning shape ("partition/split-merge-shape"), shard
+/// boundaries tiling [0, m) exactly ("partition/split-merge-shard-
+/// coverage"), every edge's sub-partition lying in its own shard's id block
+/// ("partition/split-merge-sub-range"), the merge matching being total
+/// ("partition/split-merge-matching"), and the merged assignment being
+/// exactly the composition sub_to_partition[sub_assignment[e]] —
+/// conservation: merging relabels sub-partitions, it never reassigns an
+/// edge ("partition/split-merge-conservation").
+Status ValidateSplitMergePlan(const Graph& graph, const SplitMergePlan& plan,
+                              const EdgePartitioning& merged);
+
+/// Serial-equivalence contract ("partition/split-merge-serial-
+/// equivalence"): a split-merge run at split factor 1 must be bit-identical
+/// to the sequential partitioner. Re-runs `sequential` at (k, seed) and
+/// compares the full assignment vector against `merged`.
+Status CheckSplitMergeSerialEquivalence(const Graph& graph,
+                                        const EdgePartitioner& sequential,
+                                        PartitionId k, uint64_t seed,
+                                        const EdgePartitioning& merged);
 
 }  // namespace check
 }  // namespace gnnpart

@@ -1,6 +1,7 @@
 #ifndef GNNPART_COMMON_PARALLEL_H_
 #define GNNPART_COMMON_PARALLEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -33,6 +34,23 @@ inline size_t NumChunks(size_t n, size_t grain) {
   if (n == 0) return 0;
   if (grain == 0) grain = 1;
   return (n + grain - 1) / grain;
+}
+
+/// Fixed shard boundaries for split-merge style execution: the half-open
+/// range [begin, end) of shard `shard` when [0, n) is tiled into `shards`
+/// near-equal contiguous ranges (the first n % shards shards get one extra
+/// element). Like NumChunks, the boundaries depend only on (n, shards) —
+/// never on the thread count or scheduling — which anchors the determinism
+/// guarantee of anything built on shards. ShardRange(n, shards, shards)
+/// yields {n, n}, so `shard_begin[s] = ShardRange(n, shards, s).first` for
+/// s in [0, shards] produces a well-formed boundary vector.
+inline std::pair<size_t, size_t> ShardRange(size_t n, size_t shards,
+                                            size_t shard) {
+  const size_t base = n / shards;
+  const size_t extra = n % shards;
+  const size_t begin = shard * base + std::min(shard, extra);
+  if (shard >= shards) return {n, n};
+  return {begin, begin + base + (shard < extra ? 1 : 0)};
 }
 
 /// Deterministic RNG stream for chunk `chunk_id` of a parallel region with
@@ -145,6 +163,23 @@ T ParallelReduce(size_t n, size_t grain, T init, const MapFn& map,
     acc = combine(std::move(acc), std::move(partial[c]));
   }
   return acc;
+}
+
+/// Shard-scoped map on the default pool: runs `map(shard)` once per shard in
+/// [0, shards) — grain 1, one chunk per shard — and returns the results in
+/// shard order. The shard index is the only scheduling-visible input, so as
+/// long as `map` is a pure function of its shard the result vector is
+/// bit-identical for every thread count. This is the reduction shape of the
+/// split-merge partitioner stage: heavy independent per-shard work whose
+/// results are then folded serially in shard order.
+template <typename MapFn>
+auto ShardMap(size_t shards, const MapFn& map)
+    -> std::vector<decltype(map(size_t{0}))> {
+  std::vector<decltype(map(size_t{0}))> results(shards);
+  ParallelFor(shards, 1, [&](size_t begin, size_t end, size_t) {
+    for (size_t s = begin; s < end; ++s) results[s] = map(s);
+  });
+  return results;
 }
 
 }  // namespace gnnpart

@@ -13,19 +13,11 @@ Result<EdgePartitioning> HdrfPartitioner::Partition(const Graph& graph,
                                                     PartitionId k,
                                                     uint64_t seed) const {
   GNNPART_RETURN_NOT_OK(CheckArgs(graph, k));
-  const size_t n = graph.num_vertices();
   const size_t m = graph.num_edges();
 
   EdgePartitioning result;
   result.k = k;
   result.assignment.assign(m, kInvalidPartition);
-
-  // Streaming state.
-  std::vector<uint64_t> replicas(n, 0);        // partition bitmask per vertex
-  std::vector<uint32_t> partial_degree(n, 0);  // degree seen so far
-  std::vector<uint64_t> load(k, 0);            // edges per partition
-  uint64_t max_load = 0;
-  uint64_t min_load = 0;
 
   // Stream edges in a seed-dependent shuffled order, as a streaming
   // partitioner would receive them from an arbitrary on-disk order.
@@ -34,9 +26,27 @@ Result<EdgePartitioning> HdrfPartitioner::Partition(const Graph& graph,
   Rng rng(seed);
   rng.Shuffle(&order);
 
+  GNNPART_RETURN_NOT_OK(
+      PartitionStream(graph, order, k, &rng, &result.assignment));
+  return result;
+}
+
+Status HdrfPartitioner::PartitionStream(
+    const Graph& graph, const std::vector<EdgeId>& stream, PartitionId k,
+    Rng* /*rng*/, std::vector<PartitionId>* assignment) const {
+  const size_t n = graph.num_vertices();
+
+  // Streaming state, scoped to this call so concurrent shard instances over
+  // disjoint streams are independent.
+  std::vector<uint64_t> replicas(n, 0);        // partition bitmask per vertex
+  std::vector<uint32_t> partial_degree(n, 0);  // degree seen so far
+  std::vector<uint64_t> load(k, 0);            // edges per partition
+  uint64_t max_load = 0;
+  uint64_t min_load = 0;
+
   const auto& edges = graph.edges();
   uint64_t score_evals = 0;  // accumulated locally, published once below
-  for (EdgeId e : order) {
+  for (EdgeId e : stream) {
     VertexId u = edges[e].src;
     VertexId v = edges[e].dst;
     ++partial_degree[u];
@@ -65,17 +75,18 @@ Result<EdgePartitioning> HdrfPartitioner::Partition(const Graph& graph,
         best_load = load[p];
       }
     }
-    result.assignment[e] = best;
+    (*assignment)[e] = best;
     replicas[u] |= 1ULL << best;
     replicas[v] |= 1ULL << best;
     ++load[best];
     max_load = std::max(max_load, load[best]);
     min_load = *std::min_element(load.begin(), load.end());
   }
-  obs::Count("partition/edge/" + name() + "/edges_assigned", m, "edges");
+  obs::Count("partition/edge/" + name() + "/edges_assigned", stream.size(),
+             "edges");
   obs::Count("partition/edge/" + name() + "/score_evals", score_evals,
              "evals");
-  return result;
+  return Status::Ok();
 }
 
 }  // namespace gnnpart

@@ -10,7 +10,7 @@ namespace gnnpart {
 /// maximizing a replication score (prefer partitions already holding the
 /// endpoints, weighted so the *lower*-degree endpoint's replica counts more)
 /// plus a load-balance term is chosen.
-class HdrfPartitioner : public EdgePartitioner {
+class HdrfPartitioner : public StreamingEdgePartitioner {
  public:
   /// lambda weighs the balance term (paper default 1.1);
   /// epsilon avoids division by zero in the balance term.
@@ -21,6 +21,9 @@ class HdrfPartitioner : public EdgePartitioner {
   std::string category() const override { return "stateful streaming"; }
   Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
                                      uint64_t seed) const override;
+  Status PartitionStream(const Graph& graph, const std::vector<EdgeId>& stream,
+                         PartitionId k, Rng* rng,
+                         std::vector<PartitionId>* assignment) const override;
 
  private:
   double lambda_;

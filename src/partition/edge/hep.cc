@@ -28,15 +28,40 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
                                                    PartitionId k,
                                                    uint64_t seed) const {
   GNNPART_RETURN_NOT_OK(CheckArgs(graph, k));
-  if (tau_ <= 0) return Status::InvalidArgument("HEP: tau must be > 0");
-  const size_t n = graph.num_vertices();
   const size_t m = graph.num_edges();
-  const auto& edges = graph.edges();
-  IncidenceList incidence(graph);
 
   EdgePartitioning result;
   result.k = k;
   result.assignment.assign(m, kInvalidPartition);
+
+  // HEP consumes the edge list in its on-disk (canonical) order; only the
+  // streaming-phase leftovers are shuffled, from the same RNG stream.
+  std::vector<EdgeId> stream(m);
+  std::iota(stream.begin(), stream.end(), 0);
+  Rng rng(seed);
+
+  GNNPART_RETURN_NOT_OK(
+      PartitionStream(graph, stream, k, &rng, &result.assignment));
+  return result;
+}
+
+Status HepPartitioner::PartitionStream(
+    const Graph& graph, const std::vector<EdgeId>& stream, PartitionId k,
+    Rng* rng, std::vector<PartitionId>* assignment) const {
+  if (tau_ <= 0) return Status::InvalidArgument("HEP: tau must be > 0");
+  const size_t n = graph.num_vertices();
+  // Degree threshold and balance cap scale with the *stream* size; for the
+  // full stream this equals graph.num_edges(), reproducing the sequential
+  // partitioner bit for bit.
+  const size_t m = stream.size();
+  const auto& edges = graph.edges();
+  // Ascending edge-id order makes every order-sensitive step below a pure
+  // function of the stream's contents (the shuffled shard stream arrives in
+  // RNG order, which is fixed too, but the sort keeps the in-memory phase
+  // identical to the sequential pass when the stream is the full edge list).
+  std::vector<EdgeId> sorted(stream);
+  std::sort(sorted.begin(), sorted.end());
+  IncidenceList incidence(graph, sorted);
 
   // ---- Classify vertices. ----
   const double mean_inc = static_cast<double>(2 * m) / static_cast<double>(n);
@@ -49,8 +74,8 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
   }
 
   size_t low_edges = 0;
-  for (const Edge& e : edges) {
-    if (!is_high[e.src] && !is_high[e.dst]) ++low_edges;
+  for (EdgeId e : sorted) {
+    if (!is_high[edges[e].src] && !is_high[edges[e].dst]) ++low_edges;
   }
 
   std::vector<uint64_t> load(k, 0);
@@ -60,10 +85,9 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
   // Last partition whose boundary heap a vertex was pushed into (dedups
   // pushes; boundary membership itself is implied by heap entries).
   std::vector<PartitionId> boundary_of(n, kInvalidPartition);
-  Rng rng(seed);
 
   auto assign_edge = [&](EdgeId e, PartitionId p) {
-    result.assignment[e] = p;
+    (*assignment)[e] = p;
     ++load[p];
     replicas[edges[e].src] |= 1ULL << p;
     replicas[edges[e].dst] |= 1ULL << p;
@@ -75,7 +99,7 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
   auto external_score = [&](VertexId v, PartitionId p) {
     uint32_t ext = 0;
     for (const IncidentEdge& ie : incidence.Incident(v)) {
-      if (result.assignment[ie.edge] != kInvalidPartition) continue;
+      if ((*assignment)[ie.edge] != kInvalidPartition) continue;
       if (is_high[ie.neighbor]) continue;
       if (owner[ie.neighbor] != p && boundary_of[ie.neighbor] != p) ++ext;
     }
@@ -100,7 +124,7 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
         if (is_high[v] || owner[v] != kInvalidPartition) continue;
         bool has_unassigned = false;
         for (const IncidentEdge& ie : incidence.Incident(v)) {
-          if (result.assignment[ie.edge] == kInvalidPartition &&
+          if ((*assignment)[ie.edge] == kInvalidPartition &&
               !is_high[ie.neighbor]) {
             has_unassigned = true;
             break;
@@ -135,7 +159,7 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
       // vertices of other partitions get replicated, which is exactly NE's
       // replication mechanism.
       for (const IncidentEdge& ie : incidence.Incident(v)) {
-        if (result.assignment[ie.edge] != kInvalidPartition) continue;
+        if ((*assignment)[ie.edge] != kInvalidPartition) continue;
         if (is_high[ie.neighbor]) continue;
         PartitionId nbr_owner = owner[ie.neighbor];
         if (nbr_owner != kInvalidPartition && nbr_owner != p) {
@@ -157,10 +181,10 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
   // ---- Streaming phase: HDRF over everything still unassigned. ----
   std::vector<EdgeId> rest;
   rest.reserve(m - assigned_low);
-  for (EdgeId e = 0; e < m; ++e) {
-    if (result.assignment[e] == kInvalidPartition) rest.push_back(e);
+  for (EdgeId e : sorted) {
+    if ((*assignment)[e] == kInvalidPartition) rest.push_back(e);
   }
-  rng.Shuffle(&rest);
+  rng->Shuffle(&rest);
 
   const size_t streamed_edges = rest.size();
   uint64_t score_evals = 0;  // accumulated locally, published once below
@@ -208,7 +232,7 @@ Result<EdgePartitioning> HepPartitioner::Partition(const Graph& graph,
              "edges");
   obs::Count("partition/edge/" + name() + "/score_evals", score_evals,
              "evals");
-  return result;
+  return Status::Ok();
 }
 
 }  // namespace gnnpart

@@ -18,7 +18,7 @@ namespace gnnpart {
 /// tau = 10 and tau = 100 correspond to the paper's HEP10 / HEP100
 /// configurations; with tau = 100 essentially the whole graph is
 /// partitioned in memory.
-class HepPartitioner : public EdgePartitioner {
+class HepPartitioner : public StreamingEdgePartitioner {
  public:
   explicit HepPartitioner(double tau, double alpha = 1.05, double lambda = 1.1)
       : tau_(tau), alpha_(alpha), lambda_(lambda) {}
@@ -34,6 +34,13 @@ class HepPartitioner : public EdgePartitioner {
   std::string category() const override { return "hybrid"; }
   Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
                                      uint64_t seed) const override;
+  /// Runs the full hybrid pipeline (classification, NE expansion, HDRF
+  /// streaming) over the sub-stream: incidence structure, degree threshold
+  /// and balance cap are all derived from the sub-stream, so shard
+  /// instances are self-contained.
+  Status PartitionStream(const Graph& graph, const std::vector<EdgeId>& stream,
+                         PartitionId k, Rng* rng,
+                         std::vector<PartitionId>* assignment) const override;
 
   double tau() const { return tau_; }
 

@@ -11,6 +11,7 @@
 #include "partition/edge/hep.h"
 #include "partition/edge/random_edge.h"
 #include "partition/edge/two_ps_l.h"
+#include "partition/split_merge.h"
 
 namespace gnnpart {
 
@@ -101,6 +102,49 @@ std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id) {
     partitioner =
         std::make_unique<CheckedEdgePartitioner>(std::move(partitioner));
   }
+#endif
+  return partitioner;
+}
+
+bool SupportsSplitMerge(EdgePartitionerId id) {
+  switch (id) {
+    case EdgePartitionerId::kHdrf:
+    case EdgePartitionerId::kTwoPsL:
+    case EdgePartitionerId::kHep10:
+    case EdgePartitionerId::kHep100:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::unique_ptr<StreamingEdgePartitioner> MakeStreamingEdgePartitioner(
+    EdgePartitionerId id) {
+  switch (id) {
+    case EdgePartitionerId::kHdrf:
+      return std::make_unique<HdrfPartitioner>();
+    case EdgePartitionerId::kTwoPsL:
+      return std::make_unique<TwoPsLPartitioner>();
+    case EdgePartitionerId::kHep10:
+      return std::make_unique<HepPartitioner>(10.0);
+    case EdgePartitionerId::kHep100:
+      return std::make_unique<HepPartitioner>(100.0);
+    default:
+      return nullptr;
+  }
+}
+
+std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id,
+                                                     int split_factor) {
+  if (split_factor <= 1) return MakeEdgePartitioner(id);
+  std::unique_ptr<StreamingEdgePartitioner> core =
+      MakeStreamingEdgePartitioner(id);
+  if (core == nullptr) return nullptr;
+  std::unique_ptr<EdgePartitioner> partitioner =
+      std::make_unique<SplitMergePartitioner>(std::move(core), split_factor);
+#if GNNPART_CHECK_LEVEL_VALUE >= 2
+  partitioner =
+      std::make_unique<CheckedEdgePartitioner>(std::move(partitioner));
 #endif
   return partitioner;
 }

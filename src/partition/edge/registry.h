@@ -32,6 +32,22 @@ std::vector<EdgePartitionerId> AllEdgePartitionersExtended();
 /// Instantiates a partitioner with its paper-default parameters.
 std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id);
 
+/// True when the partitioner has a streaming core that supports split-merge
+/// execution (partition/split_merge.h): HDRF, 2PS-L, HEP10, HEP100.
+bool SupportsSplitMerge(EdgePartitionerId id);
+
+/// The raw streaming core of a partitioner, for split-merge composition;
+/// nullptr when SupportsSplitMerge(id) is false.
+std::unique_ptr<StreamingEdgePartitioner> MakeStreamingEdgePartitioner(
+    EdgePartitionerId id);
+
+/// Instantiates a partitioner running in split-merge mode with
+/// `split_factor` parallel shards. Factor 1 is exactly
+/// MakeEdgePartitioner(id); factors > 1 require SupportsSplitMerge(id)
+/// (nullptr otherwise).
+std::unique_ptr<EdgePartitioner> MakeEdgePartitioner(EdgePartitionerId id,
+                                                     int split_factor);
+
 /// Looks a partitioner up by its display name ("HDRF", "HEP100", ...).
 Result<EdgePartitionerId> ParseEdgePartitionerName(const std::string& name);
 

@@ -13,14 +13,31 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
                                                       PartitionId k,
                                                       uint64_t seed) const {
   GNNPART_RETURN_NOT_OK(CheckArgs(graph, k));
-  const size_t n = graph.num_vertices();
   const size_t m = graph.num_edges();
-  const auto& edges = graph.edges();
+
+  EdgePartitioning result;
+  result.k = k;
+  result.assignment.assign(m, kInvalidPartition);
 
   std::vector<EdgeId> order(m);
   std::iota(order.begin(), order.end(), 0);
   Rng rng(seed);
   rng.Shuffle(&order);
+
+  GNNPART_RETURN_NOT_OK(
+      PartitionStream(graph, order, k, &rng, &result.assignment));
+  return result;
+}
+
+Status TwoPsLPartitioner::PartitionStream(
+    const Graph& graph, const std::vector<EdgeId>& stream, PartitionId k,
+    Rng* /*rng*/, std::vector<PartitionId>* assignment) const {
+  const size_t n = graph.num_vertices();
+  // All volume/load caps scale with the *stream* size, so a shard instance
+  // balances its own sub-stream; for the full stream this equals
+  // graph.num_edges(), reproducing the sequential partitioner bit for bit.
+  const size_t m = stream.size();
+  const auto& edges = graph.edges();
 
   // ---- Phase 1: streaming clustering. ----
   // Volume of a cluster = sum of degrees of its members. The cap keeps any
@@ -41,7 +58,7 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
   uint64_t cluster_moves = 0;  // accumulated locally, published once below
   uint64_t score_evals = 0;
   for (int pass = 0; pass < 2; ++pass) {
-    for (EdgeId e : order) {
+    for (EdgeId e : stream) {
       VertexId u = edges[e].src;
       VertexId v = edges[e].dst;
       uint32_t cu = cluster[u];
@@ -89,9 +106,6 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
   }
 
   // ---- Phase 2b: stream edges, place on an endpoint cluster's partition.
-  EdgePartitioning result;
-  result.k = k;
-  result.assignment.assign(m, kInvalidPartition);
   const uint64_t load_cap = static_cast<uint64_t>(
       alpha_ * static_cast<double>(m) / static_cast<double>(k)) + 1;
   std::vector<uint64_t> load(k, 0);
@@ -103,7 +117,7 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
     return best;
   };
   uint64_t spills = 0;  // edges bounced off the load cap
-  for (EdgeId e : order) {
+  for (EdgeId e : stream) {
     VertexId u = edges[e].src;
     VertexId v = edges[e].dst;
     PartitionId pu = cluster_to_part[cluster[u]];
@@ -124,7 +138,7 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
       PartitionId other = (target == pu) ? pv : pu;
       target = load[other] < load_cap ? other : least_loaded();
     }
-    result.assignment[e] = target;
+    (*assignment)[e] = target;
     ++load[target];
   }
   obs::Count("partition/edge/" + name() + "/edges_assigned", m, "edges");
@@ -133,7 +147,7 @@ Result<EdgePartitioning> TwoPsLPartitioner::Partition(const Graph& graph,
   obs::Count("partition/edge/" + name() + "/score_evals", score_evals,
              "evals");
   obs::Count("partition/edge/" + name() + "/spills", spills, "edges");
-  return result;
+  return Status::Ok();
 }
 
 }  // namespace gnnpart

@@ -17,7 +17,7 @@ namespace gnnpart {
 ///
 /// The algorithm only balances *edges*; the vertex imbalance the paper
 /// reports for 2PS-L (Figs. 4 and 8) emerges from the cluster packing.
-class TwoPsLPartitioner : public EdgePartitioner {
+class TwoPsLPartitioner : public StreamingEdgePartitioner {
  public:
   /// alpha bounds the per-partition edge count at alpha * |E| / k.
   explicit TwoPsLPartitioner(double alpha = 1.05) : alpha_(alpha) {}
@@ -26,6 +26,9 @@ class TwoPsLPartitioner : public EdgePartitioner {
   std::string category() const override { return "stateful streaming"; }
   Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
                                      uint64_t seed) const override;
+  Status PartitionStream(const Graph& graph, const std::vector<EdgeId>& stream,
+                         PartitionId k, Rng* rng,
+                         std::vector<PartitionId>* assignment) const override;
 
  private:
   double alpha_;

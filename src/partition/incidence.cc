@@ -1,5 +1,7 @@
 #include "partition/incidence.h"
 
+#include <algorithm>
+
 namespace gnnpart {
 
 IncidenceList::IncidenceList(const Graph& graph) {
@@ -15,6 +17,27 @@ IncidenceList::IncidenceList(const Graph& graph) {
   std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
   const auto& edges = graph.edges();
   for (EdgeId e = 0; e < edges.size(); ++e) {
+    entries_[cursor[edges[e].src]++] = {edges[e].dst, e};
+    entries_[cursor[edges[e].dst]++] = {edges[e].src, e};
+  }
+}
+
+IncidenceList::IncidenceList(const Graph& graph,
+                             const std::vector<EdgeId>& subset) {
+  const size_t n = graph.num_vertices();
+  std::vector<EdgeId> sorted(subset);
+  std::sort(sorted.begin(), sorted.end());
+  const auto& edges = graph.edges();
+  std::vector<uint64_t> degree(n + 1, 0);
+  for (EdgeId e : sorted) {
+    ++degree[edges[e].src];
+    ++degree[edges[e].dst];
+  }
+  offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + degree[v];
+  entries_.resize(offsets_[n]);
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e : sorted) {
     entries_[cursor[edges[e].src]++] = {edges[e].dst, e};
     entries_[cursor[edges[e].dst]++] = {edges[e].src, e};
   }

@@ -24,6 +24,13 @@ class IncidenceList {
  public:
   explicit IncidenceList(const Graph& graph);
 
+  /// Incidence restricted to a subset of the canonical edges (a split-merge
+  /// shard's sub-stream). Entries are built in ascending edge-id order
+  /// regardless of the listing order of `subset`, so the structure depends
+  /// only on the subset's *contents*; with subset = [0, m) it is identical
+  /// to IncidenceList(graph).
+  IncidenceList(const Graph& graph, const std::vector<EdgeId>& subset);
+
   std::span<const IncidentEdge> Incident(VertexId v) const {
     return {&entries_[offsets_[v]], &entries_[offsets_[v + 1]]};
   }

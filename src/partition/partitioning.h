@@ -64,6 +64,35 @@ class EdgePartitioner {
   static Status CheckArgs(const Graph& graph, PartitionId k);
 };
 
+class Rng;  // common/rng.h
+
+/// A streaming edge partitioner additionally exposes its core streaming
+/// loop over an arbitrary *sub-stream* of the edge list, with every piece
+/// of per-run state (replica masks, partial degrees, loads, clusters)
+/// scoped to the call. This is the hook split-merge execution
+/// (partition/split_merge.h) uses to run shard instances concurrently.
+///
+/// Contract:
+///   * `stream` holds edge ids of `graph` in streaming order; the call
+///     writes (*assignment)[e] for exactly the edges in `stream` (which
+///     must be kInvalidPartition on entry) and neither reads nor writes any
+///     other entry — concurrent calls over disjoint streams sharing one
+///     assignment vector are race-free.
+///   * All randomness is drawn from `rng`, so the result is deterministic
+///     in (graph, stream contents, k, rng state).
+///   * Partition() must equal one PartitionStream call over the full edge
+///     list in the partitioner's legacy streaming order with Rng(seed) —
+///     the serial-equivalence invariant pinned by
+///     check::CheckSplitMergeSerialEquivalence.
+class StreamingEdgePartitioner : public EdgePartitioner {
+ public:
+  virtual Status PartitionStream(const Graph& graph,
+                                 const std::vector<EdgeId>& stream,
+                                 PartitionId k, Rng* rng,
+                                 std::vector<PartitionId>* assignment)
+      const = 0;
+};
+
 /// Interface implemented by all six edge-cut (vertex) partitioners. The
 /// train/val/test split is provided because ByteGNN-style partitioning
 /// explicitly balances training vertices; other partitioners ignore it.

@@ -1,0 +1,334 @@
+#include "partition/split_merge.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace gnnpart {
+namespace {
+
+/// Per-sub-partition summary consumed by the merge stage.
+struct SubPart {
+  uint64_t edges = 0;
+  std::vector<VertexId> vertices;  // sorted, unique
+};
+
+/// Edge-balance slack of the merge bins, mirroring the streaming
+/// partitioners' alpha = 1.05 default.
+constexpr double kBalanceSlack = 1.05;
+
+/// Refinement is a local search; a handful of passes reaches a fixed point
+/// on every graph we run, and the bound keeps the stage O(passes * S * k).
+constexpr int kMaxRefinePasses = 4;
+
+}  // namespace
+
+SplitMergePartitioner::SplitMergePartitioner(
+    std::unique_ptr<StreamingEdgePartitioner> inner, int split_factor)
+    : inner_(std::move(inner)), split_factor_(split_factor) {}
+
+std::string SplitMergePartitioner::name() const {
+  if (split_factor_ <= 1) return inner_->name();
+  return inner_->name() + "+SM" + std::to_string(split_factor_);
+}
+
+std::string SplitMergePartitioner::category() const {
+  if (split_factor_ <= 1) return inner_->category();
+  return inner_->category() + " (split-merge)";
+}
+
+Result<EdgePartitioning> SplitMergePartitioner::Partition(const Graph& graph,
+                                                          PartitionId k,
+                                                          uint64_t seed) const {
+  return PartitionWithPlan(graph, k, seed, nullptr);
+}
+
+Result<EdgePartitioning> SplitMergePartitioner::PartitionWithPlan(
+    const Graph& graph, PartitionId k, uint64_t seed,
+    SplitMergePlan* plan) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, k));
+  if (split_factor_ < 1 || split_factor_ > kMaxSplitFactor) {
+    return Status::InvalidArgument(
+        "split factor must be in [1, " + std::to_string(kMaxSplitFactor) +
+        "], got " + std::to_string(split_factor_));
+  }
+  const size_t m = graph.num_edges();
+  const size_t n = graph.num_vertices();
+
+  if (split_factor_ == 1) {
+    // Serial equivalence by construction: factor 1 *is* the sequential
+    // partitioner, bit for bit. The plan degenerates to one shard whose
+    // sub-partitions map to themselves.
+    Result<EdgePartitioning> sequential = inner_->Partition(graph, k, seed);
+    if (!sequential.ok()) return sequential;
+    if (plan != nullptr) {
+      plan->split_factor = 1;
+      plan->k = k;
+      plan->num_edges = m;
+      plan->shard_begin = {0, m};
+      plan->sub_assignment.assign(sequential->assignment.begin(),
+                                  sequential->assignment.end());
+      plan->sub_to_partition.resize(k);
+      std::iota(plan->sub_to_partition.begin(), plan->sub_to_partition.end(),
+                0);
+    }
+    return sequential;
+  }
+
+  const size_t num_shards = static_cast<size_t>(split_factor_);
+  const size_t num_subs = num_shards * k;
+
+  EdgePartitioning result;
+  result.k = k;
+  result.assignment.assign(m, kInvalidPartition);
+
+  SplitMergePlan local_plan;
+  SplitMergePlan& out = plan != nullptr ? *plan : local_plan;
+  out.split_factor = split_factor_;
+  out.k = k;
+  out.num_edges = m;
+  out.shard_begin.resize(num_shards + 1);
+  for (size_t s = 0; s <= num_shards; ++s) {
+    out.shard_begin[s] = ShardRange(m, num_shards, s).first;
+  }
+  out.sub_assignment.assign(m, 0);
+
+  // ---- Split stage: independent shard instances on the pool. ----
+  // One draw of the sequential RNG yields the base seed for the per-shard
+  // streams, so successive runs (and the merge below, should it ever need
+  // randomness) get decorrelated streams.
+  Rng seq(seed);
+  const uint64_t stream_seed = seq.Next();
+
+  std::vector<Status> shard_status(num_shards, Status::Ok());
+  out.shard_seconds.assign(num_shards, 0.0);
+  {
+    obs::ScopedTimer timer("partition/split_merge/shard_seconds");
+    ParallelFor(num_shards, 1, [&](size_t begin, size_t end, size_t) {
+      for (size_t s = begin; s < end; ++s) {
+        WallTimer shard_wall;
+        auto [lo, hi] = ShardRange(m, num_shards, s);
+        if (lo == hi) continue;  // more shards than edges
+        std::vector<EdgeId> stream(hi - lo);
+        std::iota(stream.begin(), stream.end(), lo);
+        Rng rng = ChunkRng(stream_seed, s);
+        rng.Shuffle(&stream);
+        shard_status[s] =
+            inner_->PartitionStream(graph, stream, k, &rng, &result.assignment);
+        if (!shard_status[s].ok()) continue;
+        for (EdgeId e = lo; e < hi; ++e) {
+          out.sub_assignment[e] =
+              static_cast<uint32_t>(s * k + result.assignment[e]);
+        }
+        out.shard_seconds[s] = shard_wall.ElapsedSeconds();
+      }
+    });
+  }
+  for (const Status& st : shard_status) GNNPART_RETURN_NOT_OK(st);
+
+  // ---- Merge stage: match S*k sub-partitions back to k partitions. ----
+  WallTimer merge_wall;
+  obs::ScopedTimer merge_timer("partition/split_merge/merge_seconds");
+  const auto& edges = graph.edges();
+  std::vector<SubPart> subs(num_subs);
+  // Raw endpoint lists, one counting pass per shard to size them exactly.
+  // A shard owns sub ids [s * k, (s + 1) * k), so shards fill disjoint
+  // SubPart entries and the parallel loop is deterministic.
+  ParallelFor(num_shards, 1, [&](size_t begin, size_t end, size_t) {
+    for (size_t s = begin; s < end; ++s) {
+      auto [lo, hi] = ShardRange(m, num_shards, s);
+      for (EdgeId e = lo; e < hi; ++e) ++subs[out.sub_assignment[e]].edges;
+      for (size_t i = s * k; i < (s + 1) * k; ++i) {
+        subs[i].vertices.reserve(2 * subs[i].edges);
+      }
+      for (EdgeId e = lo; e < hi; ++e) {
+        SubPart& sp = subs[out.sub_assignment[e]];
+        sp.vertices.push_back(edges[e].src);
+        sp.vertices.push_back(edges[e].dst);
+      }
+    }
+  });
+  // Dedup each sub-partition's endpoint list with a stamp array — one
+  // linear pass instead of a sort, keeping first-seen order (the merge only
+  // ever aggregates over the list, so order is immaterial). Stamp value
+  // i + 1 is unique per sub, so the array never needs clearing.
+  {
+    std::vector<uint32_t> stamp(n, 0);
+    for (size_t i = 0; i < num_subs; ++i) {
+      std::vector<VertexId>& verts = subs[i].vertices;
+      const uint32_t tag = static_cast<uint32_t>(i) + 1;
+      size_t w = 0;
+      for (VertexId v : verts) {
+        if (stamp[v] != tag) {
+          stamp[v] = tag;
+          verts[w++] = v;
+        }
+      }
+      verts.resize(w);
+    }
+  }
+
+  // Pack order: largest sub-partitions first (LPT-style) so the balance cap
+  // bites early; ties broken by sub id for a fully determined order.
+  std::vector<uint32_t> pack_order(num_subs);
+  std::iota(pack_order.begin(), pack_order.end(), 0);
+  std::sort(pack_order.begin(), pack_order.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (subs[a].edges != subs[b].edges) {
+                return subs[a].edges > subs[b].edges;
+              }
+              return a < b;
+            });
+  uint64_t max_sub_edges = 0;
+  for (const SubPart& sp : subs) {
+    max_sub_edges = std::max(max_sub_edges, sp.edges);
+  }
+  // The cap must admit the largest sub-partition somewhere, so it is the
+  // usual alpha * m / k slack or the largest sub, whichever is bigger.
+  const uint64_t cap = std::max(
+      static_cast<uint64_t>(kBalanceSlack * static_cast<double>(m) /
+                            static_cast<double>(k)) + 1,
+      max_sub_edges);
+
+  // Replica state of the partially built merge, two views of one fact:
+  // replica_count[b * n + v] is how many sub-partitions currently matched
+  // to bin b contain vertex v ("would removing this sub free the replica"),
+  // and replica_mask[v] has bit b set iff that count is non-zero ("which
+  // bins already hold v"). The mask view lets one scan of a sub's vertex
+  // list score all k bins at once, at the cost of the set bits (~ the
+  // running replication factor) instead of k per vertex.
+  std::vector<uint16_t> replica_count(static_cast<size_t>(k) * n, 0);
+  std::vector<uint64_t> replica_mask(n, 0);  // k <= kMaxPartitions = 64
+  std::vector<uint64_t> bin_load(k, 0);
+  std::vector<int64_t> shared(k, 0);  // per-sub scratch: overlap with bin b
+  out.sub_to_partition.assign(num_subs, 0);
+
+  // Greedy bin-packing by replication-factor gain: place each sub-partition
+  // on the feasible bin sharing the most vertices with it (every shared
+  // vertex is one replica the merge avoids), ties to the lighter bin.
+  uint64_t pack_overlap = 0;  // replicas avoided by affinity packing
+  for (uint32_t sub_id : pack_order) {
+    const SubPart& sp = subs[sub_id];
+    std::fill(shared.begin(), shared.end(), 0);
+    for (VertexId v : sp.vertices) {
+      uint64_t bits = replica_mask[v];
+      while (bits != 0) {
+        ++shared[std::countr_zero(bits)];
+        bits &= bits - 1;
+      }
+    }
+    PartitionId best = kInvalidPartition;
+    int64_t best_overlap = -1;
+    for (PartitionId b = 0; b < k; ++b) {
+      if (bin_load[b] + sp.edges > cap) continue;
+      if (best == kInvalidPartition || shared[b] > best_overlap ||
+          (shared[b] == best_overlap && bin_load[b] < bin_load[best])) {
+        best = b;
+        best_overlap = shared[b];
+      }
+    }
+    if (best == kInvalidPartition) {
+      // Unreachable while cap >= max_sub_edges, but stay total: least load.
+      best = 0;
+      for (PartitionId b = 1; b < k; ++b) {
+        if (bin_load[b] < bin_load[best]) best = b;
+      }
+      best_overlap = 0;
+    }
+    out.sub_to_partition[sub_id] = best;
+    bin_load[best] += sp.edges;
+    uint16_t* cnt = &replica_count[static_cast<size_t>(best) * n];
+    for (VertexId v : sp.vertices) {
+      if (cnt[v]++ == 0) replica_mask[v] |= uint64_t{1} << best;
+    }
+    pack_overlap += static_cast<uint64_t>(best_overlap);
+  }
+
+  // Assignment-based refinement: moving a sub-partition from bin a to bin b
+  // frees a replica for every vertex only it contributes to a, and creates
+  // one for every vertex b lacks (missing = |vertices| - shared). Take
+  // strictly improving moves until a fixed point (bounded passes), visiting
+  // subs in pack order so the result is fully determined.
+  uint64_t refine_moves = 0;
+  for (int pass = 0; pass < kMaxRefinePasses; ++pass) {
+    bool moved = false;
+    for (uint32_t sub_id : pack_order) {
+      const SubPart& sp = subs[sub_id];
+      if (sp.vertices.empty()) continue;
+      const PartitionId from = out.sub_to_partition[sub_id];
+      const uint16_t* from_cnt =
+          &replica_count[static_cast<size_t>(from) * n];
+      std::fill(shared.begin(), shared.end(), 0);
+      int64_t unique_in_from = 0;
+      for (VertexId v : sp.vertices) {
+        unique_in_from += (from_cnt[v] == 1) ? 1 : 0;
+        uint64_t bits = replica_mask[v];
+        while (bits != 0) {
+          ++shared[std::countr_zero(bits)];
+          bits &= bits - 1;
+        }
+      }
+      const int64_t size = static_cast<int64_t>(sp.vertices.size());
+      PartitionId best = kInvalidPartition;
+      int64_t best_gain = 0;
+      for (PartitionId b = 0; b < k; ++b) {
+        if (b == from || bin_load[b] + sp.edges > cap) continue;
+        const int64_t gain = unique_in_from - (size - shared[b]);
+        if (gain > best_gain ||
+            (gain == best_gain && best != kInvalidPartition &&
+             bin_load[b] < bin_load[best])) {
+          best = b;
+          best_gain = gain;
+        }
+      }
+      if (best == kInvalidPartition) continue;
+      uint16_t* src_cnt = &replica_count[static_cast<size_t>(from) * n];
+      uint16_t* dst_cnt = &replica_count[static_cast<size_t>(best) * n];
+      for (VertexId v : sp.vertices) {
+        if (--src_cnt[v] == 0) replica_mask[v] &= ~(uint64_t{1} << from);
+        if (dst_cnt[v]++ == 0) replica_mask[v] |= uint64_t{1} << best;
+      }
+      bin_load[from] -= sp.edges;
+      bin_load[best] += sp.edges;
+      out.sub_to_partition[sub_id] = best;
+      moved = true;
+      ++refine_moves;
+    }
+    if (!moved) break;
+  }
+
+  // ---- Finalize: relabel every edge through the merge matching. ----
+  ParallelFor(m, 65536, [&](size_t begin, size_t end, size_t) {
+    for (size_t e = begin; e < end; ++e) {
+      result.assignment[e] = out.sub_to_partition[out.sub_assignment[e]];
+    }
+  });
+
+  out.merge_seconds = merge_wall.ElapsedSeconds();
+  // Critical path = the slowest shard plus the serial merge: the wall time
+  // a pool with >= split_factor free cores observes. On fewer cores the
+  // measured wall is larger (shards serialize), so both are exported.
+  double max_shard_seconds = 0;
+  for (double s : out.shard_seconds) {
+    max_shard_seconds = std::max(max_shard_seconds, s);
+  }
+  obs::RecordSeconds("partition/split_merge/critical_path_seconds",
+                     max_shard_seconds + out.merge_seconds);
+
+  obs::Count("partition/split_merge/runs", 1, "runs");
+  obs::Count("partition/split_merge/shards", num_shards, "shards");
+  obs::Count("partition/split_merge/sub_partitions", num_subs, "subs");
+  obs::Count("partition/split_merge/pack_overlap", pack_overlap, "vertices");
+  obs::Count("partition/split_merge/refine_moves", refine_moves, "moves");
+  return result;
+}
+
+}  // namespace gnnpart

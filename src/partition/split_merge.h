@@ -1,0 +1,97 @@
+#ifndef GNNPART_PARTITION_SPLIT_MERGE_H_
+#define GNNPART_PARTITION_SPLIT_MERGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+
+/// Maximum split factor. split_factor * k sub-partitions at the 64-way
+/// partition ceiling keeps the merge stage's per-(bin, vertex) replica
+/// counters in uint16 range and 64 shards already saturate any pool this
+/// library targets.
+constexpr int kMaxSplitFactor = 64;
+
+/// Execution trace of one split-merge run, exposed for the
+/// check::ValidateSplitMergePlan validator and for tests. Every field is a
+/// pure function of (graph, k, seed, split_factor).
+struct SplitMergePlan {
+  int split_factor = 1;
+  /// Final partition count requested by the caller.
+  PartitionId k = 0;
+  uint64_t num_edges = 0;
+  /// Fixed shard boundaries over edge ids: shard s covers
+  /// [shard_begin[s], shard_begin[s + 1]). Size split_factor + 1 with
+  /// shard_begin[0] == 0 and shard_begin[split_factor] == num_edges.
+  std::vector<uint64_t> shard_begin;
+  /// Per edge: its sub-partition in [0, split_factor * k); an edge of shard
+  /// s lands in [s * k, (s + 1) * k).
+  std::vector<uint32_t> sub_assignment;
+  /// Merge matching: the final partition of every sub-partition.
+  std::vector<PartitionId> sub_to_partition;
+
+  /// Wall-clock telemetry (NOT part of the deterministic plan surface;
+  /// validators ignore it). shard_seconds[s] is the wall time of shard s's
+  /// inner PartitionStream run, so max(shard_seconds) + merge_seconds is
+  /// the critical path of the run — the wall time a pool with >=
+  /// split_factor free cores would observe. Empty / zero at factor 1.
+  std::vector<double> shard_seconds;
+  double merge_seconds = 0;
+};
+
+/// Split-merge execution of a streaming edge partitioner (the SMP scheme):
+/// the edge stream is split into `split_factor` fixed contiguous shards,
+/// each shard is shuffled with its own RNG stream and partitioned into k
+/// *sub-partitions* by an independent instance of the inner streaming
+/// partitioner running concurrently on the gnnpart::par pool, and a serial
+/// merge stage matches the split_factor * k sub-partitions back to k
+/// partitions — greedy bin-packing by replication-factor gain under an
+/// edge-balance cap, followed by a bounded assignment-based refinement pass
+/// that moves whole sub-partitions while that lowers the replica count.
+///
+/// Determinism: shard boundaries depend only on (m, split_factor)
+/// (ShardRange), shard streams on ChunkRng(seed', s), shard instances write
+/// disjoint assignment ranges, and the merge is serial over a fully ordered
+/// sub-partition list — so the output is bit-identical for every thread
+/// count at fixed (graph, k, seed, split_factor). A split factor of 1
+/// delegates to the inner partitioner directly and is bit-identical to the
+/// sequential run. See DESIGN.md §11.
+///
+/// Memory: the merge stage keeps a k * num_vertices uint16 replica-count
+/// table — the price of answering "would this bin gain a replica" in O(1)
+/// per vertex. At this library's scales (k <= 64) that is well below the
+/// graph's own footprint.
+class SplitMergePartitioner : public EdgePartitioner {
+ public:
+  /// `inner` must be non-null; `split_factor` in [1, kMaxSplitFactor].
+  SplitMergePartitioner(std::unique_ptr<StreamingEdgePartitioner> inner,
+                        int split_factor);
+
+  /// "HDRF+SM8" for split factor 8; the bare inner name for factor 1 (the
+  /// distinct name keeps result caches and metrics rows per mode).
+  std::string name() const override;
+  std::string category() const override;
+  Result<EdgePartitioning> Partition(const Graph& graph, PartitionId k,
+                                     uint64_t seed) const override;
+  /// Partition() variant that also exports the execution plan (shard
+  /// boundaries, per-edge sub-partition, merge matching) for validation.
+  Result<EdgePartitioning> PartitionWithPlan(const Graph& graph, PartitionId k,
+                                             uint64_t seed,
+                                             SplitMergePlan* plan) const;
+
+  int split_factor() const { return split_factor_; }
+  const StreamingEdgePartitioner& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<StreamingEdgePartitioner> inner_;
+  int split_factor_;
+};
+
+}  // namespace gnnpart
+
+#endif  // GNNPART_PARTITION_SPLIT_MERGE_H_

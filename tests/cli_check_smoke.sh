@@ -34,6 +34,28 @@ done
 "$CLI" check "$TMP/HW.bin" HDRF 4 > /dev/null
 "$CLI" check "$TMP/HW.bin" vMetis 4 > /dev/null
 
+# Split-merge mode: the plan validators must run, factor 1 must confirm
+# serial equivalence, and non-streaming / vertex partitioners must reject
+# the flag loudly.
+out="$("$CLI" check "$TMP/HW.bin" HDRF 4 --split-factor 4)"
+echo "$out" | grep -q 'split-merge plan OK (4 shards)' || {
+  echo "FAIL: split-factor 4 plan not validated" >&2
+  exit 1
+}
+out="$("$CLI" check "$TMP/HW.bin" HDRF 4 --split-factor 1)"
+echo "$out" | grep -q 'serial-equivalent' || {
+  echo "FAIL: split-factor 1 serial equivalence not confirmed" >&2
+  exit 1
+}
+if "$CLI" check "$TMP/HW.bin" Random 4 --split-factor 4 2> /dev/null; then
+  echo "FAIL: --split-factor accepted for a non-streaming partitioner" >&2
+  exit 1
+fi
+if "$CLI" check "$TMP/HW.bin" vMetis 4 --split-factor 4 2> /dev/null; then
+  echo "FAIL: --split-factor accepted for a vertex partitioner" >&2
+  exit 1
+fi
+
 # Unknown flags and malformed positionals must exit non-zero with usage.
 if "$CLI" check "$TMP/HW.bin" --bogus-flag 2> "$TMP/err.txt"; then
   echo "FAIL: unknown flag accepted" >&2

@@ -6,13 +6,14 @@
 //   gnnpart_cli generate <HW|DI|EN|EU|OR> <scale> <out-file> [seed]
 //   gnnpart_cli info <graph-file> [--directed]
 //   gnnpart_cli partition <graph-file> <partitioner> <k> [out-file]
-//       [--directed] [--seed N]
+//       [--directed] [--seed N] [--split-factor N]
 //   gnnpart_cli check <graph-file> [<partitioner>|all <k>]
-//       [--directed] [--seed N]
+//       [--directed] [--seed N] [--split-factor N]
 //   gnnpart_cli simulate <graph-file> <partitioner> <k>
 //       [--feature N] [--hidden N] [--layers N] [--gbs N] [--directed]
 //       [--trace-out FILE] [--topology T] [--oversubscription N]
 //       [--rack-size N] [--nic-gbps N] [--overlap on|off]
+//       [--split-factor N]
 //   gnnpart_cli trace-report <graph-file> <partitioner> <k> [same flags]
 //   gnnpart_cli net-report <graph-file> <partitioner> <k> [same flags]
 //   gnnpart_cli metrics <manifest.jsonl>
@@ -47,6 +48,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "partition/edge/registry.h"
+#include "partition/split_merge.h"
 #include "partition/vertex/registry.h"
 #include "sim/distdgl_sim.h"
 #include "sim/distgnn_sim.h"
@@ -65,11 +67,12 @@ int Usage() {
          "  gnnpart_cli generate <HW|DI|EN|EU|OR> <scale> <out> [seed]\n"
          "  gnnpart_cli info <graph> [--directed]\n"
          "  gnnpart_cli partition <graph> <partitioner> <k> [out]\n"
-         "      [--directed] [--seed N]\n"
+         "      [--directed] [--seed N] [--split-factor N]\n"
          "  gnnpart_cli check <graph> [<partitioner>|all <k>]\n"
          "      [--directed] [--seed N]  validate CSR invariants; with a\n"
          "      partitioner, verify the partitioning and recompute its\n"
          "      metrics bit-exactly ('all' runs the study's 12)\n"
+         "      [--split-factor N]  also validate the split-merge plan\n"
          "  gnnpart_cli simulate <graph> <partitioner> <k> [--feature N]\n"
          "      [--hidden N] [--layers N] [--gbs N] [--directed] [--seed N]\n"
          "      [--trace-out FILE]  per-(step,worker,phase) timeline;\n"
@@ -78,6 +81,8 @@ int Usage() {
          "      [--oversubscription N] [--rack-size N]  fat-tree shape\n"
          "      [--nic-gbps N]  per-host NIC bandwidth\n"
          "      [--overlap on|off]  also report the pipelined epoch time\n"
+         "      [--split-factor N]  split-merge parallel streaming mode\n"
+         "      (HDRF/2PS-L/HEP only; 1 = sequential, bit-identical)\n"
          "  gnnpart_cli trace-report <graph> <partitioner> <k>\n"
          "      [simulate flags]  straggler-blame / critical-path tables\n"
          "  gnnpart_cli net-report <graph> <partitioner> <k>\n"
@@ -198,6 +203,29 @@ PartitionId ParseK(const std::string& arg) {
   return static_cast<PartitionId>(v);
 }
 
+/// Validated --split-factor lookup shared by partition / check / simulate:
+/// factor 1 (the default) runs the sequential partitioner unchanged.
+int ParseSplitFactor(const std::vector<std::string>& args) {
+  return static_cast<int>(
+      FlagValue(args, "--split-factor", 1, kMaxSplitFactor));
+}
+
+/// Instantiates an edge partitioner honouring --split-factor, exiting
+/// loudly when a factor > 1 is requested for a partitioner without a
+/// streaming core to shard.
+std::unique_ptr<EdgePartitioner> MakeEdgePartitionerOrDie(
+    EdgePartitionerId id, int split_factor) {
+  std::unique_ptr<EdgePartitioner> partitioner =
+      MakeEdgePartitioner(id, split_factor);
+  if (partitioner == nullptr) {
+    std::cerr << "error: --split-factor > 1 requires a streaming partitioner "
+                 "(HDRF, 2PS-L, HEP10, HEP100); "
+              << MakeEdgePartitioner(id)->name() << " has no streaming core\n";
+    std::exit(2);
+  }
+  return partitioner;
+}
+
 /// Network flags shared by simulate / trace-report / net-report. Starts
 /// from the legacy fabric (NetworkConfig::FromCluster) and only overrides
 /// what was passed explicitly, so the default run is byte-identical to the
@@ -296,11 +324,14 @@ int CmdInfo(const std::vector<std::string>& args) {
 
 int CmdPartition(const std::vector<std::string>& args) {
   std::vector<std::string> pos = Positionals(
-      args, {{"--directed", false}, {"--seed", true}}, 3, 4);
+      args,
+      {{"--directed", false}, {"--seed", true}, {"--split-factor", true}}, 3,
+      4);
   Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
   if (!graph.ok()) return Fail(graph.status());
   PartitionId k = ParseK(pos[2]);
   uint64_t seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
+  const int split_factor = ParseSplitFactor(args);
   std::string out = pos.size() > 3 ? pos[3] : "";
   std::string name = pos[1];
 
@@ -314,10 +345,10 @@ int CmdPartition(const std::vector<std::string>& args) {
   if (!vertex_mode) {
     if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(lookup);
         id.ok()) {
-      Result<EdgePartitioning> parts =
-          MakeEdgePartitioner(*id)->Partition(*graph, k, seed);
+      auto partitioner = MakeEdgePartitionerOrDie(*id, split_factor);
+      Result<EdgePartitioning> parts = partitioner->Partition(*graph, k, seed);
       if (!parts.ok()) return Fail(parts.status());
-      std::cout << lookup << " k=" << k << " took "
+      std::cout << partitioner->name() << " k=" << k << " took "
                 << timer.ElapsedSeconds() << " s: "
                 << ComputeEdgePartitionMetrics(*graph, *parts).ToString()
                 << "\n";
@@ -327,6 +358,11 @@ int CmdPartition(const std::vector<std::string>& args) {
     }
   }
   if (vertex_mode) {
+    if (split_factor > 1) {
+      std::cerr << "error: --split-factor applies to edge (vertex-cut) "
+                   "streaming partitioners only\n";
+      return 2;
+    }
     Result<VertexPartitionerId> id = ParseVertexPartitionerName(lookup);
     if (!id.ok()) return Fail(id.status());
     Result<VertexPartitioning> parts =
@@ -352,12 +388,49 @@ int CmdPartition(const std::vector<std::string>& args) {
 
 /// Runs one edge partitioner and verifies its output end to end: structural
 /// partition validity, replica-mask consistency, and a bit-exact serial
-/// recomputation of every metric the figures are built from.
+/// recomputation of every metric the figures are built from. With an
+/// explicit --split-factor the run goes through split-merge execution and
+/// additionally validates the execution plan (shard coverage, sub-partition
+/// ranges, merge conservation) — plus, at factor 1, serial equivalence
+/// against the sequential partitioner.
 int CheckOneEdgePartitioner(const Graph& graph, EdgePartitionerId id,
-                            PartitionId k, uint64_t seed) {
-  auto partitioner = MakeEdgePartitioner(id);
-  Result<EdgePartitioning> parts = partitioner->Partition(graph, k, seed);
-  if (!parts.ok()) return Fail(parts.status());
+                            PartitionId k, uint64_t seed,
+                            int split_factor = 0) {
+  std::unique_ptr<EdgePartitioner> partitioner;
+  Result<EdgePartitioning> parts = Status::Internal("not run");
+  if (split_factor >= 1) {
+    if (!SupportsSplitMerge(id)) {
+      std::cerr << "error: --split-factor requires a streaming partitioner "
+                   "(HDRF, 2PS-L, HEP10, HEP100); "
+                << MakeEdgePartitioner(id)->name()
+                << " has no streaming core\n";
+      return 2;
+    }
+    auto sm = std::make_unique<SplitMergePartitioner>(
+        MakeStreamingEdgePartitioner(id), split_factor);
+    SplitMergePlan plan;
+    parts = sm->PartitionWithPlan(graph, k, seed, &plan);
+    if (!parts.ok()) return Fail(parts.status());
+    if (Status st = check::ValidateSplitMergePlan(graph, plan, *parts);
+        !st.ok()) {
+      return Fail(st);
+    }
+    if (split_factor == 1) {
+      if (Status st = check::CheckSplitMergeSerialEquivalence(
+              graph, *MakeEdgePartitioner(id), k, seed, *parts);
+          !st.ok()) {
+        return Fail(st);
+      }
+    }
+    std::cout << "  " << sm->name() << ": split-merge plan OK ("
+              << split_factor << " shards"
+              << (split_factor == 1 ? ", serial-equivalent" : "") << ")\n";
+    partitioner = std::move(sm);
+  } else {
+    partitioner = MakeEdgePartitioner(id);
+    parts = partitioner->Partition(graph, k, seed);
+    if (!parts.ok()) return Fail(parts.status());
+  }
   if (Status st = check::ValidateEdgePartitioning(graph, *parts); !st.ok()) {
     return Fail(st);
   }
@@ -402,7 +475,9 @@ int CheckOneVertexPartitioner(const Graph& graph, const VertexSplit& split,
 
 int CmdCheck(const std::vector<std::string>& args) {
   std::vector<std::string> pos = Positionals(
-      args, {{"--directed", false}, {"--seed", true}}, 1, 3);
+      args,
+      {{"--directed", false}, {"--seed", true}, {"--split-factor", true}}, 1,
+      3);
   if (pos.size() == 2) {
     std::cerr << "error: 'check <graph> <partitioner>' also needs <k>\n";
     return Usage();
@@ -417,13 +492,22 @@ int CmdCheck(const std::vector<std::string>& args) {
 
   PartitionId k = ParseK(pos[2]);
   uint64_t seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
+  // 0 = flag absent (legacy path); an explicit --split-factor N (N >= 1)
+  // routes the run through split-merge execution and its plan validators.
+  const int split_factor =
+      HasFlag(args, "--split-factor") ? ParseSplitFactor(args) : 0;
   VertexSplit split =
       VertexSplit::MakeRandom(graph->num_vertices(), 0.1, 0.1, seed);
   const std::string& name = pos[1];
 
   if (name == "all") {
     for (EdgePartitionerId id : AllEdgePartitioners()) {
-      if (int rc = CheckOneEdgePartitioner(*graph, id, k, seed); rc != 0) {
+      // Split-merge applies to the streaming partitioners only; under
+      // 'all', check the others on their legacy path.
+      const int sf =
+          split_factor >= 1 && SupportsSplitMerge(id) ? split_factor : 0;
+      if (int rc = CheckOneEdgePartitioner(*graph, id, k, seed, sf);
+          rc != 0) {
         return rc;
       }
     }
@@ -443,8 +527,13 @@ int CmdCheck(const std::vector<std::string>& args) {
   if (!vertex_mode) {
     if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(lookup);
         id.ok()) {
-      return CheckOneEdgePartitioner(*graph, *id, k, seed);
+      return CheckOneEdgePartitioner(*graph, *id, k, seed, split_factor);
     }
+  }
+  if (split_factor >= 1) {
+    std::cerr << "error: --split-factor applies to edge (vertex-cut) "
+                 "streaming partitioners only\n";
+    return 2;
   }
   Result<VertexPartitionerId> id = ParseVertexPartitionerName(lookup);
   if (!id.ok()) return Fail(id.status());
@@ -477,7 +566,8 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
        {"--oversubscription", true},
        {"--rack-size", true},
        {"--nic-gbps", true},
-       {"--overlap", true}},
+       {"--overlap", true},
+       {"--split-factor", true}},
       3, 3);
   Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
   if (!graph.ok()) return Fail(graph.status());
@@ -511,8 +601,9 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
       rec != nullptr ? WallTimer() : WallTimer::Disabled();
 
   if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(name); id.ok()) {
-    Result<EdgePartitioning> parts =
-        MakeEdgePartitioner(*id)->Partition(*graph, k, seed);
+    auto partitioner =
+        MakeEdgePartitionerOrDie(*id, ParseSplitFactor(args));
+    Result<EdgePartitioning> parts = partitioner->Partition(*graph, k, seed);
     if (!parts.ok()) return Fail(parts.status());
     const double partition_seconds = partition_timer.ElapsedSeconds();
     if constexpr (check::ParanoidEnabled()) {
@@ -531,7 +622,7 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
               << r.max_memory_bytes / 1e6 << " MB"
               << (r.out_of_memory ? " (OOM!)" : "") << "\n";
     if (rec != nullptr) {
-      rec->AddWallSpan("partition/" + MakeEdgePartitioner(*id)->name(), 0,
+      rec->AddWallSpan("partition/" + partitioner->name(), 0,
                        partition_seconds);
       if (Status st = check::CheckTraceReconstructsReport(recorder, r);
           !st.ok()) {
@@ -539,6 +630,11 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
       }
     }
   } else {
+    if (ParseSplitFactor(args) > 1) {
+      std::cerr << "error: --split-factor applies to edge (vertex-cut) "
+                   "streaming partitioners only\n";
+      return 2;
+    }
     std::string lookup =
         !name.empty() && name[0] == 'v' ? name.substr(1) : name;
     Result<VertexPartitionerId> vid = ParseVertexPartitionerName(lookup);

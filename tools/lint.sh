@@ -23,6 +23,9 @@
 #   5. src/net/ runs in simulated time only: the discrete-event engine's
 #      outputs are results, so not even the sanctioned WallTimer/ScopedTimer
 #      stopwatches may appear there — no ambient clock of any kind.
+#   6. CLI/README drift: every flag the CLI parses must be documented in
+#      README.md, so `--help`-style discovery never diverges from the
+#      written docs.
 #
 # Usage: tools/lint.sh  (from the repository root; exits non-zero on findings)
 set -u
@@ -125,6 +128,21 @@ out=$(grep -nE 'WallTimer|ScopedTimer|steady_clock|std::chrono|#include[[:space:
 [ -n "$out" ] && finding \
   "src/net/ must use simulated time only (no WallTimer/ScopedTimer/<chrono>)" \
   "$out"
+
+# --- 6. every CLI flag is documented in README.md --------------------------
+# The parser only ever matches flags as quoted string literals
+# ("--split-factor"), so the quoted occurrences in gnnpart_cli.cc are
+# exactly the parse surface; usage text and comments never quote them.
+cli_flags=$(grep -ohE '"--[a-z][a-z-]*"' tools/gnnpart_cli.cc bench/bench_util.h \
+            | tr -d '"' | sort -u)
+undocumented=""
+for flag in $cli_flags; do
+  grep -q -- "$flag" README.md || undocumented="$undocumented$flag
+"
+done
+[ -n "$undocumented" ] && finding \
+  "CLI flags parsed by tools/gnnpart_cli.cc or bench/bench_util.h but missing from README.md" \
+  "$undocumented"
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED" >&2
