@@ -12,6 +12,7 @@
 // lint:wall-clock-ok — this benchmark measures the timer itself.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 
@@ -74,4 +75,16 @@ BENCHMARK(BM_ScopedTimerOn);
 }  // namespace
 }  // namespace gnnpart
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): route the shared bench flags
+// through bench::DefaultContext (validated --threads parsing, --metrics-out
+// manifest hook), then strip them before google-benchmark parses the rest
+// (it rejects unknown flags).
+int main(int argc, char** argv) {
+  gnnpart::bench::DefaultContext(argc, argv);
+  argc = gnnpart::bench::StripContextFlags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

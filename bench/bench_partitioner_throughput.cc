@@ -2,8 +2,7 @@
 // vertices per second). These are the raw numbers behind Figures 6 and 15.
 #include <benchmark/benchmark.h>
 
-#include <cstring>
-
+#include "bench/bench_util.h"
 #include "common/parallel.h"
 #include "gen/datasets.h"
 #include "graph/split.h"
@@ -80,19 +79,12 @@ BENCHMARK(BM_VertexPartitioner)
 }  // namespace
 }  // namespace gnnpart
 
-// Custom main: strip our --threads flag before google-benchmark parses the
-// rest (it rejects unknown flags).
+// Custom main: route the shared bench flags through bench::DefaultContext
+// (validated --threads parsing, --metrics-out manifest hook), then strip
+// them before google-benchmark parses the rest (it rejects unknown flags).
 int main(int argc, char** argv) {
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      gnnpart::SetDefaultThreads(atoi(argv[i + 1]));
-      ++i;
-      continue;
-    }
-    argv[out++] = argv[i];
-  }
-  argc = out;
+  gnnpart::bench::DefaultContext(argc, argv);
+  argc = gnnpart::bench::StripContextFlags(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -118,6 +118,25 @@ inline ExperimentContext DefaultContext(int argc = 0,
   return ExperimentContext::FromEnv();
 }
 
+/// Strips the DefaultContext flags (--threads/--metrics-out/--trace-out and
+/// their values) from argv in place and returns the new argc. For mains
+/// that hand the remaining arguments to another parser — google-benchmark
+/// rejects flags it does not know — call DefaultContext(argc, argv) first,
+/// then reduce argc with this before the second parser runs.
+inline int StripContextFlags(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" || arg == "--metrics-out" ||
+        arg == "--trace-out") {
+      if (i + 1 < argc) ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  return out;
+}
+
 /// Recorder to pass into a Simulate* call: the real one when `--trace-out`
 /// was given, nullptr (tracing disabled, zero cost) otherwise.
 inline trace::TraceRecorder* MaybeRecorder(trace::TraceRecorder* rec) {

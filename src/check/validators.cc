@@ -814,5 +814,194 @@ Status CheckSplitMergeSerialEquivalence(const Graph& graph,
   return Status::Ok();
 }
 
+Status ValidateEdgeStream(const dyn::EdgeStream& stream, size_t num_edges) {
+  const std::string kName = "dyn/stream-monotonicity";
+  if (stream.batch_begin.size() != stream.growth_batches + 2) {
+    return Violation(kName, "batch_begin has " +
+                                std::to_string(stream.batch_begin.size()) +
+                                " boundaries for " +
+                                std::to_string(stream.growth_batches) +
+                                " growth batches (want growth_batches + 2)");
+  }
+  if (stream.batch_begin.front() != 0) {
+    return Violation(kName, "first boundary is " +
+                                std::to_string(stream.batch_begin.front()) +
+                                ", not 0");
+  }
+  if (stream.batch_begin.back() != num_edges) {
+    return Violation(kName, "last boundary is " +
+                                std::to_string(stream.batch_begin.back()) +
+                                " but the graph has " +
+                                std::to_string(num_edges) + " edges");
+  }
+  for (size_t b = 0; b + 1 < stream.batch_begin.size(); ++b) {
+    if (stream.batch_begin[b] > stream.batch_begin[b + 1]) {
+      return Violation(kName, "boundary " + std::to_string(b) +
+                                  " decreases (" +
+                                  std::to_string(stream.batch_begin[b]) +
+                                  " > " +
+                                  std::to_string(stream.batch_begin[b + 1]) +
+                                  "): the arrived prefix must only grow");
+    }
+  }
+  if (stream.batch_begin[1] == 0) {
+    return Violation(kName, "batch 0 is empty (the initial snapshot must "
+                            "contain at least one edge)");
+  }
+  if (stream.order.size() != num_edges) {
+    return Violation(kName, "order lists " +
+                                std::to_string(stream.order.size()) +
+                                " arrivals for " + std::to_string(num_edges) +
+                                " edges");
+  }
+  std::vector<uint8_t> seen(num_edges, 0);
+  for (EdgeId id : stream.order) {
+    if (id >= num_edges) {
+      return Violation(kName,
+                       "arrival of edge " + std::to_string(id) +
+                           " out of range (graph has " +
+                           std::to_string(num_edges) + " edges)");
+    }
+    if (seen[id]) {
+      return Violation(kName, "edge " + std::to_string(id) +
+                                  " arrives more than once");
+    }
+    seen[id] = 1;
+  }
+  return Status::Ok();
+}
+
+Status ValidateAssignmentContinuity(const std::vector<PartitionId>& before,
+                                    const std::vector<PartitionId>& after,
+                                    const std::vector<uint8_t>& frozen) {
+  const std::string kName = "dyn/assignment-continuity";
+  if (before.size() != after.size() || frozen.size() != before.size()) {
+    return Violation(kName, "shape mismatch: before " +
+                                std::to_string(before.size()) + ", after " +
+                                std::to_string(after.size()) + ", frozen " +
+                                std::to_string(frozen.size()));
+  }
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (frozen[i] && before[i] != after[i]) {
+      return Violation(
+          kName, "entity " + std::to_string(i) +
+                     " was materialized before the batch but moved from " +
+                     std::to_string(before[i]) + " to " +
+                     std::to_string(after[i]) +
+                     " without a repartition event");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateMigrationPlan(const std::vector<PartitionId>& before,
+                             const std::vector<PartitionId>& after,
+                             const std::vector<uint8_t>& materialized,
+                             uint64_t bytes_per_entity,
+                             const std::vector<uint64_t>& masks_before,
+                             const std::vector<uint64_t>& masks_after,
+                             uint64_t bytes_per_replica,
+                             const dyn::MigrationPlan& plan) {
+  const std::string kName = "dyn/migration-diff-conservation";
+  if (before.size() != after.size() || materialized.size() != before.size()) {
+    return Violation(kName, "shape mismatch: before " +
+                                std::to_string(before.size()) + ", after " +
+                                std::to_string(after.size()) +
+                                ", materialized " +
+                                std::to_string(materialized.size()));
+  }
+  if (masks_before.size() != masks_after.size()) {
+    return Violation(kName,
+                     "mask shape mismatch: " +
+                         std::to_string(masks_before.size()) + " vs " +
+                         std::to_string(masks_after.size()));
+  }
+  if (plan.egress_bytes.size() != plan.k) {
+    return Violation(kName, "egress vector has " +
+                                std::to_string(plan.egress_bytes.size()) +
+                                " entries for k=" + std::to_string(plan.k));
+  }
+  // Serial re-derivation of the diff, deliberately independent of the
+  // parallel engine in dyn/migrate.cc.
+  uint64_t moved = 0;
+  uint64_t replicas = 0;
+  std::vector<uint64_t> egress(plan.k, 0);
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (!materialized[i]) continue;
+    if (before[i] == after[i] || before[i] == kInvalidPartition ||
+        after[i] == kInvalidPartition) {
+      continue;
+    }
+    if (before[i] >= plan.k) {
+      return Violation(kName, "entity " + std::to_string(i) +
+                                  " leaves out-of-range partition " +
+                                  std::to_string(before[i]));
+    }
+    ++moved;
+    egress[before[i]] += bytes_per_entity;
+  }
+  for (size_t v = 0; v < masks_before.size(); ++v) {
+    const uint64_t old_mask = masks_before[v];
+    if (old_mask == 0) continue;
+    const uint64_t created = masks_after[v] & ~old_mask;
+    if (created == 0) continue;
+    const uint64_t count = std::popcount(created);
+    const int source = std::countr_zero(old_mask);
+    if (static_cast<PartitionId>(source) >= plan.k) {
+      return Violation(kName, "vertex " + std::to_string(v) +
+                                  " replicates out of out-of-range "
+                                  "partition " +
+                                  std::to_string(source));
+    }
+    replicas += count;
+    egress[source] += count * bytes_per_replica;
+  }
+  if (plan.moved_entities != moved) {
+    return Violation(kName, "plan moves " +
+                                std::to_string(plan.moved_entities) +
+                                " entities but the assignments differ in " +
+                                std::to_string(moved));
+  }
+  if (plan.replicas_created != replicas) {
+    return Violation(kName, "plan creates " +
+                                std::to_string(plan.replicas_created) +
+                                " replicas but the masks gained " +
+                                std::to_string(replicas) + " priced bits");
+  }
+  if (plan.entity_bytes != moved * bytes_per_entity ||
+      plan.replica_bytes != replicas * bytes_per_replica) {
+    return Violation(
+        kName, "byte totals drifted: entity " +
+                   std::to_string(plan.entity_bytes) + " (want " +
+                   std::to_string(moved * bytes_per_entity) + "), replica " +
+                   std::to_string(plan.replica_bytes) + " (want " +
+                   std::to_string(replicas * bytes_per_replica) + ")");
+  }
+  if (plan.total_bytes != plan.entity_bytes + plan.replica_bytes) {
+    return Violation(kName,
+                     "total_bytes " + std::to_string(plan.total_bytes) +
+                         " != entity " + std::to_string(plan.entity_bytes) +
+                         " + replica " + std::to_string(plan.replica_bytes));
+  }
+  uint64_t egress_sum = 0;
+  for (PartitionId p = 0; p < plan.k; ++p) {
+    if (plan.egress_bytes[p] != egress[p]) {
+      return Violation(kName, "partition " + std::to_string(p) +
+                                  " egress is " +
+                                  std::to_string(plan.egress_bytes[p]) +
+                                  " bytes, serial recount says " +
+                                  std::to_string(egress[p]));
+    }
+    egress_sum += egress[p];
+  }
+  if (egress_sum != plan.total_bytes) {
+    return Violation(kName, "egress sums to " + std::to_string(egress_sum) +
+                                " bytes but total_bytes is " +
+                                std::to_string(plan.total_bytes) +
+                                " (traffic invented or lost)");
+  }
+  return Status::Ok();
+}
+
 }  // namespace check
 }  // namespace gnnpart

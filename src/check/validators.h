@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dyn/migrate.h"
+#include "dyn/stream.h"
 #include "graph/graph.h"
 #include "graph/split.h"
 #include "metrics/partition_metrics.h"
@@ -125,6 +127,37 @@ Status CheckSplitMergeSerialEquivalence(const Graph& graph,
                                         const EdgePartitioner& sequential,
                                         PartitionId k, uint64_t seed,
                                         const EdgePartitioning& merged);
+
+/// Dynamic-graph arrival schedule integrity ("dyn/stream-monotonicity"):
+/// the arrival order is a permutation of [0, num_edges), and the batch
+/// boundaries are non-decreasing, start at 0, end at num_edges, and count
+/// growth_batches + 1 batches — so every edge arrives exactly once and the
+/// arrived prefix only ever grows.
+Status ValidateEdgeStream(const dyn::EdgeStream& stream, size_t num_edges);
+
+/// Incremental-assignment continuity ("dyn/assignment-continuity"): between
+/// two consecutive intervals with no repartition event, an entity that was
+/// already materialized before the batch (`frozen[i] != 0`) must keep its
+/// assignment — growth may only place *new* entities.
+Status ValidateAssignmentContinuity(const std::vector<PartitionId>& before,
+                                    const std::vector<PartitionId>& after,
+                                    const std::vector<uint8_t>& frozen);
+
+/// Migration-diff conservation ("dyn/migration-diff-conservation"):
+/// re-derives the migration plan serially from the raw before/after
+/// assignments (and replica masks, when priced) and compares every count,
+/// byte total and per-partition egress figure exactly, including the
+/// identity total_bytes == entity_bytes + replica_bytes and the egress
+/// vector summing to total_bytes — the diff engine must neither invent nor
+/// lose traffic.
+Status ValidateMigrationPlan(const std::vector<PartitionId>& before,
+                             const std::vector<PartitionId>& after,
+                             const std::vector<uint8_t>& materialized,
+                             uint64_t bytes_per_entity,
+                             const std::vector<uint64_t>& masks_before,
+                             const std::vector<uint64_t>& masks_after,
+                             uint64_t bytes_per_replica,
+                             const dyn::MigrationPlan& plan);
 
 }  // namespace check
 }  // namespace gnnpart

@@ -24,6 +24,20 @@ inline long ParsePositiveInt(const char* s,
   return v;
 }
 
+/// Parses a non-negative integer in [0, max]. Returns -1 under the same
+/// rejection rules as ParsePositiveInt, but 0 is a valid value — used by
+/// flags where zero means "off" (--growth-batches, --repartition-every,
+/// --rf-threshold, --migration-penalty).
+inline long ParseNonNegativeInt(const char* s,
+                                long max = std::numeric_limits<long>::max()) {
+  if (s == nullptr || *s == '\0') return -1;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < 0 || v > max) return -1;
+  return v;
+}
+
 }  // namespace gnnpart
 
 #endif  // GNNPART_COMMON_FLAGS_H_

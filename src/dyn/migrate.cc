@@ -1,0 +1,118 @@
+#include "dyn/migrate.h"
+
+#include <bit>
+#include <cstddef>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+
+namespace gnnpart {
+namespace dyn {
+
+namespace {
+
+// Per-chunk partial of the diff sweeps; folded in chunk order (all-integer,
+// so the fold is exact regardless of grouping — chunk order keeps the
+// ParallelReduce idiom uniform).
+struct DiffPartial {
+  uint64_t moved = 0;
+  uint64_t replicas = 0;
+  std::vector<uint64_t> egress;
+};
+
+DiffPartial CombineDiff(DiffPartial acc, DiffPartial part) {
+  acc.moved += part.moved;
+  acc.replicas += part.replicas;
+  if (acc.egress.size() < part.egress.size()) {
+    acc.egress.resize(part.egress.size(), 0);
+  }
+  for (size_t p = 0; p < part.egress.size(); ++p) {
+    acc.egress[p] += part.egress[p];
+  }
+  return acc;
+}
+
+}  // namespace
+
+MigrationPlan DiffAssignments(const std::vector<PartitionId>& before,
+                              const std::vector<PartitionId>& after,
+                              const std::vector<uint8_t>& materialized,
+                              PartitionId k, uint64_t bytes_per_entity) {
+  MigrationPlan plan;
+  plan.k = k;
+  plan.egress_bytes.assign(k, 0);
+  const size_t n = before.size();
+  DiffPartial total = ParallelReduce<DiffPartial>(
+      n, 4096, DiffPartial{},
+      [&](size_t begin, size_t end, size_t) {
+        DiffPartial part;
+        part.egress.assign(k, 0);
+        for (size_t i = begin; i < end; ++i) {
+          if (!materialized[i]) continue;
+          const PartitionId from = before[i];
+          const PartitionId to = after[i];
+          if (from == to || from == kInvalidPartition ||
+              to == kInvalidPartition) {
+            continue;
+          }
+          ++part.moved;
+          part.egress[from] += bytes_per_entity;
+        }
+        return part;
+      },
+      CombineDiff);
+  plan.moved_entities = total.moved;
+  plan.entity_bytes = total.moved * bytes_per_entity;
+  for (size_t p = 0; p < total.egress.size(); ++p) {
+    plan.egress_bytes[p] += total.egress[p];
+  }
+  plan.total_bytes = plan.entity_bytes + plan.replica_bytes;
+  return plan;
+}
+
+void AddReplicaDiff(const std::vector<uint64_t>& masks_before,
+                    const std::vector<uint64_t>& masks_after,
+                    uint64_t bytes_per_replica, MigrationPlan* plan) {
+  const size_t n = masks_before.size();
+  DiffPartial total = ParallelReduce<DiffPartial>(
+      n, 4096, DiffPartial{},
+      [&](size_t begin, size_t end, size_t) {
+        DiffPartial part;
+        part.egress.assign(plan->k, 0);
+        for (size_t v = begin; v < end; ++v) {
+          const uint64_t old_mask = masks_before[v];
+          if (old_mask == 0) continue;  // first copy rides with the entity
+          const uint64_t created = masks_after[v] & ~old_mask;
+          if (created == 0) continue;
+          const uint64_t count = std::popcount(created);
+          part.replicas += count;
+          part.egress[std::countr_zero(old_mask)] += count * bytes_per_replica;
+        }
+        return part;
+      },
+      CombineDiff);
+  plan->replicas_created += total.replicas;
+  plan->replica_bytes += total.replicas * bytes_per_replica;
+  for (size_t p = 0; p < total.egress.size(); ++p) {
+    plan->egress_bytes[p] += total.egress[p];
+  }
+  plan->total_bytes = plan->entity_bytes + plan->replica_bytes;
+}
+
+double PriceMigration(const net::Fabric& fabric, const MigrationPlan& plan,
+                      net::LinkUsage* usage) {
+  net::PhaseSpec spec(plan.egress_bytes.size());
+  for (size_t p = 0; p < plan.egress_bytes.size(); ++p) {
+    spec.bytes[p] = static_cast<double>(plan.egress_bytes[p]);
+    spec.rounds[p] = plan.egress_bytes[p] > 0 ? 1.0 : 0.0;
+  }
+  const double barrier = net::PhaseBarrierSeconds(fabric, spec, usage);
+  obs::Count("dyn/migrate/bytes", plan.total_bytes, "bytes");
+  obs::Count("dyn/migrate/moved_entities", plan.moved_entities, "entities");
+  obs::Count("dyn/migrate/replicas_created", plan.replicas_created,
+             "replicas");
+  return barrier;
+}
+
+}  // namespace dyn
+}  // namespace gnnpart

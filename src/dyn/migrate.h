@@ -1,0 +1,61 @@
+#ifndef GNNPART_DYN_MIGRATE_H_
+#define GNNPART_DYN_MIGRATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "net/flowsim.h"
+#include "net/topology.h"
+
+namespace gnnpart {
+namespace dyn {
+
+/// The cost of moving from one assignment to the next (DESIGN.md §12):
+/// every entity (vertex in edge-cut mode, edge in vertex-cut mode) whose
+/// partition changed ships `bytes_per_entity` out of its old partition, and
+/// every *new* replica bit (edge-cut replica masks) ships
+/// `bytes_per_replica` out of the vertex's old master. Replica bits that
+/// disappear cost nothing — dropping a copy is free; creating one is a
+/// feature transfer.
+struct MigrationPlan {
+  PartitionId k = 0;
+  uint64_t moved_entities = 0;
+  uint64_t replicas_created = 0;
+  uint64_t entity_bytes = 0;
+  uint64_t replica_bytes = 0;
+  uint64_t total_bytes = 0;  // entity_bytes + replica_bytes
+  /// Bytes leaving each partition (the flow sources handed to the fabric).
+  std::vector<uint64_t> egress_bytes;
+};
+
+/// Diffs two assignments over the same id universe. Only entities with
+/// `materialized[i] != 0` (arrived vertices/edges) are priced: assigning a
+/// not-yet-arrived entity is free, because there is no state to ship yet.
+/// `before[i]`/`after[i]` may be kInvalidPartition for unmaterialized ids.
+MigrationPlan DiffAssignments(const std::vector<PartitionId>& before,
+                              const std::vector<PartitionId>& after,
+                              const std::vector<uint8_t>& materialized,
+                              PartitionId k, uint64_t bytes_per_entity);
+
+/// Adds the replica-mask delta of edge-cut mode to `plan`: for each vertex,
+/// new mask bits (after & ~before) each cost `bytes_per_replica`, sourced
+/// from the lowest set bit of the old mask. A vertex with an empty old mask
+/// contributes no priced replicas (its first copy materializes with the
+/// entity itself).
+void AddReplicaDiff(const std::vector<uint64_t>& masks_before,
+                    const std::vector<uint64_t>& masks_after,
+                    uint64_t bytes_per_replica, MigrationPlan* plan);
+
+/// Prices the plan as one BSP phase through the fabric (one flow per
+/// partition with egress, one latency round each) and returns the barrier
+/// completion time. `fabric` must have exactly `plan.k` hosts. `usage`,
+/// when non-null, accrues the migration traffic into the run's link
+/// accounting.
+double PriceMigration(const net::Fabric& fabric, const MigrationPlan& plan,
+                      net::LinkUsage* usage);
+
+}  // namespace dyn
+}  // namespace gnnpart
+
+#endif  // GNNPART_DYN_MIGRATE_H_

@@ -310,4 +310,28 @@ Result<Graph> GenerateRoadNetwork(const RoadParams& params, uint64_t seed) {
   return builder.Build();
 }
 
+Result<Graph> InducedEdgeSubgraph(const Graph& full,
+                                  const std::vector<EdgeId>& edge_ids,
+                                  std::string name) {
+  GraphBuilder builder(full.num_vertices(), full.directed());
+  builder.Reserve(edge_ids.size());
+  EdgeId prev = 0;
+  bool first = true;
+  for (EdgeId id : edge_ids) {
+    if (id >= full.num_edges()) {
+      return Status::InvalidArgument("induced subgraph: edge id out of range");
+    }
+    if (!first && id <= prev) {
+      return Status::InvalidArgument(
+          "induced subgraph: edge ids must be strictly increasing");
+    }
+    first = false;
+    prev = id;
+    const Edge& e = full.edge(id);
+    builder.AddEdge(e.src, e.dst);
+  }
+  CountEmitted("induced", builder.pending_edges());
+  return builder.Build(name.empty() ? full.name() : std::move(name));
+}
+
 }  // namespace gnnpart

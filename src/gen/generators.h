@@ -80,6 +80,16 @@ struct RoadParams {
 };
 Result<Graph> GenerateRoadNetwork(const RoadParams& params, uint64_t seed);
 
+/// Re-materializes a generated graph restricted to a subset of its canonical
+/// edges, keeping the full vertex-id universe. `edge_ids` must be strictly
+/// increasing indices into `full.edges()`. Because canonical edge lists are
+/// sorted, deduplicated and self-loop-free, the prefix graph's canonical edge
+/// i is exactly `full.edge(edge_ids[i])` — the identity gnnpart::dyn relies
+/// on to map prefix-graph edges back to stream arrivals.
+Result<Graph> InducedEdgeSubgraph(const Graph& full,
+                                  const std::vector<EdgeId>& edge_ids,
+                                  std::string name = "");
+
 }  // namespace gnnpart
 
 #endif  // GNNPART_GEN_GENERATORS_H_

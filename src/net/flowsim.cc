@@ -287,5 +287,13 @@ std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
   return completion;
 }
 
+double PhaseBarrierSeconds(const Fabric& fabric, const PhaseSpec& spec,
+                           LinkUsage* usage) {
+  const std::vector<double> completion = SimulatePhase(fabric, spec, usage);
+  double barrier = 0;
+  for (double t : completion) barrier = std::max(barrier, t);
+  return barrier;
+}
+
 }  // namespace net
 }  // namespace gnnpart

@@ -85,6 +85,15 @@ struct PhaseSpec {
 std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
                                   LinkUsage* usage);
 
+/// Completion instant of the phase's barrier: the max over hosts of
+/// SimulatePhase's per-host completion times (0 when the fabric has no
+/// hosts; ties keep the lowest host index, which max over a left-to-right
+/// scan gives for free). Convenience for callers that only need the BSP
+/// barrier — e.g. migration pricing in gnnpart::dyn, where one repartition
+/// event is one phase and only its makespan enters the cost curve.
+double PhaseBarrierSeconds(const Fabric& fabric, const PhaseSpec& spec,
+                           LinkUsage* usage);
+
 }  // namespace net
 }  // namespace gnnpart
 

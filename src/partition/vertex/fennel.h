@@ -22,6 +22,21 @@ class FennelPartitioner : public VertexPartitioner {
                                        const VertexSplit& split, PartitionId k,
                                        uint64_t seed) const override;
 
+  /// ReFennel restreaming: re-runs the Fennel objective seeded with a
+  /// complete `prior` assignment, adding `stay_bonus` (neighbor-score
+  /// units) to the vertex's current partition as a migration-penalty term.
+  /// A vertex moves only on a *strictly* better score, the stream order is
+  /// fixed once from `seed` (not re-shuffled per pass), and passes stop
+  /// early when one completes with zero moves — together these make any
+  /// fixed point idempotent: re-running from a converged assignment returns
+  /// it unchanged with `*last_pass_moves == 0`. The current partition is
+  /// always a candidate even at capacity (a full prior may legally saturate
+  /// every partition).
+  Result<VertexPartitioning> Repartition(
+      const Graph& graph, const VertexSplit& split, PartitionId k,
+      uint64_t seed, const std::vector<PartitionId>& prior, double stay_bonus,
+      int max_passes, uint64_t* last_pass_moves = nullptr) const;
+
  private:
   double gamma_;
   double load_slack_;

@@ -65,4 +65,83 @@ Result<VertexPartitioning> ReldgPartitioner::Partition(
   return result;
 }
 
+Result<VertexPartitioning> ReldgPartitioner::Repartition(
+    const Graph& graph, const VertexSplit& split, PartitionId k, uint64_t seed,
+    const std::vector<PartitionId>& prior, double stay_bonus, int max_passes,
+    uint64_t* last_pass_moves) const {
+  GNNPART_RETURN_NOT_OK(CheckArgs(graph, split, k));
+  const size_t n = graph.num_vertices();
+  if (prior.size() != n) {
+    return Status::InvalidArgument("ReLDG repartition: prior size mismatch");
+  }
+  for (PartitionId p : prior) {
+    if (p >= k) {
+      return Status::InvalidArgument(
+          "ReLDG repartition: prior assignment out of range");
+    }
+  }
+  VertexPartitioning result;
+  result.k = k;
+  result.assignment = prior;
+
+  const double capacity =
+      slack_ * static_cast<double>(n) / static_cast<double>(k);
+  std::vector<uint64_t> load(k, 0);
+  for (PartitionId p : prior) ++load[p];
+  std::vector<uint32_t> neighbor_count(k, 0);
+  // Unlike Partition, the order is shuffled once and reused by every pass:
+  // re-shuffling would make "zero moves" a property of one ordering rather
+  // than of the assignment, breaking repartition idempotence.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  uint64_t moves = 0;
+  uint64_t pass_moves = 0;
+  int passes_run = 0;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++passes_run;
+    pass_moves = 0;
+    for (VertexId v : order) {
+      const PartitionId cur = result.assignment[v];
+      --load[cur];  // re-place this vertex
+      std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
+      for (VertexId u : graph.Neighbors(v)) {
+        PartitionId pu = result.assignment[u];
+        if (pu != kInvalidPartition) ++neighbor_count[pu];
+      }
+      PartitionId best = cur;
+      double cur_penalty = 1.0 - static_cast<double>(load[cur]) / capacity;
+      if (cur_penalty < 0) cur_penalty = 0;
+      double best_score =
+          (1.0 + static_cast<double>(neighbor_count[cur]) + stay_bonus) *
+          cur_penalty;
+      for (PartitionId p = 0; p < k; ++p) {
+        if (p == cur) continue;
+        double penalty = 1.0 - static_cast<double>(load[p]) / capacity;
+        if (penalty < 0) penalty = 0;
+        double score =
+            (1.0 + static_cast<double>(neighbor_count[p])) * penalty;
+        // Strictly better only: ties never move, so fixed points are stable.
+        if (score > best_score) {
+          best_score = score;
+          best = p;
+        }
+      }
+      result.assignment[v] = best;
+      ++load[best];
+      if (best != cur) ++pass_moves;
+    }
+    moves += pass_moves;
+    if (pass_moves == 0) break;
+  }
+  if (last_pass_moves != nullptr) *last_pass_moves = pass_moves;
+  obs::Count("partition/vertex/" + name() + "/repartition_moves", moves,
+             "moves");
+  obs::Count("partition/vertex/" + name() + "/repartition_passes",
+             static_cast<uint64_t>(passes_run), "passes");
+  return result;
+}
+
 }  // namespace gnnpart

@@ -85,10 +85,24 @@ if "$CLI" check "$TMP/HW.bin" HDRF 99 2> /dev/null; then
   exit 1
 fi
 
-if "$CLI" frobnicate 2> /dev/null; then
-  echo "FAIL: unknown subcommand accepted" >&2
+# An unknown subcommand must exit exactly 2 and name itself alongside the
+# usage text — not merely "some non-zero status".
+set +e
+"$CLI" frobnicate > /dev/null 2> "$TMP/err.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 2 ]; then
+  echo "FAIL: unknown subcommand exited $rc, expected 2" >&2
   exit 1
 fi
+grep -q "unknown subcommand 'frobnicate'" "$TMP/err.txt" || {
+  echo "FAIL: unknown subcommand error does not name the command" >&2
+  exit 1
+}
+grep -q 'usage:' "$TMP/err.txt" || {
+  echo "FAIL: unknown subcommand did not print the usage message" >&2
+  exit 1
+}
 
 # String-valued flags given without a value must also fail loudly (the
 # value would otherwise silently swallow the next argument or default).

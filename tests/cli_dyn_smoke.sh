@@ -1,0 +1,85 @@
+#!/bin/sh
+# Tier-1 smoke for the gnnpart::dyn CLI surface: `dyn-run` must be
+# byte-identical across thread counts and across runs (DESIGN.md §12's
+# determinism contract), the degenerate run (--growth-batches 0, triggers
+# off) must report the static epoch, both trigger kinds must fire and move
+# bytes, and malformed dyn flags must exit loudly with the usage message.
+# Usage: cli_dyn_smoke.sh <path-to-gnnpart_cli>
+set -eu
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$CLI" generate EN 0.04 "$TMP/g.bin" 7 > /dev/null
+
+# Determinism: a growing run with period repartitioning, in both modes
+# (HDRF -> DistGNN vertex-cut, vFennel -> DistDGL edge-cut), at 1/2/8
+# threads and across repeated same-seed runs, must be byte-identical.
+for part in HDRF vFennel; do
+  "$CLI" dyn-run "$TMP/g.bin" "$part" 4 --growth-batches 5 \
+    --repartition-every 2 --threads 1 > "$TMP/dyn1.txt"
+  for t in 2 8; do
+    "$CLI" dyn-run "$TMP/g.bin" "$part" 4 --growth-batches 5 \
+      --repartition-every 2 --threads "$t" > "$TMP/dynt.txt"
+    cmp -s "$TMP/dyn1.txt" "$TMP/dynt.txt" || {
+      echo "FAIL: dyn-run $part differs between --threads 1 and $t" >&2
+      exit 1
+    }
+  done
+  "$CLI" dyn-run "$TMP/g.bin" "$part" 4 --growth-batches 5 \
+    --repartition-every 2 --threads 1 > "$TMP/dyn_again.txt"
+  cmp -s "$TMP/dyn1.txt" "$TMP/dyn_again.txt" || {
+    echo "FAIL: dyn-run $part differs between identical runs" >&2
+    exit 1
+  }
+  grep -q 'repart' "$TMP/dyn1.txt"
+  grep -q 'yes' "$TMP/dyn1.txt"
+done
+
+# Degenerate run: zero growth, triggers off -> one interval whose epoch
+# time is the static simulate pipeline's, digit for digit.
+"$CLI" dyn-run "$TMP/g.bin" HDRF 8 --growth-batches 0 > "$TMP/dyn0.txt"
+grep -q '0 repartitions' "$TMP/dyn0.txt"
+"$CLI" simulate "$TMP/g.bin" HDRF 8 > "$TMP/sim.txt"
+epoch_dyn="$(sed -n 's/^full-batch epoch \([0-9.e+-]*\) ms.*/\1/p' \
+  "$TMP/sim.txt")"
+grep -q "epochs $epoch_dyn ms" "$TMP/dyn0.txt" || {
+  echo "FAIL: degenerate dyn-run epoch != static simulate epoch" >&2
+  exit 1
+}
+
+# The quality-threshold trigger fires and prices migration on a run that
+# decays past 101% of the baseline RF.
+"$CLI" dyn-run "$TMP/g.bin" HDRF 4 --growth-batches 6 \
+  --initial-fraction 30 --rf-threshold 101 > "$TMP/dyn_thr.txt"
+grep -q 'yes' "$TMP/dyn_thr.txt"
+if grep -q ' 0 repartitions' "$TMP/dyn_thr.txt"; then
+  echo "FAIL: --rf-threshold 101 never fired" >&2
+  exit 1
+fi
+
+# A trace can be written from a dynamic run.
+"$CLI" dyn-run "$TMP/g.bin" vReLDG 4 --growth-batches 3 \
+  --repartition-every 1 --trace-out "$TMP/dyn.json" > /dev/null
+test -s "$TMP/dyn.json"
+
+# Malformed dyn flags must exit 2 with the usage text, not default
+# silently. --growth-batches 0 is legal; -1 and garbage are not.
+for bad in "--growth-batches -1" "--growth-batches banana" \
+           "--repartition-every -3" "--rf-threshold x" \
+           "--migration-penalty -1" "--epochs-per-batch 0" \
+           "--initial-fraction 0" "--initial-fraction 200" \
+           "--growth-batches" "--rf-threshold"; do
+  # shellcheck disable=SC2086
+  set +e
+  "$CLI" dyn-run "$TMP/g.bin" HDRF 4 $bad > /dev/null 2> "$TMP/err.txt"
+  rc=$?
+  set -e
+  if [ "$rc" -ne 2 ]; then
+    echo "FAIL: '$bad' exited $rc, expected 2" >&2
+    exit 1
+  fi
+done
+
+echo OK

@@ -11,7 +11,9 @@
 #include "gen/generators.h"
 #include "metrics/partition_metrics.h"
 #include "partition/edge/registry.h"
+#include "partition/vertex/fennel.h"
 #include "partition/vertex/registry.h"
+#include "partition/vertex/reldg.h"
 
 namespace gnnpart {
 namespace {
@@ -209,6 +211,102 @@ INSTANTIATE_TEST_SUITE_P(
              ShapeName(std::get<1>(info.param)) + "_k" +
              std::to_string(std::get<2>(info.param));
     });
+
+// Repartition idempotence (DESIGN.md §12): Fennel/ReLDG restreaming seeded
+// with its own converged assignment and zero new edges must return the
+// identical assignment with a zero-move final pass — otherwise the dynamic
+// driver would pay migration bytes for noise.
+template <typename Partitioner>
+void CheckRepartitionIdempotence(const Partitioner& partitioner,
+                                 GraphShape shape, PartitionId k) {
+  Graph g = MakeShape(shape, 11);
+  const VertexSplit split =
+      VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 42);
+  Result<VertexPartitioning> parts = partitioner.Partition(g, split, k, 42);
+  ASSERT_TRUE(parts.ok());
+
+  // Converge: restream from the prior until a pass moves nothing.
+  std::vector<PartitionId> prior = parts->assignment;
+  uint64_t last_pass_moves = ~0ULL;
+  for (int round = 0; round < 6 && last_pass_moves != 0; ++round) {
+    Result<VertexPartitioning> next = partitioner.Repartition(
+        g, split, k, 42, prior, 0.5, 16, &last_pass_moves);
+    ASSERT_TRUE(next.ok());
+    prior = next->assignment;
+  }
+  ASSERT_EQ(last_pass_moves, 0u) << "restreaming failed to converge";
+
+  // Idempotence: one more repartition from the fixed point is the identity.
+  Result<VertexPartitioning> again = partitioner.Repartition(
+      g, split, k, 42, prior, 0.5, 16, &last_pass_moves);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(last_pass_moves, 0u);
+  EXPECT_EQ(again->assignment, prior);
+}
+
+TEST(RepartitionProperties, FennelIdempotentAtFixedPoint) {
+  for (GraphShape shape :
+       {GraphShape::kPowerLaw, GraphShape::kRoad, GraphShape::kDense}) {
+    for (PartitionId k : {2u, 5u}) {
+      CheckRepartitionIdempotence(FennelPartitioner(), shape, k);
+    }
+  }
+}
+
+TEST(RepartitionProperties, ReldgIdempotentAtFixedPoint) {
+  for (GraphShape shape :
+       {GraphShape::kPowerLaw, GraphShape::kRoad, GraphShape::kDense}) {
+    for (PartitionId k : {2u, 5u}) {
+      CheckRepartitionIdempotence(ReldgPartitioner(), shape, k);
+    }
+  }
+}
+
+TEST(RepartitionProperties, HugeStayBonusPinsAnyPrior) {
+  // With an overwhelming migration penalty, no vertex can ever improve by
+  // moving, so even a random prior is a fixed point.
+  Graph g = MakeShape(GraphShape::kPowerLaw, 23);
+  const VertexSplit split =
+      VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 42);
+  Result<VertexPartitioning> prior =
+      MakeVertexPartitioner(VertexPartitionerId::kRandom)
+          ->Partition(g, split, 4, 42);
+  ASSERT_TRUE(prior.ok());
+  uint64_t moves = ~0ULL;
+  Result<VertexPartitioning> fennel = FennelPartitioner().Repartition(
+      g, split, 4, 42, prior->assignment, 1e9, 4, &moves);
+  ASSERT_TRUE(fennel.ok());
+  EXPECT_EQ(moves, 0u);
+  EXPECT_EQ(fennel->assignment, prior->assignment);
+  // ReLDG's penalty is multiplicative — a partition over hard capacity
+  // zeroes the stay score and evicts regardless of the bonus — so its pin
+  // guarantee holds for priors within capacity: a balanced round-robin.
+  std::vector<PartitionId> balanced(g.num_vertices());
+  for (size_t v = 0; v < balanced.size(); ++v) {
+    balanced[v] = static_cast<PartitionId>(v % 4);
+  }
+  moves = ~0ULL;
+  Result<VertexPartitioning> reldg =
+      ReldgPartitioner().Repartition(g, split, 4, 42, balanced, 1e9, 4,
+                                     &moves);
+  ASSERT_TRUE(reldg.ok());
+  EXPECT_EQ(moves, 0u);
+  EXPECT_EQ(reldg->assignment, balanced);
+}
+
+TEST(RepartitionProperties, RejectsMalformedPrior) {
+  Graph g = MakeShape(GraphShape::kRing, 5);
+  const VertexSplit split =
+      VertexSplit::MakeRandom(g.num_vertices(), 0.1, 0.1, 42);
+  std::vector<PartitionId> short_prior(g.num_vertices() - 1, 0);
+  EXPECT_FALSE(FennelPartitioner()
+                   .Repartition(g, split, 4, 42, short_prior, 0.5, 4)
+                   .ok());
+  std::vector<PartitionId> out_of_range(g.num_vertices(), 7);
+  EXPECT_FALSE(ReldgPartitioner()
+                   .Repartition(g, split, 4, 42, out_of_range, 0.5, 4)
+                   .ok());
+}
 
 }  // namespace
 }  // namespace gnnpart

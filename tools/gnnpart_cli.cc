@@ -16,6 +16,10 @@
 //       [--split-factor N]
 //   gnnpart_cli trace-report <graph-file> <partitioner> <k> [same flags]
 //   gnnpart_cli net-report <graph-file> <partitioner> <k> [same flags]
+//   gnnpart_cli dyn-run <graph-file> <partitioner> <k>
+//       [--growth-batches N] [--initial-fraction PCT]
+//       [--epochs-per-batch N] [--repartition-every N] [--rf-threshold PCT]
+//       [--migration-penalty PCT] [simulate flags]
 //   gnnpart_cli metrics <manifest.jsonl>
 //
 // Graph files are whitespace edge lists ("u v" per line, '#' comments) or
@@ -36,6 +40,7 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "dyn/driver.h"
 #include "gen/datasets.h"
 #include "graph/components.h"
 #include "graph/degree_stats.h"
@@ -88,6 +93,18 @@ int Usage() {
          "  gnnpart_cli net-report <graph> <partitioner> <k>\n"
          "      [simulate flags]  per-link utilization and overlap-adjusted\n"
          "      straggler blame on the selected fabric\n"
+         "  gnnpart_cli dyn-run <graph> <partitioner> <k>\n"
+         "      [--growth-batches N]  growth batches after the initial\n"
+         "      snapshot (0 = static run, bit-identical to 'simulate')\n"
+         "      [--initial-fraction PCT]  edges in the initial snapshot\n"
+         "      [--epochs-per-batch N]  training epochs per interval\n"
+         "      [--repartition-every N]  period trigger (0 = off)\n"
+         "      [--rf-threshold PCT]  quality trigger: repartition when\n"
+         "      RF / edge-cut exceeds PCT% of the last baseline (0 = off)\n"
+         "      [--migration-penalty PCT]  ReFennel/ReLDG stay bonus\n"
+         "      (migration cost in neighbor-score units, default 50)\n"
+         "      [simulate flags]  --feature/--hidden/--layers/--gbs,\n"
+         "      --seed, --directed, --trace-out and the network flags\n"
          "  gnnpart_cli metrics <manifest.jsonl>  pretty-print a run\n"
          "      manifest written by --metrics-out\n"
          "partitioners: Random DBH HDRF 2PS-L HEP10 HEP100 Greedy (edge)\n"
@@ -170,6 +187,30 @@ long FlagValue(const std::vector<std::string>& args, const std::string& flag,
     if (v < 1) {
       std::cerr << "error: invalid " << flag << " value '" << args[i + 1]
                 << "' (expected a positive integer";
+      if (max != std::numeric_limits<long>::max()) std::cerr << " <= " << max;
+      std::cerr << ")\n";
+      std::exit(2);
+    }
+    return v;
+  }
+  return fallback;
+}
+
+/// Validated `--flag N` lookup for flags where 0 means "off": like
+/// FlagValue, but 0 is accepted.
+long NonNegativeFlagValue(const std::vector<std::string>& args,
+                          const std::string& flag, long fallback,
+                          long max = std::numeric_limits<long>::max()) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << "error: " << flag << " requires a value\n";
+      std::exit(2);
+    }
+    const long v = ParseNonNegativeInt(args[i + 1].c_str(), max);
+    if (v < 0) {
+      std::cerr << "error: invalid " << flag << " value '" << args[i + 1]
+                << "' (expected a non-negative integer";
       if (max != std::numeric_limits<long>::max()) std::cerr << " <= " << max;
       std::cerr << ")\n";
       std::exit(2);
@@ -747,6 +788,129 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
 }
 
 
+/// Dynamic-graph run (DESIGN.md §12): grow the graph in deterministic
+/// batches, incrementally assign arrivals, repartition when a trigger
+/// fires, price the migration diff through the fabric, and simulate
+/// training epochs per interval. Prints one row per interval plus the
+/// cumulative decayed-quality-vs-migration summary. With
+/// --growth-batches 0 and both triggers off, the epoch report is
+/// bit-identical to the static 'simulate' pipeline.
+int CmdDynRun(const std::vector<std::string>& args) {
+  std::vector<std::string> pos = Positionals(
+      args,
+      {{"--growth-batches", true},
+       {"--initial-fraction", true},
+       {"--epochs-per-batch", true},
+       {"--repartition-every", true},
+       {"--rf-threshold", true},
+       {"--migration-penalty", true},
+       {"--feature", true},
+       {"--hidden", true},
+       {"--layers", true},
+       {"--gbs", true},
+       {"--directed", false},
+       {"--seed", true},
+       {"--trace-out", true},
+       {"--topology", true},
+       {"--oversubscription", true},
+       {"--rack-size", true},
+       {"--nic-gbps", true},
+       {"--overlap", true}},
+      3, 3);
+  Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
+  if (!graph.ok()) return Fail(graph.status());
+  PartitionId k = ParseK(pos[2]);
+
+  dyn::DynPartitionerSpec spec;
+  const std::string& name = pos[1];
+  if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(name); id.ok()) {
+    spec.vertex_mode = false;
+    spec.edge = *id;
+    spec.display = MakeEdgePartitioner(*id)->name();
+  } else {
+    std::string lookup =
+        !name.empty() && name[0] == 'v' ? name.substr(1) : name;
+    Result<VertexPartitionerId> vid = ParseVertexPartitionerName(lookup);
+    if (!vid.ok()) return Fail(vid.status());
+    spec.vertex_mode = true;
+    spec.vertex = *vid;
+    spec.display = "v" + MakeVertexPartitioner(*vid)->name();
+  }
+
+  dyn::DynConfig config;
+  config.growth_batches = static_cast<size_t>(
+      NonNegativeFlagValue(args, "--growth-batches", 8, 4096));
+  config.initial_fraction =
+      static_cast<double>(FlagValue(args, "--initial-fraction", 50, 100)) /
+      100.0;
+  config.epochs_per_batch =
+      static_cast<size_t>(FlagValue(args, "--epochs-per-batch", 1, 1024));
+  config.repartition_every = static_cast<size_t>(
+      NonNegativeFlagValue(args, "--repartition-every", 0, 4096));
+  config.quality_threshold =
+      static_cast<double>(
+          NonNegativeFlagValue(args, "--rf-threshold", 0, 10000)) /
+      100.0;
+  config.stay_bonus =
+      static_cast<double>(
+          NonNegativeFlagValue(args, "--migration-penalty", 50, 1000000)) /
+      100.0;
+  config.gnn.feature_size =
+      static_cast<size_t>(FlagValue(args, "--feature", 64));
+  config.gnn.hidden_dim = static_cast<size_t>(FlagValue(args, "--hidden", 64));
+  config.gnn.num_layers = static_cast<int>(FlagValue(args, "--layers", 3));
+  config.gnn.num_classes = 16;
+  config.gnn.fanouts = GnnConfig::DefaultFanouts(config.gnn.num_layers);
+  config.gnn.global_batch_size =
+      static_cast<size_t>(FlagValue(args, "--gbs", 256));
+  config.seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
+  config.cluster.num_machines = static_cast<int>(k);
+  config.network = ParseNetworkConfig(args, config.cluster);
+  config.metrics_prefix = "dyn/" + spec.display;
+
+  const std::string trace_out = StringFlagValue(args, "--trace-out");
+  trace::TraceRecorder recorder;
+  trace::TraceRecorder* rec = trace_out.empty() ? nullptr : &recorder;
+
+  Result<dyn::DynReport> report =
+      dyn::RunDynamic(*graph, spec, k, config, rec);
+  if (!report.ok()) return Fail(report.status());
+
+  TablePrinter table({"batch", "edges", "vertices",
+                      spec.vertex_mode ? "cut" : "rf", "balance", "repart",
+                      "moved", "migr MB", "migr ms", "epoch ms"});
+  for (const dyn::DynInterval& iv : report->intervals) {
+    table.AddRow({std::to_string(iv.batch), std::to_string(iv.arrived_edges),
+                  std::to_string(iv.arrived_vertices),
+                  TablePrinter::Fmt(iv.quality, 4),
+                  TablePrinter::Fmt(iv.balance, 4),
+                  iv.repartitioned ? "yes" : "-",
+                  std::to_string(iv.moved_entities),
+                  TablePrinter::Fmt(iv.migration_bytes / 1e6, 3),
+                  TablePrinter::Fmt(iv.migration_seconds * 1e3, 3),
+                  TablePrinter::Fmt(iv.epoch_seconds * 1e3, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << spec.display << " k=" << k << ": " << report->repartitions
+            << " repartitions, moved " << report->total_moved_entities
+            << " entities (+" << report->total_replicas_created
+            << " replicas), migration "
+            << report->total_migration_bytes / 1e6 << " MB / "
+            << report->total_migration_seconds * 1e3 << " ms, epochs "
+            << report->total_epoch_seconds * 1e3 << " ms, total cost "
+            << report->total_cost_seconds * 1e3 << " ms, final "
+            << (spec.vertex_mode ? "cut " : "rf ")
+            << TablePrinter::Fmt(report->final_quality, 4) << "\n";
+
+  if (rec != nullptr) {
+    Status st = trace::WriteTraceFile(recorder, trace_out);
+    if (!st.ok()) return Fail(st);
+    std::cout << "trace: " << trace_out << " (" << recorder.spans().size()
+              << " spans)\n";
+  }
+  return 0;
+}
+
 /// Pretty-prints a run manifest written by --metrics-out. Parsing goes
 /// through the strict loader, so this doubles as a manifest validator.
 int CmdMetrics(const std::vector<std::string>& args) {
@@ -848,6 +1012,7 @@ int main(int argc, char** argv) {
   else if (cmd == "simulate") rc = CmdSimulate(args);
   else if (cmd == "trace-report") rc = CmdTraceReport(args);
   else if (cmd == "net-report") rc = CmdNetReport(args);
+  else if (cmd == "dyn-run") rc = CmdDynRun(args);
   else if (cmd == "metrics") rc = CmdMetrics(args);
   else {
     std::cerr << "error: unknown subcommand '" << cmd << "'\n";

@@ -25,7 +25,10 @@
 #      stopwatches may appear there — no ambient clock of any kind.
 #   6. CLI/README drift: every flag the CLI parses must be documented in
 #      README.md, so `--help`-style discovery never diverges from the
-#      written docs.
+#      written docs. The same surface must exist on every bench binary:
+#      each must route its flags through bench::DefaultContext, so the
+#      documented --threads/--metrics-out/--trace-out behave identically
+#      across all of them (google-benchmark mains included).
 #
 # Usage: tools/lint.sh  (from the repository root; exits non-zero on findings)
 set -u
@@ -143,6 +146,21 @@ done
 [ -n "$undocumented" ] && finding \
   "CLI flags parsed by tools/gnnpart_cli.cc or bench/bench_util.h but missing from README.md" \
   "$undocumented"
+
+# Every bench binary must parse the shared flags via bench::DefaultContext —
+# otherwise the README's promise that --threads/--metrics-out work on every
+# bench silently drifts. A bench that genuinely cannot (none today) may
+# carry a `lint:bench-flags-ok` comment explaining why.
+bench_out=""
+for f in bench/bench_*.cc; do
+  grep -q 'DefaultContext(argc, argv)' "$f" && continue
+  grep -q 'lint:bench-flags-ok' "$f" && continue
+  bench_out="$bench_out$f
+"
+done
+[ -n "$bench_out" ] && finding \
+  "bench binaries not routing flags through bench::DefaultContext(argc, argv) (lint:bench-flags-ok to override)" \
+  "$bench_out"
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED" >&2
