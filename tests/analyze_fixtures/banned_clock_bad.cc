@@ -1,0 +1,14 @@
+// Fixture: trips banned-clock — a libc wall-clock read and the two banned
+// chrono clocks. Analyzed under a virtual src/ path.
+namespace gnnpart {
+
+long ReadClocks() {
+  long t = time(nullptr);
+  auto a = std::chrono::system_clock::now();
+  auto b = std::chrono::high_resolution_clock::now();
+  (void)a;
+  (void)b;
+  return t;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,18 @@
+// Fixture: near-miss twin of banned_clock_bad. A member function named
+// time(), a local variable spelled clock, comment/string mentions of
+// system_clock — none of these are wall-clock reads.
+namespace gnnpart {
+
+struct Stopwatch {
+  long time() { return 0; }  // not libc time(): member call sites are fine
+};
+
+long ReadNoClocks() {
+  Stopwatch sw;
+  long clock = 7;  // an identifier, not a call
+  const char* doc = "system_clock is banned; this string is not a read";
+  (void)doc;
+  return sw.time() + clock;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,13 @@
+// Fixture: trips banned-randomness three ways — the include, a std::
+// engine, and a libc call. Analyzed under a virtual src/ path.
+#include <random>
+
+namespace gnnpart {
+
+int DrawBad() {
+  std::mt19937 gen(42);
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(gen) + rand();
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,22 @@
+// Fixture: near-miss twin of banned_randomness_bad. Mentions of rand and
+// mt19937 live only in comments and string literals, a member function
+// named rand() belongs to someone else, and randomness flows through the
+// repo's own Rng. The grep lint could not tell these apart; the lexer can.
+#include "common/rng.h"
+
+namespace gnnpart {
+
+// rand() and std::mt19937 would be banned here — which is why we don't use
+// them. srand(7) in a comment must not fire either.
+struct NotTheLibc {
+  int rand() { return 4; }
+};
+
+int DrawGood(Rng* rng) {
+  NotTheLibc obj;
+  const char* msg = "do not call rand() or std::mt19937 under src/";
+  (void)msg;
+  return static_cast<int>(rng->Next()) + obj.rand();
+}
+
+}  // namespace gnnpart

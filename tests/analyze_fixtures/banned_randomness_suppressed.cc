@@ -1,0 +1,9 @@
+// Fixture: the same libc call as the bad twin, but carrying the historic
+// bare lint:allow suppression — the analyzer must keep honoring it.
+namespace gnnpart {
+
+int DrawSuppressed() {
+  return rand();  // lint:allow — seeding a non-result-bearing debug aid
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,9 @@
+// Fixture: trips bench-default-context when analyzed under a virtual
+// bench/bench_*.cc path — a bench main that wires its own flags instead
+// of routing through bench::DefaultContext, so the shared
+// --threads/--metrics-out surface drifts.
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  return 0;
+}

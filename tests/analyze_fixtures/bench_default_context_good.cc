@@ -1,0 +1,9 @@
+// Fixture: near-miss twin of bench_default_context_bad — routes its flags
+// through the shared context like every real bench binary.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  auto ctx = bench::DefaultContext(argc, argv);
+  (void)ctx;
+  return 0;
+}

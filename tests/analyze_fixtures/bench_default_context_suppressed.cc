@@ -1,0 +1,10 @@
+// Fixture: a bench binary that genuinely cannot take the shared flags,
+// carrying the documented justification comment — must not fire.
+//
+// lint:bench-flags-ok — this harness forwards argv verbatim to an external
+// driver and must not consume any flag itself.
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fixture: trips flag-doc-drift. A brand-new flag parser in a file the
+// old lint never looked at (its §6 scan hardcoded tools/gnnpart_cli.cc
+// and bench/bench_util.h) parses a flag README.md does not document.
+#include <cstring>
+
+namespace gnnpart {
+
+bool ParseServingFlags(int argc, char** argv, int* qps) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serving-qps") == 0 && i + 1 < argc) {
+      *qps = 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gnnpart

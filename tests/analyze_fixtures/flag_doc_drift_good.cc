@@ -1,0 +1,21 @@
+// Fixture: near-miss twin of flag_doc_drift_bad. A documented flag, a
+// flag-shaped substring inside prose, and a flag mentioned only in a
+// comment — none may fire. (--undocumented-in-a-comment is not a parse
+// site.)
+#include <cstring>
+
+namespace gnnpart {
+
+bool ParseDocumentedFlags(int argc, char** argv, int* threads) {
+  const char* usage = "usage: tool [--threads N]  (see README)";
+  (void)usage;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      *threads = 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,23 @@
+// Fixture: trips fp-reduction-order — a float accumulator captured by
+// reference and += from concurrent chunks. Even with a mutex this would be
+// wrong for determinism: the accumulation order, and therefore the
+// rounding, depends on thread scheduling.
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace gnnpart {
+
+double MeanDegree(const std::vector<int>& degree) {
+  double sum = 0.0;
+  ParallelFor(degree.size(), 4096, [&](size_t begin, size_t end, size_t c) {
+    (void)c;
+    for (size_t i = begin; i < end; ++i) {
+      sum += static_cast<double>(degree[i]);
+    }
+  });
+  return degree.empty() ? 0.0 : sum / static_cast<double>(degree.size());
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,33 @@
+// Fixture: near-miss twin of fp_reduction_order_bad — the sanctioned
+// shape. Per-chunk partials are combined strictly in chunk order by
+// ParallelReduce, so the float result is bit-identical at any thread
+// count; the outer += in the *combine* lambda runs serially and must not
+// fire.
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace gnnpart {
+
+double MeanDegreeGood(const std::vector<int>& degree) {
+  double checked = 0.0;
+  double sum = ParallelReduce<double>(
+      degree.size(), 4096, 0.0,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        double local = 0.0;  // chunk-local: rounding fixed per chunk
+        for (size_t i = begin; i < end; ++i) {
+          local += static_cast<double>(degree[i]);
+        }
+        return local;
+      },
+      [&](double acc, double part) {
+        checked += part;  // serial combine on the calling thread: sanctioned
+        return acc + part;
+      });
+  (void)checked;
+  return degree.empty() ? 0.0 : sum / static_cast<double>(degree.size());
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,13 @@
+// Fixture: trips net-simulated-time when analyzed under a virtual
+// src/net/ path — even the sanctioned stopwatch is an ambient clock there,
+// because the event clock is part of the subsystem's result.
+#include "common/timer.h"
+
+namespace gnnpart::net {
+
+double BusySeconds() {
+  WallTimer timer;
+  return timer.Seconds();
+}
+
+}  // namespace gnnpart::net

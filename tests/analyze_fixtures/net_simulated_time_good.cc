@@ -1,0 +1,19 @@
+// Fixture: near-miss twin of net_simulated_time_bad — a src/net/ file
+// that consumes only simulated time. Mentions of WallTimer in comments
+// and strings must not fire.
+namespace gnnpart::net {
+
+// WallTimer is banned here; the event clock below is simulated.
+struct EventClock {
+  double now_s = 0.0;
+  void AdvanceTo(double t_s) {
+    if (t_s > now_s) now_s = t_s;  // "WallTimer" the string, not the type
+  }
+};
+
+double Finish(EventClock* clock, double t_s) {
+  clock->AdvanceTo(t_s);
+  return clock->now_s;
+}
+
+}  // namespace gnnpart::net

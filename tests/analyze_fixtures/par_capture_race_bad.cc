@@ -1,0 +1,27 @@
+// Fixture: trips par-capture-race — the PR-1 thread-pool bug shape. A
+// counter and a flag captured by reference and written from concurrent
+// chunks, plus a write into an outer vector indexed by a value that is
+// *not* derived from the chunk parameters.
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace gnnpart {
+
+size_t CountPositive(const std::vector<int>& v, std::vector<int>& marks) {
+  size_t hits = 0;
+  bool saw_negative = false;
+  size_t slot = 0;
+  ParallelFor(v.size(), 1024, [&](size_t begin, size_t end, size_t chunk) {
+    (void)chunk;
+    for (size_t i = begin; i < end; ++i) {
+      if (v[i] > 0) ++hits;                    // racy read-modify-write
+      if (v[i] < 0) saw_negative = true;       // racy flag write
+      marks[slot] = 1;                         // index not chunk-derived
+    }
+  });
+  return hits + (saw_negative ? 1 : 0);
+}
+
+}  // namespace gnnpart

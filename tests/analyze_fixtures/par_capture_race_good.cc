@@ -1,0 +1,34 @@
+// Fixture: near-miss twin of par_capture_race_bad — every write pattern
+// here is the sanctioned deterministic idiom: per-chunk slots indexed by
+// the chunk parameter, lambda-local accumulators, writes through a
+// reference alias of a chunk slot, disjoint element writes indexed by the
+// induction variable, and atomics.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace gnnpart {
+
+size_t CountPositiveGood(const std::vector<int>& v, std::vector<int>& out) {
+  const size_t chunks = NumChunks(v.size(), 1024);
+  std::vector<size_t> per_chunk(chunks, 0);
+  std::atomic<size_t> touched{0};
+  ParallelFor(v.size(), 1024, [&](size_t begin, size_t end, size_t chunk) {
+    size_t local = 0;  // lambda-local accumulator: private by construction
+    size_t& slot = per_chunk[chunk];
+    for (size_t i = begin; i < end; ++i) {
+      if (v[i] > 0) ++local;
+      out[i] = v[i] < 0 ? -v[i] : v[i];  // disjoint: i ranges [begin, end)
+    }
+    slot = local;          // reference alias of this chunk's slot
+    per_chunk[chunk] += 0;  // chunk-indexed compound write
+    touched += end - begin;  // atomic
+  });
+  size_t total = 0;
+  for (size_t c = 0; c < chunks; ++c) total += per_chunk[c];
+  return total + touched.load() * 0;
+}
+
+}  // namespace gnnpart

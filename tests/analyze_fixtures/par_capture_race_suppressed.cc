@@ -1,0 +1,23 @@
+// Fixture: the racy counter from the bad twin, suppressed with a written
+// justification — must not fire.
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace gnnpart {
+
+size_t CountApprox(const std::vector<int>& v) {
+  size_t hits = 0;
+  ParallelFor(v.size(), 1024, [&](size_t begin, size_t end, size_t chunk) {
+    (void)chunk;
+    for (size_t i = begin; i < end; ++i) {
+      // lint:allow(par-capture-race) — debug-only statistic, read after
+      // the pool quiesces and excluded from all result manifests.
+      if (v[i] > 0) ++hits;
+    }
+  });
+  return hits;
+}
+
+}  // namespace gnnpart

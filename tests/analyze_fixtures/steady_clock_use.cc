@@ -1,0 +1,10 @@
+// Fixture: a steady_clock read. Analyzed twice by the test — under the
+// virtual path src/common/timer.h it must pass (the one sanctioned
+// stopwatch), under any other src/ path it must trip banned-clock.
+namespace gnnpart {
+
+long TickNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace gnnpart

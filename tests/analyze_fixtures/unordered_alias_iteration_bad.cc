@@ -1,0 +1,27 @@
+// Fixture: the pinned §3 false negative of the old awk lint. The loop
+// never names an unordered type — it ranges over `auto&` aliases — so a
+// declaration-line grep can not connect it to the container. The
+// scope-aware analyzer must: directly through one alias, and through an
+// alias-of-an-alias.
+#include <unordered_map>
+
+namespace gnnpart {
+
+long SumThroughAlias() {
+  std::unordered_map<int, long> some_unordered_map;
+  some_unordered_map[3] = 30;
+  auto& alias = some_unordered_map;
+  long total = 0;
+  for (const auto& [k, w] : alias) {
+    (void)k;
+    total += w;
+  }
+  auto& alias_of_alias = alias;
+  for (const auto& [k, w] : alias_of_alias) {
+    (void)k;
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,23 @@
+// Fixture: near-miss twin of unordered_alias_iteration_bad. Aliases of an
+// *ordered* map and of a vector iterate freely; the alias chase must
+// resolve the target's real type, not fire on `auto&` alone.
+#include <map>
+#include <vector>
+
+namespace gnnpart {
+
+long SumThroughOrderedAlias() {
+  std::map<int, long> ordered;
+  std::vector<long> dense;
+  auto& map_alias = ordered;
+  auto& vec_alias = dense;
+  long total = 0;
+  for (const auto& [k, w] : map_alias) {
+    (void)k;
+    total += w;
+  }
+  for (long w : vec_alias) total += w;
+  return total;
+}
+
+}  // namespace gnnpart

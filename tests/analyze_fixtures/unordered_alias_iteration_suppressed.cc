@@ -1,0 +1,20 @@
+// Fixture: the alias loop from the bad twin, justified by the standard
+// suppression comment — must not fire.
+#include <unordered_map>
+
+namespace gnnpart {
+
+long SumThroughAliasJustified() {
+  std::unordered_map<int, long> some_unordered_map;
+  auto& alias = some_unordered_map;
+  long total = 0;
+  // lint:order-insensitive — max over the values; the winner is unique by
+  // construction, so visit order cannot change the result.
+  for (const auto& [k, w] : alias) {
+    (void)k;
+    if (w > total) total = w;
+  }
+  return total;
+}
+
+}  // namespace gnnpart

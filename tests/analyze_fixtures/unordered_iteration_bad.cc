@@ -1,0 +1,18 @@
+// Fixture: trips unordered-iteration — a range-for directly over an
+// unordered container with no order-insensitivity justification.
+#include <unordered_map>
+
+namespace gnnpart {
+
+long SumValues() {
+  std::unordered_map<int, long> weight;
+  weight[1] = 10;
+  long total = 0;
+  for (const auto& [k, w] : weight) {
+    (void)k;
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,30 @@
+// Fixture: near-miss twin of unordered_iteration_bad. An ordered map, a
+// vector, and an unordered loop carrying its written justification — none
+// may fire.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace gnnpart {
+
+long SumValuesGood() {
+  std::map<int, long> ordered;
+  std::vector<long> dense;
+  std::unordered_map<int, long> counts;
+  long total = 0;
+  for (const auto& [k, w] : ordered) {  // ordered: bucket order is defined
+    (void)k;
+    total += w;
+  }
+  for (long w : dense) total += w;
+  // lint:order-insensitive — addition over a commutative accumulator only;
+  // no result bit depends on the visit order here because the final total
+  // is re-sorted before use.
+  for (const auto& [k, w] : counts) {
+    (void)k;
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,13 @@
+// Fixture: trips wall-clock-quarantine twice — a <chrono> include outside
+// common/timer.h and a /proc/self read outside src/obs/.
+#include <chrono>
+#include <fstream>
+
+namespace gnnpart {
+
+long SneakyTelemetry() {
+  std::ifstream statm("/proc/self/statm");
+  return std::chrono::milliseconds(1).count();
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,19 @@
+// Fixture: near-miss twin of wall_clock_quarantine_bad. The sanctioned
+// WallTimer is used instead of raw <chrono>; the deliberate /proc read
+// carries its lint:wall-clock-ok justification; a string mentioning
+// chrono is just a string.
+#include "common/timer.h"
+
+namespace gnnpart {
+
+double TimedPhase() {
+  WallTimer timer;
+  const char* note = "std::chrono stays quarantined in common/timer.h";
+  (void)note;
+  // lint:wall-clock-ok — one-shot startup probe, never result-bearing.
+  const char* probe = "/proc/self/cmdline";
+  (void)probe;
+  return timer.Seconds();
+}
+
+}  // namespace gnnpart

@@ -1,0 +1,263 @@
+// Tests for gnnpart-analyze (DESIGN.md §13): every check must trip on its
+// bad fixture *by name*, pass its near-miss good twin, and honor the
+// suppression-comment variants — mirroring the validators'
+// corruption-test idiom (break one thing, expect the named finding).
+//
+// Fixtures live in tests/analyze_fixtures/ and are analyzed under
+// *virtual* paths, because path rules (src/ vs bench/ vs src/net/) are
+// part of each check's contract.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "gtest/gtest.h"
+
+namespace gnnpart::analyze {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(GNNPART_ANALYZE_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+AnalyzeConfig TestConfig() {
+  AnalyzeConfig config;
+  config.documented_flags = {"--threads", "--metrics-out", "--trace-out"};
+  config.readme_loaded = true;
+  return config;
+}
+
+std::vector<Finding> Analyze(const std::string& fixture,
+                             const std::string& virtual_path) {
+  return AnalyzeSource(virtual_path, ReadFixture(fixture), TestConfig());
+}
+
+int CountCheck(const std::vector<Finding>& findings,
+               const std::string& check) {
+  int n = 0;
+  for (const Finding& f : findings) n += f.check == check;
+  return n;
+}
+
+std::string Describe(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += "  " + f.file + ":" + std::to_string(f.line) + " [" + f.check +
+           "] " + f.message + "\n";
+  }
+  return out;
+}
+
+// --- bad fixtures trip their check by name --------------------------------
+
+struct BadCase {
+  const char* fixture;
+  const char* virtual_path;
+  const char* check;
+  int min_findings;
+};
+
+TEST(AnalyzeBadFixtures, TripByCheckName) {
+  const BadCase kCases[] = {
+      {"banned_randomness_bad.cc", "src/gen/fixture.cc", "banned-randomness",
+       3},
+      {"banned_clock_bad.cc", "src/metrics/fixture.cc", "banned-clock", 3},
+      {"unordered_iteration_bad.cc", "src/partition/fixture.cc",
+       "unordered-iteration", 1},
+      {"unordered_alias_iteration_bad.cc", "src/partition/fixture.cc",
+       "unordered-alias-iteration", 2},
+      {"wall_clock_quarantine_bad.cc", "src/harness/fixture.cc",
+       "wall-clock-quarantine", 2},
+      {"net_simulated_time_bad.cc", "src/net/fixture.cc",
+       "net-simulated-time", 1},
+      {"flag_doc_drift_bad.cc", "src/serving/fixture.cc", "flag-doc-drift",
+       1},
+      {"bench_default_context_bad.cc", "bench/bench_fixture.cc",
+       "bench-default-context", 1},
+      {"par_capture_race_bad.cc", "src/sampling/fixture.cc",
+       "par-capture-race", 3},
+      {"fp_reduction_order_bad.cc", "src/metrics/fixture.cc",
+       "fp-reduction-order", 1},
+  };
+  for (const BadCase& c : kCases) {
+    SCOPED_TRACE(c.fixture);
+    std::vector<Finding> findings = Analyze(c.fixture, c.virtual_path);
+    EXPECT_GE(CountCheck(findings, c.check), c.min_findings)
+        << "expected [" << c.check << "]; got:\n" << Describe(findings);
+  }
+}
+
+TEST(AnalyzeBadFixtures, AliasLoopIsAliasNotDirect) {
+  // The pinned §3 regression: `auto& alias = some_unordered_map;` plus a
+  // range-for over the alias. The old awk lint missed it entirely; the
+  // analyzer must attribute it to the *alias* check, proving the finding
+  // came from scope-aware type chasing and not the declaration-line grep.
+  std::vector<Finding> findings = Analyze("unordered_alias_iteration_bad.cc",
+                                          "src/partition/fixture.cc");
+  EXPECT_GE(CountCheck(findings, "unordered-alias-iteration"), 2)
+      << Describe(findings);
+  EXPECT_EQ(CountCheck(findings, "unordered-iteration"), 0)
+      << Describe(findings);
+}
+
+TEST(AnalyzeBadFixtures, FpReductionIsNotReportedAsRace) {
+  std::vector<Finding> findings =
+      Analyze("fp_reduction_order_bad.cc", "src/metrics/fixture.cc");
+  EXPECT_GE(CountCheck(findings, "fp-reduction-order"), 1);
+  EXPECT_EQ(CountCheck(findings, "par-capture-race"), 0)
+      << Describe(findings);
+}
+
+// --- good twins and suppressed variants stay clean ------------------------
+
+TEST(AnalyzeGoodFixtures, NearMissTwinsAreClean) {
+  const struct {
+    const char* fixture;
+    const char* virtual_path;
+  } kCases[] = {
+      {"banned_randomness_good.cc", "src/gen/fixture.cc"},
+      {"banned_randomness_suppressed.cc", "src/gen/fixture.cc"},
+      {"banned_clock_good.cc", "src/metrics/fixture.cc"},
+      {"unordered_iteration_good.cc", "src/partition/fixture.cc"},
+      {"unordered_alias_iteration_good.cc", "src/partition/fixture.cc"},
+      {"unordered_alias_iteration_suppressed.cc", "src/partition/fixture.cc"},
+      {"wall_clock_quarantine_good.cc", "src/harness/fixture.cc"},
+      {"net_simulated_time_good.cc", "src/net/fixture.cc"},
+      {"flag_doc_drift_good.cc", "src/serving/fixture.cc"},
+      {"bench_default_context_good.cc", "bench/bench_fixture.cc"},
+      {"bench_default_context_suppressed.cc", "bench/bench_fixture.cc"},
+      {"par_capture_race_good.cc", "src/sampling/fixture.cc"},
+      {"par_capture_race_suppressed.cc", "src/sampling/fixture.cc"},
+      {"fp_reduction_order_good.cc", "src/metrics/fixture.cc"},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.fixture);
+    std::vector<Finding> findings = Analyze(c.fixture, c.virtual_path);
+    EXPECT_TRUE(findings.empty()) << Describe(findings);
+  }
+}
+
+// --- path rules are part of the contract ----------------------------------
+
+TEST(AnalyzePathRules, SteadyClockOnlyInTimerHeader) {
+  EXPECT_EQ(CountCheck(Analyze("steady_clock_use.cc", "src/common/timer.h"),
+                       "banned-clock"),
+            0);
+  EXPECT_GE(CountCheck(Analyze("steady_clock_use.cc", "src/metrics/clock.cc"),
+                       "banned-clock"),
+            1);
+}
+
+TEST(AnalyzePathRules, WallTimerFineOutsideNet) {
+  // The same stopwatch-using file is a finding in src/net/ and clean in
+  // src/sim/ — the rule is about the subtree, not the construct.
+  EXPECT_GE(CountCheck(Analyze("net_simulated_time_bad.cc",
+                               "src/net/fixture.cc"),
+                       "net-simulated-time"),
+            1);
+  EXPECT_EQ(CountCheck(Analyze("net_simulated_time_bad.cc",
+                               "src/sim/fixture.cc"),
+                       "net-simulated-time"),
+            0);
+}
+
+TEST(AnalyzePathRules, ProcSelfAllowedUnderObs) {
+  std::vector<Finding> findings =
+      Analyze("wall_clock_quarantine_bad.cc", "src/obs/fixture.cc");
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(f.message.find("/proc/self/") == std::string::npos)
+        << Describe(findings);
+  }
+}
+
+TEST(AnalyzePathRules, RandomnessRulesDoNotApplyOutsideSrc) {
+  // tests/ may fabricate whatever they need; only src/ carries the
+  // randomness and clock bans. flag-doc-drift still applies everywhere.
+  std::vector<Finding> findings =
+      Analyze("banned_randomness_bad.cc", "tests/fixture.cc");
+  EXPECT_EQ(CountCheck(findings, "banned-randomness"), 0)
+      << Describe(findings);
+}
+
+TEST(AnalyzePathRules, FlagDriftCaughtInAnyScannedFile) {
+  // The §6 drift hole: the old lint hardcoded two files; the analyzer
+  // must catch an undocumented flag literal wherever it appears.
+  for (const char* path :
+       {"src/serving/cli.cc", "bench/bench_new.cc", "tools/new_tool.cc"}) {
+    SCOPED_TRACE(path);
+    EXPECT_GE(CountCheck(Analyze("flag_doc_drift_bad.cc", path),
+                         "flag-doc-drift"),
+              1);
+  }
+}
+
+// --- registry & output format ---------------------------------------------
+
+TEST(AnalyzeRegistry, NamesAreUniqueAndSevere) {
+  std::set<std::string> names;
+  for (const CheckInfo& c : Registry()) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate " << c.name;
+    EXPECT_STREQ(c.severity, "error");
+    EXPECT_NE(std::string(c.description), "");
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(AnalyzeOutput, JsonFormatIsStableAndEscaped) {
+  std::vector<Finding> findings = {
+      {"par-capture-race", "error", "src/a.cc", 12, 3,
+       "write to 'x' via \"alias\"\n"},
+  };
+  const std::string json = FindingsToJson(findings);
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"check\":\"par-capture-race\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"src/a.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":12"), std::string::npos);
+  EXPECT_NE(json.find("\\\"alias\\\"\\n"), std::string::npos);
+  EXPECT_EQ(FindingsToJson({}).find("\"findings\":[]"),
+            std::string("{\"version\":1,").size());
+}
+
+TEST(AnalyzeOutput, DocumentedFlagsFromReadmeText) {
+  const std::set<std::string> flags = DocumentedFlagsFromText(
+      "Run with `--threads N` and `--metrics-out out.json`; the\n"
+      "--split-factor flag shards the stream. A --- rule is not a flag.\n");
+  EXPECT_EQ(flags.count("--threads"), 1u);
+  EXPECT_EQ(flags.count("--metrics-out"), 1u);
+  EXPECT_EQ(flags.count("--split-factor"), 1u);
+  EXPECT_EQ(flags.count("---"), 0u);
+}
+
+// --- the awk lint's blind spots, as direct source probes ------------------
+
+TEST(AnalyzeLexer, CommentsAndStringsNeverTrip) {
+  // The grep lint §1/§2 fired on comments and strings unless hand-filtered;
+  // the lexer makes that impossible by construction.
+  const std::string source =
+      "// std::mt19937 gen; rand(); system_clock reads\n"
+      "/* time(nullptr); steady_clock; */\n"
+      "const char* s = \"std::mt19937 rand() system_clock\";\n";
+  EXPECT_TRUE(AnalyzeSource("src/x/f.cc", source, TestConfig()).empty());
+}
+
+TEST(AnalyzeLexer, RawStringsHandled) {
+  const std::string source =
+      "const char* json = R\"({\"clock\":\"system_clock\"})\";\n"
+      "std::mt19937 gen;\n";
+  std::vector<Finding> findings =
+      AnalyzeSource("src/x/f.cc", source, TestConfig());
+  ASSERT_EQ(findings.size(), 1u) << Describe(findings);
+  EXPECT_EQ(findings[0].check, "banned-randomness");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+}  // namespace
+}  // namespace gnnpart::analyze

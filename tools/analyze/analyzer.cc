@@ -1,0 +1,181 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace gnnpart::analyze {
+
+void CheckContext::Report(int line, int col, std::string message) const {
+  findings->push_back(
+      {check->name, check->severity, path, line, col, std::move(message)});
+}
+
+bool CheckContext::Suppressed(int line) const {
+  const std::string named = std::string("lint:allow(") + check->name + ")";
+  for (const Comment& c : lex.comments) {
+    if (c.end_line < line - 5 || c.line > line) continue;
+    if (c.text.find(named) != std::string::npos) return true;
+    if (check->legacy_tag && c.text.find(check->legacy_tag) !=
+                                 std::string::npos) {
+      // A bare `lint:allow` legacy tag must not be satisfied by some other
+      // check's `lint:allow(other-name)` on the same line.
+      if (std::string(check->legacy_tag) == "lint:allow") {
+        size_t pos = 0;
+        bool bare = false;
+        while ((pos = c.text.find("lint:allow", pos)) != std::string::npos) {
+          size_t after = pos + 10;
+          if (after >= c.text.size() || c.text[after] != '(') {
+            bare = true;
+            break;
+          }
+          pos = after;
+        }
+        if (!bare) continue;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace
+
+bool PathHasDir(const std::string& path, const std::string& dir) {
+  std::vector<std::string> parts = SplitPath(path);
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i] == dir) return true;
+  }
+  return false;
+}
+
+bool PathHasDirPair(const std::string& path, const std::string& outer,
+                    const std::string& inner) {
+  std::vector<std::string> parts = SplitPath(path);
+  for (size_t i = 0; i + 2 < parts.size(); ++i) {
+    if (parts[i] == outer && parts[i + 1] == inner) return true;
+  }
+  return false;
+}
+
+bool PathEndsWith(const std::string& path, const std::string& suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  return path.size() == suffix.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+std::string PathBasename(const std::string& path) {
+  size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& source,
+                                   const AnalyzeConfig& config) {
+  LexedFile lex = Lex(source);
+  ScopeIndex scopes(lex.tokens);
+  std::vector<Finding> findings;
+  for (const CheckInfo& check : Registry()) {
+    if (!config.only_checks.empty() && !config.only_checks.count(check.name)) {
+      continue;
+    }
+    CheckContext ctx{path, lex, scopes, config, &check, &findings};
+    check.fn(ctx);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.check < b.check;
+            });
+  return findings;
+}
+
+std::set<std::string> DocumentedFlagsFromText(const std::string& text) {
+  std::set<std::string> flags;
+  for (size_t i = 0; i + 2 < text.size(); ++i) {
+    if (text[i] != '-' || text[i + 1] != '-') continue;
+    if (i > 0 && text[i - 1] == '-') continue;  // inside a longer dash run
+    size_t j = i + 2;
+    if (j >= text.size() || !std::islower(static_cast<unsigned char>(text[j]))) {
+      continue;
+    }
+    while (j < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[j])) ||
+            text[j] == '-')) {
+      ++j;
+    }
+    flags.insert(text.substr(i, j - i));
+    i = j - 1;
+  }
+  return flags;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::string out = "{\"version\":1,\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) out += ',';
+    out += "{\"check\":";
+    AppendJsonString(&out, f.check);
+    out += ",\"severity\":";
+    AppendJsonString(&out, f.severity);
+    out += ",\"file\":";
+    AppendJsonString(&out, f.file);
+    out += ",\"line\":" + std::to_string(f.line);
+    out += ",\"col\":" + std::to_string(f.col);
+    out += ",\"message\":";
+    AppendJsonString(&out, f.message);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace gnnpart::analyze

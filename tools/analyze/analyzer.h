@@ -1,0 +1,95 @@
+#ifndef GNNPART_TOOLS_ANALYZE_ANALYZER_H_
+#define GNNPART_TOOLS_ANALYZE_ANALYZER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+#include "analyze/scope.h"
+
+namespace gnnpart::analyze {
+
+/// One machine-readable finding. `check` is the stable registry name the
+/// fixture corpus and suppression comments key on; never rename one without
+/// updating both.
+struct Finding {
+  std::string check;
+  std::string severity;
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+struct AnalyzeConfig {
+  /// Flags documented in README.md (with leading --). flag-doc-drift
+  /// compares every "--flag" string literal in any scanned file against
+  /// this set — the parse surface is exactly the quoted literals, in
+  /// whatever file a parser lives in.
+  std::set<std::string> documented_flags;
+  bool readme_loaded = false;  // flag-doc-drift is skipped when false
+  /// Empty = run every registered check; otherwise only these names.
+  std::set<std::string> only_checks;
+};
+
+struct CheckContext;
+
+using CheckFn = void (*)(CheckContext& ctx);
+
+struct CheckInfo {
+  const char* name;
+  const char* severity;  // "error" — every check gates CI
+  const char* description;
+  /// Pre-analyzer suppression comment honored for compatibility
+  /// (lint:order-insensitive, lint:wall-clock-ok, ...); may be null.
+  const char* legacy_tag;
+  CheckFn fn;
+};
+
+/// All registered checks, in reporting order.
+const std::vector<CheckInfo>& Registry();
+
+/// Everything a check needs: the token stream, the scope table, the path
+/// the *rules* see (tests pass virtual paths like "src/net/x.cc"), and the
+/// findings sink.
+struct CheckContext {
+  std::string path;
+  const LexedFile& lex;
+  const ScopeIndex& scopes;
+  const AnalyzeConfig& config;
+  const CheckInfo* check = nullptr;
+  std::vector<Finding>* findings = nullptr;
+
+  void Report(int line, int col, std::string message) const;
+  /// True if a `lint:allow(<check>)` comment — or the check's legacy tag —
+  /// covers `line` (same line or up to five lines above).
+  bool Suppressed(int line) const;
+};
+
+/// Path predicates shared by the checks. They match path *components*, so
+/// both repo-relative ("src/net/flowsim.cc") and absolute paths work.
+bool PathHasDir(const std::string& path, const std::string& dir);
+bool PathHasDirPair(const std::string& path, const std::string& outer,
+                    const std::string& inner);
+bool PathEndsWith(const std::string& path, const std::string& suffix);
+std::string PathBasename(const std::string& path);
+
+/// Analyze one translation unit. `path` is the rule path (decides which
+/// checks apply); `source` is the file content. Findings come back sorted
+/// by (line, col, check).
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& source,
+                                   const AnalyzeConfig& config);
+
+/// Extract every --flag occurrence from documentation text (README.md).
+std::set<std::string> DocumentedFlagsFromText(const std::string& text);
+
+/// Serialize findings as the stable JSON artifact format:
+/// {"version":1,"findings":[{"check":...,"severity":...,"file":...,
+///  "line":N,"col":N,"message":...}, ...]}
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+}  // namespace gnnpart::analyze
+
+#endif  // GNNPART_TOOLS_ANALYZE_ANALYZER_H_

@@ -1,0 +1,784 @@
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/lexer.h"
+#include "analyze/scope.h"
+
+// The check implementations. Each enforces one clause of the determinism
+// contract (DESIGN.md §6/§8, analyzer architecture in §13). Checks see a
+// lexed token stream plus the scope table — never raw bytes — so comments,
+// string contents, and preprocessor lines can no longer fool a rule, and
+// scope-aware rules (alias chasing, lambda-capture classification) become
+// expressible at all.
+
+namespace gnnpart::analyze {
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+// Collapse whitespace out of a preprocessor line so `# include <random>`
+// and `#include <random>` compare equal.
+std::string Squash(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c != ' ' && c != '\t') out += c;
+  }
+  return out;
+}
+
+bool IsInclude(const Token& t, const char* header) {
+  if (t.kind != TokKind::kPreproc) return false;
+  std::string squashed = Squash(t.text);
+  if (squashed.rfind("#include", 0) != 0) return false;
+  return squashed.find(header) != std::string::npos;
+}
+
+// True when the identifier at `i` is qualified as std::<ident> (or written
+// unqualified is fine too when require_std is false).
+bool IsStdQualified(const std::vector<Token>& T, size_t i) {
+  return i >= 2 && IsPunct(T[i - 1], "::") && IsIdent(T[i - 2], "std");
+}
+
+// True when `ident (` at `i` is a function *declaration*, not a call: the
+// token directly before it is then a type name (`int rand() {`). The only
+// identifiers that legally precede a call expression are statement/operator
+// keywords, so anything else identifier-shaped means a declarator.
+bool IsDeclaredNotCalled(const std::vector<Token>& T, size_t i) {
+  if (i == 0) return false;
+  const Token& p = T[i - 1];
+  if (p.kind != TokKind::kIdent) return false;
+  static const std::set<std::string> kExprKeywords = {
+      "return", "throw", "case", "else", "do", "co_return",
+      "co_yield", "co_await", "and", "or", "not", "xor",
+  };
+  return !kExprKeywords.count(p.text);
+}
+
+// Skip a balanced <...> starting at T[j] == "<"; returns the index just
+// past the closing ">" or j on failure.
+size_t SkipTemplateArgs(const std::vector<Token>& T, size_t j) {
+  int depth = 0;
+  size_t k = j;
+  while (k < T.size()) {
+    if (T[k].kind == TokKind::kPunct) {
+      if (T[k].text == "<") ++depth;
+      else if (T[k].text == ">") --depth;
+      else if (T[k].text == ">>") depth -= 2;
+      else if (T[k].text == ";" || T[k].text == "{") return j;
+    }
+    ++k;
+    if (depth <= 0) break;
+  }
+  return depth <= 0 ? k : j;
+}
+
+// Index just past the bracket that matches T[open] (same-kind nesting).
+size_t MatchForward(const std::vector<Token>& T, size_t open,
+                    const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (size_t k = open; k < T.size(); ++k) {
+    if (IsPunct(T[k], open_text)) ++depth;
+    else if (IsPunct(T[k], close_text)) {
+      if (--depth == 0) return k + 1;
+    }
+  }
+  return T.size();
+}
+
+// Index of the "[" matching T[close] == "]" walking backward.
+size_t MatchBackward(const std::vector<Token>& T, size_t close) {
+  int depth = 0;
+  for (size_t k = close + 1; k-- > 0;) {
+    if (IsPunct(T[k], "]")) ++depth;
+    else if (IsPunct(T[k], "[")) {
+      if (--depth == 0) return k;
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// banned-randomness: src/ must draw all randomness from common/rng.h.
+// ---------------------------------------------------------------------------
+
+void CheckBannedRandomness(CheckContext& ctx) {
+  if (!PathHasDir(ctx.path, "src")) return;
+  const auto& T = ctx.lex.tokens;
+  static const std::set<std::string> kEngines = {
+      "mt19937",
+      "mt19937_64",
+      "minstd_rand",
+      "minstd_rand0",
+      "random_device",
+      "uniform_int_distribution",
+      "uniform_real_distribution",
+      "bernoulli_distribution",
+      "shuffle",
+  };
+  for (size_t i = 0; i < T.size(); ++i) {
+    if (IsInclude(T[i], "<random>")) {
+      if (!ctx.Suppressed(T[i].line)) {
+        ctx.Report(T[i].line, T[i].col,
+                   "<random> must not be included under src/; use "
+                   "common/rng.h");
+      }
+      continue;
+    }
+    if (T[i].kind != TokKind::kIdent) continue;
+    if ((T[i].text == "rand" || T[i].text == "srand") && i + 1 < T.size() &&
+        IsPunct(T[i + 1], "(")) {
+      // Member calls (obj.rand()) are someone else's rand; std::rand and
+      // bare rand are libc's.
+      if (i > 0 && (IsPunct(T[i - 1], ".") || IsPunct(T[i - 1], "->"))) {
+        continue;
+      }
+      if (i > 0 && IsPunct(T[i - 1], "::") && !IsStdQualified(T, i)) continue;
+      if (IsDeclaredNotCalled(T, i)) continue;
+      if (ctx.Suppressed(T[i].line)) continue;
+      ctx.Report(T[i].line, T[i].col,
+                 "C randomness (" + T[i].text +
+                     ") is banned; use common/rng.h");
+      continue;
+    }
+    if (kEngines.count(T[i].text) && IsStdQualified(T, i)) {
+      if (ctx.Suppressed(T[i].line)) continue;
+      ctx.Report(T[i].line, T[i].col,
+                 "std::" + T[i].text +
+                     " is banned; use common/rng.h's seeded streams");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// banned-clock: no wall-clock reads under src/; steady_clock lives only in
+// common/timer.h.
+// ---------------------------------------------------------------------------
+
+void CheckBannedClock(CheckContext& ctx) {
+  if (!PathHasDir(ctx.path, "src")) return;
+  const bool in_timer_h = PathEndsWith(ctx.path, "common/timer.h");
+  const auto& T = ctx.lex.tokens;
+  static const std::set<std::string> kCalls = {"time", "gettimeofday",
+                                               "clock_gettime", "clock"};
+  for (size_t i = 0; i < T.size(); ++i) {
+    if (T[i].kind != TokKind::kIdent) continue;
+    const std::string& id = T[i].text;
+    if (kCalls.count(id) && i + 1 < T.size() && IsPunct(T[i + 1], "(")) {
+      if (i > 0 && (IsPunct(T[i - 1], ".") || IsPunct(T[i - 1], "->"))) {
+        continue;
+      }
+      if (i > 0 && IsPunct(T[i - 1], "::") && !IsStdQualified(T, i)) continue;
+      if (IsDeclaredNotCalled(T, i)) continue;
+      // The libc signatures take (NULL|nullptr|nothing) or an out-param;
+      // matching the call shape keeps locally-named helpers out.
+      size_t close = MatchForward(T, i + 1, "(", ")");
+      if (close > i + 4 && !(id == "gettimeofday" || id == "clock_gettime")) {
+        // time(&t) style single-arg call still counts; longer argument
+        // lists mean a different function.
+        if (close - (i + 1) > 4) continue;
+      }
+      if (ctx.Suppressed(T[i].line)) continue;
+      ctx.Report(T[i].line, T[i].col,
+                 "wall-clock read (" + id + ") is banned under src/");
+      continue;
+    }
+    if (id == "system_clock" || id == "high_resolution_clock") {
+      if (ctx.Suppressed(T[i].line)) continue;
+      ctx.Report(T[i].line, T[i].col,
+                 "std::chrono::" + id +
+                     " is banned (non-monotonic / non-deterministic)");
+      continue;
+    }
+    if (id == "steady_clock" && !in_timer_h) {
+      if (ctx.Suppressed(T[i].line)) continue;
+      ctx.Report(T[i].line, T[i].col,
+                 "steady_clock is allowed only in common/timer.h "
+                 "(WallTimer)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration / unordered-alias-iteration: range-for over a
+// hash-ordered container needs a written order-insensitivity argument.
+// ---------------------------------------------------------------------------
+
+// 0 = not unordered, 1 = declared unordered, 2 = unordered through an
+// auto/reference alias chain.
+int UnorderedKind(const ScopeIndex& scopes, const Decl* d, int depth) {
+  if (!d || depth > 8) return 0;
+  if (ContainsTypeWord(d->type, "unordered_map") ||
+      ContainsTypeWord(d->type, "unordered_set") ||
+      ContainsTypeWord(d->type, "unordered_multimap") ||
+      ContainsTypeWord(d->type, "unordered_multiset")) {
+    return depth == 0 ? 1 : 2;
+  }
+  if ((ContainsTypeWord(d->type, "auto") || d->is_ref) &&
+      !d->init_root.empty() && d->init_root != d->name) {
+    const Decl* target = scopes.Resolve(d->init_root, d->tok);
+    if (target == d) return 0;
+    return UnorderedKind(scopes, target, depth + 1) ? 2 : 0;
+  }
+  return 0;
+}
+
+void CheckUnorderedIteration(CheckContext& ctx, bool alias_mode) {
+  if (!PathHasDir(ctx.path, "src")) return;
+  const auto& T = ctx.lex.tokens;
+  for (size_t i = 0; i + 1 < T.size(); ++i) {
+    if (!IsIdent(T[i], "for") || !IsPunct(T[i + 1], "(")) continue;
+    size_t close = MatchForward(T, i + 1, "(", ")");
+    if (close == T.size()) continue;
+    // Range-for has a `:` at paren depth 1 with no preceding depth-1 `;`.
+    size_t colon = 0;
+    int depth = 0;
+    bool classic = false;
+    for (size_t k = i + 1; k + 1 < close; ++k) {
+      if (T[k].kind != TokKind::kPunct) continue;
+      if (T[k].text == "(" || T[k].text == "[" || T[k].text == "{") ++depth;
+      else if (T[k].text == ")" || T[k].text == "]" || T[k].text == "}")
+        --depth;
+      else if (T[k].text == ";" && depth == 1) {
+        classic = true;
+        break;
+      } else if (T[k].text == ":" && depth == 1 && colon == 0 && k > i + 1) {
+        colon = k;
+      }
+    }
+    if (classic || colon == 0) continue;
+    // Root identifier of the ranged expression.
+    const Decl* root = nullptr;
+    for (size_t k = colon + 1; k + 1 < close; ++k) {
+      if (T[k].kind == TokKind::kIdent) {
+        root = ctx.scopes.Resolve(T[k].text, i);
+        break;
+      }
+    }
+    int kind = UnorderedKind(ctx.scopes, root, 0);
+    if (kind == 0) continue;
+    if (alias_mode != (kind == 2)) continue;
+    if (ctx.Suppressed(T[i].line)) continue;
+    std::string how =
+        kind == 2 ? "through an auto/reference alias of an unordered "
+                    "container (declared line " +
+                        std::to_string(root->line) + ")"
+                  : "over an unordered container";
+    ctx.Report(T[i].line, T[i].col,
+               "range-for " + how +
+                   ": bucket order is implementation-defined; justify with "
+                   "a lint:order-insensitive comment or iterate a sorted "
+                   "view");
+  }
+}
+
+void CheckUnorderedDirect(CheckContext& ctx) {
+  CheckUnorderedIteration(ctx, /*alias_mode=*/false);
+}
+void CheckUnorderedAlias(CheckContext& ctx) {
+  CheckUnorderedIteration(ctx, /*alias_mode=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock-quarantine: <chrono> only in common/timer.h; /proc/self/*
+// only under src/obs/. src/net/ is excluded here because its stricter
+// net-simulated-time check owns that subtree.
+// ---------------------------------------------------------------------------
+
+void CheckWallClockQuarantine(CheckContext& ctx) {
+  if (!PathHasDir(ctx.path, "src")) return;
+  if (PathHasDirPair(ctx.path, "src", "net")) return;
+  const bool in_timer_h = PathEndsWith(ctx.path, "common/timer.h");
+  const bool in_obs = PathHasDirPair(ctx.path, "src", "obs");
+  const auto& T = ctx.lex.tokens;
+  for (size_t i = 0; i < T.size(); ++i) {
+    if (!in_timer_h) {
+      if (IsInclude(T[i], "<chrono>")) {
+        if (!ctx.Suppressed(T[i].line)) {
+          ctx.Report(T[i].line, T[i].col,
+                     "<chrono> is quarantined to common/timer.h; time "
+                     "phases via WallTimer or obs::ScopedTimer");
+        }
+        continue;
+      }
+      if (IsIdent(T[i], "chrono") && IsStdQualified(T, i)) {
+        if (!ctx.Suppressed(T[i].line)) {
+          ctx.Report(T[i].line, T[i].col,
+                     "std::chrono is quarantined to common/timer.h; time "
+                     "phases via WallTimer or obs::ScopedTimer");
+        }
+        continue;
+      }
+    }
+    if (!in_obs && T[i].kind == TokKind::kString &&
+        T[i].text.find("/proc/self/") != std::string::npos) {
+      if (!ctx.Suppressed(T[i].line)) {
+        ctx.Report(T[i].line, T[i].col,
+                   "/proc/self/* reads are quarantined to src/obs/ (RSS "
+                   "telemetry)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// net-simulated-time: the discrete-event engine's clock is part of its
+// *result*; no ambient clock of any kind, not even the sanctioned
+// stopwatches.
+// ---------------------------------------------------------------------------
+
+void CheckNetSimulatedTime(CheckContext& ctx) {
+  if (!PathHasDirPair(ctx.path, "src", "net")) return;
+  const auto& T = ctx.lex.tokens;
+  static const std::set<std::string> kBanned = {"WallTimer", "ScopedTimer",
+                                                "steady_clock", "chrono"};
+  for (size_t i = 0; i < T.size(); ++i) {
+    if (IsInclude(T[i], "<chrono>")) {
+      if (!ctx.Suppressed(T[i].line)) {
+        ctx.Report(T[i].line, T[i].col,
+                   "src/net/ must use simulated time only (no <chrono>)");
+      }
+      continue;
+    }
+    if (T[i].kind == TokKind::kIdent && kBanned.count(T[i].text)) {
+      if (ctx.Suppressed(T[i].line)) continue;
+      ctx.Report(T[i].line, T[i].col,
+                 "src/net/ must use simulated time only (no " + T[i].text +
+                     ")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// flag-doc-drift: every "--flag" string literal in ANY scanned file must be
+// documented in README.md. The parse surface is exactly the quoted
+// literals, so a new flag parser in a new file cannot escape the gate by
+// not being on a hardcoded file list.
+// ---------------------------------------------------------------------------
+
+bool LooksLikeFlagLiteral(const std::string& s) {
+  if (s.size() < 3 || s[0] != '-' || s[1] != '-') return false;
+  if (s[2] < 'a' || s[2] > 'z') return false;
+  for (size_t i = 2; i < s.size(); ++i) {
+    if (!((s[i] >= 'a' && s[i] <= 'z') || s[i] == '-')) return false;
+  }
+  return true;
+}
+
+void CheckFlagDocDrift(CheckContext& ctx) {
+  if (!ctx.config.readme_loaded) return;
+  const auto& T = ctx.lex.tokens;
+  for (size_t i = 0; i < T.size(); ++i) {
+    if (T[i].kind != TokKind::kString) continue;
+    if (!LooksLikeFlagLiteral(T[i].text)) continue;
+    if (ctx.config.documented_flags.count(T[i].text)) continue;
+    if (ctx.Suppressed(T[i].line)) continue;
+    ctx.Report(T[i].line, T[i].col,
+               "flag \"" + T[i].text +
+                   "\" is parsed here but not documented in README.md");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// bench-default-context: every bench binary routes its flags through
+// bench::DefaultContext(argc, argv), so the documented shared flags behave
+// identically across all of them.
+// ---------------------------------------------------------------------------
+
+void CheckBenchDefaultContext(CheckContext& ctx) {
+  if (!PathHasDir(ctx.path, "bench")) return;
+  const std::string base = PathBasename(ctx.path);
+  if (base.rfind("bench_", 0) != 0) return;
+  if (base.size() < 3 || base.compare(base.size() - 3, 3, ".cc") != 0) return;
+  const auto& T = ctx.lex.tokens;
+  for (size_t i = 0; i + 4 < T.size(); ++i) {
+    if (IsIdent(T[i], "DefaultContext") && IsPunct(T[i + 1], "(") &&
+        IsIdent(T[i + 2], "argc") && IsPunct(T[i + 3], ",") &&
+        IsIdent(T[i + 4], "argv")) {
+      return;
+    }
+  }
+  for (const Comment& c : ctx.lex.comments) {
+    if (c.text.find("lint:bench-flags-ok") != std::string::npos) return;
+  }
+  ctx.Report(1, 1,
+             "bench binary does not route flags through "
+             "bench::DefaultContext(argc, argv); the shared "
+             "--threads/--metrics-out surface will drift "
+             "(lint:bench-flags-ok to override)");
+}
+
+// ---------------------------------------------------------------------------
+// par-capture-race / fp-reduction-order: writes through by-reference
+// captures inside parallel-loop lambdas.
+// ---------------------------------------------------------------------------
+
+struct Lambda {
+  size_t open_bracket = 0;  // index of the capture-list "["
+  size_t body_begin = 0;    // index of the body "{"
+  size_t body_end = 0;      // index of the matching "}"
+  char capture_default = 0;  // 0, '&', or '='
+  std::set<std::string> by_ref;
+  std::set<std::string> by_val;
+  std::set<std::string> params;
+};
+
+// Parse the lambda whose "[" sits at index `open`. Returns false when the
+// bracket turns out not to start a lambda.
+bool ParseLambda(const std::vector<Token>& T, size_t open, Lambda* out) {
+  out->open_bracket = open;
+  size_t rb = MatchForward(T, open, "[", "]");
+  if (rb == T.size()) return false;
+  --rb;  // index of the closing "]"
+  // Capture list entries in [open+1, rb), split on top-level commas.
+  size_t entry_start = open + 1;
+  int depth = 0;
+  for (size_t k = open + 1; k < rb; ++k) {
+    bool at_end = k + 1 == rb;
+    bool split = false;
+    if (T[k].kind == TokKind::kPunct) {
+      if (T[k].text == "(" || T[k].text == "[" || T[k].text == "{") ++depth;
+      else if (T[k].text == ")" || T[k].text == "]" || T[k].text == "}")
+        --depth;
+      else if (T[k].text == "," && depth == 0)
+        split = true;
+    }
+    if (split || at_end) {
+      size_t entry_end = split ? k : k + 1;  // [entry_start, entry_end)
+      if (entry_end > entry_start) {
+        const Token& first = T[entry_start];
+        if (IsPunct(first, "&")) {
+          if (entry_end == entry_start + 1) {
+            out->capture_default = '&';
+          } else if (T[entry_start + 1].kind == TokKind::kIdent) {
+            out->by_ref.insert(T[entry_start + 1].text);
+          }
+        } else if (IsPunct(first, "=")) {
+          out->capture_default = '=';
+        } else if (first.kind == TokKind::kIdent && first.text != "this") {
+          out->by_val.insert(first.text);
+        }
+      }
+      entry_start = k + 1;
+    }
+  }
+  size_t j = rb + 1;
+  if (j < T.size() && IsPunct(T[j], "(")) {
+    size_t pclose = MatchForward(T, j, "(", ")");
+    if (pclose == T.size()) return false;
+    --pclose;  // index of the closing ")"
+    // Parameter names: the last identifier of each top-level comma segment
+    // (before any default-argument `=`).
+    size_t seg_start = j + 1;
+    int pdepth = 0;
+    for (size_t k = j + 1; k < pclose; ++k) {
+      bool at_end = k + 1 == pclose;
+      bool split = false;
+      if (T[k].kind == TokKind::kPunct) {
+        if (T[k].text == "(" || T[k].text == "[" || T[k].text == "{" ||
+            T[k].text == "<") {
+          ++pdepth;
+        } else if (T[k].text == ")" || T[k].text == "]" || T[k].text == "}" ||
+                   T[k].text == ">") {
+          --pdepth;
+        } else if (T[k].text == ">>") {
+          pdepth -= 2;  // nested template close lexes as one token
+        } else if (T[k].text == "," && pdepth == 0) {
+          split = true;
+        }
+      }
+      if (split || at_end) {
+        size_t seg_end = split ? k : k + 1;
+        const std::string* last_ident = nullptr;
+        for (size_t m = seg_start; m < seg_end; ++m) {
+          if (IsPunct(T[m], "=")) break;
+          if (T[m].kind == TokKind::kIdent) last_ident = &T[m].text;
+        }
+        if (last_ident) out->params.insert(*last_ident);
+        seg_start = k + 1;
+      }
+    }
+    j = pclose + 1;
+  }
+  // Skip mutable/noexcept/trailing-return tokens up to the body brace.
+  while (j < T.size() && !IsPunct(T[j], "{")) {
+    if (IsPunct(T[j], ";") || IsPunct(T[j], ")")) return false;
+    ++j;
+  }
+  if (j >= T.size()) return false;
+  out->body_begin = j;
+  size_t bend = MatchForward(T, j, "{", "}");
+  if (bend == T.size()) return false;
+  out->body_end = bend - 1;
+  return true;
+}
+
+// The write target: root identifier plus the token ranges of every
+// subscript along the member/subscript chain (out[chunk].field -> root
+// "out", one index range holding "chunk").
+struct WriteTarget {
+  std::string root;
+  size_t root_tok = 0;
+  std::vector<std::pair<size_t, size_t>> index_ranges;  // [begin, end)
+  bool valid = false;
+};
+
+WriteTarget WalkTargetBackward(const std::vector<Token>& T, size_t op) {
+  WriteTarget t;
+  if (op == 0) return t;
+  size_t j = op - 1;
+  while (true) {
+    if (IsPunct(T[j], "]")) {
+      size_t b = MatchBackward(T, j);
+      if (b == 0 && !IsPunct(T[0], "[")) return t;
+      t.index_ranges.push_back({b + 1, j});
+      if (b == 0) return t;
+      j = b - 1;
+      continue;
+    }
+    if (T[j].kind == TokKind::kIdent) {
+      if (j >= 1 && (IsPunct(T[j - 1], ".") || IsPunct(T[j - 1], "->"))) {
+        if (j < 2) return t;
+        j -= 2;
+        continue;
+      }
+      if (j >= 1 && IsPunct(T[j - 1], "::")) return t;  // qualified: skip
+      t.root = T[j].text;
+      t.root_tok = j;
+      t.valid = true;
+      return t;
+    }
+    return t;  // parenthesized / dereferenced lvalue: conservatively skip
+  }
+}
+
+WriteTarget WalkTargetForward(const std::vector<Token>& T, size_t op,
+                              size_t limit) {
+  WriteTarget t;
+  size_t j = op + 1;
+  if (j >= limit || T[j].kind != TokKind::kIdent) return t;
+  t.root = T[j].text;
+  t.root_tok = j;
+  t.valid = true;
+  ++j;
+  while (j < limit) {
+    if (IsPunct(T[j], "[")) {
+      size_t e = MatchForward(T, j, "[", "]");
+      if (e == T.size()) break;
+      t.index_ranges.push_back({j + 1, e - 1});
+      j = e;
+      continue;
+    }
+    if ((IsPunct(T[j], ".") || IsPunct(T[j], "->")) && j + 1 < limit &&
+        T[j + 1].kind == TokKind::kIdent) {
+      j += 2;
+      continue;
+    }
+    break;
+  }
+  return t;
+}
+
+const std::set<std::string>& WriteOps() {
+  static const std::set<std::string> kOps = {"=",  "+=", "-=",  "*=",  "/=",
+                                             "%=", "&=", "|=",  "^=",  "<<=",
+                                             ">>="};
+  return kOps;
+}
+
+void AnalyzeParallelLambda(CheckContext& ctx, const Lambda& lam,
+                           const std::string& call_name, bool fp_mode) {
+  const auto& T = ctx.lex.tokens;
+  auto inside_lambda = [&](size_t tok) {
+    return tok > lam.open_bracket && tok < lam.body_end;
+  };
+  // True when an index expression is keyed by something lambda-local —
+  // the chunk parameters or a variable derived from them inside the body.
+  auto index_is_chunk_local = [&](const std::pair<size_t, size_t>& r) {
+    for (size_t m = r.first; m < r.second; ++m) {
+      if (T[m].kind != TokKind::kIdent) continue;
+      if (lam.params.count(T[m].text)) return true;
+      const Decl* d = ctx.scopes.Resolve(T[m].text, m);
+      if (d && inside_lambda(d->tok)) return true;
+    }
+    return false;
+  };
+
+  for (size_t i = lam.body_begin + 1; i < lam.body_end; ++i) {
+    if (T[i].kind != TokKind::kPunct) continue;
+    WriteTarget target;
+    std::string op = T[i].text;
+    if (WriteOps().count(op)) {
+      target = WalkTargetBackward(T, i);
+    } else if (op == "++" || op == "--") {
+      bool postfix =
+          i > 0 && (T[i - 1].kind == TokKind::kIdent || IsPunct(T[i - 1], "]"));
+      target = postfix ? WalkTargetBackward(T, i)
+                       : WalkTargetForward(T, i, lam.body_end);
+    } else {
+      continue;
+    }
+    if (!target.valid) continue;
+    if (lam.params.count(target.root)) continue;
+    const Decl* d = ctx.scopes.Resolve(target.root, target.root_tok);
+    if (!d) continue;  // unknown: conservatively quiet
+    if (inside_lambda(d->tok)) continue;
+    // Captured. By value (explicitly or via [=] default) is a private copy.
+    bool by_ref = false;
+    if (lam.by_val.count(target.root)) {
+      by_ref = false;
+    } else if (lam.by_ref.count(target.root)) {
+      by_ref = true;
+    } else if (lam.capture_default == '&') {
+      by_ref = true;
+    }
+    if (!by_ref) continue;
+    if (IsAtomicType(d->type)) continue;
+    bool chunk_indexed = false;
+    for (const auto& r : target.index_ranges) {
+      if (index_is_chunk_local(r)) {
+        chunk_indexed = true;
+        break;
+      }
+    }
+    if (chunk_indexed) continue;
+    const bool is_fp = ContainsTypeWord(d->type, "double") ||
+                       ContainsTypeWord(d->type, "float");
+    const bool fp_shaped = is_fp && (op == "+=" || op == "-=");
+    if (fp_shaped != fp_mode) continue;
+    if (ctx.Suppressed(T[i].line)) continue;
+    if (fp_mode) {
+      ctx.Report(T[i].line, T[i].col,
+                 "'" + op + "' on floating-point accumulator '" +
+                     target.root + "' (declared line " +
+                     std::to_string(d->line) + ") inside a " + call_name +
+                     " body: accumulation order — and therefore rounding — "
+                     "depends on thread scheduling; use ParallelReduce's "
+                     "chunk-ordered combine");
+    } else {
+      ctx.Report(T[i].line, T[i].col,
+                 "unsynchronized write to '" + target.root +
+                     "' (captured by reference, declared line " +
+                     std::to_string(d->line) + ") inside a " + call_name +
+                     " body: chunks run concurrently; store per-chunk "
+                     "state indexed by the chunk id or reduce in chunk "
+                     "order");
+    }
+  }
+}
+
+void CheckParallelLambdas(CheckContext& ctx, bool fp_mode) {
+  const auto& T = ctx.lex.tokens;
+  for (size_t i = 0; i < T.size(); ++i) {
+    if (T[i].kind != TokKind::kIdent) continue;
+    const std::string& nm = T[i].text;
+    bool is_reduce = nm == "ParallelReduce";
+    bool is_call = is_reduce || nm == "ParallelFor" || nm == "ShardMap";
+    if (!is_call && nm == "For" && i > 0 &&
+        (IsPunct(T[i - 1], ".") || IsPunct(T[i - 1], "->"))) {
+      is_call = true;  // pool.For(...) / pool->For(...)
+    }
+    if (!is_call) continue;
+    size_t j = i + 1;
+    if (j < T.size() && IsPunct(T[j], "<")) j = SkipTemplateArgs(T, j);
+    if (j >= T.size() || !IsPunct(T[j], "(")) continue;
+    size_t call_close = MatchForward(T, j, "(", ")");
+    if (call_close == T.size()) continue;
+    // Direct lambda arguments: a "[" in argument position at paren depth 1
+    // outside any nested braces.
+    std::vector<Lambda> lambdas;
+    int pdepth = 0;
+    int bdepth = 0;
+    for (size_t k = j; k < call_close - 1; ++k) {
+      if (T[k].kind != TokKind::kPunct) continue;
+      if (T[k].text == "(") ++pdepth;
+      else if (T[k].text == ")") --pdepth;
+      else if (T[k].text == "{") ++bdepth;
+      else if (T[k].text == "}") --bdepth;
+      else if (T[k].text == "[" && pdepth == 1 && bdepth == 0 && k > j &&
+               (IsPunct(T[k - 1], "(") || IsPunct(T[k - 1], ","))) {
+        Lambda lam;
+        if (ParseLambda(T, k, &lam)) {
+          lambdas.push_back(std::move(lam));
+          // Jump past the body so nested lambdas inside it are not
+          // re-collected as direct arguments (their writes are still
+          // analyzed as part of this body's token range).
+          k = lambdas.back().body_end;
+          bdepth = 0;
+        }
+      }
+    }
+    // ParallelReduce's final lambda is the combine step, which runs
+    // serially in chunk order on the calling thread — outer writes there
+    // are the sanctioned pattern, not a race.
+    if (is_reduce && lambdas.size() >= 2) lambdas.pop_back();
+    const std::string call_name =
+        nm == "For" ? std::string("ThreadPool::For") : nm;
+    for (const Lambda& lam : lambdas) {
+      AnalyzeParallelLambda(ctx, lam, call_name, fp_mode);
+    }
+  }
+}
+
+void CheckParCaptureRace(CheckContext& ctx) {
+  CheckParallelLambdas(ctx, /*fp_mode=*/false);
+}
+void CheckFpReductionOrder(CheckContext& ctx) {
+  CheckParallelLambdas(ctx, /*fp_mode=*/true);
+}
+
+}  // namespace
+
+const std::vector<CheckInfo>& Registry() {
+  static const std::vector<CheckInfo> kChecks = {
+      {"banned-randomness", "error",
+       "C and <random> randomness under src/ (all randomness flows through "
+       "common/rng.h's seeded xoshiro streams)",
+       "lint:allow", CheckBannedRandomness},
+      {"banned-clock", "error",
+       "wall-clock reads under src/; steady_clock only in common/timer.h",
+       nullptr, CheckBannedClock},
+      {"unordered-iteration", "error",
+       "range-for over a variable declared with an unordered container "
+       "type without a lint:order-insensitive justification",
+       "lint:order-insensitive", CheckUnorderedDirect},
+      {"unordered-alias-iteration", "error",
+       "range-for over an auto/reference alias that resolves to an "
+       "unordered container (scope-aware; the grep lint missed these)",
+       "lint:order-insensitive", CheckUnorderedAlias},
+      {"wall-clock-quarantine", "error",
+       "<chrono> outside common/timer.h and /proc/self/* outside src/obs/",
+       "lint:wall-clock-ok", CheckWallClockQuarantine},
+      {"net-simulated-time", "error",
+       "any ambient clock (WallTimer/ScopedTimer/<chrono>) in src/net/, "
+       "whose event clock is part of its result",
+       nullptr, CheckNetSimulatedTime},
+      {"flag-doc-drift", "error",
+       "\"--flag\" string literals in any scanned file that are missing "
+       "from README.md",
+       nullptr, CheckFlagDocDrift},
+      {"bench-default-context", "error",
+       "bench binaries that do not route flags through "
+       "bench::DefaultContext(argc, argv)",
+       "lint:bench-flags-ok", CheckBenchDefaultContext},
+      {"par-capture-race", "error",
+       "writes through by-reference captures to non-atomic outer variables "
+       "inside ParallelFor/ParallelReduce/ShardMap lambda bodies, unless "
+       "indexed by chunk-local state",
+       nullptr, CheckParCaptureRace},
+      {"fp-reduction-order", "error",
+       "+=/-= on float/double accumulators captured by reference inside "
+       "parallel lambda bodies (thread-count-dependent rounding)",
+       nullptr, CheckFpReductionOrder},
+  };
+  return kChecks;
+}
+
+}  // namespace gnnpart::analyze

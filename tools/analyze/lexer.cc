@@ -1,0 +1,302 @@
+#include "analyze/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace gnnpart::analyze {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Valid encoding prefixes for string/char literals ("" and R-suffixed).
+bool IsLiteralPrefix(const std::string& id, bool* raw) {
+  static const char* kPlain[] = {"u8", "u", "U", "L"};
+  static const char* kRaw[] = {"R", "u8R", "uR", "UR", "LR"};
+  for (const char* p : kPlain) {
+    if (id == p) {
+      *raw = false;
+      return true;
+    }
+  }
+  for (const char* p : kRaw) {
+    if (id == p) {
+      *raw = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Multi-character punctuators, longest first so "<<=" never lexes as "<" "<=".
+const char* kPunct3[] = {"<<=", ">>=", "...", "->*"};
+const char* kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=", ">=",
+                         "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                         "%=", "&=", "|=", "^="};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexedFile Run() {
+    while (i_ < src_.size()) Step();
+    return std::move(out_);
+  }
+
+ private:
+  char Cur() const { return src_[i_]; }
+  char At(size_t off) const {
+    return i_ + off < src_.size() ? src_[i_ + off] : '\0';
+  }
+
+  void Advance(size_t k) {
+    for (size_t j = 0; j < k && i_ < src_.size(); ++j) {
+      if (src_[i_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++i_;
+    }
+  }
+
+  void Step() {
+    char c = Cur();
+    // Backslash-newline splices join logical lines everywhere.
+    if (c == '\\' && At(1) == '\n') {
+      Advance(2);
+      return;
+    }
+    if (c == '\n') {
+      Advance(1);
+      at_line_start_ = true;
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance(1);
+      return;
+    }
+    if (c == '/' && At(1) == '/') {
+      LexLineComment();
+      return;
+    }
+    if (c == '/' && At(1) == '*') {
+      LexBlockComment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      LexPreproc();
+      return;
+    }
+    at_line_start_ = false;
+    if (IsIdentStart(c)) {
+      LexIdentOrLiteralPrefix();
+      return;
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(At(1)))) {
+      LexNumber();
+      return;
+    }
+    if (c == '"') {
+      LexString(/*raw=*/false, /*prefix_line=*/line_, /*prefix_col=*/col_);
+      return;
+    }
+    if (c == '\'') {
+      LexChar(line_, col_);
+      return;
+    }
+    LexPunct();
+  }
+
+  void LexLineComment() {
+    int start_line = line_;
+    size_t start = i_;
+    while (i_ < src_.size() && Cur() != '\n') {
+      if (Cur() == '\\' && At(1) == '\n') {
+        Advance(2);  // spliced line comments continue on the next line
+        continue;
+      }
+      Advance(1);
+    }
+    out_.comments.push_back({src_.substr(start, i_ - start), start_line, line_});
+  }
+
+  void LexBlockComment() {
+    int start_line = line_;
+    size_t start = i_;
+    Advance(2);
+    while (i_ < src_.size() && !(Cur() == '*' && At(1) == '/')) Advance(1);
+    Advance(2);  // clamped at EOF by Advance
+    out_.comments.push_back({src_.substr(start, i_ - start), start_line, line_});
+  }
+
+  void LexPreproc() {
+    int start_line = line_;
+    int start_col = col_;
+    std::string text;
+    while (i_ < src_.size() && Cur() != '\n') {
+      if (Cur() == '\\' && At(1) == '\n') {
+        Advance(2);
+        text += ' ';
+        continue;
+      }
+      if (Cur() == '/' && At(1) == '/') {  // trailing comment on the directive
+        LexLineComment();
+        break;
+      }
+      if (Cur() == '/' && At(1) == '*') {
+        LexBlockComment();
+        text += ' ';
+        continue;
+      }
+      text += Cur();
+      Advance(1);
+    }
+    out_.tokens.push_back({TokKind::kPreproc, text, start_line, start_col});
+  }
+
+  void LexIdentOrLiteralPrefix() {
+    int start_line = line_;
+    int start_col = col_;
+    size_t start = i_;
+    while (i_ < src_.size() && IsIdentChar(Cur())) Advance(1);
+    std::string id = src_.substr(start, i_ - start);
+    bool raw = false;
+    if (i_ < src_.size() && Cur() == '"' && IsLiteralPrefix(id, &raw)) {
+      LexString(raw, start_line, start_col);
+      return;
+    }
+    if (i_ < src_.size() && Cur() == '\'' && IsLiteralPrefix(id, &raw) &&
+        !raw) {
+      LexChar(start_line, start_col);
+      return;
+    }
+    out_.tokens.push_back({TokKind::kIdent, std::move(id), start_line,
+                           start_col});
+  }
+
+  void LexNumber() {
+    int start_line = line_;
+    int start_col = col_;
+    size_t start = i_;
+    while (i_ < src_.size()) {
+      char c = Cur();
+      if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+          (At(1) == '+' || At(1) == '-')) {
+        Advance(2);
+        continue;
+      }
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        Advance(1);
+        continue;
+      }
+      break;
+    }
+    out_.tokens.push_back(
+        {TokKind::kNumber, src_.substr(start, i_ - start), start_line,
+         start_col});
+  }
+
+  void LexString(bool raw, int start_line, int start_col) {
+    Advance(1);  // opening quote
+    std::string content;
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (i_ < src_.size() && Cur() != '(') {
+        delim += Cur();
+        Advance(1);
+      }
+      Advance(1);  // '('
+      std::string close = ")" + delim + "\"";
+      while (i_ < src_.size() && src_.compare(i_, close.size(), close) != 0) {
+        content += Cur();
+        Advance(1);
+      }
+      Advance(close.size());
+    } else {
+      while (i_ < src_.size() && Cur() != '"' && Cur() != '\n') {
+        if (Cur() == '\\' && i_ + 1 < src_.size()) {
+          content += Cur();
+          content += At(1);
+          Advance(2);
+          continue;
+        }
+        content += Cur();
+        Advance(1);
+      }
+      Advance(1);  // closing quote
+    }
+    out_.tokens.push_back(
+        {TokKind::kString, std::move(content), start_line, start_col});
+  }
+
+  void LexChar(int start_line, int start_col) {
+    Advance(1);  // opening quote
+    std::string content;
+    while (i_ < src_.size() && Cur() != '\'' && Cur() != '\n') {
+      if (Cur() == '\\' && i_ + 1 < src_.size()) {
+        content += Cur();
+        content += At(1);
+        Advance(2);
+        continue;
+      }
+      content += Cur();
+      Advance(1);
+    }
+    Advance(1);  // closing quote
+    out_.tokens.push_back(
+        {TokKind::kChar, std::move(content), start_line, start_col});
+  }
+
+  void LexPunct() {
+    int start_line = line_;
+    int start_col = col_;
+    for (const char* p : kPunct3) {
+      if (src_.compare(i_, 3, p) == 0) {
+        Advance(3);
+        out_.tokens.push_back({TokKind::kPunct, p, start_line, start_col});
+        return;
+      }
+    }
+    for (const char* p : kPunct2) {
+      if (src_.compare(i_, 2, p) == 0) {
+        Advance(2);
+        out_.tokens.push_back({TokKind::kPunct, p, start_line, start_col});
+        return;
+      }
+    }
+    std::string one(1, Cur());
+    Advance(1);
+    out_.tokens.push_back({TokKind::kPunct, std::move(one), start_line,
+                           start_col});
+  }
+
+  const std::string& src_;
+  size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+bool LexedFile::HasSuppression(int line, const std::string& tag,
+                               int window) const {
+  for (const Comment& c : comments) {
+    if (c.end_line < line - window || c.line > line) continue;
+    if (c.text.find(tag) != std::string::npos) return true;
+  }
+  return false;
+}
+
+LexedFile Lex(const std::string& source) { return Lexer(source).Run(); }
+
+}  // namespace gnnpart::analyze

@@ -1,0 +1,51 @@
+#ifndef GNNPART_TOOLS_ANALYZE_LEXER_H_
+#define GNNPART_TOOLS_ANALYZE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace gnnpart::analyze {
+
+/// A real (if deliberately small) C++ lexer. Unlike the grep lint it
+/// replaces, it knows the difference between code, comments, string
+/// literals (including raw strings), character literals, and preprocessor
+/// lines — so a check that looks for the identifier `rand` can never fire
+/// on a comment that merely mentions it, and a check that looks for the
+/// string "--threads" sees string *contents*, not source bytes.
+enum class TokKind {
+  kIdent,    // identifiers and keywords (checks distinguish by spelling)
+  kNumber,   // pp-numbers: 0x1f, 1'000, 6.02e23, ...
+  kString,   // text is the literal's *content* (quotes/prefix stripped)
+  kChar,     // character literal, content likewise stripped
+  kPunct,    // operators and punctuators, longest-match ("<<=" not "<" "<" "=")
+  kPreproc,  // one whole preprocessor line (continuations folded in)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+  int col = 0;   // 1-based column
+};
+
+struct Comment {
+  std::string text;
+  int line = 0;      // line the comment starts on
+  int end_line = 0;  // last line it covers (block comments span)
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+
+  /// True if any comment covering `line` itself or the `window` lines above
+  /// it contains `tag`. This is the suppression-comment lookup: the
+  /// justification comment usually sits directly on top of the flagged line.
+  bool HasSuppression(int line, const std::string& tag, int window = 5) const;
+};
+
+LexedFile Lex(const std::string& source);
+
+}  // namespace gnnpart::analyze
+
+#endif  // GNNPART_TOOLS_ANALYZE_LEXER_H_

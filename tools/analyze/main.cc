@@ -1,0 +1,177 @@
+// gnnpart-analyze — the repo's self-hosted determinism & race static
+// analyzer (DESIGN.md §13). Replaces the grep/awk determinism lint with a
+// real lexer and a scope-aware check engine.
+//
+//   gnnpart-analyze [--json out.json] [--readme README.md]
+//                   [--check <name>]... [--list-checks] <paths...>
+//
+// Paths may be files or directories (directories are walked recursively
+// for *.cc / *.h). Exits 0 when clean, 1 on findings, 2 on usage/IO
+// errors. With --json, the machine-readable findings artifact is written
+// whether or not there are findings.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+
+namespace fs = std::filesystem;
+using gnnpart::analyze::AnalyzeConfig;
+using gnnpart::analyze::AnalyzeSource;
+using gnnpart::analyze::DocumentedFlagsFromText;
+using gnnpart::analyze::Finding;
+using gnnpart::analyze::FindingsToJson;
+using gnnpart::analyze::Registry;
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+std::string NormalizePath(std::string p) {
+  while (p.rfind("./", 0) == 0) p = p.substr(2);
+  return p;
+}
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--json out.json] [--readme README.md] [--check name]...\n"
+         "       [--list-checks] <file-or-dir>...\n"
+         "Determinism & race static analyzer; see DESIGN.md section 13.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string json_out;
+  std::string readme = "README.md";
+  bool list_checks = false;
+  AnalyzeConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--readme" && i + 1 < argc) {
+      readme = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      config.only_checks.insert(argv[++i]);
+    } else if (arg == "--list-checks") {
+      list_checks = true;
+    } else if (arg == "--help") {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "gnnpart-analyze: unknown option " << arg << "\n";
+      return Usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_checks) {
+    for (const auto& c : Registry()) {
+      std::printf("%-26s %-7s %s\n", c.name, c.severity, c.description);
+    }
+    return 0;
+  }
+  if (paths.empty()) return Usage(argv[0]);
+
+  for (const std::string& name : config.only_checks) {
+    bool known = false;
+    for (const auto& c : Registry()) known = known || name == c.name;
+    if (!known) {
+      std::cerr << "gnnpart-analyze: unknown check '" << name
+                << "' (see --list-checks)\n";
+      return 2;
+    }
+  }
+
+  std::string readme_text;
+  if (!ReadFile(readme, &readme_text)) {
+    std::cerr << "gnnpart-analyze: cannot read " << readme
+              << " (pass --readme; flag-doc-drift needs the documented "
+                 "flag surface)\n";
+    return 2;
+  }
+  config.documented_flags = DocumentedFlagsFromText(readme_text);
+  config.readme_loaded = true;
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        const fs::path& entry = it->path();
+        const std::string base = entry.filename().string();
+        if (it->is_directory(ec) &&
+            (base.rfind("build", 0) == 0 || base.rfind(".", 0) == 0)) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file(ec) && IsSourceFile(entry)) {
+          files.push_back(entry.string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "gnnpart-analyze: no such file or directory: " << p
+                << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> all;
+  for (const std::string& f : files) {
+    std::string source;
+    if (!ReadFile(f, &source)) {
+      std::cerr << "gnnpart-analyze: cannot read " << f << "\n";
+      return 2;
+    }
+    std::vector<Finding> findings =
+        AnalyzeSource(NormalizePath(f), source, config);
+    all.insert(all.end(), findings.begin(), findings.end());
+  }
+
+  for (const Finding& f : all) {
+    std::cout << f.file << ":" << f.line << ":" << f.col << ": [" << f.check
+              << "] " << f.message << "\n";
+  }
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "gnnpart-analyze: cannot write " << json_out << "\n";
+      return 2;
+    }
+    out << FindingsToJson(all);
+  }
+  std::cerr << "gnnpart-analyze: " << files.size() << " files, "
+            << all.size() << " finding" << (all.size() == 1 ? "" : "s")
+            << (all.empty() ? " — OK" : "") << "\n";
+  return all.empty() ? 0 : 1;
+}

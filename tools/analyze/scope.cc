@@ -1,0 +1,209 @@
+#include "analyze/scope.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gnnpart::analyze {
+namespace {
+
+// Keywords that can never begin a declaration's type. Seeing one at a
+// would-be statement start aborts the declaration parse immediately, which
+// is what keeps `return x;`, `throw y;`, `case k:` etc. out of the scope
+// table.
+const std::set<std::string>& ExcludedStarters() {
+  static const std::set<std::string> kSet = {
+      "return",   "if",       "else",     "while",    "do",
+      "switch",   "case",     "default",  "break",    "continue",
+      "goto",     "new",      "delete",   "throw",    "try",
+      "catch",    "using",    "namespace", "template", "typedef",
+      "public",   "private",  "protected", "friend",   "operator",
+      "sizeof",   "static_assert",        "class",    "struct",
+      "enum",     "union",    "concept",  "requires", "extern",
+      "export",   "co_return", "co_await", "co_yield", "static_cast",
+      "dynamic_cast", "const_cast", "reinterpret_cast", "alignas",
+      "alignof",  "decltype", "noexcept", "this",
+  };
+  return kSet;
+}
+
+bool IsDelim(const Token& t, const char* const* delims, size_t n) {
+  if (t.kind != TokKind::kPunct) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (t.text == delims[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ContainsTypeWord(const std::string& type, const std::string& word) {
+  size_t pos = 0;
+  while (pos <= type.size()) {
+    size_t end = type.find(' ', pos);
+    if (end == std::string::npos) end = type.size();
+    if (type.compare(pos, end - pos, word) == 0) return true;
+    if (end == type.size()) break;
+    pos = end + 1;
+  }
+  return false;
+}
+
+bool IsAtomicType(const std::string& type) {
+  size_t pos = 0;
+  while (pos <= type.size()) {
+    size_t end = type.find(' ', pos);
+    if (end == std::string::npos) end = type.size();
+    const std::string tok = type.substr(pos, end - pos);
+    if (tok == "atomic" || tok.rfind("atomic_", 0) == 0) return true;
+    if (end == type.size()) break;
+    pos = end + 1;
+  }
+  return false;
+}
+
+bool TryParseDecl(const std::vector<Token>& toks, size_t i, Decl* out) {
+  static const char* kNameDelims[] = {"=", ";", ":", "{", "(", ",", ")"};
+  const size_t n = toks.size();
+  if (i >= n || toks[i].kind != TokKind::kIdent) return false;
+  if (ExcludedStarters().count(toks[i].text)) return false;
+
+  std::string type;
+  int type_idents = 0;
+  bool is_ref = false;
+  size_t j = i;
+  auto append = [&type](const std::string& text) {
+    if (!type.empty()) type += ' ';
+    type += text;
+  };
+
+  while (j < n) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kIdent) {
+      // Is this the declared name rather than part of the type?
+      if (type_idents > 0 && j + 1 < n &&
+          IsDelim(toks[j + 1], kNameDelims,
+                  sizeof(kNameDelims) / sizeof(kNameDelims[0]))) {
+        out->name = t.text;
+        out->type = type;
+        out->tok = j;
+        out->line = t.line;
+        out->is_ref = is_ref;
+        if (toks[j + 1].text == "=" && j + 2 < n &&
+            toks[j + 2].kind == TokKind::kIdent) {
+          out->init_root = toks[j + 2].text;
+        }
+        return true;
+      }
+      append(t.text);
+      ++type_idents;
+      ++j;
+      continue;
+    }
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "::") {
+        append("::");
+        ++j;
+        continue;
+      }
+      if (t.text == "<") {
+        // Balanced template-argument skip; `>>` closes two levels. Bailing
+        // on `;`/braces keeps a stray comparison from eating the file.
+        int depth = 0;
+        size_t k = j;
+        while (k < n) {
+          const Token& u = toks[k];
+          if (u.kind == TokKind::kPunct) {
+            if (u.text == "<") ++depth;
+            else if (u.text == ">") --depth;
+            else if (u.text == ">>") depth -= 2;
+            else if (u.text == ";" || u.text == "{" || u.text == "}")
+              return false;
+          }
+          append(u.kind == TokKind::kString ? "\"\"" : u.text);
+          ++k;
+          if (depth <= 0) break;
+        }
+        if (depth > 0) return false;
+        j = k;
+        continue;
+      }
+      if (t.text == "&" || t.text == "&&") {
+        is_ref = true;
+        append("&");
+        ++j;
+        continue;
+      }
+      if (t.text == "*") {
+        append("*");
+        ++j;
+        continue;
+      }
+      return false;
+    }
+    return false;
+  }
+  return false;
+}
+
+ScopeIndex::ScopeIndex(const std::vector<Token>& toks) {
+  scopes_.push_back({0, toks.size(), -1, {}});
+  std::vector<int> stack{0};
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct && t.text == "{") {
+      scopes_.push_back({i, toks.size(), stack.back(), {}});
+      stack.push_back(static_cast<int>(scopes_.size()) - 1);
+      continue;
+    }
+    if (t.kind == TokKind::kPunct && t.text == "}") {
+      if (stack.size() > 1) {
+        scopes_[stack.back()].end_tok = i;
+        stack.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    // Declarations are attempted only at statement/parameter positions:
+    // after `;` `{` `}` `(` `,`, at file start, or after a preprocessor
+    // line. Everything else is expression interior.
+    bool at_start = i == 0 || toks[i - 1].kind == TokKind::kPreproc;
+    if (!at_start && toks[i - 1].kind == TokKind::kPunct) {
+      const std::string& p = toks[i - 1].text;
+      at_start = p == ";" || p == "{" || p == "}" || p == "(" || p == ",";
+    }
+    if (!at_start) continue;
+    Decl d;
+    if (TryParseDecl(toks, i, &d)) {
+      scopes_[stack.back()].decls.push_back(std::move(d));
+    }
+  }
+}
+
+const Decl* ScopeIndex::Resolve(const std::string& name, size_t at) const {
+  // Innermost scope containing `at`: the one with the largest begin_tok
+  // among those whose range covers it (scopes are properly nested).
+  int best = 0;
+  for (size_t s = 1; s < scopes_.size(); ++s) {
+    if (scopes_[s].begin_tok <= at && at <= scopes_[s].end_tok &&
+        scopes_[s].begin_tok >= scopes_[best].begin_tok) {
+      best = static_cast<int>(s);
+    }
+  }
+  for (int s = best; s != -1; s = scopes_[s].parent) {
+    const Decl* before = nullptr;
+    const Decl* after = nullptr;
+    for (const Decl& d : scopes_[s].decls) {
+      if (d.name != name) continue;
+      if (d.tok <= at) {
+        before = &d;  // later decls win: shadowing within the scope
+      } else if (!after) {
+        after = &d;  // member declared below first use
+      }
+    }
+    if (before) return before;
+    if (after) return after;
+  }
+  return nullptr;
+}
+
+}  // namespace gnnpart::analyze

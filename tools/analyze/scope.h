@@ -1,0 +1,66 @@
+#ifndef GNNPART_TOOLS_ANALYZE_SCOPE_H_
+#define GNNPART_TOOLS_ANALYZE_SCOPE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+
+namespace gnnpart::analyze {
+
+/// A declaration recovered from the token stream by heuristic pattern
+/// matching: [type tokens] name ( `=` | `;` | `:` | `(` | `{` | `,` | `)` ).
+/// The type is stored as its tokens joined with single spaces
+/// ("std :: unordered_map < int , int > &"), so checks can ask word-level
+/// questions (ContainsTypeWord) without substring accidents.
+struct Decl {
+  std::string name;
+  std::string type;
+  size_t tok = 0;  // index of the *name* token
+  int line = 0;
+  bool is_ref = false;        // type carried & or &&
+  std::string init_root;      // first identifier of an `= ...` initializer
+};
+
+/// True if `word` appears as a whole token in a Decl::type string.
+bool ContainsTypeWord(const std::string& type, const std::string& word);
+
+/// True if the declared type is a std::atomic<...> / atomic_* flavor.
+bool IsAtomicType(const std::string& type);
+
+/// Lightweight lexical scope tracker. Scopes are brace ranges in the token
+/// stream (file scope is scope 0); each records the declarations whose
+/// pattern matched at a statement/parameter position inside it. Resolution
+/// walks from the innermost scope containing a token index outward —
+/// enough to tell a lambda-local from a captured outer variable, or to
+/// chase `auto& alias = m;` back to m's declared type. It is deliberately
+/// not a compiler: misparses degrade to "unknown", and checks treat
+/// unknown as "no finding".
+class ScopeIndex {
+ public:
+  explicit ScopeIndex(const std::vector<Token>& tokens);
+
+  /// Innermost declaration of `name` visible at token index `at`, or
+  /// nullptr. Prefers the last declaration at or before `at` in each scope
+  /// (shadowing); falls back to a later one in an enclosing scope (class
+  /// members declared below their first use).
+  const Decl* Resolve(const std::string& name, size_t at) const;
+
+ private:
+  struct Scope {
+    size_t begin_tok;
+    size_t end_tok;
+    int parent;
+    std::vector<Decl> decls;
+  };
+  std::vector<Scope> scopes_;
+};
+
+/// Exposed for the checks: try to parse a declaration whose type starts at
+/// token `i`. Returns true and fills `out` on success.
+bool TryParseDecl(const std::vector<Token>& tokens, size_t i, Decl* out);
+
+}  // namespace gnnpart::analyze
+
+#endif  // GNNPART_TOOLS_ANALYZE_SCOPE_H_

@@ -1,169 +1,38 @@
 #!/bin/sh
-# Determinism lint (DESIGN.md §8): the library's contract is that every
-# result is a pure function of (input graph, seed, config) — independent of
-# thread count, wall clock, process, and standard-library implementation.
-# This script rejects the constructs that silently break that contract:
+# Determinism lint — thin wrapper over gnnpart-analyze (tools/analyze/,
+# DESIGN.md §13). The old grep/awk rules live on as real token-stream
+# checks over a C++ lexer; run `gnnpart-analyze --list-checks` for the
+# registry and README.md "Static analysis" for the check table and
+# suppression comments.
 #
-#   1. C and <random> randomness (rand, srand, mt19937, random_device, ...):
-#      all randomness must flow through common/rng.h's seeded xoshiro
-#      streams.
-#   2. Wall-clock reads (time, system_clock, gettimeofday, ...): simulated
-#      results must not depend on when they are computed. steady_clock is
-#      allowed only inside common/timer.h, the one sanctioned stopwatch for
-#      *reported* (never result-bearing) wall durations.
-#   3. Range-for iteration over unordered containers: bucket order varies
-#      across standard libraries, so any loop whose effect could depend on
-#      visit order is a portability bug. Loops where order provably does not
-#      matter carry a `lint:order-insensitive` comment explaining why.
-#   4. Wall-clock/procfs telemetry quarantine: <chrono> is confined to
-#      common/timer.h (the one stopwatch) and /proc/self/* reads to src/obs/
-#      (RSS telemetry). Everything else must consume time through WallTimer
-#      or obs::ScopedTimer, so the determinism boundary stays auditable.
-#      Deliberate exceptions carry a `lint:wall-clock-ok` comment.
-#   5. src/net/ runs in simulated time only: the discrete-event engine's
-#      outputs are results, so not even the sanctioned WallTimer/ScopedTimer
-#      stopwatches may appear there — no ambient clock of any kind.
-#   6. CLI/README drift: every flag the CLI parses must be documented in
-#      README.md, so `--help`-style discovery never diverges from the
-#      written docs. The same surface must exist on every bench binary:
-#      each must route its flags through bench::DefaultContext, so the
-#      documented --threads/--metrics-out/--trace-out behave identically
-#      across all of them (google-benchmark mains included).
-#
-# Usage: tools/lint.sh  (from the repository root; exits non-zero on findings)
-set -u
+# Usage: sh tools/lint.sh [extra gnnpart-analyze args...]
+# Builds the analyzer on first use (and whenever its sources change) with
+# the system compiler — no CMake configure required, so this stays usable
+# as a bare pre-commit hook.
+set -eu
 
-fail=0
-finding() {
-  echo "lint: $1" >&2
-  echo "$2" | sed 's/^/    /' >&2
-  fail=1
-}
+cd "$(dirname "$0")/.."
 
-# Library sources only: tests may fabricate whatever they need, and the
-# bench harness may time things, but nothing under src/ may.
-src_files=$(find src -name '*.cc' -o -name '*.h')
+CXX="${CXX:-c++}"
+OUT_DIR="build/lint"
+BIN="$OUT_DIR/gnnpart-analyze"
 
-# --- 1. banned randomness -------------------------------------------------
-out=$(grep -nE '\b(srand|rand)[[:space:]]*\(' $src_files | grep -v 'lint:allow')
-[ -n "$out" ] && finding "C randomness is banned; use common/rng.h" "$out"
-
-out=$(grep -nE 'std::(mt19937|minstd_rand|random_device|uniform_(int|real)_distribution|bernoulli_distribution|shuffle)\b' $src_files)
-[ -n "$out" ] && finding "<random> engines are banned; use common/rng.h" "$out"
-
-out=$(grep -nE '#include[[:space:]]*<random>' $src_files)
-[ -n "$out" ] && finding "<random> must not be included under src/" "$out"
-
-# --- 2. banned clocks -----------------------------------------------------
-out=$(grep -nE '\b(time|gettimeofday|clock_gettime|clock)[[:space:]]*\([[:space:]]*(NULL|nullptr)?[[:space:]]*\)' $src_files)
-[ -n "$out" ] && finding "wall-clock reads are banned under src/" "$out"
-
-out=$(grep -nE 'system_clock|high_resolution_clock' $src_files)
-[ -n "$out" ] && finding "system_clock is banned (non-monotonic, non-deterministic)" "$out"
-
-out=$(grep -nE 'steady_clock' $src_files | grep -v '^src/common/timer\.h:')
-[ -n "$out" ] && finding "steady_clock is allowed only in common/timer.h (WallTimer)" "$out"
-
-# --- 3. unordered-container iteration needs a justification --------------
-# For each file that declares unordered containers, flag range-for loops
-# over a variable of unordered type unless an explanatory
-# `lint:order-insensitive` comment appears on the loop or just above it.
-unordered_out=""
-for f in $src_files; do
-  grep -q 'unordered_' "$f" || continue
-  hits=$(awk '
-    /unordered_(map|set)</ {
-      # Record identifiers declared with an unordered type on this line:
-      #   std::unordered_map<K, V> name;   ...> name(...)   ...>& name
-      line = $0
-      while (match(line, />[&[:space:]]+[A-Za-z_][A-Za-z0-9_]*/)) {
-        id = substr(line, RSTART, RLENGTH)
-        sub(/^>[&[:space:]]+/, "", id)
-        declared[id] = 1
-        line = substr(line, RSTART + RLENGTH)
-      }
-    }
-    {
-      # Remember whether an annotation covers this loop (same line or a
-      # few lines above — the justification is usually a short comment
-      # block sitting directly on top of the loop).
-      window = $0 prev1 prev2 prev3 prev4 prev5
-      if ($0 ~ /for[[:space:]]*\(.*:.*\)/ && window !~ /lint:order-insensitive/) {
-        n = split($0, parts, ":")
-        tail = parts[n]
-        gsub(/^[[:space:]]*/, "", tail)
-        gsub(/[)({;[:space:]&*.].*$/, "", tail)
-        if (tail in declared) {
-          printf "%d: %s\n", NR, $0
-        }
-      }
-      prev5 = prev4; prev4 = prev3
-      prev3 = prev2; prev2 = prev1; prev1 = $0
-    }
-  ' "$f")
-  [ -n "$hits" ] && unordered_out="$unordered_out$f:$hits
-"
-done
-[ -n "$unordered_out" ] && finding \
-  "range-for over an unordered container without a lint:order-insensitive justification (bucket order is implementation-defined)" \
-  "$unordered_out"
-
-# --- 4. wall-clock/procfs telemetry quarantine ----------------------------
-out=$(grep -nE '#include[[:space:]]*<chrono>|std::chrono' $src_files \
-      | grep -v '^src/common/timer\.h:' | grep -v 'lint:wall-clock-ok')
-[ -n "$out" ] && finding \
-  "<chrono> is quarantined to common/timer.h; time phases via WallTimer or obs::ScopedTimer (lint:wall-clock-ok to override)" \
-  "$out"
-
-out=$(grep -n '/proc/self/' $src_files \
-      | grep -v '^src/obs/' | grep -v 'lint:wall-clock-ok')
-[ -n "$out" ] && finding \
-  "/proc/self/* reads are quarantined to src/obs/ (RSS telemetry; lint:wall-clock-ok to override)" \
-  "$out"
-
-# --- 5. src/net/ is simulated-time only -----------------------------------
-# The network subsystem's event clock is part of its *result* (completion
-# times, busy seconds), so even the sanctioned telemetry stopwatches are
-# banned there: a wall-clock read in src/net/ is a determinism bug by
-# definition, not telemetry.
-net_files=$(find src/net -name '*.cc' -o -name '*.h')
-out=$(grep -nE 'WallTimer|ScopedTimer|steady_clock|std::chrono|#include[[:space:]]*<chrono>' $net_files)
-[ -n "$out" ] && finding \
-  "src/net/ must use simulated time only (no WallTimer/ScopedTimer/<chrono>)" \
-  "$out"
-
-# --- 6. every CLI flag is documented in README.md --------------------------
-# The parser only ever matches flags as quoted string literals
-# ("--split-factor"), so the quoted occurrences in gnnpart_cli.cc are
-# exactly the parse surface; usage text and comments never quote them.
-cli_flags=$(grep -ohE '"--[a-z][a-z-]*"' tools/gnnpart_cli.cc bench/bench_util.h \
-            | tr -d '"' | sort -u)
-undocumented=""
-for flag in $cli_flags; do
-  grep -q -- "$flag" README.md || undocumented="$undocumented$flag
-"
-done
-[ -n "$undocumented" ] && finding \
-  "CLI flags parsed by tools/gnnpart_cli.cc or bench/bench_util.h but missing from README.md" \
-  "$undocumented"
-
-# Every bench binary must parse the shared flags via bench::DefaultContext —
-# otherwise the README's promise that --threads/--metrics-out work on every
-# bench silently drifts. A bench that genuinely cannot (none today) may
-# carry a `lint:bench-flags-ok` comment explaining why.
-bench_out=""
-for f in bench/bench_*.cc; do
-  grep -q 'DefaultContext(argc, argv)' "$f" && continue
-  grep -q 'lint:bench-flags-ok' "$f" && continue
-  bench_out="$bench_out$f
-"
-done
-[ -n "$bench_out" ] && finding \
-  "bench binaries not routing flags through bench::DefaultContext(argc, argv) (lint:bench-flags-ok to override)" \
-  "$bench_out"
-
-if [ "$fail" -ne 0 ]; then
-  echo "lint: FAILED" >&2
-  exit 1
+stale=0
+if [ ! -x "$BIN" ]; then
+  stale=1
+else
+  for f in tools/analyze/*.cc tools/analyze/*.h; do
+    if [ "$f" -nt "$BIN" ]; then
+      stale=1
+      break
+    fi
+  done
 fi
-echo "lint: OK"
+
+if [ "$stale" -eq 1 ]; then
+  mkdir -p "$OUT_DIR"
+  echo "lint: building gnnpart-analyze..." >&2
+  "$CXX" -std=c++20 -O2 -I tools tools/analyze/*.cc -o "$BIN"
+fi
+
+exec "$BIN" --readme README.md "$@" src bench tools
