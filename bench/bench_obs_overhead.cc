@@ -8,12 +8,19 @@
 //     when nobody reads it; a disabled one takes none.
 //   * ScopedTimer with timing off vs. on — what a `time/...` phase span
 //     costs without and with `--metrics-out`.
+//   * EventLog off vs. on — the "null EventLog* = zero cost" claim from
+//     DESIGN.md §14: an emission site without `--events-out` pays one
+//     pointer test; with it, one record append per span/flow.
 //
 // lint:wall-clock-ok — this benchmark measures the timer itself.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "common/timer.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace gnnpart {
@@ -71,6 +78,53 @@ void BM_ScopedTimerOn(benchmark::State& state) {
   obs::EnableTiming(false);
 }
 BENCHMARK(BM_ScopedTimerOn);
+
+void BM_EventLogOff(benchmark::State& state) {
+  // The exact shape of an emission site when --events-out is absent: the
+  // simulators hold a null EventLog* and every record is guarded by one
+  // pointer test. DoNotOptimize keeps the compiler from deleting the
+  // branch outright, matching the opaque pointer the simulators carry.
+  obs::EventLog* events = nullptr;
+  const std::string phase = "forward";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(events);
+    if (events != nullptr) {
+      events->AddSpan(0, 0, phase, 0.0, 1.0, 0.5, 64.0);
+    }
+  }
+}
+BENCHMARK(BM_EventLogOff);
+
+void BM_EventLogSpan(benchmark::State& state) {
+  obs::EventLog log;
+  log.BeginEpoch("distgnn", 1, 1, 8);
+  obs::EventLog* events = &log;
+  const std::string phase = "forward";
+  uint32_t step = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(events);
+    if (events != nullptr) {
+      events->AddSpan(step++, 0, phase, 0.0, 1.0, 0.5, 64.0);
+    }
+  }
+}
+BENCHMARK(BM_EventLogSpan);
+
+void BM_EventLogFlow(benchmark::State& state) {
+  obs::EventLog log;
+  log.BeginEpoch("distgnn", 1, 1, 8);
+  obs::EventLog* events = &log;
+  const std::string phase = "forward";
+  const std::vector<int> links = {0, 1};
+  uint32_t step = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(events);
+    if (events != nullptr) {
+      events->AddFlow(step++, phase, 0, 1, 0.0, 1.0, 1.0, 64.0, links);
+    }
+  }
+}
+BENCHMARK(BM_EventLogFlow);
 
 }  // namespace
 }  // namespace gnnpart

@@ -8,6 +8,7 @@
 
 #include "common/stats.h"
 #include "trace/analysis.h"
+#include "trace/explain.h"
 
 namespace gnnpart {
 namespace check {
@@ -999,6 +1000,234 @@ Status ValidateMigrationPlan(const std::vector<PartitionId>& before,
                                 " bytes but total_bytes is " +
                                 std::to_string(plan.total_bytes) +
                                 " (traffic invented or lost)");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+bool KnownPhaseName(const std::string& name) {
+  for (int i = 0; i < trace::kNumPhases; ++i) {
+    if (name == trace::PhaseName(static_cast<trace::Phase>(i))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidateEventLog(const obs::EventLog& log) {
+  const size_t num_links = log.links().size();
+  for (size_t l = 0; l < num_links; ++l) {
+    if (log.links()[l].name.empty() || !(log.links()[l].capacity > 0) ||
+        !std::isfinite(log.links()[l].capacity)) {
+      return Violation("obs/event-shape",
+                       "link " + std::to_string(l) +
+                           " has an empty name or non-positive capacity");
+    }
+  }
+  for (const obs::RunEvent& re : log.run_events()) {
+    if (re.kind == obs::RunEvent::Kind::kRepartition) {
+      if (re.trigger != "period" && re.trigger != "quality") {
+        return Violation("obs/event-shape", "repartition of batch " +
+                                                std::to_string(re.batch) +
+                                                " has unknown trigger '" +
+                                                re.trigger + "'");
+      }
+    } else if (re.t1 < re.t0 || !std::isfinite(re.t0) ||
+               !std::isfinite(re.t1) || !(re.bytes >= 0)) {
+      return Violation("obs/event-time",
+                       "migration of batch " + std::to_string(re.batch) +
+                           " has a malformed burst window");
+    }
+  }
+  for (size_t i = 0; i < log.epochs().size(); ++i) {
+    const obs::EpochEvents& ep = log.epochs()[i];
+    const std::string at = " in epoch " + std::to_string(i);
+    if (ep.sim != "distdgl" && ep.sim != "distgnn") {
+      return Violation("obs/event-shape",
+                       "unknown simulator '" + ep.sim + "'" + at);
+    }
+    if (ep.steps == 0 || ep.workers == 0 || ep.grain == 0) {
+      return Violation("obs/event-shape",
+                       "epoch shape with a zero dimension" + at);
+    }
+    // Per-link cursor: sample intervals must be monotone non-overlapping
+    // within the epoch's timeline.
+    std::vector<double> sample_end(num_links, 0);
+    for (size_t j = 0; j < ep.events.size(); ++j) {
+      const obs::Event& e = ep.events[j];
+      const std::string where =
+          " in event " + std::to_string(j) + at;
+      switch (e.kind) {
+        case obs::Event::Kind::kSpan: {
+          if (e.step >= ep.steps || e.src < 0 ||
+              static_cast<uint32_t>(e.src) >= ep.workers) {
+            return Violation("obs/event-shape",
+                             "span outside the epoch shape" + where);
+          }
+          if (!KnownPhaseName(e.phase)) {
+            return Violation("obs/event-shape",
+                             "unknown phase '" + e.phase + "'" + where);
+          }
+          if (!(e.dur >= 0) || !std::isfinite(e.dur) || !(e.t0 >= 0) ||
+              !std::isfinite(e.t0) || !(e.bytes >= 0)) {
+            return Violation("obs/event-time",
+                             "span with a negative time or byte field" +
+                                 where);
+          }
+          if (!(e.comm >= 0) || e.comm > e.dur) {
+            return Violation("obs/event-time",
+                             "span comm share outside [0, dur]" + where);
+          }
+          break;
+        }
+        case obs::Event::Kind::kFlow: {
+          if (e.step >= ep.steps || e.src < 0 ||
+              static_cast<uint32_t>(e.src) >= ep.workers || e.dst < -1 ||
+              (e.dst >= 0 && static_cast<uint32_t>(e.dst) >= ep.workers)) {
+            return Violation("obs/event-shape",
+                             "flow endpoints outside the epoch shape" + where);
+          }
+          if (!KnownPhaseName(e.phase)) {
+            return Violation("obs/event-shape",
+                             "unknown phase '" + e.phase + "'" + where);
+          }
+          if (e.links.empty()) {
+            return Violation("obs/event-shape",
+                             "flow crossing no links" + where);
+          }
+          for (int l : e.links) {
+            if (l < 0 || static_cast<size_t>(l) >= num_links) {
+              return Violation("obs/event-shape",
+                               "flow names link " + std::to_string(l) +
+                                   " outside the declared fabric" + where);
+            }
+          }
+          if (!std::isfinite(e.t0) || !std::isfinite(e.t1) ||
+              !std::isfinite(e.t1_free) || e.t0 > e.t1_free ||
+              e.t1_free > e.t1 || !(e.bytes >= 0)) {
+            return Violation(
+                "obs/event-time",
+                "flow window not ordered t0 <= t1f <= t1" + where);
+          }
+          break;
+        }
+        case obs::Event::Kind::kSample: {
+          if (e.link < 0 || static_cast<size_t>(e.link) >= num_links) {
+            return Violation("obs/event-shape",
+                             "sample names link " + std::to_string(e.link) +
+                                 " outside the declared fabric" + where);
+          }
+          if (!std::isfinite(e.t0) || !std::isfinite(e.t1) || e.t0 > e.t1 ||
+              !(e.rate >= 0) || !std::isfinite(e.rate)) {
+            return Violation("obs/event-time",
+                             "sample with a malformed interval or rate" +
+                                 where);
+          }
+          if (e.flows < 1) {
+            return Violation("obs/event-time",
+                             "sample of an idle link (flows < 1)" + where);
+          }
+          double& cursor = sample_end[static_cast<size_t>(e.link)];
+          if (e.t0 < cursor) {
+            return Violation("obs/event-time",
+                             "link " + std::to_string(e.link) +
+                                 " samples overlap or run backwards" + where);
+          }
+          cursor = e.t1;
+          break;
+        }
+        case obs::Event::Kind::kCache: {
+          if (e.step >= ep.steps) {
+            return Violation("obs/event-shape",
+                             "cache record outside the epoch shape" + where);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckEventSpansMatchTrace(const obs::EventLog& log,
+                                 const trace::TraceRecorder& rec) {
+  constexpr const char* kName = "obs/event-span-sync";
+  if (log.epochs().empty()) {
+    return Violation(kName, "event log holds no epoch to compare");
+  }
+  const obs::EpochEvents& ep = log.epochs().back();
+  if (ep.sim != trace::SimulatorName(rec.simulator())) {
+    return Violation(kName, "event epoch simulator '" + ep.sim +
+                                "' != recorder simulator '" +
+                                trace::SimulatorName(rec.simulator()) + "'");
+  }
+  if (ep.steps != rec.steps() || ep.workers != rec.workers()) {
+    return Violation(kName, "event epoch shape " + std::to_string(ep.steps) +
+                                "x" + std::to_string(ep.workers) +
+                                " != recorder shape " +
+                                std::to_string(rec.steps()) + "x" +
+                                std::to_string(rec.workers()));
+  }
+  size_t next = 0;
+  for (const obs::Event& e : ep.events) {
+    if (e.kind != obs::Event::Kind::kSpan) continue;
+    if (next >= rec.spans().size()) {
+      return Violation(kName, "event log carries more spans than the trace");
+    }
+    const trace::Span& s = rec.spans()[next];
+    const std::string at = " at span " + std::to_string(next);
+    if (e.step != s.step || e.src != static_cast<int>(s.worker) ||
+        e.phase != trace::PhaseName(s.phase)) {
+      return Violation(kName, "span identity diverges from the trace" + at);
+    }
+    if (e.t0 != s.t_begin || e.dur != s.seconds || e.comm != s.comm_seconds ||
+        e.bytes != s.bytes) {
+      return Violation(
+          kName, "span fields are not bit-equal to the trace span" + at);
+    }
+    ++next;
+  }
+  if (next != rec.spans().size()) {
+    return Violation(kName,
+                     "event log carries " + std::to_string(next) +
+                         " spans but the trace recorded " +
+                         std::to_string(rec.spans().size()));
+  }
+  return Status::Ok();
+}
+
+Status CheckEventAttribution(const obs::EventLog& log) {
+  constexpr const char* kName = "obs/event-attribution";
+  Result<trace::ExplainReport> rep_res = trace::ComputeExplain(log);
+  if (!rep_res.ok()) {
+    return Violation(kName, rep_res.status().message());
+  }
+  const trace::ExplainReport& rep = *rep_res;
+  if (!std::isfinite(rep.total_seconds) ||
+      !std::isfinite(rep.compute_seconds) ||
+      !std::isfinite(rep.wait_seconds) ||
+      !std::isfinite(rep.congestion_seconds) ||
+      !std::isfinite(rep.migration_seconds)) {
+    return Violation(kName, "non-finite attribution component");
+  }
+  if (rep.congestion_seconds < 0 || rep.compute_seconds < 0 ||
+      rep.migration_seconds < 0) {
+    return Violation(kName, "negative attribution component");
+  }
+  if (((rep.compute_seconds + rep.wait_seconds) + rep.congestion_seconds) +
+          rep.migration_seconds !=
+      rep.total_seconds) {
+    return Violation(kName,
+                     "components do not sum to the total bit-exactly");
+  }
+  const double tolerance = 1e-6 * std::max(1.0, rep.total_seconds);
+  if (std::abs(rep.wait_seconds - rep.uncontended_comm_seconds) > tolerance) {
+    return Violation(kName,
+                     "solved wait " + std::to_string(rep.wait_seconds) +
+                         " disagrees with uncontended comm " +
+                         std::to_string(rep.uncontended_comm_seconds) +
+                         " beyond FP grouping tolerance");
   }
   return Status::Ok();
 }

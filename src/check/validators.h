@@ -13,6 +13,7 @@
 #include "net/flowsim.h"
 #include "net/overlap.h"
 #include "net/topology.h"
+#include "obs/events.h"
 #include "partition/partitioning.h"
 #include "partition/split_merge.h"
 #include "sampling/block_sampler.h"
@@ -158,6 +159,30 @@ Status ValidateMigrationPlan(const std::vector<PartitionId>& before,
                              const std::vector<uint64_t>& masks_after,
                              uint64_t bytes_per_replica,
                              const dyn::MigrationPlan& plan);
+
+/// Causal-event-log integrity (DESIGN.md §14). Checks, in order: record
+/// shape — known simulator and phase names, steps/workers declared and
+/// respected, link ids within the declared fabric, flow endpoints in range
+/// ("obs/event-shape") — then time semantics: finite non-negative span
+/// durations with comm shares in [0, dur], flow windows ordered
+/// t0 <= t1f <= t1, and per (epoch, link) utilization samples with
+/// non-negative rates, at least one active flow, and monotone
+/// non-overlapping intervals ("obs/event-time").
+Status ValidateEventLog(const obs::EventLog& log);
+
+/// Trace/event cross-layer sync ("obs/event-span-sync"): the log's last
+/// epoch must carry exactly the recorder's spans — same simulator, shape,
+/// span count, and bit-equal fields in the same order. The two streams are
+/// emitted by one serial replay, so any divergence is an emission bug.
+Status CheckEventSpansMatchTrace(const obs::EventLog& log,
+                                 const trace::TraceRecorder& rec);
+
+/// Attribution integrity ("obs/event-attribution"): the explain engine's
+/// components must be finite, congestion non-negative, satisfy
+/// total == ((compute + wait) + congestion) + migration bit-exactly, and
+/// the solved wait must agree with the independently summed uncontended
+/// communication within 1e-6 relative (they differ only by FP grouping).
+Status CheckEventAttribution(const obs::EventLog& log);
 
 }  // namespace check
 }  // namespace gnnpart

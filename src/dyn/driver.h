@@ -22,6 +22,10 @@ namespace trace {
 class TraceRecorder;
 }  // namespace trace
 
+namespace obs {
+class EventLog;
+}  // namespace obs
+
 namespace dyn {
 
 /// Which partitioner the dynamic run maintains. Edge partitioners drive the
@@ -127,9 +131,16 @@ struct DynReport {
 /// the final interval's simulated epoch spans are recorded plus one wall
 /// span per interval phase (epochs / migration) on the cumulative cost
 /// timeline.
+///
+/// When `events` is non-null, the causal timeline (DESIGN.md §14)
+/// additionally collects one EpochEvents per batch (each on its own
+/// epoch-local BSP timeline) plus run-scoped repartition records and
+/// migration bursts on the cumulative cost timeline. Requires a recorder
+/// (events ride the epoch replays); a null log costs nothing.
 Result<DynReport> RunDynamic(const Graph& full, const DynPartitionerSpec& spec,
                              PartitionId k, const DynConfig& config,
-                             trace::TraceRecorder* recorder = nullptr);
+                             trace::TraceRecorder* recorder = nullptr,
+                             obs::EventLog* events = nullptr);
 
 }  // namespace dyn
 }  // namespace gnnpart

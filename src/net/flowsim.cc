@@ -92,11 +92,12 @@ void LinkUsage::MergeFrom(const LinkUsage& other) {
 
 std::vector<double> SimulateFlows(const Fabric& fabric,
                                   const std::vector<Flow>& flows,
-                                  LinkUsage* usage) {
+                                  LinkUsage* usage, PhaseLog* log) {
   const std::vector<Link>& links = fabric.links();
   const double latency = fabric.config().link_latency;
   std::vector<double> completion(flows.size(), 0.0);
   if (usage != nullptr) usage->EnsureShape(fabric);
+  if (log != nullptr) log->flows.resize(flows.size());
   for (const Flow& f : flows) {
     GNNPART_CHECK_CHEAP(!f.links.empty(), "net/flow: flow without links");
     GNNPART_CHECK_CHEAP(f.bytes >= 0 && f.start >= 0 && f.latency_rounds >= 0,
@@ -130,6 +131,8 @@ std::vector<double> SimulateFlows(const Fabric& fabric,
   std::vector<int> nflows;
   std::vector<char> assigned;
   std::vector<char> link_active;
+  std::vector<double> link_rate;      // per-interval sample scratch
+  std::vector<uint64_t> link_flows;
   size_t next_arrival = 0;
   double now = 0.0;
 
@@ -179,16 +182,36 @@ std::vector<double> SimulateFlows(const Fabric& fabric,
     GNNPART_CHECK_CHEAP(t_next >= now && t_next < kInf,
                         "net/event-monotonic: next event not in the future");
 
-    if (usage != nullptr && t_next > now) {
+    if ((usage != nullptr || log != nullptr) && t_next > now) {
       link_active.assign(links.size(), 0);
       for (size_t i = 0; i < active.size(); ++i) {
         for (int l : flows[active[i]].links) {
           link_active[static_cast<size_t>(l)] = 1;
         }
       }
-      const double dt = t_next - now;
-      for (size_t l = 0; l < links.size(); ++l) {
-        if (link_active[l]) usage->link_busy_seconds[l] += dt;
+      if (usage != nullptr) {
+        const double dt = t_next - now;
+        for (size_t l = 0; l < links.size(); ++l) {
+          if (link_active[l]) usage->link_busy_seconds[l] += dt;
+        }
+      }
+      if (log != nullptr) {
+        // One utilization sample per active link per event interval, in
+        // link-index order — the piecewise-constant rate profile the
+        // explain engine derives peak/p99 utilization from.
+        link_rate.assign(links.size(), 0.0);
+        link_flows.assign(links.size(), 0);
+        for (size_t i = 0; i < active.size(); ++i) {
+          for (int l : flows[active[i]].links) {
+            link_rate[static_cast<size_t>(l)] += anchors[i].rate;
+            ++link_flows[static_cast<size_t>(l)];
+          }
+        }
+        for (size_t l = 0; l < links.size(); ++l) {
+          if (!link_active[l]) continue;
+          log->samples.push_back({static_cast<int>(l), now, t_next,
+                                  link_rate[l], link_flows[l]});
+        }
       }
     }
     now = t_next;
@@ -201,6 +224,25 @@ std::vector<double> SimulateFlows(const Fabric& fabric,
       if (finish <= now) {
         const size_t idx = active[i];
         completion[idx] = finish + flows[idx].latency_rounds * latency;
+        if (log != nullptr) {
+          // The solo rate is the min capacity over the flow's links —
+          // exactly the fair share the water-filling assigns a lone flow,
+          // so the closed form below matches the engine's completion
+          // bitwise whenever the flow was never throttled (flowsim.h).
+          double solo = kInf;
+          for (int l : flows[idx].links) {
+            solo = std::min(solo, links[static_cast<size_t>(l)].capacity);
+          }
+          FlowDetail& fd = log->flows[idx];
+          fd.host = flows[idx].host;
+          fd.dst = flows[idx].dst;
+          fd.start = flows[idx].start;
+          fd.bytes = flows[idx].bytes;
+          fd.finish = completion[idx];
+          fd.uncontended_finish = (flows[idx].start + flows[idx].bytes / solo) +
+                                  flows[idx].latency_rounds * latency;
+          fd.links = flows[idx].links;
+        }
         if (usage != nullptr) {
           for (int l : flows[idx].links) {
             usage->link_bytes[static_cast<size_t>(l)] += flows[idx].bytes;
@@ -222,7 +264,7 @@ std::vector<double> SimulateFlows(const Fabric& fabric,
 }
 
 std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
-                                  LinkUsage* usage) {
+                                  LinkUsage* usage, PhaseLog* log) {
   const size_t hosts = static_cast<size_t>(fabric.num_hosts());
   GNNPART_CHECK_CHEAP(spec.start.size() == hosts &&
                           spec.bytes.size() == hosts &&
@@ -267,6 +309,7 @@ std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
       if (share <= 0) continue;
       Flow flow;
       flow.host = static_cast<int>(h);
+      flow.dst = routes[r].dst;
       flow.start = spec.start[h];
       flow.bytes = share;
       flow.latency_rounds = spec.rounds[h];
@@ -276,7 +319,7 @@ std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
     flow_range[h].second = flows.size();
   }
 
-  const std::vector<double> finish = SimulateFlows(fabric, flows, usage);
+  const std::vector<double> finish = SimulateFlows(fabric, flows, usage, log);
   for (size_t h = 0; h < hosts; ++h) {
     for (size_t i = flow_range[h].first; i < flow_range[h].second; ++i) {
       completion[h] = std::max(completion[h], finish[i]);

@@ -33,10 +33,49 @@ namespace net {
 /// message rounds charged after the last byte drains.
 struct Flow {
   int host = 0;
+  /// Destination host when the originating route serves exactly one; -1
+  /// for aggregate routes (see Route::dst). Accounting only — the engine
+  /// never reads it.
+  int dst = -1;
   double start = 0;
   double bytes = 0;
   double latency_rounds = 0;
   std::vector<int> links;
+};
+
+/// Per-flow record for the event timeline (DESIGN.md §14): everything the
+/// attribution engine needs to price congestion. `finish` is the engine's
+/// completion (bandwidth term + latency rounds); `uncontended_finish` is
+/// the α-β closed form the flow would have met alone on the fabric —
+/// (start + bytes / min-capacity-over-links) + rounds * latency, with that
+/// exact floating-point association, so an uncontended flow has
+/// finish == uncontended_finish bitwise and congestion is exactly zero.
+struct FlowDetail {
+  int host = 0;
+  int dst = -1;
+  double start = 0;
+  double bytes = 0;
+  double finish = 0;
+  double uncontended_finish = 0;
+  std::vector<int> links;
+};
+
+/// One piecewise-constant utilization interval of a link: between events
+/// `flows` active flows crossed it draining `rate` bytes/s in aggregate.
+struct LinkSample {
+  int link = 0;
+  double t_begin = 0;
+  double t_end = 0;
+  double rate = 0;  // aggregate bytes/s over the interval
+  uint64_t flows = 0;
+};
+
+/// Optional detailed log of one SimulateFlows/SimulatePhase run. Null by
+/// default — the engine takes the zero-cost fast path unless a caller
+/// asks. Times are phase-local (the caller rebases onto its timeline).
+struct PhaseLog {
+  std::vector<FlowDetail> flows;   // one per engine flow, flow order
+  std::vector<LinkSample> samples; // event order, link index order within
 };
 
 /// Aggregate accounting across SimulatePhase calls; all fields accumulate,
@@ -63,7 +102,7 @@ struct LinkUsage {
 /// arrival order break on flow index, bottleneck ties on link index.
 std::vector<double> SimulateFlows(const Fabric& fabric,
                                   const std::vector<Flow>& flows,
-                                  LinkUsage* usage);
+                                  LinkUsage* usage, PhaseLog* log = nullptr);
 
 /// One BSP communication phase: per host, `bytes[h]` of egress traffic
 /// becomes eligible at `start[h]` (the host's serial pre-comm work) and is
@@ -83,7 +122,7 @@ struct PhaseSpec {
 /// full-bisection fabric this is bit-exactly the legacy closed form
 /// (start + bytes/B) + rounds*latency for every host.
 std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
-                                  LinkUsage* usage);
+                                  LinkUsage* usage, PhaseLog* log = nullptr);
 
 /// Completion instant of the phase's barrier: the max over hosts of
 /// SimulatePhase's per-host completion times (0 when the fabric has no

@@ -160,6 +160,7 @@ Fabric::Fabric(const NetworkConfig& config, int hosts)
           const int ccw_hops = hosts - off;
           Route route;
           route.weight = 1;
+          route.dst = (h + off) % hosts;
           if (cw_hops <= ccw_hops) {
             for (int j = 0; j < cw_hops; ++j) {
               route.links.push_back((h + j) % hosts);

@@ -84,6 +84,10 @@ struct Link {
 struct Route {
   uint32_t weight = 1;
   std::vector<int> links;  // indices into Fabric::links()
+  /// Destination host when the route serves exactly one (the ring's
+  /// per-offset routes); -1 for aggregate routes whose bytes fan out to
+  /// several destinations (full-bisection NIC, fat-tree rack shares).
+  int dst = -1;
 };
 
 /// An immutable, fully-expanded fabric for `hosts` machines. Construction

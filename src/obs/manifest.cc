@@ -1,285 +1,52 @@
 #include "obs/manifest.h"
 
-#include <cctype>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <map>
 #include <sstream>
 
+#include "obs/jsonl.h"
 #include "obs/memory.h"
 
 namespace gnnpart::obs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Writing
-// ---------------------------------------------------------------------------
+// The JSON-lines plumbing lives in obs/jsonl.{h,cc}, shared with the event
+// timeline; these wrappers pin this artifact's error domain so every
+// invariant name stays exactly "manifest/...".
+constexpr const char* kDomain = "manifest";
+
+using jsonl::JsonObject;
+using jsonl::JsonValue;
 
 void AppendEscaped(std::string_view s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out->append("\\\"");
-        break;
-      case '\\':
-        out->append("\\\\");
-        break;
-      case '\n':
-        out->append("\\n");
-        break;
-      case '\t':
-        out->append("\\t");
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out->append(buf);
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
+  jsonl::AppendEscaped(s, out);
 }
 
 void AppendUintArray(const std::vector<uint64_t>& values, std::string* out) {
-  out->push_back('[');
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (i > 0) out->push_back(',');
-    out->append(std::to_string(values[i]));
-  }
-  out->push_back(']');
+  jsonl::AppendUintArray(values, out);
 }
 
 void AppendDouble(double v, std::string* out) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out->append(buf);
+  jsonl::AppendDouble(v, out);
 }
-
-// ---------------------------------------------------------------------------
-// Parsing: a minimal flat-JSON-object reader. Supported values: strings,
-// numbers, booleans, and arrays of non-negative integers — exactly the
-// shapes the writer above produces. Anything else is manifest/bad-json.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum Kind { kString, kNumber, kBool, kIntArray } kind = kNumber;
-  std::string str;
-  double num = 0.0;
-  uint64_t uint_value = 0;
-  bool is_integer = false;
-  bool boolean = false;
-  std::vector<uint64_t> array;
-};
-
-using JsonObject = std::map<std::string, JsonValue>;
-
-struct Cursor {
-  const char* p;
-  const char* end;
-  void SkipWs() {
-    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
-  }
-  bool AtEnd() {
-    SkipWs();
-    return p >= end;
-  }
-};
 
 Status BadJson(size_t lineno, const std::string& what) {
-  return Status::InvalidArgument("manifest/bad-json: line " +
-                                 std::to_string(lineno) + ": " + what);
-}
-
-Status ParseString(Cursor* c, size_t lineno, std::string* out) {
-  if (c->p >= c->end || *c->p != '"') return BadJson(lineno, "expected '\"'");
-  ++c->p;
-  out->clear();
-  while (c->p < c->end && *c->p != '"') {
-    char ch = *c->p++;
-    if (ch == '\\') {
-      if (c->p >= c->end) return BadJson(lineno, "dangling escape");
-      char esc = *c->p++;
-      switch (esc) {
-        case '"':
-          out->push_back('"');
-          break;
-        case '\\':
-          out->push_back('\\');
-          break;
-        case '/':
-          out->push_back('/');
-          break;
-        case 'n':
-          out->push_back('\n');
-          break;
-        case 't':
-          out->push_back('\t');
-          break;
-        case 'u': {
-          if (c->end - c->p < 4) return BadJson(lineno, "bad \\u escape");
-          char hex[5] = {c->p[0], c->p[1], c->p[2], c->p[3], 0};
-          char* hend = nullptr;
-          long code = std::strtol(hex, &hend, 16);
-          if (hend != hex + 4) return BadJson(lineno, "bad \\u escape");
-          c->p += 4;
-          if (code > 0x7f) return BadJson(lineno, "non-ASCII \\u escape");
-          out->push_back(static_cast<char>(code));
-          break;
-        }
-        default:
-          return BadJson(lineno, "unsupported escape");
-      }
-    } else {
-      out->push_back(ch);
-    }
-  }
-  if (c->p >= c->end) return BadJson(lineno, "unterminated string");
-  ++c->p;  // closing quote
-  return Status::Ok();
-}
-
-Status ParseNumber(Cursor* c, size_t lineno, JsonValue* out) {
-  const char* start = c->p;
-  bool is_integer = true;
-  if (c->p < c->end && (*c->p == '-' || *c->p == '+')) ++c->p;
-  while (c->p < c->end &&
-         (std::isdigit(static_cast<unsigned char>(*c->p)) || *c->p == '.' ||
-          *c->p == 'e' || *c->p == 'E' || *c->p == '-' || *c->p == '+')) {
-    if (*c->p == '.' || *c->p == 'e' || *c->p == 'E') is_integer = false;
-    ++c->p;
-  }
-  if (c->p == start) return BadJson(lineno, "expected a number");
-  const std::string text(start, c->p);
-  char* nend = nullptr;
-  out->kind = JsonValue::kNumber;
-  out->num = std::strtod(text.c_str(), &nend);
-  if (nend != text.c_str() + text.size()) {
-    return BadJson(lineno, "malformed number '" + text + "'");
-  }
-  out->is_integer = is_integer && text[0] != '-';
-  if (out->is_integer) {
-    out->uint_value = std::strtoull(text.c_str(), nullptr, 10);
-  }
-  return Status::Ok();
-}
-
-Status ParseValue(Cursor* c, size_t lineno, JsonValue* out) {
-  c->SkipWs();
-  if (c->p >= c->end) return BadJson(lineno, "expected a value");
-  if (*c->p == '"') {
-    out->kind = JsonValue::kString;
-    return ParseString(c, lineno, &out->str);
-  }
-  if (*c->p == 't' || *c->p == 'f') {
-    const bool want_true = (*c->p == 't');
-    const char* word = want_true ? "true" : "false";
-    const size_t len = want_true ? 4 : 5;
-    if (static_cast<size_t>(c->end - c->p) < len ||
-        std::string_view(c->p, len) != word) {
-      return BadJson(lineno, "expected true/false");
-    }
-    c->p += len;
-    out->kind = JsonValue::kBool;
-    out->boolean = want_true;
-    return Status::Ok();
-  }
-  if (*c->p == '[') {
-    ++c->p;
-    out->kind = JsonValue::kIntArray;
-    out->array.clear();
-    c->SkipWs();
-    if (c->p < c->end && *c->p == ']') {
-      ++c->p;
-      return Status::Ok();
-    }
-    while (true) {
-      JsonValue elem;
-      GNNPART_RETURN_NOT_OK(ParseNumber(c, lineno, &elem));
-      if (!elem.is_integer) {
-        return BadJson(lineno, "array elements must be non-negative integers");
-      }
-      out->array.push_back(elem.uint_value);
-      c->SkipWs();
-      if (c->p < c->end && *c->p == ',') {
-        ++c->p;
-        c->SkipWs();
-        continue;
-      }
-      if (c->p < c->end && *c->p == ']') {
-        ++c->p;
-        return Status::Ok();
-      }
-      return BadJson(lineno, "expected ',' or ']' in array");
-    }
-  }
-  return ParseNumber(c, lineno, out);
+  return jsonl::BadJson(kDomain, lineno, what);
 }
 
 Status ParseFlatObject(std::string_view line, size_t lineno, JsonObject* out) {
-  Cursor c{line.data(), line.data() + line.size()};
-  c.SkipWs();
-  if (c.p >= c.end || *c.p != '{') return BadJson(lineno, "expected '{'");
-  ++c.p;
-  c.SkipWs();
-  if (c.p < c.end && *c.p == '}') {
-    ++c.p;
-  } else {
-    while (true) {
-      c.SkipWs();
-      std::string key;
-      GNNPART_RETURN_NOT_OK(ParseString(&c, lineno, &key));
-      c.SkipWs();
-      if (c.p >= c.end || *c.p != ':') return BadJson(lineno, "expected ':'");
-      ++c.p;
-      JsonValue value;
-      GNNPART_RETURN_NOT_OK(ParseValue(&c, lineno, &value));
-      (*out)[key] = std::move(value);
-      c.SkipWs();
-      if (c.p < c.end && *c.p == ',') {
-        ++c.p;
-        continue;
-      }
-      if (c.p < c.end && *c.p == '}') {
-        ++c.p;
-        break;
-      }
-      return BadJson(lineno, "expected ',' or '}'");
-    }
-  }
-  if (!c.AtEnd()) return BadJson(lineno, "trailing characters after object");
-  return Status::Ok();
-}
-
-Status MissingField(size_t lineno, const std::string& field) {
-  return Status::InvalidArgument("manifest/missing-field: line " +
-                                 std::to_string(lineno) + ": '" + field + "'");
+  return jsonl::ParseFlatObject(kDomain, line, lineno, out);
 }
 
 Result<const JsonValue*> Require(const JsonObject& obj, size_t lineno,
                                  const std::string& field,
                                  JsonValue::Kind kind) {
-  auto it = obj.find(field);
-  if (it == obj.end()) return MissingField(lineno, field);
-  if (it->second.kind != kind) {
-    return BadJson(lineno, "field '" + field + "' has the wrong type");
-  }
-  return &it->second;
+  return jsonl::Require(kDomain, obj, lineno, field, kind);
 }
 
 Result<uint64_t> RequireUint(const JsonObject& obj, size_t lineno,
                              const std::string& field) {
-  auto value = Require(obj, lineno, field, JsonValue::kNumber);
-  if (!value.ok()) return value.status();
-  if (!(*value)->is_integer) {
-    return BadJson(lineno, "field '" + field + "' must be an integer");
-  }
-  return (*value)->uint_value;
+  return jsonl::RequireUint(kDomain, obj, lineno, field);
 }
 
 Status ParseMetricLine(const JsonObject& obj, const std::string& type,

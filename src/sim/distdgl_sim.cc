@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/stats.h"
 #include "net/flowsim.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "gnn/costs.h"
 #include "trace/trace.h"
@@ -151,11 +152,15 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                                         const ClusterSpec& cluster,
                                         trace::TraceRecorder* recorder,
                                         const net::Fabric* fabric,
-                                        net::LinkUsage* usage) {
+                                        net::LinkUsage* usage,
+                                        obs::EventLog* events) {
   DistDglEpochReport report;
   const PartitionId k = profile.workers;
   GNNPART_CHECK_CHEAP(profile.profiles.size() == profile.steps,
                       "epoch profile declares more steps than it holds");
+  GNNPART_CHECK_CHEAP(events == nullptr || recorder != nullptr,
+                      "distdgl: the event log rides the trace replay — "
+                      "attach a recorder when requesting events");
 
   // All communication is priced by gnnpart::net. Callers that pass no
   // fabric get the legacy one — the cluster's own bandwidth/latency on a
@@ -188,6 +193,21 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
   double* const dur_out = recorder != nullptr ? trace_dur.data() : nullptr;
   double* const bytes_out = recorder != nullptr ? trace_bytes.data() : nullptr;
   double* const comm_out = recorder != nullptr ? trace_comm.data() : nullptr;
+
+  // Event sidecar: per-step flow/sample logs for the three communication
+  // phases (slots: 0 = sampling, 1 = feature, 2 = backward) and per-step
+  // cache aggregates, filled by the owning chunk (race-free by step index)
+  // and replayed serially below. Null log = nothing allocated.
+  constexpr size_t kCommPhases = 3;
+  std::vector<net::PhaseLog> phase_logs;
+  std::vector<uint64_t> cache_hits, cache_misses;
+  if (events != nullptr) {
+    phase_logs.resize(profile.steps * kCommPhases);
+    cache_hits.assign(profile.steps, 0);
+    cache_misses.assign(profile.steps, 0);
+  }
+  net::PhaseLog* const logs_out =
+      events != nullptr ? phase_logs.data() : nullptr;
   const double feat_bytes = static_cast<double>(config.feature_size) *
                             sizeof(float);
   const double params = ModelParameterBytes(config);
@@ -280,12 +300,17 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
           }
 
           // Price the step's three communication phases on the fabric.
-          const std::vector<double> sampling_done =
-              net::SimulatePhase(*fabric, sampling_spec, chunk_usage);
-          const std::vector<double> feature_done =
-              net::SimulatePhase(*fabric, feature_spec, chunk_usage);
-          const std::vector<double> backward_done =
-              net::SimulatePhase(*fabric, backward_spec, chunk_usage);
+          net::PhaseLog* const step_logs =
+              logs_out != nullptr ? logs_out + step * kCommPhases : nullptr;
+          const std::vector<double> sampling_done = net::SimulatePhase(
+              *fabric, sampling_spec, chunk_usage,
+              step_logs != nullptr ? &step_logs[0] : nullptr);
+          const std::vector<double> feature_done = net::SimulatePhase(
+              *fabric, feature_spec, chunk_usage,
+              step_logs != nullptr ? &step_logs[1] : nullptr);
+          const std::vector<double> backward_done = net::SimulatePhase(
+              *fabric, backward_spec, chunk_usage,
+              step_logs != nullptr ? &step_logs[2] : nullptr);
 
           double max_sampling = 0, max_feature = 0, max_forward = 0,
                  max_backward = 0, max_update = 0;
@@ -331,6 +356,13 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
             max_backward = std::max(max_backward, backward);
             max_update = std::max(max_update, update);
             acc.remote_input_vertices += mb.remote_input_vertices;
+            if (events != nullptr) {
+              // DistDGL's feature-cache view of the batch: local inputs are
+              // hits, remote fetches are misses. Per-step cells, so the
+              // integer sums are chunk-order free.
+              cache_hits[step] += mb.local_input_vertices;
+              cache_misses[step] += mb.remote_input_vertices;
+            }
           }
           acc.sampling += max_sampling;
           acc.feature += max_feature;
@@ -400,8 +432,22 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                          static_cast<uint32_t>(profile.steps),
                          static_cast<uint32_t>(k));
     recorder->Reserve(trace_dur.size());
+    if (events != nullptr) {
+      std::vector<obs::EventLink> elinks;
+      elinks.reserve(fabric->links().size());
+      for (const net::Link& l : fabric->links()) {
+        elinks.push_back({l.name, l.capacity});
+      }
+      events->DeclareLinks(elinks);
+      events->BeginEpoch("distdgl", static_cast<uint32_t>(profile.steps),
+                         static_cast<uint32_t>(k), 8);
+    }
     double t = 0;
     for (size_t step = 0; step < profile.steps; ++step) {
+      if (events != nullptr) {
+        events->AddCache(static_cast<uint32_t>(step), cache_hits[step],
+                         cache_misses[step]);
+      }
       for (size_t pi = 0; pi < kStepPhases; ++pi) {
         double barrier = 0;
         for (PartitionId w = 0; w < k; ++w) {
@@ -422,6 +468,32 @@ DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
           span.comm_seconds = trace_comm[cell];
           span.bytes = trace_bytes[cell];
           recorder->Add(span);
+          if (events != nullptr) {
+            events->AddSpan(span.step, static_cast<int>(w),
+                            trace::PhaseName(span.phase), span.t_begin,
+                            span.seconds, span.comm_seconds, span.bytes);
+          }
+        }
+        if (events != nullptr) {
+          // The communication phases carry flow + link-sample records,
+          // rebased from phase-local onto the epoch timeline (the phase
+          // entered at the barrier `t`, and every flow start already
+          // includes the worker's serial pre-comm offset).
+          const int slot = pi == 0 ? 0 : pi == 1 ? 1 : pi == 3 ? 2 : -1;
+          if (slot >= 0) {
+            const net::PhaseLog& plog = phase_logs[step * kCommPhases +
+                                                   static_cast<size_t>(slot)];
+            const char* phase_name = trace::PhaseName(kPhaseOrder[pi]);
+            for (const net::FlowDetail& fd : plog.flows) {
+              events->AddFlow(static_cast<uint32_t>(step), phase_name,
+                              fd.host, fd.dst, t + fd.start, t + fd.finish,
+                              t + fd.uncontended_finish, fd.bytes, fd.links);
+            }
+            for (const net::LinkSample& s : plog.samples) {
+              events->AddSample(s.link, t + s.t_begin, t + s.t_end, s.rate,
+                                s.flows);
+            }
+          }
         }
         t += barrier;
       }

@@ -23,6 +23,10 @@ class Fabric;
 struct LinkUsage;
 }  // namespace net
 
+namespace obs {
+class EventLog;
+}  // namespace obs
+
 /// The sampled mini-batches of one epoch: profiles[step][worker]. Sampling
 /// depends only on (graph, partitioning, fan-outs, batch size, seed) — not
 /// on feature/hidden sizes — so one profile is reused across the paper's
@@ -98,13 +102,21 @@ struct DistDglEpochReport {
 /// when non-null, accrues per-link bytes/busy time for net-report;
 /// per-chunk partials are merged in chunk order, so it is bit-identical
 /// for every thread count.
+///
+/// `events`, when non-null, appends one EpochEvents to the causal timeline
+/// (DESIGN.md §14): the epoch's spans, every flow with its uncontended
+/// completion, per-link utilization samples, and per-step cache hit/miss
+/// aggregates — all emitted by the same canonical serial replay as the
+/// trace, so the log is byte-identical for every thread count. Requires a
+/// recorder (events ride the replay); a null log costs nothing.
 DistDglEpochReport SimulateDistDglEpoch(const DistDglEpochProfile& profile,
                                         const GnnConfig& config,
                                         const ClusterSpec& cluster,
                                         trace::TraceRecorder* recorder =
                                             nullptr,
                                         const net::Fabric* fabric = nullptr,
-                                        net::LinkUsage* usage = nullptr);
+                                        net::LinkUsage* usage = nullptr,
+                                        obs::EventLog* events = nullptr);
 
 }  // namespace gnnpart
 

@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "gnn/costs.h"
 #include "net/flowsim.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "trace/trace.h"
 
@@ -75,7 +76,11 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
                                         const ClusterSpec& cluster,
                                         trace::TraceRecorder* recorder,
                                         const net::Fabric* fabric,
-                                        net::LinkUsage* usage) {
+                                        net::LinkUsage* usage,
+                                        obs::EventLog* events) {
+  GNNPART_CHECK_CHEAP(events == nullptr || recorder != nullptr,
+                      "distgnn: the event log rides the trace replay — "
+                      "attach a recorder when requesting events");
   DistGnnEpochReport report;
   const PartitionId k = workload.k;
   report.machines.resize(k);
@@ -101,6 +106,14 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
   const size_t sync_cells =
       static_cast<size_t>(config.num_layers) * static_cast<size_t>(k);
   std::vector<double> net_sync(sync_cells, 0);
+  // Event sidecar: per layer the forward-sync and backward-sync PhaseLogs
+  // (slots 2l and 2l+1) plus the optimizer's (last slot); the replay below
+  // rebases their phase-local times onto the BSP timeline. Nothing is
+  // allocated when no event log is attached.
+  std::vector<net::PhaseLog> phase_logs;
+  if (events != nullptr) {
+    phase_logs.resize(2 * static_cast<size_t>(config.num_layers) + 1);
+  }
   for (int l = 0; l < config.num_layers; ++l) {
     const double dout = static_cast<double>(config.LayerOutputDim(l));
     net::PhaseSpec spec(k);
@@ -110,8 +123,15 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
                       sizeof(float);
       spec.rounds[p] = 2.0;
     }
-    std::vector<double> done = net::SimulatePhase(*fabric, spec, usage);
-    net::SimulatePhase(*fabric, spec, usage);  // backward gradient sync
+    net::PhaseLog* const fwd_log =
+        events != nullptr ? &phase_logs[2 * static_cast<size_t>(l)] : nullptr;
+    net::PhaseLog* const bwd_log =
+        events != nullptr ? &phase_logs[2 * static_cast<size_t>(l) + 1]
+                          : nullptr;
+    std::vector<double> done = net::SimulatePhase(*fabric, spec, usage, fwd_log);
+    // Backward gradient sync: same volumes, completions identical by
+    // determinism.
+    net::SimulatePhase(*fabric, spec, usage, bwd_log);
     for (PartitionId p = 0; p < k; ++p) {
       net_sync[static_cast<size_t>(l) * k + p] = done[p];
     }
@@ -176,8 +196,9 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
     opt_spec.bytes[p] = 2.0 * params;
     opt_spec.rounds[p] = 2.0;
   }
-  const std::vector<double> opt_net =
-      net::SimulatePhase(*fabric, opt_spec, usage);
+  const std::vector<double> opt_net = net::SimulatePhase(
+      *fabric, opt_spec, usage,
+      events != nullptr ? &phase_logs.back() : nullptr);
   double opt_net_max = 0;
   for (PartitionId p = 0; p < k; ++p) {
     opt_net_max = std::max(opt_net_max, opt_net[p]);
@@ -242,10 +263,33 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
     recorder->BeginEpoch(trace::Simulator::kDistGnn, layers + 1,
                          static_cast<uint32_t>(k));
     recorder->Reserve(layer_cells * 4 + k);
+    if (events != nullptr) {
+      std::vector<obs::EventLink> elinks;
+      elinks.reserve(fabric->links().size());
+      for (const net::Link& link : fabric->links()) {
+        elinks.push_back({link.name, link.capacity});
+      }
+      events->DeclareLinks(elinks);
+      events->BeginEpoch("distgnn", layers + 1, static_cast<uint32_t>(k), 1);
+    }
     double t = 0;
+    // Rebases one sync phase's flow completions and link samples from the
+    // phase-local clock onto the BSP timeline at the phase's begin `t`.
+    auto emit_phase_log = [&](const net::PhaseLog& log, uint32_t layer,
+                              const char* phase_name) {
+      for (const net::FlowDetail& fd : log.flows) {
+        events->AddFlow(layer, phase_name, fd.host, fd.dst, t + fd.start,
+                        t + fd.finish, t + fd.uncontended_finish, fd.bytes,
+                        fd.links);
+      }
+      for (const net::LinkSample& s : log.samples) {
+        events->AddSample(s.link, t + s.t_begin, t + s.t_end, s.rate, s.flows);
+      }
+    };
     auto emit_barrier = [&](uint32_t layer, trace::Phase phase, double scale,
                             const std::vector<double>& dur,
-                            const std::vector<double>& bytes, bool comm) {
+                            const std::vector<double>& bytes, bool comm,
+                            const net::PhaseLog* log) {
       const size_t base = static_cast<size_t>(layer) * k;
       double barrier = 0;
       for (PartitionId p = 0; p < k; ++p) {
@@ -261,21 +305,34 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
         span.comm_seconds = comm ? span.seconds : 0;
         span.bytes = bytes.empty() ? 0 : bytes[base + p];
         recorder->Add(span);
+        if (events != nullptr) {
+          events->AddSpan(span.step, static_cast<int>(p),
+                          trace::PhaseName(phase), span.t_begin, span.seconds,
+                          span.comm_seconds, span.bytes);
+        }
+      }
+      if (events != nullptr && log != nullptr) {
+        emit_phase_log(*log, layer, trace::PhaseName(phase));
       }
       t += barrier;
     };
     const std::vector<double> no_bytes;
     for (uint32_t l = 0; l < layers; ++l) {
       emit_barrier(l, trace::Phase::kForwardCompute, 1.0, trace_compute,
-                   no_bytes, false);
+                   no_bytes, false, nullptr);
       emit_barrier(l, trace::Phase::kForwardSync, 1.0, trace_sync,
-                   trace_sync_bytes, true);
+                   trace_sync_bytes, true,
+                   events != nullptr ? &phase_logs[2 * static_cast<size_t>(l)]
+                                     : nullptr);
     }
     for (uint32_t l = layers; l-- > 0;) {
       emit_barrier(l, trace::Phase::kBackwardCompute, 2.0, trace_compute,
-                   no_bytes, false);
+                   no_bytes, false, nullptr);
       emit_barrier(l, trace::Phase::kBackwardSync, 1.0, trace_sync,
-                   trace_sync_bytes, true);
+                   trace_sync_bytes, true,
+                   events != nullptr
+                       ? &phase_logs[2 * static_cast<size_t>(l) + 1]
+                       : nullptr);
     }
     for (PartitionId p = 0; p < k; ++p) {
       trace::Span span;
@@ -289,6 +346,15 @@ DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
       span.comm_seconds = opt_net[p];
       span.bytes = 2.0 * params;  // model gradient all-reduce (ring)
       recorder->Add(span);
+      if (events != nullptr) {
+        events->AddSpan(span.step, static_cast<int>(p),
+                        trace::PhaseName(span.phase), span.t_begin,
+                        span.seconds, span.comm_seconds, span.bytes);
+      }
+    }
+    if (events != nullptr) {
+      emit_phase_log(phase_logs.back(), layers,
+                     trace::PhaseName(trace::Phase::kOptimizer));
     }
   }
   return report;

@@ -22,6 +22,10 @@ class Fabric;
 struct LinkUsage;
 }  // namespace net
 
+namespace obs {
+class EventLog;
+}  // namespace obs
+
 /// Partition-derived quantities that determine full-batch training cost.
 /// Computed once per (graph, partitioning); every hyper-parameter
 /// configuration is then simulated in closed form.
@@ -84,13 +88,21 @@ struct DistGnnEpochReport {
 /// NetworkConfig::FromCluster(cluster) — under which the report is
 /// bit-exactly the pre-net closed form (DESIGN.md §10). `usage`, when
 /// non-null, accrues per-link bytes/busy time for net-report.
+///
+/// `events`, when non-null, appends one EpochEvents to the causal timeline
+/// (DESIGN.md §14): the epoch's spans plus every sync/all-reduce flow with
+/// its uncontended completion and the per-link utilization samples, all
+/// rebased onto the BSP timeline by the same serial replay as the trace —
+/// byte-identical for every thread count. Requires a recorder (events ride
+/// the replay); a null log costs nothing.
 DistGnnEpochReport SimulateDistGnnEpoch(const DistGnnWorkload& workload,
                                         const GnnConfig& config,
                                         const ClusterSpec& cluster,
                                         trace::TraceRecorder* recorder =
                                             nullptr,
                                         const net::Fabric* fabric = nullptr,
-                                        net::LinkUsage* usage = nullptr);
+                                        net::LinkUsage* usage = nullptr,
+                                        obs::EventLog* events = nullptr);
 
 }  // namespace gnnpart
 

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <vector>
+
+#include "obs/events.h"
 
 namespace gnnpart {
 namespace trace {
@@ -47,6 +50,11 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 std::string ChromeTraceJson(const TraceRecorder& rec) {
+  return ChromeTraceJson(rec, nullptr);
+}
+
+std::string ChromeTraceJson(const TraceRecorder& rec,
+                            const obs::EventLog* events) {
   std::string out;
   out.reserve(128 + rec.spans().size() * 128);
   out += "{\n\"traceEvents\": [\n";
@@ -70,6 +78,21 @@ std::string ChromeTraceJson(const TraceRecorder& rec) {
     emit(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
         "\"args\":{\"name\":\"wall clock\"}}");
+  }
+  // Flow rows come from the event log's last epoch — the epoch the
+  // recorder holds — so the two processes share one simulated timeline.
+  const obs::EpochEvents* flow_epoch =
+      events != nullptr && !events->epochs().empty() ? &events->epochs().back()
+                                                     : nullptr;
+  if (flow_epoch != nullptr) {
+    emit(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+        "\"args\":{\"name\":\"network flows\"}}");
+    for (uint32_t w = 0; w < rec.workers(); ++w) {
+      emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":" +
+           std::to_string(w) + ",\"args\":{\"name\":\"flows from worker " +
+           std::to_string(w) + "\"}}");
+    }
   }
 
   for (const Span& s : rec.spans()) {
@@ -99,6 +122,52 @@ std::string ChromeTraceJson(const TraceRecorder& rec) {
     event += Micros(s.seconds());
     event += ",\"pid\":1,\"tid\":0}";
     emit(event);
+  }
+  if (flow_epoch != nullptr) {
+    for (const obs::Event& e : flow_epoch->events) {
+      if (e.kind != obs::Event::Kind::kFlow) continue;
+      std::string event = "{\"name\":\"";
+      event += JsonEscape(e.phase);
+      event += "\",\"cat\":\"net\",\"ph\":\"X\",\"ts\":";
+      event += Micros(e.t0);
+      event += ",\"dur\":";
+      event += Micros(e.t1 - e.t0);
+      event += ",\"pid\":2,\"tid\":";
+      event += std::to_string(e.src);
+      event += ",\"args\":{\"step\":";
+      event += std::to_string(e.step);
+      event += ",\"dst\":";
+      event += std::to_string(e.dst);
+      event += ",\"bytes\":";
+      event += Bytes(e.bytes);
+      event += ",\"uncontended_us\":";
+      event += Micros(e.t1_free - e.t0);
+      event += "}}";
+      emit(event);
+    }
+    // Flow arrows on the simulated process: each comm span's end binds to
+    // the next span of the same worker — the compute it blocks at the
+    // barrier. Deterministic incrementing ids in span order.
+    std::vector<int> pending(rec.workers(), -1);
+    int arrow_id = 1;
+    for (size_t i = 0; i < rec.spans().size(); ++i) {
+      const Span& s = rec.spans()[i];
+      if (s.worker >= rec.workers()) continue;
+      const int p = pending[s.worker];
+      if (p >= 0) {
+        const Span& c = rec.spans()[static_cast<size_t>(p)];
+        const std::string id = std::to_string(arrow_id++);
+        const std::string tid = std::to_string(s.worker);
+        emit("{\"name\":\"blocks\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" +
+             id + ",\"pid\":0,\"tid\":" + tid + ",\"ts\":" +
+             Micros(c.t_end()) + "}");
+        emit("{\"name\":\"blocks\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+             "\"id\":" +
+             id + ",\"pid\":0,\"tid\":" + tid + ",\"ts\":" +
+             Micros(s.t_begin) + "}");
+      }
+      pending[s.worker] = s.comm_seconds > 0 ? static_cast<int>(i) : -1;
+    }
   }
 
   out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"simulator\": \"";
@@ -137,11 +206,16 @@ std::string TraceCsv(const TraceRecorder& rec) {
 }
 
 Status WriteTraceFile(const TraceRecorder& rec, const std::string& path) {
+  return WriteTraceFile(rec, path, nullptr);
+}
+
+Status WriteTraceFile(const TraceRecorder& rec, const std::string& path,
+                      const obs::EventLog* events) {
   std::ofstream f(path, std::ios::binary);
   if (!f) return Status::IoError("cannot open '" + path + "' for writing");
   const bool csv =
       path.size() > 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
-  const std::string body = csv ? TraceCsv(rec) : ChromeTraceJson(rec);
+  const std::string body = csv ? TraceCsv(rec) : ChromeTraceJson(rec, events);
   f << body;
   if (!f) return Status::IoError("failed writing '" + path + "'");
   return Status::Ok();

@@ -7,6 +7,11 @@
 #include "trace/trace.h"
 
 namespace gnnpart {
+
+namespace obs {
+class EventLog;
+}  // namespace obs
+
 namespace trace {
 
 /// Exporters for recorded epoch traces. Both emit spans in the recorder's
@@ -20,14 +25,28 @@ namespace trace {
 /// clock") — the two time bases are never mixed on one row.
 std::string ChromeTraceJson(const TraceRecorder& rec);
 
+/// As above, and when `events` is non-null and holds at least one epoch,
+/// additionally renders the *last* epoch's network flows (the epoch the
+/// recorder holds) as their own process row — process 2 ("network flows"),
+/// one thread row per source worker, one complete event per flow — plus
+/// flow arrows ("s"/"f" pairs on the simulated process) binding each comm
+/// span's end to the next span of the same worker it blocks. A null
+/// `events` emits exactly the two-process trace of ChromeTraceJson(rec).
+std::string ChromeTraceJson(const TraceRecorder& rec,
+                            const obs::EventLog* events);
+
 /// Flat CSV: step,worker,phase,t_begin,t_end,seconds,comm_seconds,bytes —
 /// one row per simulated span, times in (simulated) seconds with
 /// round-trip precision.
 std::string TraceCsv(const TraceRecorder& rec);
 
 /// Writes ChromeTraceJson / TraceCsv to `path`. The format is picked from
-/// the extension: ".csv" selects CSV, anything else Chrome JSON.
+/// the extension: ".csv" selects CSV, anything else Chrome JSON. The
+/// three-argument form threads `events` into the Chrome exporter (flow
+/// rows + arrows); CSV output ignores it.
 Status WriteTraceFile(const TraceRecorder& rec, const std::string& path);
+Status WriteTraceFile(const TraceRecorder& rec, const std::string& path,
+                      const obs::EventLog* events);
 
 }  // namespace trace
 }  // namespace gnnpart

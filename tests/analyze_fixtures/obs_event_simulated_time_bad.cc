@@ -1,0 +1,14 @@
+// Fixture: trips obs-event-simulated-time when analyzed under a virtual
+// src/obs/events.cc (or src/trace/explain.cc) path — the event timeline
+// carries simulated timestamps only, so even the sanctioned stopwatch is
+// an ambient clock here.
+#include "common/timer.h"
+
+namespace gnnpart::obs {
+
+double StampSpan() {
+  WallTimer timer;
+  return timer.Seconds();
+}
+
+}  // namespace gnnpart::obs

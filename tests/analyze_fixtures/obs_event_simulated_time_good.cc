@@ -1,0 +1,17 @@
+// Fixture: near-miss twin of obs_event_simulated_time_bad — an
+// events.cc-shaped file that only carries simulated timestamps forward.
+// Mentions of WallTimer in comments and strings must not fire.
+namespace gnnpart::obs {
+
+// WallTimer is banned here; span times come from the serial replay clock.
+struct SpanStamp {
+  double t0 = 0.0;
+  double dur = 0.0;
+  void Rebase(double t_s) {
+    t0 += t_s;  // "WallTimer" the string, not the type
+  }
+};
+
+double End(const SpanStamp& s) { return s.t0 + s.dur; }
+
+}  // namespace gnnpart::obs

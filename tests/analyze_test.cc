@@ -78,6 +78,8 @@ TEST(AnalyzeBadFixtures, TripByCheckName) {
        "wall-clock-quarantine", 2},
       {"net_simulated_time_bad.cc", "src/net/fixture.cc",
        "net-simulated-time", 1},
+      {"obs_event_simulated_time_bad.cc", "src/obs/events.cc",
+       "obs-event-simulated-time", 1},
       {"flag_doc_drift_bad.cc", "src/serving/fixture.cc", "flag-doc-drift",
        1},
       {"bench_default_context_bad.cc", "bench/bench_fixture.cc",
@@ -131,6 +133,7 @@ TEST(AnalyzeGoodFixtures, NearMissTwinsAreClean) {
       {"unordered_alias_iteration_suppressed.cc", "src/partition/fixture.cc"},
       {"wall_clock_quarantine_good.cc", "src/harness/fixture.cc"},
       {"net_simulated_time_good.cc", "src/net/fixture.cc"},
+      {"obs_event_simulated_time_good.cc", "src/obs/events.cc"},
       {"flag_doc_drift_good.cc", "src/serving/fixture.cc"},
       {"bench_default_context_good.cc", "bench/bench_fixture.cc"},
       {"bench_default_context_suppressed.cc", "bench/bench_fixture.cc"},
@@ -166,6 +169,19 @@ TEST(AnalyzePathRules, WallTimerFineOutsideNet) {
   EXPECT_EQ(CountCheck(Analyze("net_simulated_time_bad.cc",
                                "src/sim/fixture.cc"),
                        "net-simulated-time"),
+            0);
+}
+
+TEST(AnalyzePathRules, EventClockRuleKeyedOnBasename) {
+  // The rule follows the event-timeline *files* (events.*, explain.*)
+  // wherever they live under src/, and leaves every other basename alone.
+  EXPECT_GE(CountCheck(Analyze("obs_event_simulated_time_bad.cc",
+                               "src/trace/explain.cc"),
+                       "obs-event-simulated-time"),
+            1);
+  EXPECT_EQ(CountCheck(Analyze("obs_event_simulated_time_bad.cc",
+                               "src/sim/fixture.cc"),
+                       "obs-event-simulated-time"),
             0);
 }
 
@@ -208,7 +224,7 @@ TEST(AnalyzeRegistry, NamesAreUniqueAndSevere) {
     EXPECT_STREQ(c.severity, "error");
     EXPECT_NE(std::string(c.description), "");
   }
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 11u);
 }
 
 TEST(AnalyzeOutput, JsonFormatIsStableAndEscaped) {

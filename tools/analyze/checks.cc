@@ -357,6 +357,38 @@ void CheckNetSimulatedTime(CheckContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// obs-event-simulated-time: the causal event timeline and the explain
+// attribution engine carry *simulated* timestamps only. Like src/net/, any
+// ambient clock — even the sanctioned stopwatches — would leak host timing
+// into a stream that must be byte-identical across thread counts.
+// ---------------------------------------------------------------------------
+
+void CheckObsEventSimulatedTime(CheckContext& ctx) {
+  if (!PathHasDir(ctx.path, "src")) return;
+  const std::string base = PathBasename(ctx.path);
+  if (base.rfind("events.", 0) != 0 && base.rfind("explain.", 0) != 0) return;
+  const auto& T = ctx.lex.tokens;
+  static const std::set<std::string> kBanned = {"WallTimer", "ScopedTimer",
+                                                "steady_clock", "chrono"};
+  for (size_t i = 0; i < T.size(); ++i) {
+    if (IsInclude(T[i], "<chrono>")) {
+      if (!ctx.Suppressed(T[i].line)) {
+        ctx.Report(T[i].line, T[i].col,
+                   "event-timeline code must use simulated time only (no "
+                   "<chrono>)");
+      }
+      continue;
+    }
+    if (T[i].kind == TokKind::kIdent && kBanned.count(T[i].text)) {
+      if (ctx.Suppressed(T[i].line)) continue;
+      ctx.Report(T[i].line, T[i].col,
+                 "event-timeline code must use simulated time only (no " +
+                     T[i].text + ")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // flag-doc-drift: every "--flag" string literal in ANY scanned file must be
 // documented in README.md. The parse surface is exactly the quoted
 // literals, so a new flag parser in a new file cannot escape the gate by
@@ -760,6 +792,11 @@ const std::vector<CheckInfo>& Registry() {
        "any ambient clock (WallTimer/ScopedTimer/<chrono>) in src/net/, "
        "whose event clock is part of its result",
        nullptr, CheckNetSimulatedTime},
+      {"obs-event-simulated-time", "error",
+       "any ambient clock (WallTimer/ScopedTimer/<chrono>) in event-timeline "
+       "or explain sources under src/ (events.*, explain.*), whose "
+       "timestamps are simulated and thread-count-invariant",
+       nullptr, CheckObsEventSimulatedTime},
       {"flag-doc-drift", "error",
        "\"--flag\" string literals in any scanned file that are missing "
        "from README.md",

@@ -131,6 +131,10 @@ def main():
                              "(default 0.25 = 25%%)")
     parser.add_argument("--det-only", action="store_true",
                         help="compare only det:true rows (CI mode)")
+    parser.add_argument("--summary", action="store_true",
+                        help="print one line per manifest (rows compared / "
+                             "det diffs / timer diffs) instead of the "
+                             "detailed listing; exit codes are unchanged")
     args = parser.parse_args()
 
     _, base = load_manifest(args.baseline)
@@ -138,9 +142,12 @@ def main():
 
     regressions = []
     notes = []
+    compared = 0
 
     for name, brow in sorted(base.items()):
         det = bool(brow.get("det", True))
+        if det or not args.det_only:
+            compared += 1
         crow = cur.get(name)
         if crow is None:
             if det:
@@ -177,6 +184,13 @@ def main():
 
     for name in sorted(set(cur) - set(base)):
         notes.append(f"new metric {name}")
+
+    if args.summary:
+        timer_diffs = sum(1 for r in regressions if r.startswith("TIMER"))
+        det_diffs = len(regressions) - timer_diffs
+        print(f"{args.current}: {compared} rows compared, "
+              f"{det_diffs} det diff(s), {timer_diffs} timer diff(s)")
+        return 1 if regressions else 0
 
     for note in notes:
         print(f"note: {note}")

@@ -16,6 +16,8 @@
 //       [--split-factor N]
 //   gnnpart_cli trace-report <graph-file> <partitioner> <k> [same flags]
 //   gnnpart_cli net-report <graph-file> <partitioner> <k> [same flags]
+//   gnnpart_cli explain <graph-file> <partitioner> <k> [same flags]
+//       [--baseline FILE] [--top N]
 //   gnnpart_cli dyn-run <graph-file> <partitioner> <k>
 //       [--growth-batches N] [--initial-fraction PCT]
 //       [--epochs-per-batch N] [--repartition-every N] [--rf-threshold PCT]
@@ -50,6 +52,7 @@
 #include "net/metrics.h"
 #include "net/overlap.h"
 #include "net/topology.h"
+#include "obs/events.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "partition/edge/registry.h"
@@ -58,6 +61,7 @@
 #include "sim/distdgl_sim.h"
 #include "sim/distgnn_sim.h"
 #include "trace/analysis.h"
+#include "trace/explain.h"
 #include "trace/export.h"
 #include "trace/report.h"
 #include "trace/trace.h"
@@ -91,8 +95,18 @@ int Usage() {
          "  gnnpart_cli trace-report <graph> <partitioner> <k>\n"
          "      [simulate flags]  straggler-blame / critical-path tables\n"
          "  gnnpart_cli net-report <graph> <partitioner> <k>\n"
-         "      [simulate flags]  per-link utilization and overlap-adjusted\n"
-         "      straggler blame on the selected fabric\n"
+         "      [simulate flags]  per-link bytes, busy time, and peak/p99\n"
+         "      utilization plus overlap-adjusted straggler blame on the\n"
+         "      selected fabric\n"
+         "  gnnpart_cli explain <graph> <partitioner> <k> | <events.jsonl>\n"
+         "      [simulate flags]  attribute the epoch's critical path to\n"
+         "      compute / barrier wait / congestion / migration, name the\n"
+         "      top contended links with the partition pairs responsible,\n"
+         "      and rank straggler workers; a single event-log argument\n"
+         "      (written by --events-out) replays a saved run bit-exactly\n"
+         "      [--baseline FILE]  diff against an event log written by\n"
+         "      --events-out\n"
+         "      [--top N]  rows in the link/straggler tables (default 5)\n"
          "  gnnpart_cli dyn-run <graph> <partitioner> <k>\n"
          "      [--growth-batches N]  growth batches after the initial\n"
          "      snapshot (0 = static run, bit-identical to 'simulate')\n"
@@ -113,7 +127,12 @@ int Usage() {
          "global flags: --threads N  worker threads (default: all cores;\n"
          "              results are identical for every N)\n"
          "              --metrics-out FILE  write a JSONL run manifest of\n"
-         "              all counters/gauges/histograms/timers at exit\n";
+         "              all counters/gauges/histograms/timers at exit\n"
+         "shared flag:  --events-out FILE  write the causal event timeline\n"
+         "              (spans, flows, link samples, repartitions) as JSONL;\n"
+         "              accepted by simulate/trace-report/net-report/\n"
+         "              explain/dyn-run, byte-identical for every\n"
+         "              --threads N\n";
   return 2;
 }
 
@@ -127,7 +146,7 @@ struct FlagSpec {
 /// wrong positional counts loudly (exit 2 + usage) instead of the old
 /// behavior of silently ignoring stray arguments.
 std::vector<std::string> Positionals(const std::vector<std::string>& args,
-                                     std::initializer_list<FlagSpec> flags,
+                                     const std::vector<FlagSpec>& flags,
                                      size_t min_count, size_t max_count) {
   std::vector<std::string> positionals;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -582,7 +601,124 @@ int CmdCheck(const std::vector<std::string>& args) {
 }
 
 /// What the shared simulate pipeline should print at the end.
-enum class SimMode { kSimulate, kTraceReport, kNetReport };
+enum class SimMode { kSimulate, kTraceReport, kNetReport, kExplain };
+
+/// Formats a link's top talkers as "src->dst N MB" triples; dst -1 (an
+/// aggregate route fanning out to several destinations) prints as "*".
+std::string FormatTalkers(const trace::LinkContention& link, size_t top) {
+  std::string out;
+  for (size_t t = 0; t < link.talkers.size() && t < top; ++t) {
+    const trace::LinkContention::Talker& talker = link.talkers[t];
+    if (!out.empty()) out += "; ";
+    out += std::to_string(talker.src);
+    out += "->";
+    out += talker.dst < 0 ? std::string("*") : std::to_string(talker.dst);
+    out += " ";
+    out += TablePrinter::Fmt(talker.bytes / 1e6, 2);
+    out += " MB";
+  }
+  return out;
+}
+
+/// Prints the attribution tables of the `explain` subcommand, optionally
+/// against a baseline report loaded from --baseline.
+void PrintExplain(const trace::ExplainReport& rep,
+                  const trace::ExplainReport* baseline, size_t top) {
+  std::cout << "\n--- explain: critical-path attribution ---\n";
+  std::vector<std::string> header = {"component", "ms", "% of total"};
+  if (baseline != nullptr) {
+    header.push_back("baseline ms");
+    header.push_back("delta ms");
+  }
+  TablePrinter comp(header);
+  auto row = [&](const char* name, double seconds, double base_seconds) {
+    std::vector<std::string> cells = {
+        name, TablePrinter::Fmt(seconds * 1e3, 3),
+        TablePrinter::Fmt(
+            rep.total_seconds > 0 ? 100.0 * seconds / rep.total_seconds : 0.0,
+            1)};
+    if (baseline != nullptr) {
+      cells.push_back(TablePrinter::Fmt(base_seconds * 1e3, 3));
+      cells.push_back(TablePrinter::Fmt((seconds - base_seconds) * 1e3, 3));
+    }
+    comp.AddRow(cells);
+  };
+  const trace::ExplainReport zero;
+  const trace::ExplainReport& base = baseline != nullptr ? *baseline : zero;
+  row("compute", rep.compute_seconds, base.compute_seconds);
+  row("wait", rep.wait_seconds, base.wait_seconds);
+  row("congestion", rep.congestion_seconds, base.congestion_seconds);
+  row("migration", rep.migration_seconds, base.migration_seconds);
+  row("total", rep.total_seconds, base.total_seconds);
+  comp.Print(std::cout);
+  std::cout << "(components sum to the total bit-exactly; solved wait "
+               "cross-checks against "
+            << TablePrinter::Fmt(rep.uncontended_comm_seconds * 1e3, 3)
+            << " ms of uncontended comm; " << rep.epochs.size()
+            << " epoch(s))\n";
+
+  if (!rep.links.empty()) {
+    std::cout << "\n--- top contended links ---\n";
+    TablePrinter links({"link", "MB", "busy ms", "contended ms", "peak %",
+                        "p99 %", "top talkers"});
+    for (size_t l = 0; l < rep.links.size() && l < top; ++l) {
+      const trace::LinkContention& link = rep.links[l];
+      links.AddRow({link.name, TablePrinter::Fmt(link.bytes / 1e6, 2),
+                    TablePrinter::Fmt(link.busy_seconds * 1e3, 3),
+                    TablePrinter::Fmt(link.contended_seconds * 1e3, 3),
+                    TablePrinter::Fmt(100.0 * link.peak_utilization, 1),
+                    TablePrinter::Fmt(100.0 * link.p99_utilization, 1),
+                    FormatTalkers(link, 3)});
+    }
+    links.Print(std::cout);
+  }
+
+  if (!rep.stragglers.empty()) {
+    std::cout << "\n--- straggler ranking ---\n";
+    TablePrinter stragglers({"worker", "blame ms", "barriers blamed"});
+    for (size_t w = 0; w < rep.stragglers.size() && w < top; ++w) {
+      const trace::StragglerStat& s = rep.stragglers[w];
+      stragglers.AddRow({std::to_string(s.worker),
+                         TablePrinter::Fmt(s.blame_seconds * 1e3, 3),
+                         std::to_string(s.steps_blamed)});
+    }
+    stragglers.Print(std::cout);
+  }
+}
+
+/// Shared tail of the two `explain` entry points: attribution from a
+/// just-collected (or loaded) event log, the optional --baseline diff,
+/// the tables.
+int FinishExplain(const obs::EventLog& log,
+                  const std::vector<std::string>& args) {
+  Result<trace::ExplainReport> rep = trace::ComputeExplain(log);
+  if (!rep.ok()) return Fail(rep.status());
+  const size_t top = static_cast<size_t>(FlagValue(args, "--top", 5));
+  trace::ExplainReport baseline_rep;
+  const trace::ExplainReport* baseline = nullptr;
+  const std::string baseline_path = StringFlagValue(args, "--baseline");
+  if (!baseline_path.empty()) {
+    Result<obs::EventLog> blog = obs::LoadEventsFile(baseline_path);
+    if (!blog.ok()) return Fail(blog.status());
+    Result<trace::ExplainReport> brep = trace::ComputeExplain(*blog);
+    if (!brep.ok()) return Fail(brep.status());
+    baseline_rep = *brep;
+    baseline = &baseline_rep;
+  }
+  PrintExplain(*rep, baseline, top);
+  return 0;
+}
+
+/// `explain <events.jsonl>`: attribution straight from a saved event log,
+/// no simulation. The file's %.17g doubles parse back bit-equal, so the
+/// report reproduces the in-process attribution of the run that wrote it.
+int ExplainFromFile(const std::string& path,
+                    const std::vector<std::string>& args) {
+  Result<obs::EventLog> log = obs::LoadEventsFile(path);
+  if (!log.ok()) return Fail(log.status());
+  if (Status st = check::ValidateEventLog(*log); !st.ok()) return Fail(st);
+  return FinishExplain(*log, args);
+}
 
 /// Shared pipeline of `simulate`, `trace-report` and `net-report`: load,
 /// partition, simulate one epoch — with a trace recorder attached when the
@@ -594,22 +730,33 @@ enum class SimMode { kSimulate, kTraceReport, kNetReport };
 /// net-report additionally verifies flow conservation and the overlap
 /// report's serial re-derivation.
 int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
-  std::vector<std::string> pos = Positionals(
-      args,
-      {{"--feature", true},
-       {"--hidden", true},
-       {"--layers", true},
-       {"--gbs", true},
-       {"--directed", false},
-       {"--seed", true},
-       {"--trace-out", true},
-       {"--topology", true},
-       {"--oversubscription", true},
-       {"--rack-size", true},
-       {"--nic-gbps", true},
-       {"--overlap", true},
-       {"--split-factor", true}},
-      3, 3);
+  std::vector<FlagSpec> flags = {{"--feature", true},
+                                 {"--hidden", true},
+                                 {"--layers", true},
+                                 {"--gbs", true},
+                                 {"--directed", false},
+                                 {"--seed", true},
+                                 {"--trace-out", true},
+                                 {"--events-out", true},
+                                 {"--topology", true},
+                                 {"--oversubscription", true},
+                                 {"--rack-size", true},
+                                 {"--nic-gbps", true},
+                                 {"--overlap", true},
+                                 {"--split-factor", true}};
+  if (mode == SimMode::kExplain) {
+    flags.push_back({"--baseline", true});
+    flags.push_back({"--top", true});
+  }
+  // `explain` alone also accepts a single saved event file in place of
+  // the graph/partitioner/k triple; two positionals are still a usage
+  // error.
+  std::vector<std::string> pos =
+      Positionals(args, flags, mode == SimMode::kExplain ? 1 : 3, 3);
+  if (mode == SimMode::kExplain && pos.size() == 1) {
+    return ExplainFromFile(pos[0], args);
+  }
+  if (pos.size() != 3) return Usage();
   Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
   if (!graph.ok()) return Fail(graph.status());
   if constexpr (check::ParanoidEnabled()) {
@@ -628,14 +775,23 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
   cluster.num_machines = static_cast<int>(k);
   std::string name = pos[1];
   const std::string trace_out = StringFlagValue(args, "--trace-out");
+  const std::string events_out = StringFlagValue(args, "--events-out");
   const net::NetworkConfig netcfg = ParseNetworkConfig(args, cluster);
   const net::Fabric fabric(netcfg, static_cast<int>(k));
   net::LinkUsage usage;
   trace::TraceRecorder recorder;
   trace::TraceRecorder* rec = (mode != SimMode::kSimulate || netcfg.overlap ||
-                               !trace_out.empty())
+                               !trace_out.empty() || !events_out.empty())
                                   ? &recorder
                                   : nullptr;
+  // The event log rides the trace replay; explain and net-report collect
+  // one internally even without --events-out (attribution / peak + p99
+  // columns). A null log costs the simulators nothing.
+  obs::EventLog event_log;
+  obs::EventLog* events = (mode == SimMode::kExplain ||
+                           mode == SimMode::kNetReport || !events_out.empty())
+                              ? &event_log
+                              : nullptr;
   // The partition wall time only feeds the trace; without a recorder the
   // timer stays in its disabled null mode and never touches the clock.
   WallTimer partition_timer =
@@ -655,7 +811,7 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
     }
     DistGnnEpochReport r =
         SimulateDistGnnEpoch(BuildDistGnnWorkload(*graph, *parts), config,
-                             cluster, rec, &fabric, &usage);
+                             cluster, rec, &fabric, &usage, events);
     std::cout << "full-batch epoch " << r.epoch_seconds * 1e3 << " ms"
               << " (fwd " << r.forward_seconds * 1e3 << ", bwd "
               << r.backward_seconds * 1e3 << "), network "
@@ -700,8 +856,8 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
         return Fail(st);
       }
     }
-    DistDglEpochReport r =
-        SimulateDistDglEpoch(*profile, config, cluster, rec, &fabric, &usage);
+    DistDglEpochReport r = SimulateDistDglEpoch(*profile, config, cluster, rec,
+                                                &fabric, &usage, events);
     std::cout << "mini-batch epoch " << r.epoch_seconds * 1e3
               << " ms (sampling " << r.sampling_seconds * 1e3 << ", fetch "
               << r.feature_seconds * 1e3 << ", fwd " << r.forward_seconds * 1e3
@@ -718,8 +874,41 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
     }
   }
 
+  if (events != nullptr) {
+    // Cross-layer integrity before anything is printed or written: the
+    // event stream must be well-formed, bit-equal to the trace spans, and
+    // its attribution must close the component-sum identity.
+    if (Status st = check::ValidateEventLog(event_log); !st.ok()) {
+      return Fail(st);
+    }
+    if (Status st = check::CheckEventSpansMatchTrace(event_log, recorder);
+        !st.ok()) {
+      return Fail(st);
+    }
+    if (Status st = check::CheckEventAttribution(event_log); !st.ok()) {
+      return Fail(st);
+    }
+  }
+  if (!events_out.empty()) {
+    // The meta pairs deliberately exclude anything thread- or
+    // machine-dependent: the file is byte-identical for every --threads N.
+    Status st = obs::WriteEventsFile(event_log, events_out,
+                                     {{"tool", "gnnpart_cli"},
+                                      {"graph", pos[0]},
+                                      {"partitioner", name},
+                                      {"k", std::to_string(k)},
+                                      {"seed", std::to_string(seed)}});
+    if (!st.ok()) return Fail(st);
+    size_t records = event_log.run_events().size();
+    for (const obs::EpochEvents& ep : event_log.epochs()) {
+      records += ep.events.size();
+    }
+    std::cout << "events: " << events_out << " (" << records << " records, "
+              << event_log.links().size() << " links, "
+              << event_log.epochs().size() << " epoch(s))\n";
+  }
   if (!trace_out.empty()) {
-    Status st = trace::WriteTraceFile(recorder, trace_out);
+    Status st = trace::WriteTraceFile(recorder, trace_out, events);
     if (!st.ok()) return Fail(st);
     std::cout << "trace: " << trace_out << " (" << recorder.spans().size()
               << " spans, " << recorder.steps() << " steps, "
@@ -746,9 +935,21 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
         return Fail(st);
       }
       net::RecordUsageMetrics(fabric, usage);
+      // The event log's link time series yields per-link peak and p99
+      // utilization (time-weighted, idle time included) on top of the
+      // aggregate byte/busy accounting.
+      Result<trace::ExplainReport> xr = trace::ComputeExplain(event_log);
+      if (!xr.ok()) return Fail(xr.status());
+      std::vector<double> peak(fabric.links().size(), 0.0);
+      std::vector<double> p99(fabric.links().size(), 0.0);
+      for (const trace::LinkContention& lc : xr->links) {
+        peak[static_cast<size_t>(lc.link)] = lc.peak_utilization;
+        p99[static_cast<size_t>(lc.link)] = lc.p99_utilization;
+      }
       std::cout << "\n--- network: " << netcfg.Summary() << " ---\n";
       const double epoch_end = recorder.epoch_end();
-      TablePrinter links({"link", "MB", "busy ms", "util %"});
+      TablePrinter links({"link", "MB", "busy ms", "util %", "peak %",
+                          "p99 %"});
       for (size_t l = 0; l < fabric.links().size(); ++l) {
         const double busy = usage.link_busy_seconds[l];
         links.AddRow({fabric.links()[l].name,
@@ -756,7 +957,9 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
                       TablePrinter::Fmt(busy * 1e3, 3),
                       TablePrinter::Fmt(
                           epoch_end > 0 ? 100.0 * busy / epoch_end : 0.0,
-                          1)});
+                          1),
+                      TablePrinter::Fmt(100.0 * peak[l], 1),
+                      TablePrinter::Fmt(100.0 * p99[l], 1)});
       }
       links.Print(std::cout);
       std::cout << "\n--- overlap-adjusted straggler blame ---\n";
@@ -783,6 +986,9 @@ int RunSimulation(const std::vector<std::string>& args, SimMode mode) {
     trace::BlameTable(recorder).Print(std::cout);
     std::cout << "\n--- most expensive steps ---\n";
     trace::TopStepsTable(recorder).Print(std::cout);
+  }
+  if (mode == SimMode::kExplain) {
+    return FinishExplain(event_log, args);
   }
   return 0;
 }
@@ -811,6 +1017,7 @@ int CmdDynRun(const std::vector<std::string>& args) {
        {"--directed", false},
        {"--seed", true},
        {"--trace-out", true},
+       {"--events-out", true},
        {"--topology", true},
        {"--oversubscription", true},
        {"--rack-size", true},
@@ -869,11 +1076,17 @@ int CmdDynRun(const std::vector<std::string>& args) {
   config.metrics_prefix = "dyn/" + spec.display;
 
   const std::string trace_out = StringFlagValue(args, "--trace-out");
+  const std::string events_out = StringFlagValue(args, "--events-out");
   trace::TraceRecorder recorder;
-  trace::TraceRecorder* rec = trace_out.empty() ? nullptr : &recorder;
+  // The event log rides the trace replay, so --events-out forces a
+  // recorder even when no trace file was requested.
+  trace::TraceRecorder* rec =
+      (trace_out.empty() && events_out.empty()) ? nullptr : &recorder;
+  obs::EventLog event_log;
+  obs::EventLog* events = events_out.empty() ? nullptr : &event_log;
 
   Result<dyn::DynReport> report =
-      dyn::RunDynamic(*graph, spec, k, config, rec);
+      dyn::RunDynamic(*graph, spec, k, config, rec, events);
   if (!report.ok()) return Fail(report.status());
 
   TablePrinter table({"batch", "edges", "vertices",
@@ -902,8 +1115,39 @@ int CmdDynRun(const std::vector<std::string>& args) {
             << (spec.vertex_mode ? "cut " : "rf ")
             << TablePrinter::Fmt(report->final_quality, 4) << "\n";
 
-  if (rec != nullptr) {
-    Status st = trace::WriteTraceFile(recorder, trace_out);
+  if (events != nullptr) {
+    if (Status st = check::ValidateEventLog(event_log); !st.ok()) {
+      return Fail(st);
+    }
+    // The recorder holds the final batch's epoch; the log's last epoch
+    // must be its bit-equal event-stream twin.
+    if (Status st = check::CheckEventSpansMatchTrace(event_log, recorder);
+        !st.ok()) {
+      return Fail(st);
+    }
+    if (Status st = check::CheckEventAttribution(event_log); !st.ok()) {
+      return Fail(st);
+    }
+  }
+  if (!events_out.empty()) {
+    Status st = obs::WriteEventsFile(
+        event_log, events_out,
+        {{"tool", "gnnpart_cli"},
+         {"graph", pos[0]},
+         {"partitioner", spec.display},
+         {"k", std::to_string(k)},
+         {"seed", std::to_string(config.seed)}});
+    if (!st.ok()) return Fail(st);
+    size_t records = event_log.run_events().size();
+    for (const obs::EpochEvents& ep : event_log.epochs()) {
+      records += ep.events.size();
+    }
+    std::cout << "events: " << events_out << " (" << records << " records, "
+              << event_log.links().size() << " links, "
+              << event_log.epochs().size() << " epoch(s))\n";
+  }
+  if (!trace_out.empty()) {
+    Status st = trace::WriteTraceFile(recorder, trace_out, events);
     if (!st.ok()) return Fail(st);
     std::cout << "trace: " << trace_out << " (" << recorder.spans().size()
               << " spans)\n";
@@ -959,6 +1203,10 @@ int CmdNetReport(const std::vector<std::string>& args) {
   return RunSimulation(args, SimMode::kNetReport);
 }
 
+int CmdExplain(const std::vector<std::string>& args) {
+  return RunSimulation(args, SimMode::kExplain);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1012,6 +1260,7 @@ int main(int argc, char** argv) {
   else if (cmd == "simulate") rc = CmdSimulate(args);
   else if (cmd == "trace-report") rc = CmdTraceReport(args);
   else if (cmd == "net-report") rc = CmdNetReport(args);
+  else if (cmd == "explain") rc = CmdExplain(args);
   else if (cmd == "dyn-run") rc = CmdDynRun(args);
   else if (cmd == "metrics") rc = CmdMetrics(args);
   else {
