@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <string>
 
 #include "common/stats.h"
@@ -1004,6 +1005,174 @@ Status ValidateMigrationPlan(const std::vector<PartitionId>& before,
   return Status::Ok();
 }
 
+Status ValidateServeRequests(const std::vector<serve::ServeRequest>& requests,
+                             const serve::RequestGenConfig& config,
+                             const VertexPartitioning& owners) {
+  constexpr const char* kName = "serve/request-order";
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const serve::ServeRequest& req = requests[i];
+    const std::string at = " at request " + std::to_string(i);
+    if (req.id != i) {
+      return Violation(kName, "id " + std::to_string(req.id) +
+                                  " is not sequential" + at);
+    }
+    if (!std::isfinite(req.arrival) || req.arrival < 0 ||
+        req.arrival >= config.duration) {
+      return Violation(kName, "arrival " + std::to_string(req.arrival) +
+                                  " outside [0, duration)" + at);
+    }
+    if (i > 0 && requests[i - 1].arrival > req.arrival) {
+      return Violation(kName, "arrivals run backwards" + at);
+    }
+    if (req.ego >= owners.assignment.size()) {
+      return Violation(kName, "ego vertex " + std::to_string(req.ego) +
+                                  " outside the graph" + at);
+    }
+    if (req.home != owners.assignment[req.ego]) {
+      return Violation(kName, "home partition " + std::to_string(req.home) +
+                                  " is not the ego's owner" + at);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateServeBatches(const std::vector<serve::ServeRequest>& requests,
+                            const std::vector<serve::ServeBatch>& batches,
+                            PartitionId k, const serve::BatchConfig& config) {
+  constexpr const char* kName = "serve/batch-shape";
+  std::vector<uint32_t> placed(requests.size(), 0);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const serve::ServeBatch& batch = batches[b];
+    const std::string at = " at batch " + std::to_string(b);
+    if (batch.id != b) {
+      return Violation(kName, "batch id " + std::to_string(batch.id) +
+                                  " is not sequential" + at);
+    }
+    if (batch.part >= k) {
+      return Violation(kName, "partition " + std::to_string(batch.part) +
+                                  " outside [0, k)" + at);
+    }
+    if (batch.members.empty() || batch.members.size() > config.max_batch) {
+      return Violation(kName, "size " + std::to_string(batch.members.size()) +
+                                  " outside [1, max_batch]" + at);
+    }
+    if (b > 0 && batches[b - 1].dispatch > batch.dispatch) {
+      return Violation(kName, "dispatch instants run backwards" + at);
+    }
+    double oldest = std::numeric_limits<double>::infinity();
+    for (uint32_t m : batch.members) {
+      if (m >= requests.size()) {
+        return Violation(kName, "member " + std::to_string(m) +
+                                    " outside the request trace" + at);
+      }
+      ++placed[m];
+      if (requests[m].home != batch.part) {
+        return Violation(kName, "member " + std::to_string(m) +
+                                    " homed on another partition" + at);
+      }
+      if (requests[m].arrival > batch.dispatch) {
+        return Violation(kName, "member " + std::to_string(m) +
+                                    " arrives after the dispatch" + at);
+      }
+      oldest = std::min(oldest, requests[m].arrival);
+    }
+    if (batch.dispatch > oldest + config.max_wait) {
+      return Violation(kName, "dispatch exceeds the oldest member's grace" +
+                                  at);
+    }
+  }
+  for (size_t i = 0; i < placed.size(); ++i) {
+    if (placed[i] != 1) {
+      return Violation(kName, "request " + std::to_string(i) + " placed in " +
+                                  std::to_string(placed[i]) +
+                                  " batches (expected exactly 1)");
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// The serve report's exact-quantile rule re-derived independently: the
+// smallest sorted element with at least ceil(q * n) values at or below it.
+double ServeQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+Status ValidateServeReport(const std::vector<serve::ServeRequest>& requests,
+                           const std::vector<serve::ServeBatch>& batches,
+                           const serve::ServeReport& report) {
+  constexpr const char* kName = "serve/latency-accounting";
+  if (report.requests != requests.size() ||
+      report.latencies.size() != requests.size()) {
+    return Violation(kName,
+                     "report covers " + std::to_string(report.requests) +
+                         " requests with " +
+                         std::to_string(report.latencies.size()) +
+                         " latencies, trace has " +
+                         std::to_string(requests.size()));
+  }
+  if (report.batches != batches.size() ||
+      report.outcomes.size() != batches.size()) {
+    return Violation(kName, "report covers " + std::to_string(report.batches) +
+                                " batches, batcher produced " +
+                                std::to_string(batches.size()));
+  }
+  double queue = 0;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const serve::ServeBatch& batch = batches[b];
+    const serve::BatchOutcome& out = report.outcomes[b];
+    const std::string at = " at batch " + std::to_string(b);
+    if (!std::isfinite(out.completion) || out.completion < batch.dispatch) {
+      return Violation(kName, "completion precedes the dispatch" + at);
+    }
+    for (uint32_t m : batch.members) {
+      const double latency = report.latencies[requests[m].id];
+      if (!std::isfinite(latency) ||
+          latency != out.completion - requests[m].arrival) {
+        return Violation(kName,
+                         "request " + std::to_string(m) +
+                             " latency does not equal completion - arrival" +
+                             at);
+      }
+      const double wait = batch.dispatch - requests[m].arrival;
+      if (!(wait >= 0) || latency < wait) {
+        return Violation(kName, "request " + std::to_string(m) +
+                                    " latency below its queue wait" + at);
+      }
+      queue += wait;
+    }
+  }
+  if (queue != report.queue_seconds) {
+    return Violation(kName,
+                     "queue_seconds " + std::to_string(report.queue_seconds) +
+                         " != batch-order re-sum " + std::to_string(queue));
+  }
+  std::vector<double> sorted = report.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  if (report.latency.p50 != ServeQuantile(sorted, 0.50) ||
+      report.latency.p95 != ServeQuantile(sorted, 0.95) ||
+      report.latency.p99 != ServeQuantile(sorted, 0.99) ||
+      report.latency.max != (sorted.empty() ? 0 : sorted.back())) {
+    return Violation(kName,
+                     "quantiles disagree with the sorted latency vector");
+  }
+  if (!(report.congestion_seconds >= 0) ||
+      !std::isfinite(report.congestion_seconds) ||
+      !std::isfinite(report.compute_seconds) ||
+      !std::isfinite(report.network_seconds) ||
+      !(report.network_bytes >= 0)) {
+    return Violation(kName, "malformed attribution totals");
+  }
+  return Status::Ok();
+}
+
 namespace {
 
 bool KnownPhaseName(const std::string& name) {
@@ -1011,6 +1180,13 @@ bool KnownPhaseName(const std::string& name) {
     if (name == trace::PhaseName(static_cast<trace::Phase>(i))) return true;
   }
   return false;
+}
+
+// Phase vocabulary of a "serve" epoch (request life stages; "queue" has no
+// trace::Phase counterpart).
+bool KnownServePhaseName(const std::string& name) {
+  return name == "queue" || name == "sampling" || name == "feature" ||
+         name == "forward";
 }
 
 }  // namespace
@@ -1043,10 +1219,14 @@ Status ValidateEventLog(const obs::EventLog& log) {
   for (size_t i = 0; i < log.epochs().size(); ++i) {
     const obs::EpochEvents& ep = log.epochs()[i];
     const std::string at = " in epoch " + std::to_string(i);
-    if (ep.sim != "distdgl" && ep.sim != "distgnn") {
+    if (ep.sim != "distdgl" && ep.sim != "distgnn" && ep.sim != "serve") {
       return Violation("obs/event-shape",
                        "unknown simulator '" + ep.sim + "'" + at);
     }
+    const bool serve_epoch = ep.sim == "serve";
+    const auto phase_known = [&](const std::string& name) {
+      return serve_epoch ? KnownServePhaseName(name) : KnownPhaseName(name);
+    };
     if (ep.steps == 0 || ep.workers == 0 || ep.grain == 0) {
       return Violation("obs/event-shape",
                        "epoch shape with a zero dimension" + at);
@@ -1065,7 +1245,7 @@ Status ValidateEventLog(const obs::EventLog& log) {
             return Violation("obs/event-shape",
                              "span outside the epoch shape" + where);
           }
-          if (!KnownPhaseName(e.phase)) {
+          if (!phase_known(e.phase)) {
             return Violation("obs/event-shape",
                              "unknown phase '" + e.phase + "'" + where);
           }
@@ -1088,7 +1268,7 @@ Status ValidateEventLog(const obs::EventLog& log) {
             return Violation("obs/event-shape",
                              "flow endpoints outside the epoch shape" + where);
           }
-          if (!KnownPhaseName(e.phase)) {
+          if (!phase_known(e.phase)) {
             return Violation("obs/event-shape",
                              "unknown phase '" + e.phase + "'" + where);
           }
@@ -1222,11 +1402,14 @@ Status CheckEventAttribution(const obs::EventLog& log) {
                      "components do not sum to the total bit-exactly");
   }
   const double tolerance = 1e-6 * std::max(1.0, rep.total_seconds);
-  if (std::abs(rep.wait_seconds - rep.uncontended_comm_seconds) > tolerance) {
+  // In "serve" epochs the barrier wait also absorbs request queueing time
+  // (zero everywhere else), so the cross-check target is their sum.
+  const double expected_wait = rep.uncontended_comm_seconds + rep.queue_seconds;
+  if (std::abs(rep.wait_seconds - expected_wait) > tolerance) {
     return Violation(kName,
                      "solved wait " + std::to_string(rep.wait_seconds) +
-                         " disagrees with uncontended comm " +
-                         std::to_string(rep.uncontended_comm_seconds) +
+                         " disagrees with uncontended comm + queueing " +
+                         std::to_string(expected_wait) +
                          " beyond FP grouping tolerance");
   }
   return Status::Ok();

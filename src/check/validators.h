@@ -17,6 +17,9 @@
 #include "partition/partitioning.h"
 #include "partition/split_merge.h"
 #include "sampling/block_sampler.h"
+#include "serve/batcher.h"
+#include "serve/serve.h"
+#include "serve/workload.h"
 #include "sim/distdgl_sim.h"
 #include "sim/distgnn_sim.h"
 #include "trace/trace.h"
@@ -160,14 +163,39 @@ Status ValidateMigrationPlan(const std::vector<PartitionId>& before,
                              uint64_t bytes_per_replica,
                              const dyn::MigrationPlan& plan);
 
+/// Serving request-trace integrity ("serve/request-order"): sequential
+/// ids, non-decreasing arrivals inside [0, duration), ego vertices within
+/// the graph, and every request homed at its ego's owning partition.
+Status ValidateServeRequests(const std::vector<serve::ServeRequest>& requests,
+                             const serve::RequestGenConfig& config,
+                             const VertexPartitioning& owners);
+
+/// Batching integrity ("serve/batch-shape"): sequential batch ids in
+/// non-decreasing dispatch order, every request in exactly one batch, all
+/// members sharing the batch's partition, batch sizes in [1, max_batch],
+/// and each dispatch within [newest member arrival, oldest + max_wait].
+Status ValidateServeBatches(const std::vector<serve::ServeRequest>& requests,
+                            const std::vector<serve::ServeBatch>& batches,
+                            PartitionId k, const serve::BatchConfig& config);
+
+/// Serving-report accounting ("serve/latency-accounting"): one finite
+/// latency per request equal to its batch's completion minus its arrival
+/// (so batch members share a completion instant), latency >= queue wait
+/// >= 0, queue_seconds re-summed in batch emission order bit-exactly, and
+/// the exact quantiles re-derived from the sorted latencies bit-exactly.
+Status ValidateServeReport(const std::vector<serve::ServeRequest>& requests,
+                           const std::vector<serve::ServeBatch>& batches,
+                           const serve::ServeReport& report);
+
 /// Causal-event-log integrity (DESIGN.md §14). Checks, in order: record
-/// shape — known simulator and phase names, steps/workers declared and
-/// respected, link ids within the declared fabric, flow endpoints in range
-/// ("obs/event-shape") — then time semantics: finite non-negative span
-/// durations with comm shares in [0, dur], flow windows ordered
-/// t0 <= t1f <= t1, and per (epoch, link) utilization samples with
-/// non-negative rates, at least one active flow, and monotone
-/// non-overlapping intervals ("obs/event-time").
+/// shape — known simulator and phase names (training epochs use the trace
+/// phase vocabulary; "serve" epochs use queue/sampling/feature/forward),
+/// steps/workers declared and respected, link ids within the declared
+/// fabric, flow endpoints in range ("obs/event-shape") — then time
+/// semantics: finite non-negative span durations with comm shares in
+/// [0, dur], flow windows ordered t0 <= t1f <= t1, and per (epoch, link)
+/// utilization samples with non-negative rates, at least one active flow,
+/// and monotone non-overlapping intervals ("obs/event-time").
 Status ValidateEventLog(const obs::EventLog& log);
 
 /// Trace/event cross-layer sync ("obs/event-span-sync"): the log's last
@@ -181,7 +209,8 @@ Status CheckEventSpansMatchTrace(const obs::EventLog& log,
 /// components must be finite, congestion non-negative, satisfy
 /// total == ((compute + wait) + congestion) + migration bit-exactly, and
 /// the solved wait must agree with the independently summed uncontended
-/// communication within 1e-6 relative (they differ only by FP grouping).
+/// communication plus queueing time within 1e-6 relative (they differ
+/// only by FP grouping; queueing exists only in "serve" epochs).
 Status CheckEventAttribution(const obs::EventLog& log);
 
 }  // namespace check

@@ -38,6 +38,24 @@ inline long ParseNonNegativeInt(const char* s,
   return v;
 }
 
+/// Parses a strictly positive finite double in (0, max]. Returns -1.0 when
+/// `s` is null, empty, non-numeric, has trailing garbage, is not finite
+/// (inf/nan/overflow), or is <= 0 or > max. Used by fractional flags
+/// (--rf-threshold, --migration-penalty, --initial-fraction,
+/// --arrival-rate, --batch-wait, --serve-weight).
+inline double ParsePositiveDouble(
+    const char* s, double max = std::numeric_limits<double>::max()) {
+  if (s == nullptr || *s == '\0') return -1.0;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return -1.0;
+  // `!(v > 0)` also rejects NaN; `!(v <= max)` also rejects +inf (strtod
+  // reports overflow as HUGE_VAL with errno ERANGE, but be explicit).
+  if (!(v > 0) || !(v <= max)) return -1.0;
+  return v;
+}
+
 }  // namespace gnnpart
 
 #endif  // GNNPART_COMMON_FLAGS_H_

@@ -1,6 +1,7 @@
 #include "net/flowsim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <utility>
@@ -14,22 +15,38 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Max-min fair-share allocation (progressive water-filling) over the
-/// active flows. Deterministic: the bottleneck link is the strict minimum
-/// of capacity/flows with ties broken on the lowest link index, and flows
-/// are fixed in ascending active-set order.
+/// Weighted max-min fair-share allocation (progressive water-filling) over
+/// the active flows: a link's per-weight-unit share is capacity / (sum of
+/// crossing flow weights), and a flow crossing the bottleneck receives
+/// `share * weight`. Deterministic: the bottleneck link is the strict
+/// minimum of capacity/weight-sum with ties broken on the lowest link
+/// index, and flows are fixed in ascending active-set order.
+///
+/// Bit-exactness with the historical unweighted engine: with every weight
+/// at 1.0 each weight sum is a sum of exact 1.0s — the same double the
+/// integer flow count converts to — and `share * 1.0 == share`, so every
+/// division, subtraction and assigned rate is bitwise the unweighted
+/// arithmetic. The integer `nflows` count stays alongside the weight sums
+/// as the crossing-flows guard so an emptied link is skipped exactly, not
+/// via a residue-prone `wsum > 0` comparison.
 void FairShareRates(const std::vector<Link>& links,
                     const std::vector<Flow>& flows,
                     const std::vector<size_t>& active,
                     std::vector<double>* rates, std::vector<double>* cap,
-                    std::vector<int>* nflows, std::vector<char>* assigned) {
+                    std::vector<int>* nflows, std::vector<double>* wsum,
+                    std::vector<char>* assigned) {
   const size_t n = active.size();
   rates->assign(n, 0.0);
   cap->resize(links.size());
   nflows->assign(links.size(), 0);
+  wsum->assign(links.size(), 0.0);
   for (size_t l = 0; l < links.size(); ++l) (*cap)[l] = links[l].capacity;
   for (size_t i = 0; i < n; ++i) {
-    for (int l : flows[active[i]].links) ++(*nflows)[static_cast<size_t>(l)];
+    const Flow& f = flows[active[i]];
+    for (int l : f.links) {
+      ++(*nflows)[static_cast<size_t>(l)];
+      (*wsum)[static_cast<size_t>(l)] += f.weight;
+    }
   }
   assigned->assign(n, 0);
   size_t left = n;
@@ -38,7 +55,7 @@ void FairShareRates(const std::vector<Link>& links,
     double fair = 0;
     for (size_t l = 0; l < links.size(); ++l) {
       if ((*nflows)[l] == 0) continue;
-      const double share = (*cap)[l] / (*nflows)[l];
+      const double share = (*cap)[l] / (*wsum)[l];
       if (bottleneck < 0 || share < fair) {
         bottleneck = static_cast<int>(l);
         fair = share;
@@ -57,12 +74,13 @@ void FairShareRates(const std::vector<Link>& links,
         }
       }
       if (!crosses) continue;
-      (*rates)[i] = fair;
+      (*rates)[i] = fair * f.weight;
       (*assigned)[i] = 1;
       --left;
       for (int l : f.links) {
-        (*cap)[static_cast<size_t>(l)] -= fair;
+        (*cap)[static_cast<size_t>(l)] -= fair * f.weight;
         --(*nflows)[static_cast<size_t>(l)];
+        (*wsum)[static_cast<size_t>(l)] -= f.weight;
       }
     }
   }
@@ -102,6 +120,8 @@ std::vector<double> SimulateFlows(const Fabric& fabric,
     GNNPART_CHECK_CHEAP(!f.links.empty(), "net/flow: flow without links");
     GNNPART_CHECK_CHEAP(f.bytes >= 0 && f.start >= 0 && f.latency_rounds >= 0,
                         "net/flow: negative bytes, start or rounds");
+    GNNPART_CHECK_CHEAP(std::isfinite(f.weight) && f.weight > 0,
+                        "net/flow: weight must be finite and positive");
     for (int l : f.links) {
       GNNPART_CHECK_CHEAP(l >= 0 && static_cast<size_t>(l) < links.size(),
                           "net/flow: link index out of range");
@@ -129,6 +149,7 @@ std::vector<double> SimulateFlows(const Fabric& fabric,
   std::vector<Anchor> anchors;        // parallel to `active`
   std::vector<double> rates, cap;     // FairShareRates scratch
   std::vector<int> nflows;
+  std::vector<double> wsum;
   std::vector<char> assigned;
   std::vector<char> link_active;
   std::vector<double> link_rate;      // per-interval sample scratch
@@ -159,7 +180,8 @@ std::vector<double> SimulateFlows(const Fabric& fabric,
     }
 
     // Reallocate bandwidth; re-anchor only flows whose rate changed.
-    FairShareRates(links, flows, active, &rates, &cap, &nflows, &assigned);
+    FairShareRates(links, flows, active, &rates, &cap, &nflows, &wsum,
+                   &assigned);
     for (size_t i = 0; i < active.size(); ++i) {
       Anchor& a = anchors[i];
       if (a.rate == rates[i]) continue;
@@ -263,6 +285,40 @@ std::vector<double> SimulateFlows(const Fabric& fabric,
   return completion;
 }
 
+size_t AppendHostFlows(const Fabric& fabric, int host, double start,
+                       double bytes, double rounds, double weight,
+                       std::vector<Flow>* flows) {
+  if (bytes <= 0) return 0;
+  const std::vector<Route>& routes = fabric.HostRoutes(host);
+  const uint32_t host_weight = fabric.HostWeight(host);
+  const size_t before = flows->size();
+  double split = 0;
+  for (size_t r = 0; r < routes.size(); ++r) {
+    // The last route takes the remainder, so the host's flow bytes sum
+    // to `bytes` exactly — and a single-route host (every host on
+    // full-bisection) carries its bytes unsplit.
+    double share;
+    if (r + 1 == routes.size()) {
+      share = bytes - split;
+      if (share < 0) share = 0;
+    } else {
+      share = bytes * routes[r].weight / host_weight;
+      split += share;
+    }
+    if (share <= 0) continue;
+    Flow flow;
+    flow.host = host;
+    flow.dst = routes[r].dst;
+    flow.start = start;
+    flow.bytes = share;
+    flow.latency_rounds = rounds;
+    flow.weight = weight;
+    flow.links = routes[r].links;
+    flows->push_back(std::move(flow));
+  }
+  return flows->size() - before;
+}
+
 std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
                                   LinkUsage* usage, PhaseLog* log) {
   const size_t hosts = static_cast<size_t>(fabric.num_hosts());
@@ -290,32 +346,9 @@ std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
     // finish times can only meet or exceed it.
     completion[h] = spec.start[h] + spec.rounds[h] * latency;
     if (spec.bytes[h] <= 0) continue;
-    const std::vector<Route>& routes = fabric.HostRoutes(static_cast<int>(h));
-    const uint32_t weight = fabric.HostWeight(static_cast<int>(h));
     flow_range[h].first = flows.size();
-    double split = 0;
-    for (size_t r = 0; r < routes.size(); ++r) {
-      // The last route takes the remainder, so the host's flow bytes sum
-      // to spec.bytes[h] exactly — and a single-route host (every host on
-      // full-bisection) carries its bytes unsplit.
-      double share;
-      if (r + 1 == routes.size()) {
-        share = spec.bytes[h] - split;
-        if (share < 0) share = 0;
-      } else {
-        share = spec.bytes[h] * routes[r].weight / weight;
-        split += share;
-      }
-      if (share <= 0) continue;
-      Flow flow;
-      flow.host = static_cast<int>(h);
-      flow.dst = routes[r].dst;
-      flow.start = spec.start[h];
-      flow.bytes = share;
-      flow.latency_rounds = spec.rounds[h];
-      flow.links = routes[r].links;
-      flows.push_back(std::move(flow));
-    }
+    AppendHostFlows(fabric, static_cast<int>(h), spec.start[h], spec.bytes[h],
+                    spec.rounds[h], /*weight=*/1.0, &flows);
     flow_range[h].second = flows.size();
   }
 

@@ -40,6 +40,15 @@ struct Flow {
   double start = 0;
   double bytes = 0;
   double latency_rounds = 0;
+  /// Weighted max-min fair share: on a contended link a flow receives
+  /// `weight / (sum of crossing weights)` of the bottleneck capacity.
+  /// Must be finite and > 0. With every weight at 1.0 the arithmetic is
+  /// bit-identical to the unweighted engine (the weight sums are the
+  /// integer flow counts and `fair * 1.0` is exact), which is what pins
+  /// all the pre-existing net_test closed forms. gnnpart::serve uses
+  /// weights > 1 so latency-critical serving flows preempt bulk
+  /// co-tenant training traffic (DESIGN.md §15).
+  double weight = 1.0;
   std::vector<int> links;
 };
 
@@ -123,6 +132,18 @@ struct PhaseSpec {
 /// (start + bytes/B) + rounds*latency for every host.
 std::vector<double> SimulatePhase(const Fabric& fabric, const PhaseSpec& spec,
                                   LinkUsage* usage, PhaseLog* log = nullptr);
+
+/// Expands `bytes` of egress from `host` onto the fabric's routes and
+/// appends the resulting flows (eligible at `start`, charged `rounds`
+/// latency rounds, fair-share weight `weight`) to `*flows`. Returns the
+/// number of flows appended. This is exactly SimulatePhase's route
+/// expansion — multi-route hosts split bytes by route weight with the
+/// last route taking the remainder, so the shares sum to `bytes` bitwise —
+/// exposed so callers (gnnpart::serve) can pool flows from many logical
+/// phases into one SimulateFlows run on a shared fabric.
+size_t AppendHostFlows(const Fabric& fabric, int host, double start,
+                       double bytes, double rounds, double weight,
+                       std::vector<Flow>* flows);
 
 /// Completion instant of the phase's barrier: the max over hosts of
 /// SimulatePhase's per-host completion times (0 when the fabric has no

@@ -86,7 +86,7 @@ struct Event {
 
 /// One simulated epoch: header + its records in emission order.
 struct EpochEvents {
-  std::string sim;  // "distdgl" | "distgnn"
+  std::string sim;  // "distdgl" | "distgnn" | "serve"
   uint32_t steps = 0;
   uint32_t workers = 0;
   uint32_t grain = 0;  // ChunkedSum grain of the epoch reconstruction

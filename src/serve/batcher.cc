@@ -1,0 +1,74 @@
+#include "serve/batcher.h"
+
+#include <limits>
+#include <utility>
+
+#include "check/check.h"
+
+namespace gnnpart {
+namespace serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::vector<ServeBatch> BatchRequests(const std::vector<ServeRequest>& requests,
+                                      PartitionId k,
+                                      const BatchConfig& config) {
+  GNNPART_CHECK_CHEAP(k > 0, "serve/batcher: k must be positive");
+  GNNPART_CHECK_CHEAP(config.max_batch >= 1 && config.max_wait >= 0,
+                      "serve/batcher: max_batch >= 1 and max_wait >= 0");
+  std::vector<ServeBatch> batches;
+  std::vector<std::vector<uint32_t>> queues(k);
+  // Deadline of each non-empty queue: front arrival + max_wait.
+  std::vector<double> deadline(k, kInf);
+
+  auto dispatch = [&](PartitionId p, double when) {
+    ServeBatch batch;
+    batch.id = batches.size();
+    batch.part = p;
+    batch.dispatch = when;
+    batch.members = std::move(queues[p]);
+    queues[p].clear();
+    deadline[p] = kInf;
+    batches.push_back(std::move(batch));
+  };
+
+  // Flushes every queue whose deadline is strictly before `horizon`, in
+  // (deadline, partition id) order — the deterministic expiry sequence.
+  auto flush_before = [&](double horizon) {
+    for (;;) {
+      PartitionId arg = k;
+      double best = horizon;
+      for (PartitionId p = 0; p < k; ++p) {
+        if (deadline[p] < best) {
+          best = deadline[p];
+          arg = p;
+        }
+      }
+      if (arg == k) break;
+      dispatch(arg, deadline[arg]);
+    }
+  };
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ServeRequest& req = requests[i];
+    GNNPART_CHECK_CHEAP(req.home < k, "serve/batcher: request home out of range");
+    GNNPART_CHECK_CHEAP(i == 0 || requests[i - 1].arrival <= req.arrival,
+                        "serve/batcher: requests not sorted by arrival");
+    // A queue whose grace expired before this arrival dispatches first;
+    // one expiring exactly now still admits this request (and every other
+    // same-instant arrival) before the deadline fires.
+    flush_before(req.arrival);
+    std::vector<uint32_t>& queue = queues[req.home];
+    if (queue.empty()) deadline[req.home] = req.arrival + config.max_wait;
+    queue.push_back(static_cast<uint32_t>(i));
+    if (queue.size() >= config.max_batch) dispatch(req.home, req.arrival);
+  }
+  flush_before(kInf);
+  return batches;
+}
+
+}  // namespace serve
+}  // namespace gnnpart

@@ -1,0 +1,50 @@
+#ifndef GNNPART_SERVE_BATCHER_H_
+#define GNNPART_SERVE_BATCHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "serve/workload.h"
+
+namespace gnnpart {
+namespace serve {
+
+/// Per-partition request batching (DESIGN.md §15). Each partition keeps a
+/// FIFO of waiting requests; a batch dispatches the moment the queue
+/// reaches `max_batch` requests, or when the oldest waiting request has
+/// waited `max_wait` seconds — whichever comes first. The scan is serial
+/// over the (already deterministic) arrival trace, so batch ids and
+/// dispatch instants are byte-identical across thread counts.
+struct BatchConfig {
+  size_t max_batch = 8;     // >= 1: dispatch when a queue reaches this size
+  double max_wait = 0.002;  // >= 0 seconds; 0 = dispatch on arrival
+};
+
+/// One dispatched batch: `members` index into the request vector in
+/// arrival order; every member shares `part` (its home partition), and the
+/// batch leaves the queue at simulated instant `dispatch`.
+struct ServeBatch {
+  uint64_t id = 0;
+  PartitionId part = 0;
+  double dispatch = 0;
+  std::vector<uint32_t> members;
+};
+
+/// Groups `requests` (sorted by arrival) into batches for `k` partitions.
+/// Every request lands in exactly one batch; batch ids are assigned in
+/// non-decreasing dispatch order (expired queues flush, lowest deadline
+/// then lowest partition first, before the arrival that outran them is
+/// admitted). A size-triggered batch dispatches at the arrival instant of
+/// the request that filled it; a wait-triggered batch dispatches at
+/// `oldest member arrival + max_wait` exactly, after every arrival at that
+/// instant was admitted.
+std::vector<ServeBatch> BatchRequests(const std::vector<ServeRequest>& requests,
+                                      PartitionId k,
+                                      const BatchConfig& config);
+
+}  // namespace serve
+}  // namespace gnnpart
+
+#endif  // GNNPART_SERVE_BATCHER_H_

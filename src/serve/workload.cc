@@ -1,0 +1,122 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "check/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace gnnpart {
+namespace serve {
+namespace {
+
+/// Expected requests per generation chunk. Small enough that modest
+/// workloads still parallelize, large enough that the per-chunk restart of
+/// the exponential gap process stays a negligible thinning.
+constexpr double kRequestsPerChunk = 64.0;
+
+}  // namespace
+
+size_t RequestChunks(const RequestGenConfig& config) {
+  const double expected = config.arrival_rate * config.duration;
+  const double chunks = std::ceil(expected / kRequestsPerChunk);
+  if (!(chunks >= 1.0)) return 1;
+  return static_cast<size_t>(chunks);
+}
+
+std::vector<ServeRequest> GenerateRequests(const RequestGenConfig& config,
+                                           const VertexPartitioning& owners) {
+  GNNPART_CHECK_CHEAP(config.arrival_rate > 0 && config.duration > 0,
+                      "serve/workload: rate and duration must be positive");
+  const size_t num_vertices = owners.assignment.size();
+  GNNPART_CHECK_CHEAP(num_vertices > 0,
+                      "serve/workload: ownership map has no vertices");
+  const size_t chunks = RequestChunks(config);
+  const Rng base(config.seed);
+
+  // Per-chunk arrival streams over disjoint windows; the chunk count and
+  // window boundaries depend only on (rate, duration), so the concatenated
+  // trace is byte-identical for every thread count.
+  std::vector<std::vector<ServeRequest>> per_chunk(chunks);
+  ParallelFor(chunks, 1, [&](size_t begin, size_t end, size_t) {
+    for (size_t c = begin; c < end; ++c) {
+      const double t_begin =
+          config.duration * static_cast<double>(c) / static_cast<double>(chunks);
+      const double t_end = config.duration * static_cast<double>(c + 1) /
+                           static_cast<double>(chunks);
+      Rng rng = base.Fork(c);
+      double t = t_begin;
+      for (;;) {
+        // Exponential gap: -log(1 - u) / rate, u in [0, 1). Non-negative
+        // (zero only at u == 0, probability 2^-53), so arrivals within a
+        // chunk are non-decreasing.
+        const double u = rng.NextDouble();
+        t += -std::log1p(-u) / config.arrival_rate;
+        if (!(t < t_end)) break;
+        ServeRequest req;
+        req.arrival = t;
+        req.ego = static_cast<VertexId>(rng.NextBounded(num_vertices));
+        req.home = owners.assignment[req.ego];
+        per_chunk[c].push_back(req);
+      }
+    }
+  });
+
+  std::vector<ServeRequest> requests;
+  for (size_t c = 0; c < chunks; ++c) {
+    for (const ServeRequest& req : per_chunk[c]) {
+      requests.push_back(req);
+      requests.back().id = requests.size() - 1;
+    }
+  }
+  return requests;
+}
+
+VertexPartitioning DeriveVertexOwnership(const Graph& graph,
+                                         const EdgePartitioning& parts) {
+  GNNPART_CHECK_CHEAP(parts.k > 0 && parts.assignment.size() == graph.num_edges(),
+                      "serve/ownership: partitioning does not match the graph");
+  const size_t n = graph.num_vertices();
+  const size_t k = parts.k;
+  std::vector<uint32_t> counts(n * k, 0);
+  const std::vector<Edge>& edges = graph.edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const PartitionId p = parts.assignment[e];
+    ++counts[static_cast<size_t>(edges[e].src) * k + p];
+    ++counts[static_cast<size_t>(edges[e].dst) * k + p];
+  }
+  VertexPartitioning owners;
+  owners.k = parts.k;
+  owners.assignment.resize(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    uint32_t best = 0;
+    PartitionId arg = 0;
+    for (size_t p = 0; p < k; ++p) {
+      const uint32_t c = counts[v * k + p];
+      if (c > best) {  // strict: ties keep the lowest partition id
+        best = c;
+        arg = static_cast<PartitionId>(p);
+      }
+    }
+    owners.assignment[v] = arg;
+  }
+  return owners;
+}
+
+std::string FormatRequestTrace(const std::vector<ServeRequest>& requests) {
+  std::string out;
+  char line[96];
+  for (const ServeRequest& req : requests) {
+    std::snprintf(line, sizeof(line), "%llu %.17g %u %u\n",
+                  static_cast<unsigned long long>(req.id), req.arrival,
+                  static_cast<unsigned>(req.ego),
+                  static_cast<unsigned>(req.home));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace gnnpart

@@ -1,0 +1,71 @@
+#ifndef GNNPART_SERVE_WORKLOAD_H_
+#define GNNPART_SERVE_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "partition/partitioning.h"
+
+namespace gnnpart {
+namespace serve {
+
+/// Open-loop inference workload generation (DESIGN.md §15): seeded
+/// Poisson-like arrivals in *simulated* time, each requesting the ego graph
+/// of one uniformly drawn vertex. Generation is chunked over the arrival
+/// window with per-chunk RNG streams (the gnnpart::par recipe), so the
+/// request trace is byte-identical for every --threads value.
+
+/// One inference request: user query `ego` arriving at simulated second
+/// `arrival`, served by the worker owning partition `home`.
+struct ServeRequest {
+  uint64_t id = 0;       // sequential in arrival order
+  double arrival = 0;    // simulated seconds in [0, duration)
+  VertexId ego = 0;      // root of the requested ego graph
+  PartitionId home = 0;  // partition owning `ego`'s features
+};
+
+/// Arrival-process parameters. The process is "Poisson-like": exponential
+/// inter-arrival gaps at `arrival_rate`, restarted at every chunk boundary
+/// so chunks are independent RNG streams (the restart slightly thins the
+/// tail of gaps that would straddle a boundary; the window partitioning
+/// depends only on (rate, duration), never on the thread count).
+struct RequestGenConfig {
+  double arrival_rate = 200.0;  // requests per simulated second, > 0
+  double duration = 1.0;        // arrival window in simulated seconds, > 0
+  uint64_t seed = 7;
+};
+
+/// Number of generation chunks — a pure function of (rate, duration), the
+/// anchor of the byte-identical-across-threads guarantee.
+size_t RequestChunks(const RequestGenConfig& config);
+
+/// Generates the request trace against `owners` (one owner per vertex).
+/// Requests are sorted by arrival (non-decreasing) with sequential ids;
+/// chunk windows are disjoint half-open intervals, so concatenation in
+/// chunk order preserves arrival order.
+std::vector<ServeRequest> GenerateRequests(const RequestGenConfig& config,
+                                           const VertexPartitioning& owners);
+
+/// Vertex ownership under an edge (vertex-cut) partitioning: a vertex is
+/// served by the partition holding most of its incident edges (ties to the
+/// lowest partition id; isolated vertices go to partition 0). This is how
+/// a vertex-cut deployment pins each user's features to one primary
+/// replica, and it is what lets serve re-rank the six edge partitioners on
+/// the same footing as the six vertex partitioners. O(|E| + |V|·k) time,
+/// O(|V|·k) scratch.
+VertexPartitioning DeriveVertexOwnership(const Graph& graph,
+                                         const EdgePartitioning& parts);
+
+/// Canonical textual form of a request trace, one line per request with
+/// %.17g arrivals — what the determinism tests and `serve-run` compare
+/// byte-for-byte across thread counts.
+std::string FormatRequestTrace(const std::vector<ServeRequest>& requests);
+
+}  // namespace serve
+}  // namespace gnnpart
+
+#endif  // GNNPART_SERVE_WORKLOAD_H_

@@ -21,6 +21,76 @@ int PhaseIndexFromName(const std::string& name) {
   return -1;
 }
 
+// Phase index inside a "serve" epoch; -1 when the name is not a serving
+// stage. "queue" is serve-only and carries no flows.
+constexpr int kNumServePhases = 4;
+int ServePhaseIndexFromName(const std::string& name) {
+  if (name == "queue") return 0;
+  if (name == "sampling") return 1;
+  if (name == "feature") return 2;
+  if (name == "forward") return 3;
+  return -1;
+}
+
+// Attribution of one "serve" epoch: no straggler chain — every batch's
+// spans decompose directly into queueing / compute / communication, and
+// each (step, stage)'s communication splits into congestion (the gap
+// between the slowest actual and slowest uncontended flow completion,
+// capped by the span's comm share) and the uncontended remainder.
+Status ExplainServeEpoch(const obs::EpochEvents& ep, EpochExplain* ee) {
+  const size_t cells =
+      static_cast<size_t>(ep.steps) * static_cast<size_t>(kNumServePhases);
+  std::vector<double> comm_of(cells, 0);
+  std::vector<double> flow_t1(cells, 0);
+  std::vector<double> flow_t1f(cells, 0);
+  std::vector<uint8_t> has_flow(cells, 0);
+  for (const obs::Event& e : ep.events) {
+    if (e.kind != obs::Event::Kind::kSpan &&
+        e.kind != obs::Event::Kind::kFlow) {
+      continue;
+    }
+    const int phase = ServePhaseIndexFromName(e.phase);
+    if (phase < 0) {
+      return Status::InvalidArgument("explain: unknown serve phase '" +
+                                     e.phase + "'");
+    }
+    if (e.step >= ep.steps || e.src < 0 ||
+        static_cast<uint32_t>(e.src) >= ep.workers) {
+      return Status::InvalidArgument("explain: record outside the epoch shape");
+    }
+    const size_t i =
+        static_cast<size_t>(e.step) * kNumServePhases + static_cast<size_t>(phase);
+    if (e.kind == obs::Event::Kind::kSpan) {
+      if (phase == 0) {
+        ee->queue_seconds += e.dur;
+      } else {
+        ee->compute_seconds += e.dur - e.comm;
+        comm_of[i] += e.comm;
+      }
+    } else if (!has_flow[i]) {
+      has_flow[i] = 1;
+      flow_t1[i] = e.t1;
+      flow_t1f[i] = e.t1_free;
+    } else {
+      flow_t1[i] = std::max(flow_t1[i], e.t1);
+      flow_t1f[i] = std::max(flow_t1f[i], e.t1_free);
+    }
+  }
+  for (size_t i = 0; i < cells; ++i) {
+    const double comm = comm_of[i];
+    double g = 0;
+    if (has_flow[i]) g = std::max(0.0, flow_t1[i] - flow_t1f[i]);
+    if (g > comm) g = comm;
+    ee->congestion_seconds += g;
+    ee->uncontended_comm_seconds += comm - g;
+  }
+  ee->epoch_seconds =
+      (ee->compute_seconds +
+       (ee->queue_seconds + ee->uncontended_comm_seconds)) +
+      ee->congestion_seconds;
+  return Status::Ok();
+}
+
 }  // namespace
 
 double SolveWait(double total, double compute, double congestion,
@@ -99,10 +169,24 @@ Result<ExplainReport> ComputeExplain(const obs::EventLog& log) {
   double compute = 0;
   double congestion = 0;
   double uncontended = 0;
+  double queue = 0;
   std::vector<double> blame;
   std::vector<uint64_t> blamed;
 
   for (const obs::EpochEvents& ep : log.epochs()) {
+    if (ep.sim == "serve") {
+      EpochExplain ee;
+      ee.sim = ep.sim;
+      GNNPART_RETURN_NOT_OK(ExplainServeEpoch(ep, &ee));
+      compute += ee.compute_seconds;
+      congestion += ee.congestion_seconds;
+      uncontended += ee.uncontended_comm_seconds;
+      queue += ee.queue_seconds;
+      rep.epochs.push_back(std::move(ee));
+      // Serving has no straggler chain; the link aggregation below still
+      // sees this epoch's flows and samples.
+      continue;
+    }
     Result<TraceRecorder> rec_res = BuildRecorderFromEvents(ep);
     GNNPART_RETURN_NOT_OK(rec_res.status());
     const TraceRecorder& rec = *rec_res;
@@ -210,6 +294,7 @@ Result<ExplainReport> ComputeExplain(const obs::EventLog& log) {
   rep.congestion_seconds = congestion;
   rep.migration_seconds = migration;
   rep.uncontended_comm_seconds = uncontended;
+  rep.queue_seconds = queue;
 
   // Per-link contention: bytes and talkers from the flows, time profile
   // from the utilization samples, idle time at zero utilization.

@@ -26,6 +26,13 @@ namespace trace {
 /// even with zero contention. Congestion is identically 0.0 (bitwise) on
 /// a full-bisection fabric because every flow then owns its bottleneck.
 ///
+/// "serve" epochs (gnnpart::serve, one step per dispatched batch) have no
+/// BSP barriers; each batch decomposes directly — queue spans into
+/// queueing, the other spans into compute (dur - comm) plus communication,
+/// and the communication into congestion (flow lateness, as above) and the
+/// uncontended remainder. Queueing rides the wait component, so the
+/// four-way sum identity below is unchanged.
+///
 /// Bit-exactness. The reported components satisfy
 ///   total == ((compute + wait) + congestion) + migration
 /// with == on doubles: `total_seconds` is defined as that component sum.
@@ -83,11 +90,17 @@ struct StragglerStat {
 /// One epoch's attribution.
 struct EpochExplain {
   std::string sim;
-  /// Reconstructed epoch seconds — bit-equal to the simulator's report.
+  /// Reconstructed epoch seconds — bit-equal to the simulator's report for
+  /// training epochs; for "serve" epochs the canonical component sum
+  /// ((compute + (queue + uncontended)) + congestion), i.e. the serialized
+  /// request critical path.
   double epoch_seconds = 0;
   double compute_seconds = 0;
   double congestion_seconds = 0;
   double uncontended_comm_seconds = 0;
+  /// Request queueing time (sum of "queue" span durations); non-zero only
+  /// in "serve" epochs, where batching holds requests before dispatch.
+  double queue_seconds = 0;
 };
 
 /// Attribution of a whole run.
@@ -98,8 +111,12 @@ struct ExplainReport {
   double wait_seconds = 0;
   double congestion_seconds = 0;
   double migration_seconds = 0;
-  /// Independent cross-check for wait_seconds (see file comment).
+  /// Independent cross-check for wait_seconds (see file comment). For
+  /// "serve" epochs the solved wait also absorbs queue_seconds, so the
+  /// cross-check target is uncontended_comm_seconds + queue_seconds.
   double uncontended_comm_seconds = 0;
+  /// Total request queueing time over the log's "serve" epochs.
+  double queue_seconds = 0;
   std::vector<EpochExplain> epochs;
   /// Links that carried traffic, ranked: contended_seconds descending,
   /// ties by peak_utilization descending, then link id ascending.

@@ -1,0 +1,14 @@
+// Fixture: trips serve-simulated-time when analyzed under a virtual
+// src/serve/ path — even the sanctioned stopwatch is an ambient clock
+// there, because request arrivals, dispatches and completions are
+// simulated seconds whose traces must be byte-identical across threads.
+#include "common/timer.h"
+
+namespace gnnpart::serve {
+
+double BatchWaitSeconds() {
+  WallTimer timer;
+  return timer.Seconds();
+}
+
+}  // namespace gnnpart::serve

@@ -1,0 +1,19 @@
+// Fixture: near-miss twin of serve_simulated_time_bad — a src/serve/
+// file that consumes only simulated time. Mentions of WallTimer in
+// comments and strings must not fire.
+namespace gnnpart::serve {
+
+// WallTimer is banned here; the request clock below is simulated.
+struct RequestClock {
+  double now_s = 0.0;
+  void AdvanceTo(double t_s) {
+    if (t_s > now_s) now_s = t_s;  // "WallTimer" the string, not the type
+  }
+};
+
+double Dispatch(RequestClock* clock, double arrival_s, double wait_s) {
+  clock->AdvanceTo(arrival_s + wait_s);
+  return clock->now_s;
+}
+
+}  // namespace gnnpart::serve

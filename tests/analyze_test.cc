@@ -80,6 +80,8 @@ TEST(AnalyzeBadFixtures, TripByCheckName) {
        "net-simulated-time", 1},
       {"obs_event_simulated_time_bad.cc", "src/obs/events.cc",
        "obs-event-simulated-time", 1},
+      {"serve_simulated_time_bad.cc", "src/serve/fixture.cc",
+       "serve-simulated-time", 1},
       {"flag_doc_drift_bad.cc", "src/serving/fixture.cc", "flag-doc-drift",
        1},
       {"bench_default_context_bad.cc", "bench/bench_fixture.cc",
@@ -134,6 +136,7 @@ TEST(AnalyzeGoodFixtures, NearMissTwinsAreClean) {
       {"wall_clock_quarantine_good.cc", "src/harness/fixture.cc"},
       {"net_simulated_time_good.cc", "src/net/fixture.cc"},
       {"obs_event_simulated_time_good.cc", "src/obs/events.cc"},
+      {"serve_simulated_time_good.cc", "src/serve/fixture.cc"},
       {"flag_doc_drift_good.cc", "src/serving/fixture.cc"},
       {"bench_default_context_good.cc", "bench/bench_fixture.cc"},
       {"bench_default_context_suppressed.cc", "bench/bench_fixture.cc"},
@@ -224,7 +227,7 @@ TEST(AnalyzeRegistry, NamesAreUniqueAndSevere) {
     EXPECT_STREQ(c.severity, "error");
     EXPECT_NE(std::string(c.description), "");
   }
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 12u);
 }
 
 TEST(AnalyzeOutput, JsonFormatIsStableAndEscaped) {

@@ -1,6 +1,7 @@
-// ParsePositiveInt is the single validated entry point for every numeric
-// CLI flag (--threads, --seed, --feature, --hidden, --layers, --gbs, k);
-// it must reject garbage loudly (-1) instead of atol-style silent zeros.
+// ParsePositiveInt / ParsePositiveDouble are the validated entry points
+// for every numeric CLI flag (--threads, --seed, --feature, --gbs, k,
+// --rf-threshold, --arrival-rate, ...); they must reject garbage loudly
+// (-1) instead of atol/atof-style silent zeros.
 #include <climits>
 #include <limits>
 
@@ -59,6 +60,45 @@ TEST(ParsePositiveIntTest, ThreadCountParserSharesTheValidation) {
   EXPECT_EQ(ParseThreadCount("0"), -1);
   EXPECT_EQ(ParseThreadCount("four"), -1);
   EXPECT_EQ(ParseThreadCount(""), -1);
+}
+
+TEST(ParsePositiveDoubleTest, AcceptsPlainPositiveValues) {
+  EXPECT_DOUBLE_EQ(ParsePositiveDouble("1"), 1.0);
+  EXPECT_DOUBLE_EQ(ParsePositiveDouble("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(ParsePositiveDouble("2.25"), 2.25);
+  EXPECT_DOUBLE_EQ(ParsePositiveDouble("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(ParsePositiveDouble(".125"), 0.125);
+}
+
+TEST(ParsePositiveDoubleTest, AcceptsLeadingWhitespaceAndPlusLikeStrtod) {
+  EXPECT_DOUBLE_EQ(ParsePositiveDouble(" 4.5"), 4.5);
+  EXPECT_DOUBLE_EQ(ParsePositiveDouble("+0.75"), 0.75);
+}
+
+TEST(ParsePositiveDoubleTest, RejectsGarbage) {
+  EXPECT_EQ(ParsePositiveDouble(nullptr), -1.0);
+  EXPECT_EQ(ParsePositiveDouble(""), -1.0);
+  EXPECT_EQ(ParsePositiveDouble("x"), -1.0);
+  EXPECT_EQ(ParsePositiveDouble("1.5x"), -1.0);  // trailing junk
+  EXPECT_EQ(ParsePositiveDouble("1.5 "), -1.0);
+  EXPECT_EQ(ParsePositiveDouble("--rf-threshold"), -1.0);
+  EXPECT_EQ(ParsePositiveDouble(" "), -1.0);
+}
+
+TEST(ParsePositiveDoubleTest, RejectsNonPositiveAndNonFinite) {
+  EXPECT_EQ(ParsePositiveDouble("0"), -1.0);
+  EXPECT_EQ(ParsePositiveDouble("0.0"), -1.0);
+  EXPECT_EQ(ParsePositiveDouble("-1"), -1.0);
+  EXPECT_EQ(ParsePositiveDouble("-0.25"), -1.0);
+  EXPECT_EQ(ParsePositiveDouble("inf"), -1.0);
+  EXPECT_EQ(ParsePositiveDouble("nan"), -1.0);
+  EXPECT_EQ(ParsePositiveDouble("1e999"), -1.0);  // strtod overflow
+}
+
+TEST(ParsePositiveDoubleTest, EnforcesUpperBound) {
+  EXPECT_DOUBLE_EQ(ParsePositiveDouble("100", /*max=*/100.0), 100.0);
+  EXPECT_EQ(ParsePositiveDouble("100.001", /*max=*/100.0), -1.0);
+  EXPECT_DOUBLE_EQ(ParsePositiveDouble("0.01", /*max=*/100.0), 0.01);
 }
 
 }  // namespace

@@ -181,6 +181,88 @@ TEST(FlowSimTest, RingSplitsTrafficAcrossBothDirections) {
   EXPECT_TRUE(check::ValidateFlowConservation(fabric, usage).ok());
 }
 
+TEST(FlowSimTest, UnitWeightsAreBitIdenticalToUnweightedEngine) {
+  // The serve-weight contract: a run where every flow carries the default
+  // weight 1.0 is bitwise the historical unweighted engine — EXPECT_EQ on
+  // completions, per-flow details and link samples, not EXPECT_NEAR.
+  net::NetworkConfig config;
+  config.topology = net::TopologyKind::kFatTree;
+  config.rack_size = 2;
+  config.oversubscription = 2.0;
+  net::Fabric fabric(config, 4);
+  std::vector<net::Flow> flows;
+  for (int h = 0; h < 4; ++h) {
+    net::AppendHostFlows(fabric, h, 0.0001 * h, 3e6 + 11.0 * h, 2.0,
+                         /*weight=*/1.0, &flows);
+  }
+  for (const net::Flow& f : flows) EXPECT_EQ(f.weight, 1.0);
+  net::LinkUsage usage;
+  net::PhaseLog log;
+  std::vector<double> done = net::SimulateFlows(fabric, flows, &usage, &log);
+
+  // The same phase through the legacy entry point (which builds weight-1.0
+  // flows via the identical route expansion) must agree byte-for-byte.
+  net::PhaseSpec spec(4);
+  for (size_t h = 0; h < 4; ++h) {
+    spec.start[h] = 0.0001 * static_cast<double>(h);
+    spec.bytes[h] = 3e6 + 11.0 * static_cast<double>(h);
+    spec.rounds[h] = 2.0;
+  }
+  net::LinkUsage phase_usage;
+  net::PhaseLog phase_log;
+  net::SimulatePhase(fabric, spec, &phase_usage, &phase_log);
+  ASSERT_EQ(log.flows.size(), phase_log.flows.size());
+  for (size_t i = 0; i < log.flows.size(); ++i) {
+    EXPECT_EQ(log.flows[i].finish, phase_log.flows[i].finish);
+    EXPECT_EQ(log.flows[i].uncontended_finish,
+              phase_log.flows[i].uncontended_finish);
+    EXPECT_EQ(log.flows[i].bytes, phase_log.flows[i].bytes);
+  }
+  ASSERT_EQ(log.samples.size(), phase_log.samples.size());
+  for (size_t i = 0; i < log.samples.size(); ++i) {
+    EXPECT_EQ(log.samples[i].rate, phase_log.samples[i].rate);
+    EXPECT_EQ(log.samples[i].t_begin, phase_log.samples[i].t_begin);
+    EXPECT_EQ(log.samples[i].t_end, phase_log.samples[i].t_end);
+  }
+  EXPECT_EQ(usage.link_bytes, phase_usage.link_bytes);
+  EXPECT_EQ(usage.link_busy_seconds, phase_usage.link_busy_seconds);
+  (void)done;
+}
+
+TEST(FlowSimTest, WeightedFlowsSplitBottleneckProportionally) {
+  // Two flows share one 100 B/s NIC. At weight 3:1 the heavy flow drains at
+  // 75 B/s and the light one at 25 B/s until the heavy flow's 150 bytes
+  // finish at t=2; the light flow then takes the whole link for its
+  // remaining 50 bytes and completes at t=2.5. Delivered bytes are
+  // conserved regardless of weights.
+  net::NetworkConfig config;
+  config.nic_bandwidth = 100.0;
+  config.link_latency = 0.0;
+  net::Fabric fabric(config, 2);
+  std::vector<net::Flow> flows(2);
+  flows[0].host = 0;
+  flows[0].bytes = 150.0;
+  flows[0].weight = 3.0;
+  flows[0].links = {0};
+  flows[1].host = 0;
+  flows[1].bytes = 100.0;
+  flows[1].weight = 1.0;
+  flows[1].links = {0};
+  net::LinkUsage usage;
+  std::vector<double> done = net::SimulateFlows(fabric, flows, &usage);
+  EXPECT_EQ(done[0], 2.0);
+  EXPECT_EQ(done[1], 2.5);
+  EXPECT_EQ(usage.link_bytes[0], 250.0);
+  EXPECT_EQ(usage.link_busy_seconds[0], 2.5);
+
+  // Equal weights > 1 behave exactly like weight 1 (the shares cancel).
+  for (net::Flow& f : flows) f.weight = 4.0;
+  std::vector<double> equal = net::SimulateFlows(fabric, flows, nullptr);
+  flows[0].weight = flows[1].weight = 1.0;
+  std::vector<double> unit = net::SimulateFlows(fabric, flows, nullptr);
+  EXPECT_EQ(equal, unit);
+}
+
 TEST(FlowSimTest, StaggeredArrivalsStayMonotonic) {
   // Late flows on a shared link slow earlier ones down but never move any
   // completion before its closed-form minimum.

@@ -288,13 +288,14 @@ void CheckUnorderedAlias(CheckContext& ctx) {
 
 // ---------------------------------------------------------------------------
 // wall-clock-quarantine: <chrono> only in common/timer.h; /proc/self/*
-// only under src/obs/. src/net/ is excluded here because its stricter
-// net-simulated-time check owns that subtree.
+// only under src/obs/. src/net/ and src/serve/ are excluded here because
+// their stricter simulated-time checks own those subtrees.
 // ---------------------------------------------------------------------------
 
 void CheckWallClockQuarantine(CheckContext& ctx) {
   if (!PathHasDir(ctx.path, "src")) return;
   if (PathHasDirPair(ctx.path, "src", "net")) return;
+  if (PathHasDirPair(ctx.path, "src", "serve")) return;
   const bool in_timer_h = PathEndsWith(ctx.path, "common/timer.h");
   const bool in_obs = PathHasDirPair(ctx.path, "src", "obs");
   const auto& T = ctx.lex.tokens;
@@ -384,6 +385,36 @@ void CheckObsEventSimulatedTime(CheckContext& ctx) {
       ctx.Report(T[i].line, T[i].col,
                  "event-timeline code must use simulated time only (no " +
                      T[i].text + ")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// serve-simulated-time: the serving subsystem's request clock is its
+// *result* — arrivals, dispatches and completions are simulated seconds
+// whose traces must be byte-identical across thread counts. Like
+// src/net/, no ambient clock of any kind, not even the sanctioned
+// stopwatches.
+// ---------------------------------------------------------------------------
+
+void CheckServeSimulatedTime(CheckContext& ctx) {
+  if (!PathHasDirPair(ctx.path, "src", "serve")) return;
+  const auto& T = ctx.lex.tokens;
+  static const std::set<std::string> kBanned = {"WallTimer", "ScopedTimer",
+                                                "steady_clock", "chrono"};
+  for (size_t i = 0; i < T.size(); ++i) {
+    if (IsInclude(T[i], "<chrono>")) {
+      if (!ctx.Suppressed(T[i].line)) {
+        ctx.Report(T[i].line, T[i].col,
+                   "src/serve/ must use simulated time only (no <chrono>)");
+      }
+      continue;
+    }
+    if (T[i].kind == TokKind::kIdent && kBanned.count(T[i].text)) {
+      if (ctx.Suppressed(T[i].line)) continue;
+      ctx.Report(T[i].line, T[i].col,
+                 "src/serve/ must use simulated time only (no " + T[i].text +
+                     ")");
     }
   }
 }
@@ -797,6 +828,10 @@ const std::vector<CheckInfo>& Registry() {
        "or explain sources under src/ (events.*, explain.*), whose "
        "timestamps are simulated and thread-count-invariant",
        nullptr, CheckObsEventSimulatedTime},
+      {"serve-simulated-time", "error",
+       "any ambient clock (WallTimer/ScopedTimer/<chrono>) in src/serve/, "
+       "whose request clock is simulated and part of its result",
+       nullptr, CheckServeSimulatedTime},
       {"flag-doc-drift", "error",
        "\"--flag\" string literals in any scanned file that are missing "
        "from README.md",

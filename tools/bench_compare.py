@@ -14,9 +14,12 @@ Comparison rules follow the manifest determinism contract:
     is a behaviour change, not noise.
   * det:false rows (timers, peak RSS, cache counters) are wall-clock or
     environment dependent; timers are compared by relative threshold
-    (default 25% slower fails), everything else det:false is informational.
-    `--det-only` skips det:false rows entirely — the mode CI uses, since
-    shared runners make time thresholds flaky.
+    (default 25% slower fails), and det:false histograms by relative drift
+    of their interpolated p50/p99 under the same threshold (a latency
+    distribution that moves its tail is a regression even when individual
+    bucket counts legitimately wobble). Everything else det:false is
+    informational. `--det-only` skips det:false rows entirely — the mode
+    CI uses, since shared runners make time thresholds flaky.
   * A det:true row present in the baseline but missing from the current
     manifest fails (instrumentation silently lost); rows that are new in
     the current manifest are reported but do not fail.
@@ -61,6 +64,32 @@ def load_manifest(path):
     if meta is None:
         sys.exit(f"error: {path}: empty manifest")
     return meta, rows
+
+
+def histogram_quantile(row, q):
+    """Interpolated quantile of a histogram row, in the row's native unit.
+
+    Linear interpolation inside the bucket holding rank q*count, the usual
+    Prometheus-style estimate. The overflow bucket (beyond the last bound)
+    extrapolates to twice the last bound — exact for the power-of-two
+    bucket layouts the exporters use, and a consistent convention for any
+    other. Returns None when the histogram is empty or has no bounds.
+    """
+    bounds = list(row.get("bounds", []))
+    buckets = list(row.get("buckets", []))
+    count = row.get("count", 0)
+    if not bounds or not buckets or not count:
+        return None
+    rank = q * count
+    cum = 0.0
+    lo = 0.0
+    for i, n in enumerate(buckets):
+        hi = bounds[i] if i < len(bounds) else 2.0 * bounds[-1]
+        if n and cum + n >= rank:
+            return lo + (hi - lo) * (rank - cum) / n
+        cum += n
+        lo = hi
+    return lo
 
 
 def value_key(row):
@@ -177,6 +206,21 @@ def main():
                     f"TIMER    {name}: {b_secs:.6f}s -> {c_secs:.6f}s "
                     f"(+{100.0 * (c_secs / b_secs - 1.0):.1f}%, "
                     f"threshold {100.0 * args.threshold:.0f}%)")
+        elif brow.get("type") == "histogram":
+            # Quantile drift, not bucket equality: the counts of a
+            # non-deterministic histogram wobble legitimately, but its
+            # p50/p99 moving past the threshold is a tail regression.
+            for q, label in ((0.5, "p50"), (0.99, "p99")):
+                b_q = histogram_quantile(brow, q)
+                c_q = histogram_quantile(crow, q)
+                if b_q is None or c_q is None or b_q <= 0:
+                    continue
+                if c_q > b_q * (1.0 + args.threshold):
+                    regressions.append(
+                        f"HIST     {name} {label}: {b_q:.1f} -> {c_q:.1f} "
+                        f"{brow.get('unit', '')} "
+                        f"(+{100.0 * (c_q / b_q - 1.0):.1f}%, "
+                        f"threshold {100.0 * args.threshold:.0f}%)")
         else:
             if value_key(brow) != value_key(crow):
                 notes.append(f"changed (non-det) {name}: "
@@ -186,10 +230,11 @@ def main():
         notes.append(f"new metric {name}")
 
     if args.summary:
-        timer_diffs = sum(1 for r in regressions if r.startswith("TIMER"))
+        timer_diffs = sum(1 for r in regressions
+                          if r.startswith(("TIMER", "HIST")))
         det_diffs = len(regressions) - timer_diffs
         print(f"{args.current}: {compared} rows compared, "
-              f"{det_diffs} det diff(s), {timer_diffs} timer diff(s)")
+              f"{det_diffs} det diff(s), {timer_diffs} threshold diff(s)")
         return 1 if regressions else 0
 
     for note in notes:

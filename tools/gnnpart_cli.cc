@@ -22,6 +22,10 @@
 //       [--growth-batches N] [--initial-fraction PCT]
 //       [--epochs-per-batch N] [--repartition-every N] [--rf-threshold PCT]
 //       [--migration-penalty PCT] [simulate flags]
+//   gnnpart_cli serve-run <graph-file> <partitioner> <k>
+//       [--arrival-rate R] [--duration S] [--batch-size N]
+//       [--batch-wait S] [--serve-weight W] [--cotenant]
+//       [model/network flags] [--events-out FILE]
 //   gnnpart_cli metrics <manifest.jsonl>
 //
 // Graph files are whitespace edge lists ("u v" per line, '#' comments) or
@@ -30,6 +34,9 @@
 // Argument handling is strict: unknown flags and missing or surplus
 // positional arguments exit non-zero with the usage message instead of
 // being silently ignored.
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -58,6 +65,8 @@
 #include "partition/edge/registry.h"
 #include "partition/split_merge.h"
 #include "partition/vertex/registry.h"
+#include "serve/serve.h"
+#include "serve/workload.h"
 #include "sim/distdgl_sim.h"
 #include "sim/distgnn_sim.h"
 #include "trace/analysis.h"
@@ -119,6 +128,27 @@ int Usage() {
          "      (migration cost in neighbor-score units, default 50)\n"
          "      [simulate flags]  --feature/--hidden/--layers/--gbs,\n"
          "      --seed, --directed, --trace-out and the network flags\n"
+         "  gnnpart_cli serve-run <graph> <partitioner> <k>\n"
+         "      multi-tenant inference serving: open-loop requests, batched\n"
+         "      per partition, priced on the shared fabric; reports\n"
+         "      p50/p95/p99 latency and a queue/compute/network/congestion\n"
+         "      breakdown\n"
+         "      [--arrival-rate R]  requests per simulated second\n"
+         "      (default 200)\n"
+         "      [--duration S]  arrival window in simulated seconds\n"
+         "      (default 1)\n"
+         "      [--batch-size N]  dispatch when a partition queue reaches\n"
+         "      N requests (default 8)\n"
+         "      [--batch-wait S]  max seconds the oldest request waits\n"
+         "      before its queue dispatches anyway (default 0.002; 0 =\n"
+         "      dispatch on arrival)\n"
+         "      [--serve-weight W]  fair-share weight of serving flows vs\n"
+         "      weight-1 training flows (default 4; 1 = no preemption)\n"
+         "      [--cotenant]  replay a DistDGL training epoch on the same\n"
+         "      fabric for the whole serving window\n"
+         "      [model/network flags]  --feature/--hidden/--layers/--gbs,\n"
+         "      --seed, --directed, --topology, --oversubscription,\n"
+         "      --rack-size, --nic-gbps; plus --events-out\n"
          "  gnnpart_cli metrics <manifest.jsonl>  pretty-print a run\n"
          "      manifest written by --metrics-out\n"
          "partitioners: Random DBH HDRF 2PS-L HEP10 HEP100 Greedy (edge)\n"
@@ -231,6 +261,66 @@ long NonNegativeFlagValue(const std::vector<std::string>& args,
       std::cerr << "error: invalid " << flag << " value '" << args[i + 1]
                 << "' (expected a non-negative integer";
       if (max != std::numeric_limits<long>::max()) std::cerr << " <= " << max;
+      std::cerr << ")\n";
+      std::exit(2);
+    }
+    return v;
+  }
+  return fallback;
+}
+
+/// Validated `--flag X` lookup for fractional flags (--rf-threshold,
+/// --migration-penalty, --initial-fraction, --arrival-rate, ...): absent
+/// -> `fallback`; present with a missing, non-numeric, non-positive,
+/// non-finite or > `max` value -> loud exit 2 via ParsePositiveDouble, the
+/// FP twin of the integer FlagValue path.
+double DoubleFlagValue(const std::vector<std::string>& args,
+                       const std::string& flag, double fallback,
+                       double max = std::numeric_limits<double>::max()) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << "error: " << flag << " requires a value\n";
+      std::exit(2);
+    }
+    const double v = ParsePositiveDouble(args[i + 1].c_str(), max);
+    if (v < 0) {
+      std::cerr << "error: invalid " << flag << " value '" << args[i + 1]
+                << "' (expected a positive number";
+      if (max != std::numeric_limits<double>::max()) std::cerr << " <= " << max;
+      std::cerr << ")\n";
+      std::exit(2);
+    }
+    return v;
+  }
+  return fallback;
+}
+
+/// DoubleFlagValue, but a literal zero is accepted — for flags where 0
+/// means "off" (--rf-threshold, --migration-penalty) or "immediately"
+/// (--batch-wait). "-0" and negative values stay rejected.
+double NonNegativeDoubleFlagValue(
+    const std::vector<std::string>& args, const std::string& flag,
+    double fallback, double max = std::numeric_limits<double>::max()) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << "error: " << flag << " requires a value\n";
+      std::exit(2);
+    }
+    const char* s = args[i + 1].c_str();
+    errno = 0;
+    char* end = nullptr;
+    const double z = std::strtod(s, &end);
+    if (errno == 0 && end != s && *end == '\0' && z == 0 &&
+        !std::signbit(z)) {
+      return 0.0;
+    }
+    const double v = ParsePositiveDouble(s, max);
+    if (v < 0) {
+      std::cerr << "error: invalid " << flag << " value '" << args[i + 1]
+                << "' (expected a non-negative number";
+      if (max != std::numeric_limits<double>::max()) std::cerr << " <= " << max;
       std::cerr << ")\n";
       std::exit(2);
     }
@@ -647,14 +737,20 @@ void PrintExplain(const trace::ExplainReport& rep,
   const trace::ExplainReport& base = baseline != nullptr ? *baseline : zero;
   row("compute", rep.compute_seconds, base.compute_seconds);
   row("wait", rep.wait_seconds, base.wait_seconds);
+  // Serving runs split the wait between request queueing and uncontended
+  // comm; training runs have no queueing and skip the row.
+  if (rep.queue_seconds > 0 || base.queue_seconds > 0) {
+    row("  of which queueing", rep.queue_seconds, base.queue_seconds);
+  }
   row("congestion", rep.congestion_seconds, base.congestion_seconds);
   row("migration", rep.migration_seconds, base.migration_seconds);
   row("total", rep.total_seconds, base.total_seconds);
   comp.Print(std::cout);
   std::cout << "(components sum to the total bit-exactly; solved wait "
                "cross-checks against "
-            << TablePrinter::Fmt(rep.uncontended_comm_seconds * 1e3, 3)
-            << " ms of uncontended comm; " << rep.epochs.size()
+            << TablePrinter::Fmt(
+                   (rep.uncontended_comm_seconds + rep.queue_seconds) * 1e3, 3)
+            << " ms of uncontended comm + queueing; " << rep.epochs.size()
             << " epoch(s))\n";
 
   if (!rep.links.empty()) {
@@ -1047,20 +1143,19 @@ int CmdDynRun(const std::vector<std::string>& args) {
   dyn::DynConfig config;
   config.growth_batches = static_cast<size_t>(
       NonNegativeFlagValue(args, "--growth-batches", 8, 4096));
+  // The percentage flags are genuinely fractional (e.g. --rf-threshold
+  // 2.5) and go through the shared ParsePositiveDouble path.
   config.initial_fraction =
-      static_cast<double>(FlagValue(args, "--initial-fraction", 50, 100)) /
-      100.0;
+      DoubleFlagValue(args, "--initial-fraction", 50.0, 100.0) / 100.0;
   config.epochs_per_batch =
       static_cast<size_t>(FlagValue(args, "--epochs-per-batch", 1, 1024));
   config.repartition_every = static_cast<size_t>(
       NonNegativeFlagValue(args, "--repartition-every", 0, 4096));
   config.quality_threshold =
-      static_cast<double>(
-          NonNegativeFlagValue(args, "--rf-threshold", 0, 10000)) /
-      100.0;
+      NonNegativeDoubleFlagValue(args, "--rf-threshold", 0.0, 10000.0) / 100.0;
   config.stay_bonus =
-      static_cast<double>(
-          NonNegativeFlagValue(args, "--migration-penalty", 50, 1000000)) /
+      NonNegativeDoubleFlagValue(args, "--migration-penalty", 50.0,
+                                 1000000.0) /
       100.0;
   config.gnn.feature_size =
       static_cast<size_t>(FlagValue(args, "--feature", 64));
@@ -1151,6 +1246,139 @@ int CmdDynRun(const std::vector<std::string>& args) {
     if (!st.ok()) return Fail(st);
     std::cout << "trace: " << trace_out << " (" << recorder.spans().size()
               << " spans)\n";
+  }
+  return 0;
+}
+
+/// Multi-tenant inference serving run (DESIGN.md §15): generate an
+/// open-loop request trace, batch per partition, price sampling RPCs and
+/// feature fetches as weighted flows on the shared fabric — optionally
+/// against a co-tenant training epoch replay — and report tail latency
+/// with a queue/compute/network/congestion breakdown. Every printed number
+/// is simulated and byte-identical for every --threads N.
+int CmdServeRun(const std::vector<std::string>& args) {
+  std::vector<std::string> pos = Positionals(
+      args,
+      {{"--arrival-rate", true},
+       {"--duration", true},
+       {"--batch-size", true},
+       {"--batch-wait", true},
+       {"--serve-weight", true},
+       {"--cotenant", false},
+       {"--feature", true},
+       {"--hidden", true},
+       {"--layers", true},
+       {"--gbs", true},
+       {"--directed", false},
+       {"--seed", true},
+       {"--events-out", true},
+       {"--topology", true},
+       {"--oversubscription", true},
+       {"--rack-size", true},
+       {"--nic-gbps", true}},
+      3, 3);
+  Result<Graph> graph = LoadGraph(pos[0], HasFlag(args, "--directed"));
+  if (!graph.ok()) return Fail(graph.status());
+  PartitionId k = ParseK(pos[2]);
+  const std::string& name = pos[1];
+
+  serve::ServeConfig config;
+  config.workload.arrival_rate =
+      DoubleFlagValue(args, "--arrival-rate", 200.0, 1e9);
+  config.workload.duration = DoubleFlagValue(args, "--duration", 1.0, 1e6);
+  config.batch.max_batch =
+      static_cast<size_t>(FlagValue(args, "--batch-size", 8, 1 << 20));
+  config.batch.max_wait =
+      NonNegativeDoubleFlagValue(args, "--batch-wait", 0.002, 3600.0);
+  config.serve_weight = DoubleFlagValue(args, "--serve-weight", 4.0, 1024.0);
+  config.cotenant = HasFlag(args, "--cotenant");
+  config.seed = static_cast<uint64_t>(FlagValue(args, "--seed", 42));
+  config.workload.seed = config.seed;
+  config.gnn.feature_size =
+      static_cast<size_t>(FlagValue(args, "--feature", 64));
+  config.gnn.hidden_dim = static_cast<size_t>(FlagValue(args, "--hidden", 64));
+  config.gnn.num_layers = static_cast<int>(FlagValue(args, "--layers", 3));
+  config.gnn.num_classes = 16;
+  config.gnn.fanouts = GnnConfig::DefaultFanouts(config.gnn.num_layers);
+  config.gnn.global_batch_size =
+      static_cast<size_t>(FlagValue(args, "--gbs", 256));
+  config.cluster.num_machines = static_cast<int>(k);
+  config.network = ParseNetworkConfig(args, config.cluster);
+  config.metrics_prefix = "serve/" + name;
+
+  // Vertex partitioners own vertices directly; edge (vertex-cut)
+  // partitioners serve each vertex from the partition holding most of its
+  // incident edges (DeriveVertexOwnership), so all 12 compare on the same
+  // footing.
+  VertexPartitioning owners;
+  uint64_t part_seed = config.seed;
+  if (Result<EdgePartitionerId> id = ParseEdgePartitionerName(name); id.ok()) {
+    Result<EdgePartitioning> parts =
+        MakeEdgePartitioner(*id)->Partition(*graph, k, part_seed);
+    if (!parts.ok()) return Fail(parts.status());
+    owners = serve::DeriveVertexOwnership(*graph, *parts);
+  } else {
+    std::string lookup =
+        !name.empty() && name[0] == 'v' ? name.substr(1) : name;
+    Result<VertexPartitionerId> vid = ParseVertexPartitionerName(lookup);
+    if (!vid.ok()) return Fail(vid.status());
+    VertexSplit split =
+        VertexSplit::MakeRandom(graph->num_vertices(), 0.1, 0.1, part_seed);
+    Result<VertexPartitioning> parts =
+        MakeVertexPartitioner(*vid)->Partition(*graph, split, k, part_seed);
+    if (!parts.ok()) return Fail(parts.status());
+    owners = std::move(*parts);
+  }
+
+  const std::string events_out = StringFlagValue(args, "--events-out");
+  obs::EventLog event_log;
+  obs::EventLog* events = events_out.empty() ? nullptr : &event_log;
+  Result<serve::ServeReport> report =
+      serve::RunServe(*graph, owners, config, events);
+  if (!report.ok()) return Fail(report.status());
+
+  std::cout << name << " k=" << k << ": " << report->requests
+            << " requests in " << report->batches << " batches (mean "
+            << TablePrinter::Fmt(report->mean_batch_size, 2) << "/batch)"
+            << (config.cotenant
+                    ? ", co-tenant " + std::to_string(report->cotenant_steps) +
+                          " training steps"
+                    : std::string())
+            << "\n";
+  std::cout << "latency ms: p50 " << TablePrinter::Fmt(report->latency.p50 * 1e3, 3)
+            << "  p95 " << TablePrinter::Fmt(report->latency.p95 * 1e3, 3)
+            << "  p99 " << TablePrinter::Fmt(report->latency.p99 * 1e3, 3)
+            << "  max " << TablePrinter::Fmt(report->latency.max * 1e3, 3)
+            << "  mean " << TablePrinter::Fmt(report->latency.mean * 1e3, 3)
+            << "\n";
+  std::cout << "breakdown s: queue "
+            << TablePrinter::Fmt(report->queue_seconds, 4) << "  compute "
+            << TablePrinter::Fmt(report->compute_seconds, 4) << "  network "
+            << TablePrinter::Fmt(report->network_seconds, 4) << "  congestion "
+            << TablePrinter::Fmt(report->congestion_seconds, 4) << "  bytes "
+            << TablePrinter::Fmt(report->network_bytes / 1e6, 3) << " MB\n";
+
+  if (events != nullptr) {
+    if (Status st = check::ValidateEventLog(event_log); !st.ok()) {
+      return Fail(st);
+    }
+    if (Status st = check::CheckEventAttribution(event_log); !st.ok()) {
+      return Fail(st);
+    }
+    Status st = obs::WriteEventsFile(event_log, events_out,
+                                     {{"tool", "gnnpart_cli"},
+                                      {"graph", pos[0]},
+                                      {"partitioner", name},
+                                      {"k", std::to_string(k)},
+                                      {"seed", std::to_string(config.seed)}});
+    if (!st.ok()) return Fail(st);
+    size_t records = event_log.run_events().size();
+    for (const obs::EpochEvents& ep : event_log.epochs()) {
+      records += ep.events.size();
+    }
+    std::cout << "events: " << events_out << " (" << records << " records, "
+              << event_log.links().size() << " links, "
+              << event_log.epochs().size() << " epoch(s))\n";
   }
   return 0;
 }
@@ -1262,6 +1490,7 @@ int main(int argc, char** argv) {
   else if (cmd == "net-report") rc = CmdNetReport(args);
   else if (cmd == "explain") rc = CmdExplain(args);
   else if (cmd == "dyn-run") rc = CmdDynRun(args);
+  else if (cmd == "serve-run") rc = CmdServeRun(args);
   else if (cmd == "metrics") rc = CmdMetrics(args);
   else {
     std::cerr << "error: unknown subcommand '" << cmd << "'\n";
